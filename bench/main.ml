@@ -1,0 +1,268 @@
+(* The full evaluation harness.
+
+   Usage: dune exec bench/main.exe [-- --quick] [-- fig1 e1 e3 micro ...]
+
+   With no section arguments it regenerates everything: Figure 1 (the
+   paper's penalty statistics), experiments E1-E10 with the E2b scaling
+   sweep and the A1/A2/A3 ablations (DESIGN.md §3), and the bechamel
+   micro-benchmarks of the core primitives.  [--quick] shrinks problem
+   sizes for a fast smoke pass. *)
+
+open Bechamel
+open Toolkit
+
+module E = Rgpdos_workload.Experiments
+module Penalties = Rgpdos_penalties.Penalties
+module Prng = Rgpdos_util.Prng
+module Clock = Rgpdos_util.Clock
+module Hex = Rgpdos_util.Hex
+module Bignum = Rgpdos_crypto.Bignum
+module Sha256 = Rgpdos_crypto.Sha256
+module Chacha20 = Rgpdos_crypto.Chacha20
+module Rsa = Rgpdos_crypto.Rsa
+module Envelope = Rgpdos_crypto.Envelope
+module Membrane = Rgpdos_membrane.Membrane
+module Value = Rgpdos_dbfs.Value
+module Record = Rgpdos_dbfs.Record
+module Audit_log = Rgpdos_audit.Audit_log
+
+let section title body =
+  Printf.printf "\n================================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "================================================================\n";
+  print_endline body
+
+(* ------------------------------------------------------------------ *)
+(* micro-benchmarks                                                   *)
+
+let micro_tests () =
+  let prng = Prng.create ~seed:1L () in
+  let kib = Prng.bytes prng 1024 in
+  let key32 = Prng.bytes prng 32 in
+  let nonce12 = Prng.bytes prng 12 in
+  let keypair = Rsa.generate ~bits:256 (Prng.create ~seed:2L ()) in
+  let envelope = Envelope.seal prng keypair.Rsa.public kib in
+  let base = Bignum.of_string "1234567890123456789012345678901234567890" in
+  let exponent = Bignum.of_string "65537" in
+  let modulus =
+    Bignum.of_string "99999999999999999999999999999999999999999999999999999977"
+  in
+  let membrane =
+    Membrane.make ~pd_id:"pd-1" ~type_name:"user" ~subject_id:"sub-1"
+      ~origin:Membrane.Subject
+      ~consents:
+        [ ("service", Membrane.All); ("analytics", Membrane.View "v_ano");
+          ("marketing", Membrane.Denied) ]
+      ~created_at:0 ~ttl:Clock.year ~sensitivity:Membrane.High ()
+  in
+  let membrane_bytes = Membrane.encode membrane in
+  let record : Record.t =
+    [
+      ("name", Value.VString "Chiraz Benamor");
+      ("email", Value.VString "chiraz@example.test");
+      ("year_of_birth", Value.VInt 1992);
+    ]
+  in
+  let record_bytes = Record.encode record in
+  let log = Audit_log.create () in
+  for i = 0 to 999 do
+    ignore
+      (Audit_log.append log ~now:i ~actor:"ded"
+         (Audit_log.Processed
+            { purpose = "p"; inputs = [ "pd-1" ]; produced = [] }))
+  done;
+  Test.make_grouped ~name:"core"
+    [
+      Test.make ~name:"sha256/1KiB" (Staged.stage (fun () -> Sha256.digest kib));
+      Test.make ~name:"hmac-sha256/1KiB"
+        (Staged.stage (fun () -> Sha256.hmac ~key:key32 kib));
+      Test.make ~name:"chacha20/1KiB"
+        (Staged.stage (fun () -> Chacha20.encrypt ~key:key32 ~nonce:nonce12 kib));
+      Test.make ~name:"bignum/modpow-190bit"
+        (Staged.stage (fun () -> Bignum.mod_pow base exponent modulus));
+      Test.make ~name:"envelope/seal-1KiB"
+        (Staged.stage (fun () -> Envelope.seal prng keypair.Rsa.public kib));
+      Test.make ~name:"envelope/open-1KiB"
+        (Staged.stage (fun () -> Envelope.open_ keypair.Rsa.private_ envelope));
+      Test.make ~name:"membrane/encode"
+        (Staged.stage (fun () -> Membrane.encode membrane));
+      Test.make ~name:"membrane/decode"
+        (Staged.stage (fun () -> Membrane.decode membrane_bytes));
+      Test.make ~name:"membrane/decide"
+        (Staged.stage (fun () ->
+             Membrane.decide membrane ~purpose:"analytics" ~now:1000));
+      Test.make ~name:"record/encode" (Staged.stage (fun () -> Record.encode record));
+      Test.make ~name:"record/decode"
+        (Staged.stage (fun () -> Record.decode record_bytes));
+      Test.make ~name:"audit/append"
+        (Staged.stage (fun () ->
+             Audit_log.append log ~now:0 ~actor:"ded"
+               (Audit_log.Erased { pd_id = "pd-1"; mode = "crypto" })));
+    ]
+
+let run_micro () =
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.3) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] (micro_tests ()) in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols_result acc ->
+        let estimate =
+          match Analyze.OLS.estimates ols_result with
+          | Some (e :: _) -> e
+          | _ -> nan
+        in
+        let r2 =
+          match Analyze.OLS.r_square ols_result with Some r -> r | None -> nan
+        in
+        (name, estimate, r2) :: acc)
+      results []
+    |> List.sort compare
+  in
+  Rgpdos_util.Table.render
+    ~align:[ Rgpdos_util.Table.Left; Rgpdos_util.Table.Right; Rgpdos_util.Table.Right ]
+    ~header:[ "benchmark"; "wall ns/op"; "r^2" ]
+    (List.map
+       (fun (name, est, r2) ->
+         [ name; Printf.sprintf "%.1f" est; Printf.sprintf "%.4f" r2 ])
+       rows)
+
+(* A3: crypto-erasure cost versus the authority's key size.  Wall-clock
+   (host) timing of keygen / seal / open at growing RSA moduli — the knob
+   an operator turns when the simulation-scale default (256 bits) is not
+   enough. *)
+let run_keysize_ablation () =
+  let prng = Prng.create ~seed:4L () in
+  let payload = Prng.bytes prng 1024 in
+  let time_one f =
+    let t0 = Sys.time () in
+    let r = f () in
+    (r, (Sys.time () -. t0) *. 1e3)
+  in
+  (* Sys.time has ~10ms resolution: average the cheap operations *)
+  let time_avg n f =
+    let t0 = Sys.time () in
+    let last = ref (f ()) in
+    for _ = 2 to n do
+      last := f ()
+    done;
+    (!last, (Sys.time () -. t0) *. 1e3 /. float_of_int n)
+  in
+  let rows =
+    List.map
+      (fun bits ->
+        let kp, keygen_ms = time_one (fun () -> Rsa.generate ~bits prng) in
+        let env, seal_ms =
+          time_avg 20 (fun () -> Envelope.seal prng kp.Rsa.public payload)
+        in
+        let opened, open_ms =
+          time_avg 5 (fun () -> Envelope.open_ kp.Rsa.private_ env)
+        in
+        (match opened with
+        | Ok p when String.equal p payload -> ()
+        | _ -> failwith "a3: envelope did not roundtrip");
+        [
+          string_of_int bits;
+          Printf.sprintf "%.1f" keygen_ms;
+          Printf.sprintf "%.2f" seal_ms;
+          Printf.sprintf "%.2f" open_ms;
+        ])
+      [ 256; 384; 512; 1_024 ] (* < ~224 bits cannot hold the envelope seed *)
+  in
+  Rgpdos_util.Table.render
+    ~align:Rgpdos_util.Table.[ Right; Right; Right; Right ]
+    ~header:[ "modulus bits"; "keygen ms"; "seal 1KiB ms"; "open 1KiB ms" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* driver                                                             *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "--quick" args in
+  let wanted = List.filter (fun a -> a <> "--quick") args in
+  let enabled name = wanted = [] || List.mem name wanted in
+  let d full small = if quick then small else full in
+
+  if enabled "fig1" then
+    section "FIG1 — GDPR penalty statistics (paper Figure 1)"
+      (Penalties.render_figure1 ());
+
+  if enabled "e1" then
+    section "E1 — DED pipeline breakdown"
+      (E.render_e1 (E.e1_ded_stages ~subjects:(d 2_000 200) ()));
+
+  if enabled "e2" then
+    section "E2 — GDPRBench roles: rgpdOS vs DB-level GDPR vs vanilla"
+      (E.render_e2
+         (E.e2_gdprbench ~subjects:(d 400 80) ~ops_per_role:(d 200 50) ()));
+
+  if enabled "e2b" then
+    section "E2b — processor-role scaling sweep"
+      (E.render_e2b
+         (E.e2b_scaling
+            ~sizes:(d [ 100; 200; 400; 800 ] [ 50; 100 ])
+            ~ops:(d 100 30) ()));
+
+  if enabled "e3" then
+    section "E3 — right to be forgotten (forensic)"
+      (E.render_e3 (E.e3_erasure ~subjects:(d 300 60) ~erase_fraction:0.10 ()));
+
+  if enabled "e4" then
+    section "E4 — right of access latency"
+      (E.render_e4
+         (E.e4_access
+            ~records_per_subject:(d [ 1; 10; 50; 200; 1_000 ] [ 1; 10; 50 ])
+            ()));
+
+  if enabled "e5" then
+    section "E5 — storage-limitation sweep"
+      (E.render_e5
+         (E.e5_ttl ~sizes:(d [ 500; 1_000; 2_000; 4_000 ] [ 100; 200 ]) ()));
+
+  if enabled "e6" then
+    section "E6 — membrane filter selectivity"
+      (E.render_e6 (E.e6_filter ~subjects:(d 1_000 150) ()));
+
+  if enabled "e7" then
+    section "E7 — cross-purpose leak attempts"
+      (E.render_e7 (E.e7_leak ~attacks:(d 200 40) ()));
+
+  if enabled "e8" then
+    section "E8 — ps_register purpose/implementation checks"
+      (E.render_e8 (E.e8_register ()));
+
+  if enabled "e9" then
+    section "E9 — purpose-kernel partitioning"
+      (E.render_e9 (E.e9_kernels ~jobs:(d 100 24) ()));
+
+  if enabled "e11" then
+    section "E11 — consent churn with live copies"
+      (E.render_e11
+         (E.e11_consent_churn ~subjects:(d 300 60) ~flips:(d 200 40) ()));
+
+  if enabled "a1" then
+    section "A1 — ablation: two-phase vs single-phase DBFS fetching"
+      (E.render_a1 (E.a1_fetch_mode ~subjects:(d 500 80) ()));
+
+  if enabled "a2" then
+    section "A2 — ablation: DED placement (host / PIM / PIS)"
+      (E.render_a2 (E.a2_placement ~subjects:(d 1_000 150) ()));
+
+  if enabled "e10" then
+    section "E10 — audit-chain verification"
+      (E.render_e10
+         (E.e10_audit ~sizes:(d [ 100; 1_000; 10_000; 50_000 ] [ 100; 1_000 ]) ()));
+
+  if enabled "a3" then
+    section "A3 — ablation: crypto-erasure cost vs authority key size (wall clock)"
+      (run_keysize_ablation ());
+
+  if enabled "micro" then
+    section "MICRO — bechamel micro-benchmarks (host wall clock)" (run_micro ());
+
+  print_newline ();
+  print_endline "done."

@@ -1,0 +1,225 @@
+(* rgpdosctl: command-line front end to the rgpdOS simulation.
+
+   Subcommands:
+     parse FILE        check a declaration file and print what it defines
+     demo              run an end-to-end scenario on a fresh machine
+     fig1              print the paper's Figure 1 statistics
+     experiment ID     run one experiment (e1..e10) at bench scale
+     articles          print the GDPR article -> rgpdOS mechanism table *)
+
+open Cmdliner
+
+module Machine = Rgpdos.Machine
+module Parser = Rgpdos_lang.Parser
+module Ast = Rgpdos_lang.Ast
+module Schema = Rgpdos_dbfs.Schema
+module Value = Rgpdos_dbfs.Value
+module Ded = Rgpdos_ded.Ded
+module Processing = Rgpdos_ded.Processing
+module Articles = Rgpdos_gdpr.Articles
+module E = Rgpdos_workload.Experiments
+module Table = Rgpdos_util.Table
+
+(* ------------------------------------------------------------------ *)
+(* parse                                                              *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let parse_cmd_run path =
+  match Parser.parse (read_file path) with
+  | Error e ->
+      Printf.eprintf "%s: %s\n" path e;
+      1
+  | Ok decls ->
+      List.iter
+        (function
+          | Ast.Type_decl d -> (
+              match Ast.to_schema d with
+              | Ok schema ->
+                  Format.printf "%a@.@." Schema.pp schema
+              | Error e ->
+                  Format.printf "type %s: INVALID (%s)@.@." d.Ast.t_name e)
+          | Ast.Purpose_decl p -> Format.printf "%a@.@." Ast.pp_purpose_decl p)
+        decls;
+      Printf.printf "%d declaration(s) parsed from %s\n" (List.length decls) path;
+      0
+
+let parse_cmd =
+  let path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"Declaration file (Listing-1 syntax).")
+  in
+  Cmd.v
+    (Cmd.info "parse" ~doc:"Check a PD-type/purpose declaration file")
+    Term.(const parse_cmd_run $ path)
+
+(* ------------------------------------------------------------------ *)
+(* demo                                                               *)
+
+let demo_run subjects seed where =
+  let prng = Rgpdos_util.Prng.create ~seed:(Int64.of_int seed) () in
+  let people = Rgpdos_workload.Population.generate prng ~n:subjects in
+  let m = Machine.boot ~seed:(Int64.of_int seed) () in
+  (match Machine.load_declarations m Rgpdos_workload.Population.type_declaration with
+  | Ok _ -> ()
+  | Error e ->
+      Printf.eprintf "declarations: %s\n" e;
+      exit 1);
+  List.iter
+    (fun (p : Rgpdos_workload.Population.person) ->
+      ignore
+        (Machine.collect m ~type_name:"person" ~subject:p.Rgpdos_workload.Population.subject_id
+           ~interface:"web_form"
+           ~record:(Rgpdos_workload.Population.record_of p)
+           ~consents:p.Rgpdos_workload.Population.consent_profile ()))
+    people;
+  Printf.printf "collected %d subjects\n" subjects;
+  let spec =
+    match
+      Machine.make_processing m ~name:"stats" ~purpose:"analytics"
+        ~touches:[ ("person", [ "year_of_birth" ]) ]
+        (fun _ctx inputs ->
+          Ok (Processing.value_output (Value.VInt (List.length inputs))))
+    with
+    | Ok s -> s
+    | Error e ->
+        Printf.eprintf "%s\n" e;
+        exit 1
+  in
+  ignore (Machine.register_processing m spec);
+  let target =
+    match where with
+    | None -> Ded.All_of_type "person"
+    | Some src -> (
+        match Parser.parse_predicate src with
+        | Ok pred ->
+            Printf.printf "selection: %s\n" (Rgpdos_dbfs.Query.to_string pred);
+            Ded.Selection ("person", pred)
+        | Error e ->
+            Printf.eprintf "bad --where predicate: %s\n" e;
+            exit 1)
+  in
+  (match Machine.invoke m ~name:"stats" ~target () with
+  | Ok o ->
+      Printf.printf "analytics processing: %d consented+selected, %d refused\n"
+        o.Ded.consumed o.Ded.filtered
+  | Error e -> Printf.printf "invoke failed: %s\n" e);
+  let victim = (List.hd people).Rgpdos_workload.Population.subject_id in
+  (match Machine.right_to_erasure m ~subject:victim with
+  | Ok n -> Printf.printf "right to be forgotten for %s: %d PD erased\n" victim n
+  | Error e -> Printf.printf "erasure failed: %s\n" e);
+  let verdicts =
+    Rgpdos_gdpr.Compliance.evaluate (Machine.compliance_evidence m ())
+  in
+  Printf.printf "compliance: %s\n" (Rgpdos_gdpr.Compliance.summary verdicts);
+  if subjects <= 10 then (
+    match Rgpdos_dbfs.Dbfs.describe_trees (Machine.dbfs m) ~actor:"ded" with
+    | Ok trees ->
+        print_newline ();
+        print_string trees
+    | Error _ -> ());
+  0
+
+let demo_cmd =
+  let subjects =
+    Arg.(value & opt int 100 & info [ "subjects"; "n" ] ~doc:"Population size.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let where =
+    Arg.(value & opt (some string) None
+         & info [ "where" ] ~docv:"PRED"
+             ~doc:"Selection predicate, e.g. \"year_of_birth > 1990\".")
+  in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Run an end-to-end scenario on a fresh machine")
+    Term.(const demo_run $ subjects $ seed $ where)
+
+(* ------------------------------------------------------------------ *)
+(* fig1 / experiments / articles                                      *)
+
+let fig1_cmd =
+  Cmd.v
+    (Cmd.info "fig1" ~doc:"Print the paper's Figure 1 statistics")
+    Term.(
+      const (fun () ->
+          print_endline (Rgpdos_penalties.Penalties.render_figure1 ());
+          0)
+      $ const ())
+
+let experiment_run id quick =
+  let d full small = if quick then small else full in
+  let out =
+    match String.lowercase_ascii id with
+    | "e1" -> Some (E.render_e1 (E.e1_ded_stages ~subjects:(d 2_000 200) ()))
+    | "e2" ->
+        Some
+          (E.render_e2
+             (E.e2_gdprbench ~subjects:(d 400 80) ~ops_per_role:(d 200 50) ()))
+    | "e2b" ->
+        Some
+          (E.render_e2b
+             (E.e2b_scaling ~sizes:(d [ 100; 200; 400 ] [ 50; 100 ]) ()))
+    | "e3" ->
+        Some (E.render_e3 (E.e3_erasure ~subjects:(d 300 60) ()))
+    | "e4" -> Some (E.render_e4 (E.e4_access ()))
+    | "e5" -> Some (E.render_e5 (E.e5_ttl ~sizes:(d [ 500; 1_000; 2_000 ] [ 100 ]) ()))
+    | "e6" -> Some (E.render_e6 (E.e6_filter ~subjects:(d 1_000 150) ()))
+    | "e7" -> Some (E.render_e7 (E.e7_leak ~attacks:(d 200 40) ()))
+    | "e8" -> Some (E.render_e8 (E.e8_register ()))
+    | "e9" -> Some (E.render_e9 (E.e9_kernels ~jobs:(d 100 24) ()))
+    | "e11" ->
+        Some (E.render_e11 (E.e11_consent_churn ~subjects:(d 300 60) ()))
+    | "a1" -> Some (E.render_a1 (E.a1_fetch_mode ~subjects:(d 500 80) ()))
+    | "a2" -> Some (E.render_a2 (E.a2_placement ~subjects:(d 1_000 150) ()))
+    | "e10" ->
+        Some
+          (E.render_e10
+             (E.e10_audit ~sizes:(d [ 100; 1_000; 10_000 ] [ 100; 1_000 ]) ()))
+    | _ -> None
+  in
+  match out with
+  | Some s ->
+      print_endline s;
+      0
+  | None ->
+      Printf.eprintf "unknown experiment %s (expected e1..e11, e2b, a1, a2)\n" id;
+      1
+
+let experiment_cmd =
+  let id =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID"
+           ~doc:"Experiment id, e1 through e10.")
+  in
+  let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Smaller sizes.") in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Run one experiment and print its table")
+    Term.(const experiment_run $ id $ quick)
+
+let articles_cmd =
+  Cmd.v
+    (Cmd.info "articles" ~doc:"GDPR article to rgpdOS mechanism mapping")
+    Term.(
+      const (fun () ->
+          Table.print
+            ~header:[ "article"; "right/principle"; "rgpdOS mechanism" ]
+            (List.map
+               (fun a ->
+                 [ Articles.to_string a; Articles.description a; Articles.mechanism a ])
+               Articles.all);
+          0)
+      $ const ())
+
+let () =
+  let info =
+    Cmd.info "rgpdosctl" ~version:"1.0.0"
+      ~doc:"Drive the rgpdOS GDPR-aware operating system simulation"
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ parse_cmd; demo_cmd; fig1_cmd; experiment_cmd; articles_cmd ]))

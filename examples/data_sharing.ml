@@ -1,0 +1,146 @@
+(* Cross-operator data sharing.
+
+   The membrane tracks each PD's *origin* — the subject, the sysadmin, or
+   another data operator (§2).  This example runs TWO rgpdOS machines:
+   a travel agency (operator A) and an airline (operator B).  A subject
+   ports their profile from A to B: A answers a portability request, B
+   collects the document through a declared third_party interface, and
+   B's membranes record `origin: third_party(travel-agency)`.  Each
+   operator pseudonymises its analytics exports under its own key, so the
+   published datasets cannot be linked to each other.
+
+   Run with: dune exec examples/data_sharing.exe *)
+
+module Machine = Rgpdos.Machine
+module Requests = Rgpdos.Subject_requests
+module Membrane = Rgpdos_membrane.Membrane
+module Value = Rgpdos_dbfs.Value
+module Record = Rgpdos_dbfs.Record
+module Dbfs = Rgpdos_dbfs.Dbfs
+module Pseudonym = Rgpdos_gdpr.Pseudonym
+
+let traveller_decls ~origin =
+  Printf.sprintf
+    {|
+type traveller {
+  fields {
+    name: string,
+    email: string,
+    miles: int
+  };
+  view v_ops { name, email };
+  view v_stats { miles };
+  consent {
+    booking: all,
+    statistics: v_stats
+  };
+  collection {
+    web_form: booking.html,
+    third_party: partner_feed
+  };
+  origin: %s;
+  age: 3Y;
+  sensitivity: medium;
+}
+
+purpose booking {
+  description: "operate the customer's bookings";
+  reads: traveller;
+  legal_basis: contract;
+}
+
+purpose statistics {
+  description: "aggregate anonymous mileage statistics";
+  reads: traveller.v_stats;
+  legal_basis: legitimate_interest;
+}
+|}
+    origin
+
+let ok = function
+  | Ok v -> v
+  | Error e ->
+      prerr_endline ("error: " ^ e);
+      exit 1
+
+let () =
+  print_endline "== two operators, one subject ==";
+  (* operator A: the travel agency, collecting directly from subjects *)
+  let agency = Machine.boot ~seed:100L () in
+  ignore (ok (Machine.load_declarations agency (traveller_decls ~origin:"subject")));
+  let _pd =
+    ok
+      (Machine.collect agency ~type_name:"traveller" ~subject:"sub-nora"
+         ~interface:"web_form:booking.html"
+         ~record:
+           [
+             ("name", Value.VString "Nora Sel");
+             ("email", Value.VString "nora@mail.test");
+             ("miles", Value.VInt 48_000);
+           ]
+         ())
+  in
+  print_endline "agency collected Nora's profile (origin: subject)";
+
+  (* Nora files a portability request with the agency's request desk *)
+  let desk = Requests.create agency in
+  let req = Requests.file desk ~subject:"sub-nora" Requests.Portability in
+  let fulfilled = ok (Requests.fulfil desk req.Requests.request_id) in
+  let document = Option.get fulfilled.Requests.response in
+  Printf.printf "portability document issued: %d bytes of structured JSON\n"
+    (String.length document);
+
+  (* operator B: the airline, receiving through a third-party channel *)
+  let airline = Machine.boot ~seed:200L () in
+  ignore
+    (ok
+       (Machine.load_declarations airline
+          (traveller_decls ~origin:"third_party(\"travel-agency\")")));
+  Machine.register_collector airline ~interface:"third_party" (fun () ->
+      (* a real deployment would parse the portability JSON; the simulated
+         feed carries the same fields *)
+      [
+        ( "sub-nora",
+          [
+            ("name", Value.VString "Nora Sel");
+            ("email", Value.VString "nora@mail.test");
+            ("miles", Value.VInt 48_000);
+          ] );
+      ]);
+  let n = ok (Machine.collect_via airline ~type_name:"traveller" ~interface:"third_party") in
+  Printf.printf "airline imported %d profile(s) via the partner feed\n" n;
+
+  (* the airline's membrane records where the data came from *)
+  let pd_b =
+    List.hd
+      (ok
+         (Result.map_error Dbfs.error_to_string
+            (Dbfs.pds_of_subject (Machine.dbfs airline) ~actor:"ded" "sub-nora")))
+  in
+  let membrane =
+    ok
+      (Result.map_error Dbfs.error_to_string
+         (Dbfs.get_membrane (Machine.dbfs airline) ~actor:"ded" pd_b))
+  in
+  Format.printf "airline membrane origin: %a@." Membrane.pp_origin
+    membrane.Membrane.origin;
+
+  (* each operator pseudonymises under its own key: unlinkable datasets *)
+  let key_a = Pseudonym.key_of_string "travel-agency-secret" in
+  let key_b = Pseudonym.key_of_string "airline-secret" in
+  let pa = Pseudonym.pseudonym key_a "nora@mail.test" in
+  let pb = Pseudonym.pseudonym key_b "nora@mail.test" in
+  Printf.printf "agency analytics id: %s\nairline analytics id: %s\n" pa pb;
+  Printf.printf "published datasets linkable: %b\n" (pa = pb);
+
+  (* Nora later erases at the agency; the airline copy is independent *)
+  let erased = ok (Machine.right_to_erasure agency ~subject:"sub-nora") in
+  Printf.printf
+    "\nNora erased at the agency (%d PD); airline still holds %d PD\n" erased
+    (List.length
+       (ok
+          (Result.map_error Dbfs.error_to_string
+             (Dbfs.pds_of_subject (Machine.dbfs airline) ~actor:"ded" "sub-nora"))));
+  print_endline
+    "(the membrane's origin + the audit chain are what lets Nora find the\n\
+     \ airline and repeat the request there)"

@@ -1,0 +1,47 @@
+type slot = { mutable occupant : (string * string) option (* owner, data *) }
+
+type heap = {
+  slots : slot array;
+  mutable free_list : int list;
+  mutable leaks : int;
+}
+
+type ptr = { slot_idx : int; believed_owner : string }
+
+let create ~slots =
+  {
+    slots = Array.init slots (fun _ -> { occupant = None });
+    free_list = List.init slots Fun.id;
+    leaks = 0;
+  }
+
+let alloc heap ~owner ~data =
+  match heap.free_list with
+  | [] -> failwith "Process_model.alloc: out of memory"
+  | idx :: rest ->
+      heap.free_list <- rest;
+      heap.slots.(idx).occupant <- Some (owner, data);
+      { slot_idx = idx; believed_owner = owner }
+
+let free heap ptr =
+  match heap.slots.(ptr.slot_idx).occupant with
+  | None -> ()
+  | Some _ ->
+      heap.slots.(ptr.slot_idx).occupant <- None;
+      heap.free_list <- ptr.slot_idx :: heap.free_list
+
+let read heap ptr =
+  match heap.slots.(ptr.slot_idx).occupant with
+  | None -> None
+  | Some (owner, data) ->
+      if owner <> ptr.believed_owner then heap.leaks <- heap.leaks + 1;
+      Some (owner, data)
+
+let owner_of ptr = ptr.believed_owner
+
+let cross_owner_reads heap = heap.leaks
+
+let live_slots heap =
+  Array.fold_left
+    (fun acc s -> match s.occupant with Some _ -> acc + 1 | None -> acc)
+    0 heap.slots

@@ -1,0 +1,38 @@
+(** The process-centric memory model of Fig. 2, and its failure mode.
+
+    In a conventional OS the process "brings data to its domain": every
+    function of the application shares one address space, so a function
+    that should not see some PD can still reach it — the paper's example
+    is a use-after-free where f2 accidentally reads pd2.  This module is a
+    miniature allocator that reproduces exactly that: freeing returns the
+    slot to a free list, a later allocation reuses it, and a stale pointer
+    dereference observes the {i new} owner's data.  Experiment E7 counts
+    these cross-purpose leaks and contrasts them with rgpdOS, whose DED
+    hands each processing only its own consented inputs. *)
+
+type heap
+
+type ptr
+
+val create : slots:int -> heap
+
+val alloc : heap -> owner:string -> data:string -> ptr
+(** @raise Failure when the heap is full. *)
+
+val free : heap -> ptr -> unit
+(** Idempotent; the slot becomes reusable immediately (no quarantine —
+    that is the bug class MineSweeper-style defences patch). *)
+
+val read : heap -> ptr -> (string * string) option
+(** Dereference, valid or not: returns [(current_owner, data)] of whatever
+    occupies the slot now, or [None] if the slot is unallocated.  No
+    generation check — this is the unsafe semantics of a raw pointer. *)
+
+val owner_of : ptr -> string
+(** Who allocated through this pointer (the {i believed} owner). *)
+
+val cross_owner_reads : heap -> int
+(** How many [read]s observed data belonging to a different owner than
+    the pointer's — the leak counter. *)
+
+val live_slots : heap -> int

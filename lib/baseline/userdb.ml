@@ -1,0 +1,213 @@
+module Jfs = Rgpdos_journalfs.Journalfs
+module Codec = Rgpdos_util.Codec
+module Clock = Rgpdos_util.Clock
+
+open Rgpdos_util.Codec
+
+type mode = Vanilla | Gdpr
+
+type row = {
+  subject : string;
+  fields : (string * string) list;
+  allowed_purposes : string list;
+  expires_at : Clock.ns option;
+}
+
+type table_state = { mutable next_id : int; mutable ids : int list (* desc *) }
+
+type t = {
+  fs : Jfs.t;
+  mode : mode;
+  tables : (string, table_state) Hashtbl.t;
+}
+
+type error = Db_error of string
+
+let error_to_string (Db_error m) = m
+
+let db_err fmt = Format.kasprintf (fun m -> Error (Db_error m)) fmt
+
+let lift_fs = function
+  | Ok v -> Ok v
+  | Error e -> Error (Db_error (Jfs.error_to_string e))
+
+let ( let** ) r f = match r with Error e -> Error e | Ok v -> f v
+
+let root = "/db"
+
+let create fs ~mode =
+  let** () =
+    match Jfs.mkdir fs root with
+    | Ok () -> Ok ()
+    | Error (Jfs.Already_exists _) -> Ok ()
+    | Error e -> Error (Db_error (Jfs.error_to_string e))
+  in
+  Ok { fs; mode; tables = Hashtbl.create 8 }
+
+let mode t = t.mode
+
+let table_dir name = root ^ "/" ^ name
+
+let row_path table id = Printf.sprintf "%s/%d" (table_dir table) id
+
+let create_table t name =
+  if Hashtbl.mem t.tables name then db_err "table %s exists" name
+  else
+    let** () = lift_fs (Jfs.mkdir t.fs (table_dir name)) in
+    Hashtbl.replace t.tables name { next_id = 0; ids = [] };
+    Ok ()
+
+let find_table t name =
+  match Hashtbl.find_opt t.tables name with
+  | Some st -> Ok st
+  | None -> db_err "unknown table %s" name
+
+let encode_row row =
+  let w = Codec.Writer.create () in
+  Codec.Writer.string w row.subject;
+  Codec.Writer.list w
+    (fun (k, v) ->
+      Codec.Writer.string w k;
+      Codec.Writer.string w v)
+    row.fields;
+  Codec.Writer.list w (Codec.Writer.string w) row.allowed_purposes;
+  (match row.expires_at with
+  | None -> Codec.Writer.bool w false
+  | Some e ->
+      Codec.Writer.bool w true;
+      Codec.Writer.int w e);
+  Codec.Writer.contents w
+
+let decode_row raw =
+  let r = Codec.Reader.create raw in
+  let* subject = Codec.Reader.string r in
+  let* fields =
+    Codec.Reader.list r (fun r ->
+        let* k = Codec.Reader.string r in
+        let* v = Codec.Reader.string r in
+        Ok (k, v))
+  in
+  let* allowed_purposes = Codec.Reader.list r Codec.Reader.string in
+  let* has_exp = Codec.Reader.bool r in
+  let* expires_at =
+    if has_exp then
+      let* e = Codec.Reader.int r in
+      Ok (Some e)
+    else Ok None
+  in
+  Ok { subject; fields; allowed_purposes; expires_at }
+
+let insert t ~table row =
+  let** st = find_table t table in
+  let id = st.next_id in
+  let** () = lift_fs (Jfs.write_file t.fs (row_path table id) (encode_row row)) in
+  st.next_id <- id + 1;
+  st.ids <- id :: st.ids;
+  Ok id
+
+let get t ~table id =
+  let** _ = find_table t table in
+  match Jfs.read_file t.fs (row_path table id) with
+  | Error (Jfs.Not_found _) -> Ok None
+  | Error e -> Error (Db_error (Jfs.error_to_string e))
+  | Ok raw -> (
+      match decode_row raw with
+      | Ok row -> Ok (Some row)
+      | Error e -> db_err "corrupt row %s/%d: %s" table id e)
+
+let update t ~table id row =
+  let** _ = find_table t table in
+  if not (Jfs.exists t.fs (row_path table id)) then
+    db_err "row %s/%d not found" table id
+  else lift_fs (Jfs.write_file t.fs (row_path table id) (encode_row row))
+
+let delete ?(secure = false) t ~table id =
+  let** st = find_table t table in
+  let** () = lift_fs (Jfs.delete ~secure t.fs (row_path table id)) in
+  st.ids <- List.filter (( <> ) id) st.ids;
+  Ok ()
+
+let iter_rows t ~table f =
+  let** st = find_table t table in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | id :: rest -> (
+        match get t ~table id with
+        | Error e -> Error e
+        | Ok None -> go acc rest
+        | Ok (Some row) -> (
+            match f id row with
+            | None -> go acc rest
+            | Some v -> go (v :: acc) rest))
+  in
+  go [] (List.rev st.ids)
+
+(* per-row cost of evaluating GDPR metadata in userspace; GDPRBench found
+   this check to be a first-order overhead of DB-level compliance *)
+let metadata_check_cost = 500
+
+let row_visible t ~purpose ~now row =
+  match t.mode with
+  | Vanilla -> true (* no enforcement at all *)
+  | Gdpr ->
+      Clock.advance
+        (Rgpdos_block.Block_device.clock (Jfs.device t.fs))
+        metadata_check_cost;
+      List.mem purpose row.allowed_purposes
+      && (match row.expires_at with None -> true | Some e -> now < e)
+
+let query_purpose t ~table ~purpose ~now =
+  iter_rows t ~table (fun id row ->
+      if row_visible t ~purpose ~now row then Some (id, row) else None)
+
+let rows_of_subject t ~table subject =
+  iter_rows t ~table (fun id row ->
+      if row.subject = subject then Some (id, row) else None)
+
+let delete_subject ?(secure = false) t ~table subject =
+  let** victims = rows_of_subject t ~table subject in
+  let rec go n = function
+    | [] -> Ok n
+    | (id, _) :: rest -> (
+        match delete ~secure t ~table id with
+        | Ok () -> go (n + 1) rest
+        | Error e -> Error e)
+  in
+  go 0 victims
+
+(* The paper's §4 critique in code: positional keys — structured and
+   machine-readable in the letter, useless in spirit. *)
+let export_subject t ~table subject =
+  let** rows = rows_of_subject t ~table subject in
+  let render (_, row) =
+    let values = List.map snd row.fields in
+    let rec pairs = function
+      | a :: b :: rest -> Printf.sprintf "\"%s\": \"%s\"" a b :: pairs rest
+      | [ a ] -> [ Printf.sprintf "\"%s\": \"\"" a ]
+      | [] -> []
+    in
+    "{" ^ String.concat ", " (pairs values) ^ "}"
+  in
+  Ok ("[" ^ String.concat ", " (List.map render rows) ^ "]")
+
+let expire_rows ?(secure = false) t ~table ~now =
+  let** expired =
+    iter_rows t ~table (fun id row ->
+        match row.expires_at with
+        | Some e when now >= e -> Some id
+        | _ -> None)
+  in
+  let rec go n = function
+    | [] -> Ok n
+    | id :: rest -> (
+        match delete ~secure t ~table id with
+        | Ok () -> go (n + 1) rest
+        | Error e -> Error e)
+  in
+  go 0 expired
+
+let row_count t ~table =
+  let** st = find_table t table in
+  Ok (List.length st.ids)
+
+let fs t = t.fs

@@ -1,0 +1,82 @@
+(** The Fig-2 baseline: GDPR retrofitted at the DB-engine level, in
+    userspace, over a conventional journaling filesystem.
+
+    This reproduces the architecture of the prior work the paper contrasts
+    itself with (Shastri et al., Schwarzkopf et al.): the DB engine keeps
+    per-row GDPR metadata (allowed purposes, expiry, owner) and filters at
+    query time — but it runs {i above} a general-purpose OS, so:
+
+    - rows travel through the filesystem's data journal, where they
+      survive deletion (the §1 right-to-be-forgotten hazard, experiment
+      E3);
+    - nothing stops another process (or a buggy function in the same
+      process, see {!Process_model}) from bypassing the engine and reading
+      the DB files directly;
+    - in [`Vanilla] mode the same engine with the GDPR layer switched off
+      gives the no-compliance performance bound for experiment E2.
+
+    Rows are stored one file per row ([/db/<table>/<row-id>]) so deletes
+    map to file deletes, as in the embedded-KV designs GDPRBench
+    studied. *)
+
+type mode = Vanilla | Gdpr
+
+type row = {
+  subject : string;
+  fields : (string * string) list;
+  allowed_purposes : string list;  (** ignored in [Vanilla] mode *)
+  expires_at : Rgpdos_util.Clock.ns option;
+}
+
+type t
+
+type error = Db_error of string
+
+val error_to_string : error -> string
+
+val create : Rgpdos_journalfs.Journalfs.t -> mode:mode -> (t, error) result
+(** Initialise the engine's directory tree on the filesystem. *)
+
+val mode : t -> mode
+
+val create_table : t -> string -> (unit, error) result
+
+val insert : t -> table:string -> row -> (int, error) result
+(** Returns the new row id. *)
+
+val get : t -> table:string -> int -> (row option, error) result
+
+val update : t -> table:string -> int -> row -> (unit, error) result
+
+val delete : ?secure:bool -> t -> table:string -> int -> (unit, error) result
+(** [secure] asks the FS to zero data blocks — the best a userspace engine
+    can do; the journal remains beyond its reach. *)
+
+val query_purpose :
+  t -> table:string -> purpose:string -> now:Rgpdos_util.Clock.ns ->
+  ((int * row) list, error) result
+(** In [Gdpr] mode: rows whose metadata allows the purpose and which have
+    not expired.  In [Vanilla] mode: every row (no enforcement). *)
+
+val rows_of_subject :
+  t -> table:string -> string -> ((int * row) list, error) result
+
+val delete_subject :
+  ?secure:bool -> t -> table:string -> string -> (int, error) result
+(** The baseline's "right to be forgotten": delete every row of the
+    subject.  Returns how many rows were deleted.  The journal retains
+    their bytes regardless. *)
+
+val export_subject : t -> table:string -> string -> (string, error) result
+(** The baseline's art. 15/20 export.  Key-value pairs are emitted
+    {i positionally} ([{"Chiraz": "Benamor"}]-style, per the paper's §4
+    critique) — structured but with meaningless keys. *)
+
+val expire_rows :
+  ?secure:bool -> t -> table:string -> now:Rgpdos_util.Clock.ns ->
+  (int, error) result
+(** Storage-limitation pass in userspace: delete expired rows. *)
+
+val row_count : t -> table:string -> (int, error) result
+
+val fs : t -> Rgpdos_journalfs.Journalfs.t

@@ -1,0 +1,136 @@
+module Clock = Rgpdos_util.Clock
+module Stats = Rgpdos_util.Stats
+
+type config = {
+  block_size : int;
+  block_count : int;
+  read_latency : Clock.ns;
+  write_latency : Clock.ns;
+  byte_latency : Clock.ns;
+}
+
+let default_config =
+  {
+    block_size = 4096;
+    block_count = 16_384;
+    read_latency = 10_000 (* 10us *);
+    write_latency = 20_000 (* 20us *);
+    byte_latency = 2 (* ~0.5 GB/s *);
+  }
+
+type t = {
+  cfg : config;
+  clock : Clock.t;
+  blocks : string array; (* "" means never written / trimmed *)
+  faults : (int, unit) Hashtbl.t;
+  counters : Stats.Counter.t;
+  mutable used : int;
+}
+
+exception Out_of_range of int
+exception Faulted of int
+
+let create ?(config = default_config) ~clock () =
+  if config.block_size <= 0 || config.block_count <= 0 then
+    invalid_arg "Block_device.create: non-positive geometry";
+  {
+    cfg = config;
+    clock;
+    blocks = Array.make config.block_count "";
+    faults = Hashtbl.create 4;
+    counters = Stats.Counter.create ();
+    used = 0;
+  }
+
+let config dev = dev.cfg
+
+let clock dev = dev.clock
+
+let check dev i =
+  if i < 0 || i >= dev.cfg.block_count then raise (Out_of_range i);
+  if Hashtbl.mem dev.faults i then raise (Faulted i)
+
+let charge dev base nbytes =
+  Clock.advance dev.clock (base + (dev.cfg.byte_latency * nbytes))
+
+let read dev i =
+  check dev i;
+  charge dev dev.cfg.read_latency dev.cfg.block_size;
+  Stats.Counter.incr dev.counters "reads";
+  Stats.Counter.incr dev.counters ~by:dev.cfg.block_size "bytes_read";
+  let b = dev.blocks.(i) in
+  if b = "" then String.make dev.cfg.block_size '\000' else b
+
+let write dev i data =
+  check dev i;
+  let len = String.length data in
+  if len > dev.cfg.block_size then
+    invalid_arg "Block_device.write: data larger than block";
+  charge dev dev.cfg.write_latency dev.cfg.block_size;
+  Stats.Counter.incr dev.counters "writes";
+  Stats.Counter.incr dev.counters ~by:dev.cfg.block_size "bytes_written";
+  if dev.blocks.(i) = "" then dev.used <- dev.used + 1;
+  dev.blocks.(i) <-
+    (if len = dev.cfg.block_size then data
+     else data ^ String.make (dev.cfg.block_size - len) '\000')
+
+let trim dev i =
+  check dev i;
+  Stats.Counter.incr dev.counters "trims";
+  if dev.blocks.(i) <> "" then dev.used <- dev.used - 1;
+  dev.blocks.(i) <- ""
+
+let inject_fault dev i =
+  if i < 0 || i >= dev.cfg.block_count then raise (Out_of_range i);
+  Hashtbl.replace dev.faults i ()
+
+let clear_fault dev i = Hashtbl.remove dev.faults i
+
+let snapshot dev = Array.copy dev.blocks
+
+let restore dev saved =
+  if Array.length saved <> dev.cfg.block_count then
+    invalid_arg "Block_device.restore: geometry mismatch";
+  Array.blit saved 0 dev.blocks 0 (Array.length saved);
+  dev.used <- Array.fold_left (fun n b -> if b = "" then n else n + 1) 0 saved
+
+let stats dev = dev.counters
+
+let reset_stats dev = Stats.Counter.reset dev.counters
+
+(* Forensic search: find [needle] anywhere on the medium, including matches
+   straddling a block boundary.  We search each block plus a
+   (len needle - 1)-byte tail of overlap into the next block. *)
+let scan dev needle =
+  let nlen = String.length needle in
+  if nlen = 0 then []
+  else begin
+    let bs = dev.cfg.block_size in
+    let contents i =
+      let b = dev.blocks.(i) in
+      if b = "" then String.make bs '\000' else b
+    in
+    let hits = ref [] in
+    for i = dev.cfg.block_count - 1 downto 0 do
+      let hay =
+        if i + 1 < dev.cfg.block_count && nlen > 1 then
+          contents i ^ String.sub (contents (i + 1)) 0 (min (nlen - 1) bs)
+        else contents i
+      in
+      let rec find_from pos =
+        if pos + nlen > String.length hay then ()
+        else
+          match String.index_from_opt hay pos needle.[0] with
+          | None -> ()
+          | Some j when j + nlen > String.length hay -> ()
+          | Some j ->
+              if String.sub hay j nlen = needle && j < bs then
+                hits := (i, j) :: !hits;
+              find_from (j + 1)
+      in
+      find_from 0
+    done;
+    !hits
+  end
+
+let used_blocks dev = dev.used

@@ -1,0 +1,74 @@
+(** Simulated block device.
+
+    Both filesystems in the reproduction (the conventional journaling FS of
+    the Fig-2 baseline and rgpdOS's DBFS) sit on instances of this device,
+    so the forensic experiments (E3: does deleted PD survive on the medium?)
+    can scan the raw bytes exactly as a disk-imaging tool would.
+
+    The device charges simulated time to a {!Rgpdos_util.Clock.t} per
+    operation (seek + per-byte transfer), keeps IO statistics, and supports
+    fault injection and point-in-time snapshots for crash-recovery tests. *)
+
+type t
+
+type config = {
+  block_size : int;      (** bytes per block *)
+  block_count : int;     (** device capacity in blocks *)
+  read_latency : Rgpdos_util.Clock.ns;   (** fixed cost per read *)
+  write_latency : Rgpdos_util.Clock.ns;  (** fixed cost per write *)
+  byte_latency : Rgpdos_util.Clock.ns;   (** additional cost per byte moved *)
+}
+
+val default_config : config
+(** 4 KiB blocks, 16 Ki blocks (64 MiB), NVMe-flash-like latencies. *)
+
+val create : ?config:config -> clock:Rgpdos_util.Clock.t -> unit -> t
+
+val config : t -> config
+
+val clock : t -> Rgpdos_util.Clock.t
+(** The virtual clock the device charges. *)
+
+exception Out_of_range of int
+(** Raised on access to a block index outside the device. *)
+
+exception Faulted of int
+(** Raised when fault injection has marked a block bad. *)
+
+val read : t -> int -> string
+(** [read dev i] returns the contents of block [i] (always [block_size]
+    bytes; unwritten blocks read as zeros). *)
+
+val write : t -> int -> string -> unit
+(** [write dev i data] stores [data] as block [i].  [data] shorter than
+    [block_size] is zero-padded; longer raises [Invalid_argument]. *)
+
+val trim : t -> int -> unit
+(** Mark a block unallocated and zero it.  Unlike a real SSD TRIM this
+    simulation zeroes eagerly, which is the *charitable* assumption for the
+    baseline: its journal still leaks PD even with perfect TRIM. *)
+
+val inject_fault : t -> int -> unit
+(** Subsequent accesses to the block raise {!Faulted}. *)
+
+val clear_fault : t -> int -> unit
+
+val snapshot : t -> string array
+(** Copy of all written blocks (unwritten slots are [""]), for crash tests:
+    restore with [restore]. *)
+
+val restore : t -> string array -> unit
+
+val stats : t -> Rgpdos_util.Stats.Counter.t
+(** Counters: "reads", "writes", "trims", "bytes_read", "bytes_written". *)
+
+val reset_stats : t -> unit
+
+val scan : t -> string -> (int * int) list
+(** [scan dev needle] searches every block (without charging simulated
+    time — this is the forensic attacker, not a machine component) and
+    returns [(block, offset)] of every occurrence of [needle].  Matches
+    spanning two adjacent blocks are found as well. *)
+
+val used_blocks : t -> int
+(** Number of blocks that have been written and not trimmed. *)

@@ -1,0 +1,152 @@
+module Codec = Rgpdos_util.Codec
+
+type t = {
+  dev : Block_device.t;
+  start_block : int;
+  num_blocks : int;
+  mutable jhead : int; (* absolute byte offset of next record *)
+  mutable jtail : int; (* absolute offset of oldest un-checkpointed record *)
+  mutable jseq : int;
+  mutable live_records : int;
+}
+
+let record_magic = "JR"
+
+let block_size ring = (Block_device.config ring.dev).Block_device.block_size
+
+let capacity ring = ring.num_blocks * block_size ring
+
+let create dev ~start_block ~num_blocks =
+  if num_blocks <= 0 then invalid_arg "Journal_ring.create: empty ring";
+  { dev; start_block; num_blocks; jhead = 0; jtail = 0; jseq = 0; live_records = 0 }
+
+let attach dev ~start_block ~num_blocks ~head ~seq =
+  {
+    dev;
+    start_block;
+    num_blocks;
+    jhead = head;
+    jtail = head;
+    jseq = seq;
+    live_records = 0;
+  }
+
+let checksum = Rgpdos_util.Fnv.hash64_hex
+
+let frame_record seq payload =
+  let w = Codec.Writer.create () in
+  Codec.Writer.int w seq;
+  Codec.Writer.string w payload;
+  let body = Codec.Writer.contents w in
+  record_magic ^ body ^ checksum body
+
+let ring_write ring abs bytes =
+  let bs = block_size ring in
+  let cap = capacity ring in
+  let len = String.length bytes in
+  let pos = ref 0 in
+  while !pos < len do
+    let ring_off = (abs + !pos) mod cap in
+    let blk = ring.start_block + (ring_off / bs) in
+    let off_in_blk = ring_off mod bs in
+    let chunk = min (bs - off_in_blk) (len - !pos) in
+    let current = Bytes.of_string (Block_device.read ring.dev blk) in
+    Bytes.blit_string bytes !pos current off_in_blk chunk;
+    Block_device.write ring.dev blk (Bytes.to_string current);
+    pos := !pos + chunk
+  done
+
+let ring_read ring abs len =
+  let bs = block_size ring in
+  let cap = capacity ring in
+  let buf = Buffer.create len in
+  let pos = ref 0 in
+  while !pos < len do
+    let ring_off = (abs + !pos) mod cap in
+    let blk = ring.start_block + (ring_off / bs) in
+    let off_in_blk = ring_off mod bs in
+    let chunk = min (bs - off_in_blk) (len - !pos) in
+    Buffer.add_string buf
+      (String.sub (Block_device.read ring.dev blk) off_in_blk chunk);
+    pos := !pos + chunk
+  done;
+  Buffer.contents buf
+
+let mark_checkpointed ring =
+  ring.jtail <- ring.jhead;
+  ring.live_records <- 0
+
+let append ring ~on_overflow payload =
+  let framed = frame_record ring.jseq payload in
+  let len = String.length framed in
+  if len > capacity ring then failwith "Journal_ring: record larger than ring";
+  if ring.jhead + len - ring.jtail > capacity ring then begin
+    on_overflow ();
+    if ring.jhead + len - ring.jtail > capacity ring then
+      failwith "Journal_ring: overflow handler did not checkpoint"
+  end;
+  ring_write ring ring.jhead framed;
+  ring.jhead <- ring.jhead + len;
+  ring.jseq <- ring.jseq + 1;
+  ring.live_records <- ring.live_records + 1
+
+let replay ring f =
+  let mlen = String.length record_magic in
+  let continue = ref true in
+  while !continue do
+    let header = ring_read ring ring.jhead (mlen + 8 + 4) in
+    if String.sub header 0 mlen <> record_magic then continue := false
+    else begin
+      let r = Codec.Reader.create (String.sub header mlen (8 + 4)) in
+      match Codec.Reader.int r with
+      | Error _ -> continue := false
+      | Ok seq when seq <> ring.jseq -> continue := false
+      | Ok seq ->
+          let lenfield = String.sub header (mlen + 8) 4 in
+          let plen = ref 0 in
+          String.iter (fun c -> plen := (!plen lsl 8) lor Char.code c) lenfield;
+          if !plen < 0 || !plen > capacity ring then continue := false
+          else begin
+            let total = mlen + 8 + 4 + !plen + 16 in
+            let frame = ring_read ring ring.jhead total in
+            let body = String.sub frame mlen (8 + 4 + !plen) in
+            let sum = String.sub frame (mlen + 8 + 4 + !plen) 16 in
+            if sum <> checksum body then continue := false
+            else begin
+              let payload = String.sub frame (mlen + 8 + 4) !plen in
+              f payload;
+              ring.jhead <- ring.jhead + total;
+              ring.jseq <- seq + 1;
+              ring.live_records <- ring.live_records + 1
+            end
+          end
+    end
+  done
+
+let head ring = ring.jhead
+
+let seq ring = ring.jseq
+
+let live ring =
+  let bytes = ring.jhead - ring.jtail in
+  (ring.live_records, bytes)
+
+let scrub ring =
+  let bs = block_size ring in
+  let cap = capacity ring in
+  let live_start = ring.jtail mod cap in
+  let live_len = ring.jhead - ring.jtail in
+  let is_live_block blk_idx =
+    if live_len = 0 then false
+    else if live_len >= cap then true
+    else
+      let blk_lo = blk_idx * bs and blk_hi = ((blk_idx + 1) * bs) - 1 in
+      let live_end = (live_start + live_len - 1) mod cap in
+      if live_start <= live_end then
+        not (blk_hi < live_start || blk_lo > live_end)
+      else blk_hi >= live_start || blk_lo <= live_end
+  in
+  for i = 0 to ring.num_blocks - 1 do
+    if not (is_live_block i) then
+      Block_device.write ring.dev (ring.start_block + i) (String.make bs '\000')
+  done

@@ -1,0 +1,55 @@
+(** Write-ahead journal ring over a {!Block_device} region.
+
+    Shared by the two filesystems, which use it with opposite policies —
+    the conventional FS journals full data payloads (and therefore retains
+    deleted PD), DBFS journals metadata-only records.  The ring itself is
+    policy-free: it stores framed byte payloads with sequence numbers and
+    checksums, supports replay from a checkpointed position, and never
+    zeroes lapped blocks unless {!scrub} is called (matching real journal
+    behaviour). *)
+
+type t
+
+val create :
+  Block_device.t -> start_block:int -> num_blocks:int -> t
+(** Fresh ring: head, tail and sequence start at zero.  No device IO. *)
+
+val attach :
+  Block_device.t ->
+  start_block:int ->
+  num_blocks:int ->
+  head:int ->
+  seq:int ->
+  t
+(** Ring view positioned at a checkpointed (head, seq), ready to {!replay}
+    whatever was appended after the checkpoint. *)
+
+val append : t -> on_overflow:(unit -> unit) -> string -> unit
+(** Frame and write a payload at the head.  If the ring would lap
+    un-checkpointed records, [on_overflow] is called first; it must
+    persist a checkpoint and call {!mark_checkpointed}, otherwise the
+    append raises [Failure].
+    @raise Failure if a single record exceeds the ring capacity. *)
+
+val replay : t -> (string -> unit) -> unit
+(** Parse records from the current head, calling the function on each
+    payload and advancing head/seq.  Stops at the first invalid frame
+    (torn write, old data, sequence gap). *)
+
+val mark_checkpointed : t -> unit
+(** Move the tail to the head: all current records become dead. *)
+
+val head : t -> int
+(** Absolute byte offset of the next record (monotone). *)
+
+val seq : t -> int
+(** Next sequence number. *)
+
+val live : t -> int * int
+(** [(records, bytes)] appended since the last checkpoint. *)
+
+val capacity : t -> int
+(** Ring capacity in bytes. *)
+
+val scrub : t -> unit
+(** Zero every ring block holding no live bytes. *)

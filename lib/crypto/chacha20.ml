@@ -1,0 +1,78 @@
+let key_size = 32
+let nonce_size = 12
+
+let rotl x n = Int32.logor (Int32.shift_left x n) (Int32.shift_right_logical x (32 - n))
+
+let quarter_round st a b c d =
+  st.(a) <- Int32.add st.(a) st.(b);
+  st.(d) <- rotl (Int32.logxor st.(d) st.(a)) 16;
+  st.(c) <- Int32.add st.(c) st.(d);
+  st.(b) <- rotl (Int32.logxor st.(b) st.(c)) 12;
+  st.(a) <- Int32.add st.(a) st.(b);
+  st.(d) <- rotl (Int32.logxor st.(d) st.(a)) 8;
+  st.(c) <- Int32.add st.(c) st.(d);
+  st.(b) <- rotl (Int32.logxor st.(b) st.(c)) 7
+
+let word32_le s off =
+  Int32.logor
+    (Int32.of_int (Char.code s.[off]))
+    (Int32.logor
+       (Int32.shift_left (Int32.of_int (Char.code s.[off + 1])) 8)
+       (Int32.logor
+          (Int32.shift_left (Int32.of_int (Char.code s.[off + 2])) 16)
+          (Int32.shift_left (Int32.of_int (Char.code s.[off + 3])) 24)))
+
+let block ~key ~nonce counter =
+  let st = Array.make 16 0l in
+  st.(0) <- 0x61707865l;
+  st.(1) <- 0x3320646el;
+  st.(2) <- 0x79622d32l;
+  st.(3) <- 0x6b206574l;
+  for i = 0 to 7 do
+    st.(8 + i - 4) <- word32_le key (i * 4)
+  done;
+  st.(12) <- Int32.of_int counter;
+  for i = 0 to 2 do
+    st.(13 + i) <- word32_le nonce (i * 4)
+  done;
+  let working = Array.copy st in
+  for _ = 1 to 10 do
+    quarter_round working 0 4 8 12;
+    quarter_round working 1 5 9 13;
+    quarter_round working 2 6 10 14;
+    quarter_round working 3 7 11 15;
+    quarter_round working 0 5 10 15;
+    quarter_round working 1 6 11 12;
+    quarter_round working 2 7 8 13;
+    quarter_round working 3 4 9 14
+  done;
+  let out = Bytes.create 64 in
+  for i = 0 to 15 do
+    let v = Int32.add working.(i) st.(i) in
+    for b = 0 to 3 do
+      Bytes.set out ((i * 4) + b)
+        (Char.chr
+           (Int32.to_int (Int32.logand (Int32.shift_right_logical v (b * 8)) 0xffl)))
+    done
+  done;
+  Bytes.to_string out
+
+let check_sizes ~key ~nonce =
+  if String.length key <> key_size then
+    invalid_arg "Chacha20: key must be 32 bytes";
+  if String.length nonce <> nonce_size then
+    invalid_arg "Chacha20: nonce must be 12 bytes"
+
+let keystream ~key ~nonce ?(counter = 0) n =
+  check_sizes ~key ~nonce;
+  let buf = Buffer.create n in
+  let blocks = (n + 63) / 64 in
+  for i = 0 to blocks - 1 do
+    Buffer.add_string buf (block ~key ~nonce (counter + i))
+  done;
+  Buffer.sub buf 0 n
+
+let encrypt ~key ~nonce ?(counter = 0) plaintext =
+  let ks = keystream ~key ~nonce ~counter (String.length plaintext) in
+  String.init (String.length plaintext) (fun i ->
+      Char.chr (Char.code plaintext.[i] lxor Char.code ks.[i]))

@@ -1,0 +1,20 @@
+(** ChaCha20 stream cipher (RFC 8439), implemented from scratch.
+
+    Provides the symmetric half of the hybrid crypto-erasure envelope: bulk
+    PD bytes are enciphered under a fresh ChaCha20 key, which is itself
+    sealed under the supervisory authority's RSA public key.  Verified
+    against the RFC 8439 test vector in the test suite. *)
+
+val key_size : int
+(** 32 bytes. *)
+
+val nonce_size : int
+(** 12 bytes. *)
+
+val encrypt : key:string -> nonce:string -> ?counter:int -> string -> string
+(** XOR the input with the ChaCha20 keystream.  Encryption and decryption
+    are the same operation.
+    @raise Invalid_argument on wrong key or nonce size. *)
+
+val keystream : key:string -> nonce:string -> ?counter:int -> int -> string
+(** Raw keystream bytes, for tests. *)

@@ -1,0 +1,33 @@
+(** Hybrid crypto-erasure envelope.
+
+    Implements the paper's §4 right-to-be-forgotten mechanism: when PD must
+    be "deleted but possibly retained for legal investigation", the plaintext
+    is replaced by an envelope only the supervisory authority can open.
+
+    Layout: a fresh ChaCha20 key+nonce encrypts the payload; the symmetric
+    key material is sealed under the authority's RSA public key; an HMAC
+    binds the whole envelope so corruption is detected at open time. *)
+
+type t = {
+  sealed_key : string;  (** RSA ciphertext of the 16-byte envelope seed *)
+  ciphertext : string;  (** ChaCha20-encrypted payload *)
+  mac : string;         (** HMAC-SHA256 over sealed_key || ciphertext *)
+  key_fingerprint : string;  (** which authority key sealed this *)
+}
+
+val seal : Rgpdos_util.Prng.t -> Rsa.public_key -> string -> t
+(** Seal a payload of arbitrary length under the authority's public key. *)
+
+val open_ : Rsa.private_key -> t -> (string, string) result
+(** Authority-side decryption.  [Error _] on MAC failure, padding failure,
+    or key mismatch. *)
+
+val encode : t -> string
+(** Self-delimiting binary encoding (for storage in place of the erased
+    PD). *)
+
+val decode : string -> (t, string) result
+
+val is_envelope : string -> bool
+(** Cheap magic-number test: does this byte string look like an encoded
+    envelope? *)

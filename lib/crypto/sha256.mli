@@ -1,0 +1,25 @@
+(** SHA-256 (FIPS 180-4), implemented from scratch.
+
+    Used for the tamper-evident audit chain (right of access, §4 of the
+    paper) and for key fingerprints.  Verified against the official NIST
+    test vectors in the test suite. *)
+
+type ctx
+(** Streaming hash context. *)
+
+val init : unit -> ctx
+
+val feed : ctx -> string -> unit
+(** Absorb bytes; may be called repeatedly. *)
+
+val finalize : ctx -> string
+(** 32-byte binary digest.  The context must not be reused afterwards. *)
+
+val digest : string -> string
+(** One-shot hash: 32 raw bytes. *)
+
+val hexdigest : string -> string
+(** One-shot hash: 64 lowercase hex characters. *)
+
+val hmac : key:string -> string -> string
+(** HMAC-SHA256 (RFC 2104), 32 raw bytes. *)

@@ -1,0 +1,934 @@
+module Block_device = Rgpdos_block.Block_device
+module Journal_ring = Rgpdos_block.Journal_ring
+module Codec = Rgpdos_util.Codec
+module Fnv = Rgpdos_util.Fnv
+module Stats = Rgpdos_util.Stats
+module Membrane = Rgpdos_membrane.Membrane
+
+open Rgpdos_util.Codec
+
+type error =
+  | Unknown_type of string
+  | Type_exists of string
+  | Unknown_pd of string
+  | Membrane_mismatch of string
+  | Invalid_record of string
+  | Erased of string
+  | No_space
+  | Access_denied of string
+  | Corrupt of string
+
+let pp_error fmt = function
+  | Unknown_type n -> Format.fprintf fmt "unknown PD type: %s" n
+  | Type_exists n -> Format.fprintf fmt "PD type already exists: %s" n
+  | Unknown_pd id -> Format.fprintf fmt "unknown PD: %s" id
+  | Membrane_mismatch m -> Format.fprintf fmt "membrane mismatch: %s" m
+  | Invalid_record m -> Format.fprintf fmt "invalid record: %s" m
+  | Erased id -> Format.fprintf fmt "PD %s has been erased" id
+  | No_space -> Format.fprintf fmt "no space left in DBFS"
+  | Access_denied m -> Format.fprintf fmt "access denied: %s" m
+  | Corrupt m -> Format.fprintf fmt "DBFS corruption: %s" m
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+(* A PD entry: the pair of inodes (record + membrane) in the subject tree. *)
+type entry = {
+  pd_id : string;
+  type_name : string;
+  subject : string;
+  high : bool; (* allocated in the sensitive region *)
+  mutable record_blocks : int list;
+  mutable record_size : int;
+  mutable membrane_blocks : int list;
+  mutable membrane_size : int;
+  mutable erased : bool;
+}
+
+type table = { schema : Schema.t; mutable pds_rev : string list }
+
+type t = {
+  dev : Block_device.t;
+  ring : Journal_ring.t;
+  journal_blocks : int;
+  meta_start : int;
+  meta_blocks : int;
+  data_start : int;
+  high_start : int; (* first block of the sensitive region *)
+  tables : (string, table) Hashtbl.t;
+  entries : (string, entry) Hashtbl.t;
+  subject_tree : (string, string list ref) Hashtbl.t; (* subject -> pd_ids, reversed *)
+  free : bool array;
+  mutable next_pd : int;
+  mutable hook : (actor:string -> op:string -> bool) option;
+  counters : Stats.Counter.t;
+}
+
+let superblock_magic = "RGPDBFS1"
+let meta_blocks_default = 128
+
+(* ------------------------------------------------------------------ *)
+(* guard                                                              *)
+
+let guard t ~actor ~op =
+  match t.hook with
+  | None -> Ok ()
+  | Some check ->
+      if check ~actor ~op then Ok ()
+      else begin
+        Stats.Counter.incr t.counters "denials";
+        Error
+          (Access_denied
+             (Printf.sprintf "actor %s may not perform %s on DBFS" actor op))
+      end
+
+let ( let** ) r f = match r with Error e -> Error e | Ok v -> f v
+
+(* ------------------------------------------------------------------ *)
+(* geometry & allocation                                              *)
+
+let block_size t = (Block_device.config t.dev).Block_device.block_size
+
+let total_blocks t = (Block_device.config t.dev).Block_device.block_count
+
+let blocks_needed t len = if len = 0 then 0 else ((len - 1) / block_size t) + 1
+
+(* Sensitive region: the top quarter of the data region. *)
+let compute_high_start ~data_start ~block_count =
+  data_start + ((block_count - data_start) * 3 / 4)
+
+let alloc_blocks t ~high n =
+  let lo, hi =
+    if high then (t.high_start - t.data_start, total_blocks t - t.data_start)
+    else (0, t.high_start - t.data_start)
+  in
+  let out = ref [] in
+  let found = ref 0 in
+  let i = ref lo in
+  while !found < n && !i < hi do
+    if t.free.(!i) then begin
+      t.free.(!i) <- false;
+      out := (t.data_start + !i) :: !out;
+      incr found
+    end;
+    incr i
+  done;
+  if !found < n then begin
+    List.iter (fun b -> t.free.(b - t.data_start) <- true) !out;
+    None
+  end
+  else Some (List.rev !out)
+
+let zero_and_free t blocks =
+  let bs = block_size t in
+  List.iter
+    (fun b ->
+      Block_device.write t.dev b (String.make bs '\000');
+      t.free.(b - t.data_start) <- true)
+    blocks
+
+let write_payload t payload blocks =
+  let bs = block_size t in
+  List.iteri
+    (fun i b ->
+      let chunk =
+        String.sub payload (i * bs) (min bs (String.length payload - (i * bs)))
+      in
+      Block_device.write t.dev b chunk)
+    blocks
+
+let read_payload t blocks size =
+  let buf = Buffer.create size in
+  List.iter (fun b -> Buffer.add_string buf (Block_device.read t.dev b)) blocks;
+  Buffer.sub buf 0 size
+
+(* ------------------------------------------------------------------ *)
+(* journal ops (metadata only: no PD bytes ever enter the ring)       *)
+
+type op =
+  | J_create_type of string (* encoded schema: structure, not PD *)
+  | J_insert of {
+      pd_id : string;
+      type_name : string;
+      subject : string;
+      high : bool;
+      record_blocks : int list;
+      record_size : int;
+      membrane_blocks : int list;
+      membrane_size : int;
+    }
+  | J_update_record of { pd_id : string; blocks : int list; size : int }
+  | J_update_membrane of { pd_id : string; blocks : int list; size : int }
+  | J_delete of string
+  | J_erase of { pd_id : string; blocks : int list; size : int }
+
+let encode_op op =
+  let w = Codec.Writer.create () in
+  (match op with
+  | J_create_type schema_bytes ->
+      Codec.Writer.string w "ctype";
+      Codec.Writer.string w schema_bytes
+  | J_insert e ->
+      Codec.Writer.string w "ins";
+      Codec.Writer.string w e.pd_id;
+      Codec.Writer.string w e.type_name;
+      Codec.Writer.string w e.subject;
+      Codec.Writer.bool w e.high;
+      Codec.Writer.list w (Codec.Writer.int w) e.record_blocks;
+      Codec.Writer.int w e.record_size;
+      Codec.Writer.list w (Codec.Writer.int w) e.membrane_blocks;
+      Codec.Writer.int w e.membrane_size
+  | J_update_record { pd_id; blocks; size } ->
+      Codec.Writer.string w "urec";
+      Codec.Writer.string w pd_id;
+      Codec.Writer.list w (Codec.Writer.int w) blocks;
+      Codec.Writer.int w size
+  | J_update_membrane { pd_id; blocks; size } ->
+      Codec.Writer.string w "umbr";
+      Codec.Writer.string w pd_id;
+      Codec.Writer.list w (Codec.Writer.int w) blocks;
+      Codec.Writer.int w size
+  | J_delete pd_id ->
+      Codec.Writer.string w "del";
+      Codec.Writer.string w pd_id
+  | J_erase { pd_id; blocks; size } ->
+      Codec.Writer.string w "ers";
+      Codec.Writer.string w pd_id;
+      Codec.Writer.list w (Codec.Writer.int w) blocks;
+      Codec.Writer.int w size);
+  Codec.Writer.contents w
+
+let decode_op s =
+  let r = Codec.Reader.create s in
+  let* tag = Codec.Reader.string r in
+  match tag with
+  | "ctype" ->
+      let* schema_bytes = Codec.Reader.string r in
+      Ok (J_create_type schema_bytes)
+  | "ins" ->
+      let* pd_id = Codec.Reader.string r in
+      let* type_name = Codec.Reader.string r in
+      let* subject = Codec.Reader.string r in
+      let* high = Codec.Reader.bool r in
+      let* record_blocks = Codec.Reader.list r Codec.Reader.int in
+      let* record_size = Codec.Reader.int r in
+      let* membrane_blocks = Codec.Reader.list r Codec.Reader.int in
+      let* membrane_size = Codec.Reader.int r in
+      Ok
+        (J_insert
+           {
+             pd_id;
+             type_name;
+             subject;
+             high;
+             record_blocks;
+             record_size;
+             membrane_blocks;
+             membrane_size;
+           })
+  | "urec" ->
+      let* pd_id = Codec.Reader.string r in
+      let* blocks = Codec.Reader.list r Codec.Reader.int in
+      let* size = Codec.Reader.int r in
+      Ok (J_update_record { pd_id; blocks; size })
+  | "umbr" ->
+      let* pd_id = Codec.Reader.string r in
+      let* blocks = Codec.Reader.list r Codec.Reader.int in
+      let* size = Codec.Reader.int r in
+      Ok (J_update_membrane { pd_id; blocks; size })
+  | "del" ->
+      let* pd_id = Codec.Reader.string r in
+      Ok (J_delete pd_id)
+  | "ers" ->
+      let* pd_id = Codec.Reader.string r in
+      let* blocks = Codec.Reader.list r Codec.Reader.int in
+      let* size = Codec.Reader.int r in
+      Ok (J_erase { pd_id; blocks; size })
+  | other -> Error ("unknown DBFS journal op " ^ other)
+
+(* Apply an op to the in-memory trees and the free map.  Data blocks are
+   NOT touched here: in ordered-mode journaling they were written in place
+   before the record committed. *)
+let mark_used t blocks = List.iter (fun b -> t.free.(b - t.data_start) <- false) blocks
+
+let mark_free t blocks = List.iter (fun b -> t.free.(b - t.data_start) <- true) blocks
+
+let apply_op t op =
+  match op with
+  | J_create_type schema_bytes -> (
+      match Schema.decode schema_bytes with
+      | Error e -> failwith ("DBFS: corrupt schema in journal: " ^ e)
+      | Ok schema ->
+          Hashtbl.replace t.tables schema.Schema.name { schema; pds_rev = [] })
+  | J_insert e ->
+      let entry =
+        {
+          pd_id = e.pd_id;
+          type_name = e.type_name;
+          subject = e.subject;
+          high = e.high;
+          record_blocks = e.record_blocks;
+          record_size = e.record_size;
+          membrane_blocks = e.membrane_blocks;
+          membrane_size = e.membrane_size;
+          erased = false;
+        }
+      in
+      Hashtbl.replace t.entries e.pd_id entry;
+      mark_used t e.record_blocks;
+      mark_used t e.membrane_blocks;
+      (match Hashtbl.find_opt t.tables e.type_name with
+      | Some table -> table.pds_rev <- e.pd_id :: table.pds_rev
+      | None -> failwith "DBFS: insert into unknown table during apply");
+      (match Hashtbl.find_opt t.subject_tree e.subject with
+      | Some ids -> ids := e.pd_id :: !ids
+      | None -> Hashtbl.replace t.subject_tree e.subject (ref [ e.pd_id ]));
+      (* keep pd counter ahead of any replayed id *)
+      (match int_of_string_opt (String.sub e.pd_id 3 (String.length e.pd_id - 3)) with
+      | Some n when n >= t.next_pd -> t.next_pd <- n + 1
+      | _ -> ())
+  | J_update_record { pd_id; blocks; size } ->
+      let entry = Hashtbl.find t.entries pd_id in
+      mark_free t entry.record_blocks;
+      mark_used t blocks;
+      entry.record_blocks <- blocks;
+      entry.record_size <- size
+  | J_update_membrane { pd_id; blocks; size } ->
+      let entry = Hashtbl.find t.entries pd_id in
+      mark_free t entry.membrane_blocks;
+      mark_used t blocks;
+      entry.membrane_blocks <- blocks;
+      entry.membrane_size <- size
+  | J_delete pd_id ->
+      let entry = Hashtbl.find t.entries pd_id in
+      mark_free t entry.record_blocks;
+      mark_free t entry.membrane_blocks;
+      Hashtbl.remove t.entries pd_id;
+      (match Hashtbl.find_opt t.tables entry.type_name with
+      | Some table -> table.pds_rev <- List.filter (( <> ) pd_id) table.pds_rev
+      | None -> ());
+      (match Hashtbl.find_opt t.subject_tree entry.subject with
+      | Some ids -> ids := List.filter (( <> ) pd_id) !ids
+      | None -> ())
+  | J_erase { pd_id; blocks; size } ->
+      let entry = Hashtbl.find t.entries pd_id in
+      mark_free t entry.record_blocks;
+      mark_used t blocks;
+      entry.record_blocks <- blocks;
+      entry.record_size <- size;
+      entry.erased <- true
+
+(* ------------------------------------------------------------------ *)
+(* metadata checkpoint                                                *)
+
+let encode_entry w e =
+  Codec.Writer.string w e.pd_id;
+  Codec.Writer.string w e.type_name;
+  Codec.Writer.string w e.subject;
+  Codec.Writer.bool w e.high;
+  Codec.Writer.list w (Codec.Writer.int w) e.record_blocks;
+  Codec.Writer.int w e.record_size;
+  Codec.Writer.list w (Codec.Writer.int w) e.membrane_blocks;
+  Codec.Writer.int w e.membrane_size;
+  Codec.Writer.bool w e.erased
+
+let decode_entry r =
+  let* pd_id = Codec.Reader.string r in
+  let* type_name = Codec.Reader.string r in
+  let* subject = Codec.Reader.string r in
+  let* high = Codec.Reader.bool r in
+  let* record_blocks = Codec.Reader.list r Codec.Reader.int in
+  let* record_size = Codec.Reader.int r in
+  let* membrane_blocks = Codec.Reader.list r Codec.Reader.int in
+  let* membrane_size = Codec.Reader.int r in
+  let* erased = Codec.Reader.bool r in
+  Ok
+    {
+      pd_id;
+      type_name;
+      subject;
+      high;
+      record_blocks;
+      record_size;
+      membrane_blocks;
+      membrane_size;
+      erased;
+    }
+
+let encode_meta t =
+  let w = Codec.Writer.create () in
+  Codec.Writer.string w superblock_magic;
+  Codec.Writer.int w t.next_pd;
+  Codec.Writer.int w (Journal_ring.head t.ring);
+  Codec.Writer.int w (Journal_ring.seq t.ring);
+  let tables = Hashtbl.fold (fun _ tbl acc -> tbl :: acc) t.tables [] in
+  Codec.Writer.list w
+    (fun tbl ->
+      Codec.Writer.string w (Schema.encode tbl.schema);
+      Codec.Writer.list w (Codec.Writer.string w) tbl.pds_rev)
+    tables;
+  let entries = Hashtbl.fold (fun _ e acc -> e :: acc) t.entries [] in
+  Codec.Writer.list w (fun e -> encode_entry w e) entries;
+  let subjects =
+    Hashtbl.fold (fun s ids acc -> (s, !ids) :: acc) t.subject_tree []
+  in
+  Codec.Writer.list w
+    (fun (s, ids) ->
+      Codec.Writer.string w s;
+      Codec.Writer.list w (Codec.Writer.string w) ids)
+    subjects;
+  let free_bits =
+    String.init (Array.length t.free) (fun i -> if t.free.(i) then '1' else '0')
+  in
+  Codec.Writer.string w free_bits;
+  Codec.Writer.contents w
+
+let write_meta t =
+  let bs = block_size t in
+  let payload = encode_meta t in
+  let framed =
+    let w = Codec.Writer.create () in
+    Codec.Writer.string w payload;
+    Codec.Writer.contents w ^ Fnv.hash64_hex payload
+  in
+  if String.length framed > t.meta_blocks * bs then
+    failwith "Dbfs: metadata region overflow";
+  let nblocks = ((String.length framed - 1) / bs) + 1 in
+  for i = 0 to nblocks - 1 do
+    let chunk =
+      String.sub framed (i * bs) (min bs (String.length framed - (i * bs)))
+    in
+    Block_device.write t.dev (t.meta_start + i) chunk
+  done
+
+let read_meta dev ~meta_start ~meta_blocks =
+  let buf = Buffer.create 4096 in
+  for i = 0 to meta_blocks - 1 do
+    Buffer.add_string buf (Block_device.read dev (meta_start + i))
+  done;
+  let raw = Buffer.contents buf in
+  let r = Codec.Reader.create raw in
+  let* payload = Codec.Reader.string r in
+  if String.length raw < 4 + String.length payload + 16 then
+    Error "truncated DBFS metadata"
+  else
+    let stored = String.sub raw (4 + String.length payload) 16 in
+    if stored <> Fnv.hash64_hex payload then Error "DBFS metadata checksum mismatch"
+    else Ok payload
+
+let checkpoint t =
+  write_meta t;
+  Journal_ring.mark_checkpointed t.ring
+
+let log_and_apply t op =
+  Journal_ring.append t.ring ~on_overflow:(fun () -> checkpoint t) (encode_op op);
+  apply_op t op
+
+(* ------------------------------------------------------------------ *)
+(* construction                                                       *)
+
+let format dev ~journal_blocks =
+  let cfg = Block_device.config dev in
+  let meta_blocks = meta_blocks_default in
+  let data_start = 1 + journal_blocks + meta_blocks in
+  let block_count = cfg.Block_device.block_count in
+  if data_start >= block_count then invalid_arg "Dbfs.format: device too small";
+  let w = Codec.Writer.create () in
+  Codec.Writer.string w superblock_magic;
+  Codec.Writer.int w journal_blocks;
+  Codec.Writer.int w meta_blocks;
+  Block_device.write dev 0 (Codec.Writer.contents w);
+  let t =
+    {
+      dev;
+      ring = Journal_ring.create dev ~start_block:1 ~num_blocks:journal_blocks;
+      journal_blocks;
+      meta_start = 1 + journal_blocks;
+      meta_blocks;
+      data_start;
+      high_start = compute_high_start ~data_start ~block_count;
+      tables = Hashtbl.create 8;
+      entries = Hashtbl.create 256;
+      subject_tree = Hashtbl.create 64;
+      free = Array.make (block_count - data_start) true;
+      next_pd = 0;
+      hook = None;
+      counters = Stats.Counter.create ();
+    }
+  in
+  write_meta t;
+  t
+
+let mount dev =
+  let raw = Block_device.read dev 0 in
+  let r = Codec.Reader.create raw in
+  let parse_super =
+    let* magic = Codec.Reader.string r in
+    if magic <> superblock_magic then Error "bad DBFS superblock magic"
+    else
+      let* journal_blocks = Codec.Reader.int r in
+      let* meta_blocks = Codec.Reader.int r in
+      Ok (journal_blocks, meta_blocks)
+  in
+  match parse_super with
+  | Error e -> Error e
+  | Ok (journal_blocks, meta_blocks) -> (
+      let meta_start = 1 + journal_blocks in
+      match read_meta dev ~meta_start ~meta_blocks with
+      | Error e -> Error e
+      | Ok payload -> (
+          let r = Codec.Reader.create payload in
+          let parse =
+            let* magic = Codec.Reader.string r in
+            if magic <> superblock_magic then Error "bad DBFS metadata magic"
+            else
+              let* next_pd = Codec.Reader.int r in
+              let* jhead = Codec.Reader.int r in
+              let* jseq = Codec.Reader.int r in
+              let* tables =
+                Codec.Reader.list r (fun r ->
+                    let* schema_bytes = Codec.Reader.string r in
+                    let* schema = Schema.decode schema_bytes in
+                    let* pds_rev = Codec.Reader.list r Codec.Reader.string in
+                    Ok { schema; pds_rev })
+              in
+              let* entries = Codec.Reader.list r decode_entry in
+              let* subjects =
+                Codec.Reader.list r (fun r ->
+                    let* s = Codec.Reader.string r in
+                    let* ids = Codec.Reader.list r Codec.Reader.string in
+                    Ok (s, ids))
+              in
+              let* free_bits = Codec.Reader.string r in
+              Ok (next_pd, jhead, jseq, tables, entries, subjects, free_bits)
+          in
+          match parse with
+          | Error e -> Error e
+          | Ok (next_pd, jhead, jseq, tables, entries, subjects, free_bits) ->
+              let cfg = Block_device.config dev in
+              let block_count = cfg.Block_device.block_count in
+              let data_start = 1 + journal_blocks + meta_blocks in
+              let t =
+                {
+                  dev;
+                  ring =
+                    Journal_ring.attach dev ~start_block:1
+                      ~num_blocks:journal_blocks ~head:jhead ~seq:jseq;
+                  journal_blocks;
+                  meta_start;
+                  meta_blocks;
+                  data_start;
+                  high_start = compute_high_start ~data_start ~block_count;
+                  tables = Hashtbl.create 8;
+                  entries = Hashtbl.create 256;
+                  subject_tree = Hashtbl.create 64;
+                  free =
+                    Array.init (String.length free_bits) (fun i ->
+                        free_bits.[i] = '1');
+                  next_pd;
+                  hook = None;
+                  counters = Stats.Counter.create ();
+                }
+              in
+              List.iter
+                (fun tbl -> Hashtbl.replace t.tables tbl.schema.Schema.name tbl)
+                tables;
+              List.iter (fun e -> Hashtbl.replace t.entries e.pd_id e) entries;
+              List.iter
+                (fun (s, ids) -> Hashtbl.replace t.subject_tree s (ref ids))
+                subjects;
+              Journal_ring.replay t.ring (fun payload ->
+                  match decode_op payload with
+                  | Ok op -> apply_op t op
+                  | Error e -> failwith ("Dbfs: corrupt journal op: " ^ e));
+              Ok t))
+
+let device t = t.dev
+
+let set_access_hook t hook = t.hook <- Some hook
+
+(* ------------------------------------------------------------------ *)
+(* schema tree                                                        *)
+
+let create_type t ~actor schema =
+  let** () = guard t ~actor ~op:"create_type" in
+  let name = schema.Schema.name in
+  if Hashtbl.mem t.tables name then Error (Type_exists name)
+  else begin
+    Stats.Counter.incr t.counters "create_type";
+    log_and_apply t (J_create_type (Schema.encode schema));
+    Ok ()
+  end
+
+let schema t ~actor name =
+  let** () = guard t ~actor ~op:"read" in
+  match Hashtbl.find_opt t.tables name with
+  | Some tbl -> Ok tbl.schema
+  | None -> Error (Unknown_type name)
+
+let list_types t ~actor =
+  let** () = guard t ~actor ~op:"read" in
+  Ok (Hashtbl.fold (fun name _ acc -> name :: acc) t.tables [] |> List.sort compare)
+
+(* ------------------------------------------------------------------ *)
+(* PD entries                                                         *)
+
+let find_entry t pd_id =
+  match Hashtbl.find_opt t.entries pd_id with
+  | Some e -> Ok e
+  | None -> Error (Unknown_pd pd_id)
+
+let insert t ~actor ~subject ~type_name ~record ~membrane_of =
+  let** () = guard t ~actor ~op:"write" in
+  match Hashtbl.find_opt t.tables type_name with
+  | None -> Error (Unknown_type type_name)
+  | Some tbl -> (
+      match Schema.validate_record tbl.schema record with
+      | Error e -> Error (Invalid_record e)
+      | Ok () -> (
+          let pd_id = Printf.sprintf "pd-%08d" t.next_pd in
+          let membrane = membrane_of ~pd_id in
+          (* enforcement rule 3: the membrane must wrap THIS pd *)
+          if membrane.Membrane.pd_id <> pd_id then
+            Error (Membrane_mismatch "membrane wraps a different pd_id")
+          else if membrane.Membrane.type_name <> type_name then
+            Error (Membrane_mismatch "membrane declares a different type")
+          else if membrane.Membrane.subject_id <> subject then
+            Error (Membrane_mismatch "membrane names a different subject")
+          else
+            let high = membrane.Membrane.sensitivity = Membrane.High in
+            let record_bytes = Record.encode record in
+            let membrane_bytes = Membrane.encode membrane in
+            let rn = blocks_needed t (String.length record_bytes) in
+            let mn = blocks_needed t (String.length membrane_bytes) in
+            match alloc_blocks t ~high rn with
+            | None -> Error No_space
+            | Some record_blocks -> (
+                match alloc_blocks t ~high mn with
+                | None ->
+                    mark_free t record_blocks;
+                    Error No_space
+                | Some membrane_blocks ->
+                    (* ordered mode: data in place first, then the journal *)
+                    write_payload t record_bytes record_blocks;
+                    write_payload t membrane_bytes membrane_blocks;
+                    t.next_pd <- t.next_pd + 1;
+                    log_and_apply t
+                      (J_insert
+                         {
+                           pd_id;
+                           type_name;
+                           subject;
+                           high;
+                           record_blocks;
+                           record_size = String.length record_bytes;
+                           membrane_blocks;
+                           membrane_size = String.length membrane_bytes;
+                         });
+                    Stats.Counter.incr t.counters "inserts";
+                    Ok pd_id)))
+
+let get_membrane t ~actor pd_id =
+  let** () = guard t ~actor ~op:"read" in
+  let** e = find_entry t pd_id in
+  Stats.Counter.incr t.counters "membrane_reads";
+  match Membrane.decode (read_payload t e.membrane_blocks e.membrane_size) with
+  | Ok m -> Ok m
+  | Error msg -> Error (Corrupt ("membrane of " ^ pd_id ^ ": " ^ msg))
+
+let get_record t ~actor pd_id =
+  let** () = guard t ~actor ~op:"read" in
+  let** e = find_entry t pd_id in
+  if e.erased then Error (Erased pd_id)
+  else begin
+    Stats.Counter.incr t.counters "record_reads";
+    match Record.decode (read_payload t e.record_blocks e.record_size) with
+    | Ok r -> Ok r
+    | Error msg -> Error (Corrupt ("record of " ^ pd_id ^ ": " ^ msg))
+  end
+
+let update_record t ~actor pd_id record =
+  let** () = guard t ~actor ~op:"write" in
+  let** e = find_entry t pd_id in
+  if e.erased then Error (Erased pd_id)
+  else
+    match Hashtbl.find_opt t.tables e.type_name with
+    | None -> Error (Unknown_type e.type_name)
+    | Some tbl -> (
+        match Schema.validate_record tbl.schema record with
+        | Error msg -> Error (Invalid_record msg)
+        | Ok () -> (
+            let bytes = Record.encode record in
+            let old_blocks = e.record_blocks in
+            match alloc_blocks t ~high:e.high (blocks_needed t (String.length bytes)) with
+            | None -> Error No_space
+            | Some blocks ->
+                write_payload t bytes blocks;
+                log_and_apply t
+                  (J_update_record { pd_id; blocks; size = String.length bytes });
+                (* zeroing deallocation: no stale PD on the medium *)
+                zero_and_free t old_blocks;
+                Stats.Counter.incr t.counters "record_updates";
+                Ok ()))
+
+let update_membrane t ~actor pd_id membrane =
+  let** () = guard t ~actor ~op:"write" in
+  let** e = find_entry t pd_id in
+  if membrane.Membrane.pd_id <> pd_id then
+    Error (Membrane_mismatch "membrane wraps a different pd_id")
+  else if membrane.Membrane.type_name <> e.type_name then
+    Error (Membrane_mismatch "membrane declares a different type")
+  else if membrane.Membrane.subject_id <> e.subject then
+    Error (Membrane_mismatch "membrane names a different subject")
+  else
+    let bytes = Membrane.encode membrane in
+    let old_blocks = e.membrane_blocks in
+    match alloc_blocks t ~high:e.high (blocks_needed t (String.length bytes)) with
+    | None -> Error No_space
+    | Some blocks ->
+        write_payload t bytes blocks;
+        log_and_apply t
+          (J_update_membrane { pd_id; blocks; size = String.length bytes });
+        zero_and_free t old_blocks;
+        Stats.Counter.incr t.counters "membrane_updates";
+        Ok ()
+
+let update_membranes_by_lineage t ~actor ~lineage f =
+  let** () = guard t ~actor ~op:"write" in
+  let ids =
+    Hashtbl.fold (fun pd_id _ acc -> pd_id :: acc) t.entries []
+    |> List.sort compare
+  in
+  let rec go updated = function
+    | [] -> Ok updated
+    | pd_id :: rest -> (
+        match get_membrane t ~actor pd_id with
+        | Error e -> Error e
+        | Ok m ->
+            if Membrane.lineage_root m = lineage then
+              match update_membrane t ~actor pd_id (f m) with
+              | Error e -> Error e
+              | Ok () -> go (updated + 1) rest
+            else go updated rest)
+  in
+  go 0 ids
+
+let copy_pd t ~actor pd_id =
+  let** () = guard t ~actor ~op:"write" in
+  let** e = find_entry t pd_id in
+  if e.erased then Error (Erased pd_id)
+  else
+    let** record = get_record t ~actor pd_id in
+    let** membrane = get_membrane t ~actor pd_id in
+    insert t ~actor ~subject:e.subject ~type_name:e.type_name ~record
+      ~membrane_of:(fun ~pd_id -> Membrane.copy_for membrane ~new_pd_id:pd_id)
+
+let delete t ~actor pd_id =
+  let** () = guard t ~actor ~op:"delete" in
+  let** e = find_entry t pd_id in
+  let record_blocks = e.record_blocks in
+  let membrane_blocks = e.membrane_blocks in
+  log_and_apply t (J_delete pd_id);
+  (* physical zeroing after the metadata commit *)
+  let bs = block_size t in
+  List.iter
+    (fun b -> Block_device.write t.dev b (String.make bs '\000'))
+    (record_blocks @ membrane_blocks);
+  Stats.Counter.incr t.counters "deletes";
+  Ok ()
+
+let erase_with t ~actor pd_id ~seal =
+  let** () = guard t ~actor ~op:"erase" in
+  let** e = find_entry t pd_id in
+  if e.erased then Error (Erased pd_id)
+  else
+    let** record = get_record t ~actor pd_id in
+    let sealed = seal record in
+    let old_blocks = e.record_blocks in
+    match alloc_blocks t ~high:e.high (blocks_needed t (String.length sealed)) with
+    | None -> Error No_space
+    | Some blocks ->
+        write_payload t sealed blocks;
+        log_and_apply t (J_erase { pd_id; blocks; size = String.length sealed });
+        zero_and_free t old_blocks;
+        Stats.Counter.incr t.counters "erasures";
+        Ok ()
+
+let erased_payload t ~actor pd_id =
+  let** () = guard t ~actor ~op:"read" in
+  let** e = find_entry t pd_id in
+  if not e.erased then Error (Invalid_record (pd_id ^ " is not erased"))
+  else Ok (read_payload t e.record_blocks e.record_size)
+
+(* ------------------------------------------------------------------ *)
+(* queries                                                            *)
+
+let list_pds t ~actor type_name =
+  let** () = guard t ~actor ~op:"read" in
+  match Hashtbl.find_opt t.tables type_name with
+  | None -> Error (Unknown_type type_name)
+  | Some tbl -> Ok (List.rev tbl.pds_rev)
+
+let pds_of_subject t ~actor subject =
+  let** () = guard t ~actor ~op:"read" in
+  match Hashtbl.find_opt t.subject_tree subject with
+  | None -> Ok []
+  | Some ids -> Ok (List.rev !ids)
+
+let subjects t ~actor =
+  let** () = guard t ~actor ~op:"read" in
+  Ok
+    (Hashtbl.fold (fun s ids acc -> if !ids = [] then acc else s :: acc)
+       t.subject_tree []
+    |> List.sort compare)
+
+let pd_count t = Hashtbl.length t.entries
+
+let entry_info t ~actor pd_id =
+  let** () = guard t ~actor ~op:"read" in
+  let** e = find_entry t pd_id in
+  Ok (e.type_name, e.subject, e.erased)
+
+let export_subject t ~actor subject =
+  let** () = guard t ~actor ~op:"export" in
+  let** ids = pds_of_subject t ~actor subject in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | pd_id :: rest -> (
+        let** e = find_entry t pd_id in
+        if e.erased then go acc rest
+        else
+          match get_record t ~actor pd_id with
+          | Error err -> Error err
+          | Ok record ->
+              go (Record.to_export ~type_name:e.type_name ~pd_id record :: acc) rest)
+  in
+  let** items = go [] ids in
+  Stats.Counter.incr t.counters "exports";
+  Ok ("[" ^ String.concat ", " items ^ "]")
+
+let describe_trees t ~actor =
+  let** () = guard t ~actor ~op:"read" in
+  let buf = Buffer.create 1024 in
+  let blocks_str blocks =
+    String.concat "," (List.map string_of_int blocks)
+  in
+  Buffer.add_string buf "subject tree (one inode subtree per data subject)\n";
+  let subjects =
+    Hashtbl.fold (fun s ids acc -> (s, List.rev !ids) :: acc) t.subject_tree []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (subject, ids) ->
+      if ids <> [] then begin
+        Buffer.add_string buf (Printf.sprintf "  %s\n" subject);
+        List.iter
+          (fun pd_id ->
+            match Hashtbl.find_opt t.entries pd_id with
+            | None -> ()
+            | Some e ->
+                Buffer.add_string buf
+                  (Printf.sprintf
+                     "    %s [%s]%s  record@{%s}  membrane@{%s}\n" pd_id
+                     e.type_name
+                     (if e.erased then " (erased)" else "")
+                     (blocks_str e.record_blocks)
+                     (blocks_str e.membrane_blocks)))
+          ids
+      end)
+    subjects;
+  Buffer.add_string buf "schema tree (database structure + row lists)\n";
+  let tables =
+    Hashtbl.fold (fun name tbl acc -> (name, tbl) :: acc) t.tables []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (name, tbl) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  table %s: %d row(s)\n" name
+           (List.length tbl.pds_rev));
+      List.iter
+        (fun f ->
+          Buffer.add_string buf
+            (Printf.sprintf "    field %s: %s%s\n" f.Schema.fname
+               (Value.ftype_to_string f.Schema.ftype)
+               (if f.Schema.required then "" else " (optional)")))
+        tbl.schema.Schema.fields;
+      let row_subjects =
+        List.rev tbl.pds_rev
+        |> List.filter_map (fun pd_id ->
+               Option.map (fun e -> e.subject) (Hashtbl.find_opt t.entries pd_id))
+        |> List.sort_uniq compare
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "    subject inodes: %s\n"
+           (String.concat ", " row_subjects)))
+    tables;
+  Buffer.add_string buf
+    "format descriptors (record layout used when returning data to the DED)\n";
+  List.iter
+    (fun (name, tbl) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s: REC1 <%s>\n" name
+           (String.concat "|"
+              (List.map (fun f -> f.Schema.fname) tbl.schema.Schema.fields))))
+    tables;
+  Ok (Buffer.contents buf)
+
+(* ------------------------------------------------------------------ *)
+(* durability & integrity                                             *)
+
+let crash_and_remount t = mount t.dev
+
+let fsck t =
+  let problems = ref [] in
+  let note fmt = Format.kasprintf (fun s -> problems := s :: !problems) fmt in
+  (* membrane invariant: every entry's membrane decodes and matches *)
+  Hashtbl.iter
+    (fun pd_id e ->
+      match Membrane.decode (read_payload t e.membrane_blocks e.membrane_size) with
+      | Error msg -> note "entry %s: undecodable membrane (%s)" pd_id msg
+      | Ok m ->
+          if m.Membrane.pd_id <> pd_id then
+            note "entry %s: membrane wraps %s" pd_id m.Membrane.pd_id;
+          if m.Membrane.type_name <> e.type_name then
+            note "entry %s: membrane type %s <> %s" pd_id m.Membrane.type_name
+              e.type_name;
+          if m.Membrane.subject_id <> e.subject then
+            note "entry %s: membrane subject %s <> %s" pd_id
+              m.Membrane.subject_id e.subject)
+    t.entries;
+  (* block ownership: unique, allocated, correct region *)
+  let owners = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun pd_id e ->
+      List.iter
+        (fun b ->
+          if b < t.data_start then note "entry %s owns non-data block %d" pd_id b
+          else begin
+            if t.free.(b - t.data_start) then
+              note "entry %s owns free block %d" pd_id b;
+            if e.high && b < t.high_start then
+              note "sensitive entry %s stored in ordinary region (block %d)" pd_id b;
+            if (not e.high) && b >= t.high_start then
+              note "ordinary entry %s stored in sensitive region (block %d)" pd_id b;
+            match Hashtbl.find_opt owners b with
+            | Some other -> note "block %d owned by %s and %s" b other pd_id
+            | None -> Hashtbl.replace owners b pd_id
+          end)
+        (e.record_blocks @ e.membrane_blocks))
+    t.entries;
+  (* table membership consistent *)
+  Hashtbl.iter
+    (fun name tbl ->
+      List.iter
+        (fun pd_id ->
+          match Hashtbl.find_opt t.entries pd_id with
+          | None -> note "table %s lists unknown pd %s" name pd_id
+          | Some e ->
+              if e.type_name <> name then
+                note "table %s lists pd %s of type %s" name pd_id e.type_name)
+        tbl.pds_rev)
+    t.tables;
+  match !problems with [] -> Ok () | ps -> Error (List.rev ps)
+
+let stats t = t.counters

@@ -1,0 +1,177 @@
+(** DBFS: the database-oriented filesystem (the paper's Idea 3, §3(1)).
+
+    DBFS stores typed personal data, never opaque files.  Following §3(1)
+    it keeps two major inode trees on the device:
+
+    - the {b subject tree}: one inode subtree per data subject gathering
+      their PD entries, each entry holding the record {i and} its membrane
+      in separate inodes;
+    - the {b schema tree}: one descriptor inode per table (PD type) with
+      the field structure and the list of subject inodes holding rows, so
+      the filesystem can format data when returning it to the DED.
+
+    Three properties distinguish DBFS from the conventional {!module:
+    Rgpdos_journalfs.Journalfs} and carry the paper's compliance argument:
+
+    - {b metadata-only journaling}: the write-ahead journal records block
+      numbers and identifiers, never PD bytes (data blocks are written in
+      place before the journal record commits, ext3 [data=ordered] style),
+      so the journal cannot retain deleted PD;
+    - {b zeroing deallocation}: deleting or rewriting a PD entry zeroes
+      its old blocks on the device;
+    - {b membrane invariant}: the API makes it impossible to store a
+      record without a membrane (enforcement rule 3 of §2), and the
+      attached membrane must agree with the entry's identity.
+
+    Sensitive records ([High] sensitivity) are allocated in a separate
+    device region from ordinary ones, implementing the GDPR's requirement
+    that sensitive data be stored apart.
+
+    Access control: DBFS "is not visible from the outside" (§2).  Every
+    operation takes an [~actor] and consults a pluggable LSM-style hook
+    (installed by the machine; fail-open only until one is installed).
+    The rgpdOS machine configures the hook so only the DED (and the
+    built-ins it hosts) pass. *)
+
+type t
+
+type error =
+  | Unknown_type of string
+  | Type_exists of string
+  | Unknown_pd of string
+  | Membrane_mismatch of string
+  | Invalid_record of string
+  | Erased of string        (** PD was crypto-erased; plaintext is gone *)
+  | No_space
+  | Access_denied of string
+  | Corrupt of string
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+val format :
+  Rgpdos_block.Block_device.t -> journal_blocks:int -> t
+(** Write a fresh DBFS on the device. *)
+
+val mount : Rgpdos_block.Block_device.t -> (t, string) result
+(** Load the last checkpoint and replay the metadata journal. *)
+
+val device : t -> Rgpdos_block.Block_device.t
+
+val set_access_hook : t -> (actor:string -> op:string -> bool) -> unit
+(** Install the LSM-style mediation hook.  Ops are ["create_type"],
+    ["read"], ["write"], ["delete"], ["erase"], ["export"], ["admin"]. *)
+
+(** {1 Schema tree} *)
+
+val create_type : t -> actor:string -> Schema.t -> (unit, error) result
+val schema : t -> actor:string -> string -> (Schema.t, error) result
+val list_types : t -> actor:string -> (string list, error) result
+
+(** {1 PD entries} *)
+
+val insert :
+  t ->
+  actor:string ->
+  subject:string ->
+  type_name:string ->
+  record:Record.t ->
+  membrane_of:(pd_id:string -> Rgpdos_membrane.Membrane.t) ->
+  (string, error) result
+(** Store a new PD entry.  DBFS assigns the pd_id, asks the caller to
+    produce the membrane for it (the acquisition built-in does this from
+    schema defaults + subject choices), validates both, and stores record
+    and membrane in the subject's inode subtree.  Returns the pd_id. *)
+
+val get_membrane :
+  t -> actor:string -> string -> (Rgpdos_membrane.Membrane.t, error) result
+(** Fetch only the membrane — the DED's first request (ded_load_membrane)
+    never touches the data blocks. *)
+
+val get_record : t -> actor:string -> string -> (Record.t, error) result
+(** Fetch the record data (ded_load_data).  Fails with [Erased] after
+    crypto-erasure. *)
+
+val update_record :
+  t -> actor:string -> string -> Record.t -> (unit, error) result
+(** Replace the record (built-in [update]).  Old blocks are zeroed. *)
+
+val update_membrane :
+  t ->
+  actor:string ->
+  string ->
+  Rgpdos_membrane.Membrane.t ->
+  (unit, error) result
+(** Replace the membrane (consent changes).  The new membrane must keep the
+    entry's pd_id, type and subject. *)
+
+val update_membranes_by_lineage :
+  t ->
+  actor:string ->
+  lineage:string ->
+  (Rgpdos_membrane.Membrane.t -> Rgpdos_membrane.Membrane.t) ->
+  (int, error) result
+(** Apply a membrane transformation to every copy sharing a lineage root —
+    how the machine keeps membranes consistent across copies of the same
+    PD.  Returns how many entries were updated. *)
+
+val copy_pd : t -> actor:string -> string -> (string, error) result
+(** Built-in [copy]: duplicate record and membrane under a fresh pd_id;
+    the copy's membrane inherits every restriction and the lineage root. *)
+
+val delete : t -> actor:string -> string -> (unit, error) result
+(** Physical removal: record and membrane blocks are zeroed on the device
+    before being freed. *)
+
+val erase_with :
+  t ->
+  actor:string ->
+  string ->
+  seal:(Record.t -> string) ->
+  (unit, error) result
+(** Crypto-erasure (right to be forgotten, §4): the record is replaced by
+    [seal record] — an authority-sealed envelope — and the plaintext blocks
+    are zeroed.  The membrane remains (with its consents withdrawn by the
+    caller) so the entry's existence stays accountable. *)
+
+val erased_payload : t -> actor:string -> string -> (string, error) result
+(** The sealed envelope bytes of an erased entry (what a supervisory
+    authority would retrieve). *)
+
+(** {1 Queries} *)
+
+val list_pds : t -> actor:string -> string -> (string list, error) result
+(** All pd_ids of a type, in insertion order. *)
+
+val pds_of_subject : t -> actor:string -> string -> (string list, error) result
+val subjects : t -> actor:string -> (string list, error) result
+val pd_count : t -> int
+
+val entry_info :
+  t -> actor:string -> string -> (string * string * bool, error) result
+(** [(type_name, subject, erased)] for a pd_id. *)
+
+val export_subject : t -> actor:string -> string -> (string, error) result
+(** Right-of-access export: every non-erased record of the subject, as it
+    is stored in DBFS — structured, machine-readable, with meaningful
+    keys (§4).  JSON array of record objects. *)
+
+val describe_trees : t -> actor:string -> (string, error) result
+(** Render the two major inode trees of §3(1): the subject tree (each
+    subject's PD-entry inodes with their record/membrane block lists) and
+    the schema tree (each table's field descriptors and the subject inodes
+    holding rows), plus the format-descriptor inodes (the record layout
+    the filesystem uses to format data returned to the DED). *)
+
+(** {1 Durability & integrity} *)
+
+val checkpoint : t -> unit
+val crash_and_remount : t -> (t, string) result
+
+val fsck : t -> (unit, string list) result
+(** Invariant check, including the membrane invariant: every stored entry's
+    membrane must decode and match the entry identity. *)
+
+val stats : t -> Rgpdos_util.Stats.Counter.t
+(** Operation counters ("inserts", "membrane_reads", "record_reads",
+    "deletes", "erasures", "denials", ...). *)

@@ -1,0 +1,66 @@
+type t =
+  | True
+  | Eq of string * Value.t
+  | Lt of string * Value.t
+  | Gt of string * Value.t
+  | Contains of string * string
+  | Not of t
+  | And of t * t
+  | Or of t * t
+
+let contains_sub hay needle =
+  let hl = String.length hay and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let numeric_cmp a b =
+  match (a, b) with
+  | Value.VInt x, Value.VInt y -> Some (compare x y)
+  | Value.VFloat x, Value.VFloat y -> Some (compare x y)
+  | Value.VInt x, Value.VFloat y -> Some (compare (float_of_int x) y)
+  | Value.VFloat x, Value.VInt y -> Some (compare x (float_of_int y))
+  | _ -> None
+
+let rec eval pred record =
+  match pred with
+  | True -> true
+  | Eq (field, v) -> (
+      match Record.get record field with
+      | Some v' -> Value.equal v v'
+      | None -> false)
+  | Lt (field, v) -> (
+      match Record.get record field with
+      | Some v' -> ( match numeric_cmp v' v with Some c -> c < 0 | None -> false)
+      | None -> false)
+  | Gt (field, v) -> (
+      match Record.get record field with
+      | Some v' -> ( match numeric_cmp v' v with Some c -> c > 0 | None -> false)
+      | None -> false)
+  | Contains (field, needle) -> (
+      match Record.get record field with
+      | Some (Value.VString s) -> contains_sub s needle
+      | Some _ | None -> false)
+  | Not p -> not (eval p record)
+  | And (p, q) -> eval p record && eval q record
+  | Or (p, q) -> eval p record || eval q record
+
+let fields pred =
+  let rec go acc = function
+    | True -> acc
+    | Eq (f, _) | Lt (f, _) | Gt (f, _) | Contains (f, _) -> f :: acc
+    | Not p -> go acc p
+    | And (p, q) | Or (p, q) -> go (go acc p) q
+  in
+  List.sort_uniq compare (go [] pred)
+
+let rec pp fmt = function
+  | True -> Format.pp_print_string fmt "true"
+  | Eq (f, v) -> Format.fprintf fmt "%s = %a" f Value.pp v
+  | Lt (f, v) -> Format.fprintf fmt "%s < %a" f Value.pp v
+  | Gt (f, v) -> Format.fprintf fmt "%s > %a" f Value.pp v
+  | Contains (f, s) -> Format.fprintf fmt "%s contains %S" f s
+  | Not p -> Format.fprintf fmt "not (%a)" pp p
+  | And (p, q) -> Format.fprintf fmt "(%a and %a)" pp p pp q
+  | Or (p, q) -> Format.fprintf fmt "(%a or %a)" pp p pp q
+
+let to_string p = Format.asprintf "%a" pp p

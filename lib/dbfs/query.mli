@@ -1,0 +1,30 @@
+(** Selection predicates over PD records.
+
+    The DED's first step "translates the processing's input parameter type
+    to requests at the destination of DBFS" (§2).  Besides whole types and
+    explicit references, a processing can target a {i selection} — e.g.
+    patients with a given diagnosis.  Predicates are a small first-order
+    language over record fields; evaluation is total (a predicate over a
+    missing or differently-typed field is simply false, which makes
+    selection compose safely with view projection: fields a processing may
+    not see can never match). *)
+
+type t =
+  | True
+  | Eq of string * Value.t       (** field = value *)
+  | Lt of string * Value.t       (** field < value (ints and floats) *)
+  | Gt of string * Value.t
+  | Contains of string * string  (** string field contains substring *)
+  | Not of t
+  | And of t * t
+  | Or of t * t
+
+val eval : t -> Record.t -> bool
+(** Total: missing fields and type mismatches make the atom false. *)
+
+val fields : t -> string list
+(** Field names the predicate touches (duplicates removed) — used by the
+    Processing Store to include selection fields in the footprint check. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

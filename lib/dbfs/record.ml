@@ -1,0 +1,85 @@
+module Codec = Rgpdos_util.Codec
+
+open Rgpdos_util.Codec
+
+type t = (string * Value.t) list
+
+let get r name = List.assoc_opt name r
+
+let project r fields = List.filter (fun (name, _) -> List.mem name fields) r
+
+let redact r ~visible =
+  List.map
+    (fun (name, v) ->
+      if List.mem name visible then (name, v)
+      else (name, Value.VString "<redacted>"))
+    r
+
+let encode r =
+  let w = Codec.Writer.create () in
+  Codec.Writer.string w "REC1";
+  Codec.Writer.list w
+    (fun (name, v) ->
+      Codec.Writer.string w name;
+      Value.encode w v)
+    r;
+  Codec.Writer.contents w
+
+let decode raw =
+  let r = Codec.Reader.create raw in
+  let* magic = Codec.Reader.string r in
+  if magic <> "REC1" then Error "not a record: bad magic"
+  else
+    let* fields =
+      Codec.Reader.list r (fun r ->
+          let* name = Codec.Reader.string r in
+          let* v = Value.decode r in
+          Ok (name, v))
+    in
+    let* () = Codec.Reader.expect_end r in
+    Ok fields
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let value_to_json = function
+  | Value.VString s -> Printf.sprintf "\"%s\"" (json_escape s)
+  | Value.VInt i -> string_of_int i
+  | Value.VBool b -> string_of_bool b
+  | Value.VFloat f -> Printf.sprintf "%g" f
+
+let to_export ~type_name ~pd_id r =
+  let fields =
+    List.map
+      (fun (name, v) -> Printf.sprintf "\"%s\": %s" (json_escape name) (value_to_json v))
+      r
+  in
+  Printf.sprintf "{\"type\": \"%s\", \"id\": \"%s\", \"fields\": {%s}}"
+    (json_escape type_name) (json_escape pd_id)
+    (String.concat ", " fields)
+
+let pp fmt r =
+  Format.fprintf fmt "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "; ")
+       (fun fmt (name, v) -> Format.fprintf fmt "%s=%a" name Value.pp v))
+    r
+
+let equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (n1, v1) (n2, v2) -> String.equal n1 n2 && Value.equal v1 v2)
+       a b

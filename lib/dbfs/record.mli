@@ -1,0 +1,26 @@
+(** PD records: named typed field values conforming to a {!Schema}. *)
+
+type t = (string * Value.t) list
+
+val get : t -> string -> Value.t option
+
+val project : t -> string list -> t
+(** [project r fields] keeps only the listed fields, preserving record
+    order.  This is how data minimisation materialises: a processing
+    granted only a view receives the projected record. *)
+
+val redact : t -> visible:string list -> t
+(** Like [project] but total over the record: fields outside [visible] are
+    replaced by [VString "<redacted>"] — used for exports that must show
+    structure without content. *)
+
+val encode : t -> string
+val decode : string -> (t, string) result
+
+val to_export : type_name:string -> pd_id:string -> t -> string
+(** Structured, machine-readable rendering for GDPR right-of-access /
+    portability exports (keys are meaningful, per the paper's §4
+    discussion).  The format is a deterministic JSON object. *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

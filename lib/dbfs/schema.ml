@@ -1,0 +1,251 @@
+module Codec = Rgpdos_util.Codec
+module Clock = Rgpdos_util.Clock
+module Membrane = Rgpdos_membrane.Membrane
+
+open Rgpdos_util.Codec
+
+type field = { fname : string; ftype : Value.ftype; required : bool }
+
+type view = { vname : string; vfields : string list }
+
+type t = {
+  name : string;
+  fields : field list;
+  views : view list;
+  default_consents : (string * Membrane.consent_scope) list;
+  collection : (string * string) list;
+  default_ttl : Clock.ns option;
+  default_sensitivity : Membrane.sensitivity;
+  default_origin : Membrane.origin;
+}
+
+let has_duplicates names = List.length (List.sort_uniq String.compare names) <> List.length names
+
+let make ~name ~fields ?(views = []) ?(default_consents = []) ?(collection = [])
+    ?default_ttl ?(default_sensitivity = Membrane.Low)
+    ?(default_origin = Membrane.Subject) () =
+  if name = "" then Error "schema: empty type name"
+  else if fields = [] then Error "schema: a PD type needs at least one field"
+  else if has_duplicates (List.map (fun f -> f.fname) fields) then
+    Error "schema: duplicate field name"
+  else if has_duplicates (List.map (fun v -> v.vname) views) then
+    Error "schema: duplicate view name"
+  else if has_duplicates (List.map fst default_consents) then
+    Error "schema: duplicate purpose in default consents"
+  else
+    let field_set = List.map (fun f -> f.fname) fields in
+    let bad_view =
+      List.find_opt
+        (fun v -> List.exists (fun f -> not (List.mem f field_set)) v.vfields)
+        views
+    in
+    match bad_view with
+    | Some v -> Error (Printf.sprintf "schema: view %s references unknown field" v.vname)
+    | None -> (
+        let view_set = List.map (fun v -> v.vname) views in
+        let bad_consent =
+          List.find_opt
+            (fun (_, scope) ->
+              match scope with
+              | Membrane.View v -> not (List.mem v view_set)
+              | Membrane.All | Membrane.Denied -> false)
+            default_consents
+        in
+        match bad_consent with
+        | Some (p, _) ->
+            Error (Printf.sprintf "schema: consent for %s names unknown view" p)
+        | None ->
+            Ok
+              {
+                name;
+                fields;
+                views;
+                default_consents;
+                collection;
+                default_ttl;
+                default_sensitivity;
+                default_origin;
+              })
+
+let field_names s = List.map (fun f -> f.fname) s.fields
+
+let find_field s name = List.find_opt (fun f -> f.fname = name) s.fields
+
+let find_view s name = List.find_opt (fun v -> v.vname = name) s.views
+
+let view_fields s scope =
+  match scope with
+  | Membrane.All -> field_names s
+  | Membrane.Denied -> []
+  | Membrane.View v -> (
+      match find_view s v with None -> [] | Some view -> view.vfields)
+
+let validate_record s record =
+  let rec check_fields = function
+    | [] -> Ok ()
+    | (name, value) :: rest -> (
+        match find_field s name with
+        | None -> Error (Printf.sprintf "unknown field %s for type %s" name s.name)
+        | Some f ->
+            if Value.type_of value <> f.ftype then
+              Error
+                (Printf.sprintf "field %s of type %s expects %s" name s.name
+                   (Value.ftype_to_string f.ftype))
+            else check_fields rest)
+  in
+  match check_fields record with
+  | Error e -> Error e
+  | Ok () -> (
+      if has_duplicates (List.map fst record) then Error "duplicate field in record"
+      else
+        let missing =
+          List.find_opt
+            (fun f -> f.required && not (List.mem_assoc f.fname record))
+            s.fields
+        in
+        match missing with
+        | Some f -> Error (Printf.sprintf "missing required field %s" f.fname)
+        | None -> Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* serialization                                                      *)
+
+let encode_scope w = function
+  | Membrane.All -> Codec.Writer.string w "all"
+  | Membrane.Denied -> Codec.Writer.string w "none"
+  | Membrane.View v ->
+      Codec.Writer.string w "view";
+      Codec.Writer.string w v
+
+let decode_scope r =
+  let* tag = Codec.Reader.string r in
+  match tag with
+  | "all" -> Ok Membrane.All
+  | "none" -> Ok Membrane.Denied
+  | "view" ->
+      let* v = Codec.Reader.string r in
+      Ok (Membrane.View v)
+  | other -> Error ("unknown scope " ^ other)
+
+let encode s =
+  let w = Codec.Writer.create () in
+  Codec.Writer.string w "SCH1";
+  Codec.Writer.string w s.name;
+  Codec.Writer.list w
+    (fun f ->
+      Codec.Writer.string w f.fname;
+      Codec.Writer.string w (Value.ftype_to_string f.ftype);
+      Codec.Writer.bool w f.required)
+    s.fields;
+  Codec.Writer.list w
+    (fun v ->
+      Codec.Writer.string w v.vname;
+      Codec.Writer.list w (Codec.Writer.string w) v.vfields)
+    s.views;
+  Codec.Writer.list w
+    (fun (p, scope) ->
+      Codec.Writer.string w p;
+      encode_scope w scope)
+    s.default_consents;
+  Codec.Writer.list w
+    (fun (k, v) ->
+      Codec.Writer.string w k;
+      Codec.Writer.string w v)
+    s.collection;
+  (match s.default_ttl with
+  | None -> Codec.Writer.bool w false
+  | Some ttl ->
+      Codec.Writer.bool w true;
+      Codec.Writer.int w ttl);
+  Codec.Writer.string w
+    (match s.default_sensitivity with
+    | Membrane.Low -> "low"
+    | Membrane.Medium -> "medium"
+    | Membrane.High -> "high");
+  (match s.default_origin with
+  | Membrane.Subject -> Codec.Writer.string w "subject"
+  | Membrane.Sysadmin -> Codec.Writer.string w "sysadmin"
+  | Membrane.Third_party op ->
+      Codec.Writer.string w "third_party";
+      Codec.Writer.string w op);
+  Codec.Writer.contents w
+
+let decode raw =
+  let r = Codec.Reader.create raw in
+  let* magic = Codec.Reader.string r in
+  if magic <> "SCH1" then Error "not a schema: bad magic"
+  else
+    let* name = Codec.Reader.string r in
+    let* fields =
+      Codec.Reader.list r (fun r ->
+          let* fname = Codec.Reader.string r in
+          let* ft_str = Codec.Reader.string r in
+          let* ftype = Value.ftype_of_string ft_str in
+          let* required = Codec.Reader.bool r in
+          Ok { fname; ftype; required })
+    in
+    let* views =
+      Codec.Reader.list r (fun r ->
+          let* vname = Codec.Reader.string r in
+          let* vfields = Codec.Reader.list r Codec.Reader.string in
+          Ok { vname; vfields })
+    in
+    let* default_consents =
+      Codec.Reader.list r (fun r ->
+          let* p = Codec.Reader.string r in
+          let* scope = decode_scope r in
+          Ok (p, scope))
+    in
+    let* collection =
+      Codec.Reader.list r (fun r ->
+          let* k = Codec.Reader.string r in
+          let* v = Codec.Reader.string r in
+          Ok (k, v))
+    in
+    let* has_ttl = Codec.Reader.bool r in
+    let* default_ttl =
+      if has_ttl then
+        let* v = Codec.Reader.int r in
+        Ok (Some v)
+      else Ok None
+    in
+    let* sens_str = Codec.Reader.string r in
+    let* default_sensitivity =
+      match sens_str with
+      | "low" -> Ok Membrane.Low
+      | "medium" -> Ok Membrane.Medium
+      | "high" -> Ok Membrane.High
+      | other -> Error ("unknown sensitivity " ^ other)
+    in
+    let* origin_tag = Codec.Reader.string r in
+    let* default_origin =
+      match origin_tag with
+      | "subject" -> Ok Membrane.Subject
+      | "sysadmin" -> Ok Membrane.Sysadmin
+      | "third_party" ->
+          let* op = Codec.Reader.string r in
+          Ok (Membrane.Third_party op)
+      | other -> Error ("unknown origin " ^ other)
+    in
+    let* () = Codec.Reader.expect_end r in
+    Ok
+      {
+        name;
+        fields;
+        views;
+        default_consents;
+        collection;
+        default_ttl;
+        default_sensitivity;
+        default_origin;
+      }
+
+let pp fmt s =
+  Format.fprintf fmt "@[<v 2>type %s {@,fields: %a@,views: %a@]@,}" s.name
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space (fun fmt f ->
+         Format.fprintf fmt "%s:%a%s" f.fname Value.pp_ftype f.ftype
+           (if f.required then "" else "?")))
+    s.fields
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space (fun fmt v ->
+         Format.fprintf fmt "%s(%s)" v.vname (String.concat "," v.vfields)))
+    s.views

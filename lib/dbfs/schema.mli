@@ -1,0 +1,57 @@
+(** PD type declarations (Listing 1 of the paper).
+
+    A schema is the in-kernel representation of a [type user { ... }]
+    declaration: named typed fields, {i views} (named field subsets used to
+    implement data minimisation), default consents applied at collection
+    time, collection interfaces, and default TTL / sensitivity / origin.
+
+    Schemas must be created in DBFS before any PD of that type can be
+    stored ("data types must be created in DBFS prior to use"). *)
+
+type field = { fname : string; ftype : Value.ftype; required : bool }
+
+type view = { vname : string; vfields : string list }
+
+type t = {
+  name : string;
+  fields : field list;
+  views : view list;
+  default_consents : (string * Rgpdos_membrane.Membrane.consent_scope) list;
+  collection : (string * string) list;
+  default_ttl : Rgpdos_util.Clock.ns option;
+  default_sensitivity : Rgpdos_membrane.Membrane.sensitivity;
+  default_origin : Rgpdos_membrane.Membrane.origin;
+}
+
+val make :
+  name:string ->
+  fields:field list ->
+  ?views:view list ->
+  ?default_consents:(string * Rgpdos_membrane.Membrane.consent_scope) list ->
+  ?collection:(string * string) list ->
+  ?default_ttl:Rgpdos_util.Clock.ns ->
+  ?default_sensitivity:Rgpdos_membrane.Membrane.sensitivity ->
+  ?default_origin:Rgpdos_membrane.Membrane.origin ->
+  unit ->
+  (t, string) result
+(** Validates the declaration: non-empty name and fields, unique field and
+    view names, every view field exists, every [View v] consent names a
+    declared view. *)
+
+val field_names : t -> string list
+val find_field : t -> string -> field option
+val find_view : t -> string -> view option
+
+val view_fields : t -> Rgpdos_membrane.Membrane.consent_scope -> string list
+(** Fields visible under a consent scope: [All] -> every field, [View v] ->
+    the view's fields, [Denied] -> none.  Unknown views resolve to none
+    (fail closed). *)
+
+val validate_record : t -> (string * Value.t) list -> (unit, string) result
+(** Does the record conform?  Checks unknown fields, missing required
+    fields, and type mismatches. *)
+
+val encode : t -> string
+val decode : string -> (t, string) result
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,85 @@
+module Codec = Rgpdos_util.Codec
+
+open Rgpdos_util.Codec
+
+type ftype = TString | TInt | TBool | TFloat
+
+type t =
+  | VString of string
+  | VInt of int
+  | VBool of bool
+  | VFloat of float
+
+let type_of = function
+  | VString _ -> TString
+  | VInt _ -> TInt
+  | VBool _ -> TBool
+  | VFloat _ -> TFloat
+
+let ftype_to_string = function
+  | TString -> "string"
+  | TInt -> "int"
+  | TBool -> "bool"
+  | TFloat -> "float"
+
+let ftype_of_string = function
+  | "string" -> Ok TString
+  | "int" -> Ok TInt
+  | "bool" -> Ok TBool
+  | "float" -> Ok TFloat
+  | other -> Error ("unknown field type " ^ other)
+
+let to_display = function
+  | VString s -> s
+  | VInt i -> string_of_int i
+  | VBool b -> string_of_bool b
+  | VFloat f -> Printf.sprintf "%g" f
+
+let pp fmt = function
+  | VString s -> Format.fprintf fmt "%S" s
+  | VInt i -> Format.pp_print_int fmt i
+  | VBool b -> Format.pp_print_bool fmt b
+  | VFloat f -> Format.fprintf fmt "%g" f
+
+let pp_ftype fmt ft = Format.pp_print_string fmt (ftype_to_string ft)
+
+let equal a b =
+  match (a, b) with
+  | VFloat x, VFloat y -> Float.equal x y
+  | _ -> a = b
+
+let encode w = function
+  | VString s ->
+      Codec.Writer.string w "s";
+      Codec.Writer.string w s
+  | VInt i ->
+      Codec.Writer.string w "i";
+      (* store sign separately: the codec only takes non-negative ints *)
+      Codec.Writer.bool w (i < 0);
+      Codec.Writer.int w (abs i)
+  | VBool b ->
+      Codec.Writer.string w "b";
+      Codec.Writer.bool w b
+  | VFloat f ->
+      Codec.Writer.string w "f";
+      Codec.Writer.string w (Printf.sprintf "%h" f)
+
+let decode r =
+  let* tag = Codec.Reader.string r in
+  match tag with
+  | "s" ->
+      let* s = Codec.Reader.string r in
+      Ok (VString s)
+  | "i" ->
+      let* neg = Codec.Reader.bool r in
+      let* v = Codec.Reader.int r in
+      Ok (VInt (if neg then -v else v))
+  | "b" ->
+      let* b = Codec.Reader.bool r in
+      Ok (VBool b)
+  | "f" -> (
+      let* s = Codec.Reader.string r in
+      match float_of_string_opt s with
+      | Some f -> Ok (VFloat f)
+      | None -> Error ("malformed float " ^ s))
+  | other -> Error ("unknown value tag " ^ other)

@@ -1,0 +1,28 @@
+(** Typed field values.
+
+    DBFS works at the granularity of individual typed PD pieces (the
+    paper's Idea 3): a record is a set of named, typed values, never an
+    opaque byte string. *)
+
+type ftype = TString | TInt | TBool | TFloat
+
+type t =
+  | VString of string
+  | VInt of int
+  | VBool of bool
+  | VFloat of float
+
+val type_of : t -> ftype
+
+val ftype_to_string : ftype -> string
+val ftype_of_string : string -> (ftype, string) result
+
+val to_display : t -> string
+(** Human-readable rendering, e.g. for exports. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_ftype : Format.formatter -> ftype -> unit
+val equal : t -> t -> bool
+
+val encode : Rgpdos_util.Codec.Writer.t -> t -> unit
+val decode : Rgpdos_util.Codec.Reader.t -> (t, string) result

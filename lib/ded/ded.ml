@@ -1,0 +1,386 @@
+module Clock = Rgpdos_util.Clock
+module Dbfs = Rgpdos_dbfs.Dbfs
+module Schema = Rgpdos_dbfs.Schema
+module Record = Rgpdos_dbfs.Record
+module Value = Rgpdos_dbfs.Value
+module Membrane = Rgpdos_membrane.Membrane
+module Syscall = Rgpdos_kernel.Syscall
+module Audit_log = Rgpdos_audit.Audit_log
+
+module Query = Rgpdos_dbfs.Query
+
+type target =
+  | All_of_type of string
+  | Pd_refs of string list
+  | Selection of string * Query.t
+
+type fetch_mode = Two_phase | Single_phase
+
+type location = Host | Pim | Pis
+
+type outcome = {
+  value : Value.t option;
+  produced_refs : string list;
+  consumed : int;
+  filtered : int;
+  overread : int;
+  stage_ns : (string * Clock.ns) list;
+}
+
+type error =
+  | Unknown_type of string
+  | Syscall_violation of string
+  | Implementation_error of string
+  | Storage_error of string
+  | No_purpose of string
+
+let pp_error fmt = function
+  | Unknown_type n -> Format.fprintf fmt "unknown PD type %s" n
+  | Syscall_violation m -> Format.fprintf fmt "sandbox violation: %s" m
+  | Implementation_error m -> Format.fprintf fmt "implementation error: %s" m
+  | Storage_error m -> Format.fprintf fmt "storage error: %s" m
+  | No_purpose n -> Format.fprintf fmt "processing %s has no purpose" n
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+type t = { clock : Clock.t; dbfs : Dbfs.t; audit : Audit_log.t }
+
+let actor = "ded"
+
+let create ~clock ~dbfs ~audit () = { clock; dbfs; audit }
+
+let measurement (spec : Processing.spec) =
+  let purpose_text =
+    match spec.Processing.purpose with
+    | None -> "<none>"
+    | Some p ->
+        p.Rgpdos_lang.Ast.p_name ^ "|" ^ p.Rgpdos_lang.Ast.p_description
+  in
+  let footprint =
+    String.concat ";"
+      (List.map
+         (fun (ty, fields) -> ty ^ ":" ^ String.concat "," fields)
+         spec.Processing.touches)
+  in
+  Rgpdos_crypto.Sha256.hexdigest
+    (spec.Processing.name ^ "|" ^ purpose_text ^ "|" ^ footprint)
+
+(* fixed CPU costs of the pipeline machinery itself (IO costs are charged
+   by the block device underneath DBFS) *)
+let cost_type2req = 1_000
+
+(* §3(3) placement cost model: the host pays a DMA transfer per record to
+   move PD up the memory hierarchy; near-data locations avoid it but have
+   slower cores. *)
+let host_transfer_per_record = 2_000
+
+let execute_multiplier = function Host -> 1 | Pim -> 2 | Pis -> 4
+
+let location_transfer = function
+  | Host -> host_transfer_per_record
+  | Pim | Pis -> 0
+let cost_filter_per_membrane = 300
+let cost_build_membrane = 500
+let cost_return = 200
+
+let storage e = Error (Storage_error (Dbfs.error_to_string e))
+
+let ( let** ) r f = match r with Error e -> Error e | Ok v -> f v
+
+let lift r = match r with Ok v -> Ok v | Error e -> storage e
+
+(* Best-effort exfiltration check on the scalar returned to the caller:
+   the value must not verbatim reproduce a PD field it was shown.  (The
+   structural guarantee is that records themselves never cross the
+   boundary; this catches the lazy leak of copying a field into the
+   return value.) *)
+let value_leaks inputs value =
+  match value with
+  | Some (Value.VString s) when s <> "" ->
+      List.exists
+        (fun (input : Processing.pd_input) ->
+          List.exists
+            (fun (_, v) ->
+              match v with Value.VString s' -> String.equal s s' | _ -> false)
+            input.record)
+        inputs
+  | _ -> false
+
+let execute t ?(fetch_mode = Two_phase) ?(location = Host) ~processing ~target () =
+  let open Processing in
+  match processing.purpose with
+  | None -> Error (No_purpose processing.name)
+  | Some purpose -> (
+      let purpose_name = purpose.Rgpdos_lang.Ast.p_name in
+      let stages = ref [] in
+      let staged name f =
+        let before = Clock.now t.clock in
+        let result = f () in
+        stages := (name, Clock.now t.clock - before) :: !stages;
+        result
+      in
+      (* 1. ded_type2req *)
+      let** refs =
+        staged "ded_type2req" (fun () ->
+            Clock.advance t.clock cost_type2req;
+            match target with
+            | Pd_refs refs -> Ok refs
+            | All_of_type ty | Selection (ty, _) ->
+                lift (Dbfs.list_pds t.dbfs ~actor ty))
+      in
+      (* 2. ded_load_membrane — under Single_phase (the ablation mode) the
+         record is fetched together with its membrane, before the filter
+         has spoken *)
+      let** loaded =
+        let stage_name =
+          match fetch_mode with
+          | Two_phase -> "ded_load_membrane"
+          | Single_phase -> "ded_load_membrane+data"
+        in
+        staged stage_name (fun () ->
+            let rec go acc = function
+              | [] -> Ok (List.rev acc)
+              | pd_id :: rest -> (
+                  match Dbfs.get_membrane t.dbfs ~actor pd_id with
+                  | Error e -> storage e
+                  | Ok m -> (
+                      match fetch_mode with
+                      | Two_phase -> go ((pd_id, m, None) :: acc) rest
+                      | Single_phase -> (
+                          match Dbfs.get_record t.dbfs ~actor pd_id with
+                          | Ok record -> go ((pd_id, m, Some record) :: acc) rest
+                          | Error (Rgpdos_dbfs.Dbfs.Erased _) ->
+                              go ((pd_id, m, None) :: acc) rest
+                          | Error e -> storage e)))
+            in
+            go [] refs)
+      in
+      (* 3. ded_filter *)
+      let now = Clock.now t.clock in
+      let granted, filtered_out =
+        staged "ded_filter" (fun () ->
+            Clock.advance t.clock
+              (cost_filter_per_membrane * List.length loaded);
+            List.partition_map
+              (fun (pd_id, m, prefetched) ->
+                match Membrane.decide m ~purpose:purpose_name ~now with
+                | Membrane.Granted scope -> Left (pd_id, m, scope, prefetched)
+                | Membrane.Refused reason -> Right (pd_id, reason, prefetched))
+              loaded)
+      in
+      (* records fetched before their membrane refused: the privacy cost
+         the paper's two-phase design exists to avoid *)
+      let overread =
+        List.length
+          (List.filter (fun (_, _, prefetched) -> prefetched <> None) filtered_out)
+      in
+      List.iter
+        (fun (pd_id, reason, _) ->
+          ignore
+            (Audit_log.append t.audit ~now:(Clock.now t.clock) ~actor
+               (Audit_log.Filtered_out
+                  { purpose = purpose_name; pd_id; reason })))
+        filtered_out;
+      (* 4. ded_load_data (Two_phase) / projection only (Single_phase) *)
+      let** inputs =
+        let stage_name =
+          match fetch_mode with
+          | Two_phase -> "ded_load_data"
+          | Single_phase -> "ded_project"
+        in
+        staged stage_name (fun () ->
+            let rec go acc = function
+              | [] -> Ok (List.rev acc)
+              | (pd_id, m, scope, prefetched) :: rest -> (
+                  let fetched =
+                    match prefetched with
+                    | Some record -> Ok (Some record)
+                    | None -> (
+                        match Dbfs.get_record t.dbfs ~actor pd_id with
+                        | Ok record -> Ok (Some record)
+                        | Error (Rgpdos_dbfs.Dbfs.Erased _) ->
+                            (* erased PD silently drops out of processing *)
+                            Ok None
+                        | Error e -> Error e)
+                  in
+                  match fetched with
+                  | Error e -> storage e
+                  | Ok None -> go acc rest
+                  | Ok (Some record) -> (
+                      match Dbfs.schema t.dbfs ~actor m.Membrane.type_name with
+                      | Error e -> storage e
+                      | Ok schema ->
+                          let visible = Schema.view_fields schema scope in
+                          let projected = Record.project record visible in
+                          go
+                            ({
+                               pd_id;
+                               subject = m.Membrane.subject_id;
+                               record = projected;
+                             }
+                            :: acc)
+                            rest))
+            in
+            go [] granted)
+      in
+      Clock.advance t.clock (location_transfer location * List.length inputs);
+      (* selection predicates run on the PROJECTED records: a field the
+         purpose may not see can never match (fails closed) *)
+      let inputs =
+        match target with
+        | All_of_type _ | Pd_refs _ -> inputs
+        | Selection (_, pred) ->
+            Clock.advance t.clock (100 * List.length inputs);
+            List.filter
+              (fun (i : Processing.pd_input) -> Query.eval pred i.record)
+              inputs
+      in
+      (* 5. ded_execute, inside the seccomp sandbox *)
+      let violation = ref None in
+      let policy = Syscall.Policy.fpd_reader_policy in
+      let context =
+        {
+          syscall =
+            (fun sc ->
+              match Syscall.Policy.check policy sc with
+              | Ok () -> Ok ()
+              | Error msg ->
+                  if !violation = None then violation := Some msg;
+                  Error msg);
+          now = (fun () -> Clock.now t.clock);
+          log = (fun _line -> ());
+        }
+      in
+      let** out =
+        staged "ded_execute" (fun () ->
+            Clock.advance t.clock
+              (processing.cpu_cost_per_record * execute_multiplier location
+              * List.length inputs);
+            match processing.body context inputs with
+            | exception exn ->
+                Error (Implementation_error (Printexc.to_string exn))
+            | Error msg -> Error (Implementation_error msg)
+            | Ok out -> Ok out)
+      in
+      let** () =
+        match !violation with
+        | Some msg ->
+            ignore
+              (Audit_log.append t.audit ~now:(Clock.now t.clock) ~actor
+                 (Audit_log.Denied { actor = processing.name; reason = msg }));
+            Error (Syscall_violation msg)
+        | None -> Ok ()
+      in
+      let** () =
+        if value_leaks inputs out.value then begin
+          let msg =
+            Printf.sprintf "processing %s attempted to return raw PD"
+              processing.name
+          in
+          ignore
+            (Audit_log.append t.audit ~now:(Clock.now t.clock) ~actor
+               (Audit_log.Denied { actor = processing.name; reason = msg }));
+          Error (Syscall_violation msg)
+        end
+        else Ok ()
+      in
+      (* 6+7. ded_build_membrane, ded_store *)
+      let** produced_refs =
+        staged "ded_build_membrane+store" (fun () ->
+            let rec go acc = function
+              | [] -> Ok (List.rev acc)
+              | (type_name, subject, record) :: rest -> (
+                  Clock.advance t.clock cost_build_membrane;
+                  match Dbfs.schema t.dbfs ~actor type_name with
+                  | Error e -> storage e
+                  | Ok schema -> (
+                      let membrane_of ~pd_id =
+                        Membrane.make ~pd_id ~type_name ~subject_id:subject
+                          ~origin:Membrane.Sysadmin
+                          ~consents:schema.Schema.default_consents
+                          ~created_at:(Clock.now t.clock)
+                          ?ttl:schema.Schema.default_ttl
+                          ~sensitivity:schema.Schema.default_sensitivity ()
+                      in
+                      match
+                        Dbfs.insert t.dbfs ~actor ~subject ~type_name ~record
+                          ~membrane_of
+                      with
+                      | Error e -> storage e
+                      | Ok pd_id -> go (pd_id :: acc) rest))
+            in
+            go [] out.produced)
+      in
+      (* 8. ded_return *)
+      let consumed_ids = List.map (fun (i : Processing.pd_input) -> i.pd_id) inputs in
+      ignore
+        (Audit_log.append t.audit ~now:(Clock.now t.clock) ~actor
+           (Audit_log.Attested
+              {
+                processing = processing.name;
+                measurement = measurement processing;
+              }));
+      ignore
+        (Audit_log.append t.audit ~now:(Clock.now t.clock) ~actor
+           (Audit_log.Processed
+              { purpose = purpose_name; inputs = consumed_ids; produced = produced_refs }));
+      let result =
+        staged "ded_return" (fun () ->
+            Clock.advance t.clock cost_return;
+            {
+              value = out.value;
+              produced_refs;
+              consumed = List.length inputs;
+              filtered = List.length filtered_out;
+              overread;
+              stage_ns = [];
+            })
+      in
+      Ok { result with stage_ns = List.rev !stages })
+
+(* ------------------------------------------------------------------ *)
+(* built-ins                                                          *)
+
+let builtin_acquire t ~type_name ~subject ~interface ~record ?consents () =
+  match Dbfs.schema t.dbfs ~actor type_name with
+  | Error e -> storage e
+  | Ok schema -> (
+      let consents =
+        Option.value ~default:schema.Schema.default_consents consents
+      in
+      let membrane_of ~pd_id =
+        Membrane.make ~pd_id ~type_name ~subject_id:subject
+          ~origin:schema.Schema.default_origin ~consents
+          ~created_at:(Clock.now t.clock) ?ttl:schema.Schema.default_ttl
+          ~sensitivity:schema.Schema.default_sensitivity
+          ~collection:schema.Schema.collection ()
+      in
+      match Dbfs.insert t.dbfs ~actor ~subject ~type_name ~record ~membrane_of with
+      | Error e -> storage e
+      | Ok pd_id ->
+          ignore
+            (Audit_log.append t.audit ~now:(Clock.now t.clock) ~actor
+               (Audit_log.Collected { pd_id; interface }));
+          Ok pd_id)
+
+let builtin_update t ~pd_id record =
+  lift (Dbfs.update_record t.dbfs ~actor pd_id record)
+
+let builtin_copy t ~pd_id = lift (Dbfs.copy_pd t.dbfs ~actor pd_id)
+
+let builtin_delete t ~pd_id =
+  let** () = lift (Dbfs.delete t.dbfs ~actor pd_id) in
+  ignore
+    (Audit_log.append t.audit ~now:(Clock.now t.clock) ~actor
+       (Audit_log.Erased { pd_id; mode = "physical" }));
+  Ok ()
+
+let builtin_crypto_erase t ~pd_id ~seal =
+  let** membrane = lift (Dbfs.get_membrane t.dbfs ~actor pd_id) in
+  let withdrawn = Membrane.withdraw_all membrane in
+  let** () = lift (Dbfs.update_membrane t.dbfs ~actor pd_id withdrawn) in
+  let** () = lift (Dbfs.erase_with t.dbfs ~actor pd_id ~seal) in
+  ignore
+    (Audit_log.append t.audit ~now:(Clock.now t.clock) ~actor
+       (Audit_log.Erased { pd_id; mode = "crypto" }));
+  Ok ()

@@ -1,0 +1,128 @@
+(** The Data Execution Domain (§2): the only component that touches DBFS.
+
+    rgpdOS reverses the usual power balance: instead of a process pulling
+    PD into its address space, the function runs {i inside the PD's
+    domain}.  A DED instance executes one data processing through eight
+    named steps:
+
+    + [ded_type2req] — translate the input parameter (a PD type or
+      explicit references) into DBFS requests;
+    + [ded_load_membrane] — fetch only the membranes;
+    + [ded_filter] — keep the PD whose membrane approves this purpose now;
+    + [ded_load_data] — fetch records for the survivors, projected to the
+      consented view (data minimisation);
+    + [ded_execute] — run the implementation inside the seccomp sandbox;
+    + [ded_build_membrane] — wrap any produced PD in a fresh membrane;
+    + [ded_store] — store produced PD in DBFS;
+    + [ded_return] — return non-PD values and {i references} to PD — raw
+      records never cross back to the caller.
+
+    Every step's simulated cost is recorded, which experiment E1 reports
+    as the pipeline breakdown. *)
+
+type target =
+  | All_of_type of string       (** process every PD of a type *)
+  | Pd_refs of string list      (** process specific PD references *)
+  | Selection of string * Rgpdos_dbfs.Query.t
+      (** process the PD of a type matching a predicate.  The predicate is
+          evaluated {i after} membrane filtering and view projection, so a
+          selection can never observe fields the purpose may not see. *)
+
+(** How stages 2-4 fetch from DBFS.  [Two_phase] is the paper's design:
+    membranes first, data only for PD whose membrane granted access.
+    [Single_phase] is the ablation: membrane and record fetched together,
+    as a conventional engine would — faster when almost everything is
+    granted, but it *reads* PD that consents then refuse (the [overread]
+    counter), which the paper's architecture exists to prevent. *)
+type fetch_mode = Two_phase | Single_phase
+
+(** Where the DED instance executes (§3(3)): on the host CPU, with
+    Processing-in-Memory (UPMEM-style DPUs), or with Processing-in-Storage.
+    The cost model: the host pays a per-record DMA transfer to bring data
+    up the hierarchy but has the fastest cores; PIM/PIS avoid the transfer
+    and run on progressively slower near-data cores.  Crossover depends on
+    the processing's compute intensity (ablation A2). *)
+type location = Host | Pim | Pis
+
+type outcome = {
+  value : Rgpdos_dbfs.Value.t option;   (** non-PD result *)
+  produced_refs : string list;          (** references to newly stored PD *)
+  consumed : int;                       (** PD records actually processed *)
+  filtered : int;                       (** PD refused by their membranes *)
+  overread : int;
+      (** records fetched from DBFS despite a refusing membrane — always 0
+          in [Two_phase] mode *)
+  stage_ns : (string * Rgpdos_util.Clock.ns) list;
+      (** simulated nanoseconds per pipeline stage, in stage order *)
+}
+
+type error =
+  | Unknown_type of string
+  | Syscall_violation of string   (** sandbox killed the processing *)
+  | Implementation_error of string
+  | Storage_error of string
+  | No_purpose of string
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+type t
+
+val create :
+  clock:Rgpdos_util.Clock.t ->
+  dbfs:Rgpdos_dbfs.Dbfs.t ->
+  audit:Rgpdos_audit.Audit_log.t ->
+  unit ->
+  t
+(** One [t] per machine; each [execute] call instantiates a fresh logical
+    DED (the paper's "PS instantiates a DED" on every invoke). *)
+
+val actor : string
+(** The actor string DBFS sees for DED accesses: ["ded"]. *)
+
+val measurement : Processing.spec -> string
+(** SGX-style enclave measurement of a data processing: a SHA-256 digest
+    over the processing's identity (name, purpose text, declared
+    footprint).  Recorded in the audit chain on every execution so a
+    regulator can verify {i which} code ran against the PD. *)
+
+val execute :
+  t ->
+  ?fetch_mode:fetch_mode ->
+  ?location:location ->
+  processing:Processing.spec ->
+  target:target ->
+  unit ->
+  (outcome, error) result
+(** Run the eight-step pipeline (default [Two_phase], [Host]).  The processing
+    must have a purpose (enforced again here, defence in depth — PS
+    already rejects purposeless functions). *)
+
+(** {1 Built-in functions} ([F_pd^w], provided by rgpdOS itself) *)
+
+val builtin_acquire :
+  t ->
+  type_name:string ->
+  subject:string ->
+  interface:string ->
+  record:Rgpdos_dbfs.Record.t ->
+  ?consents:(string * Rgpdos_membrane.Membrane.consent_scope) list ->
+  unit ->
+  (string, error) result
+(** Data collection: wrap the collected record in a membrane built from the
+    schema's defaults (overridable by the subject's explicit [consents])
+    and store it.  Returns the new PD reference. *)
+
+val builtin_update :
+  t -> pd_id:string -> Rgpdos_dbfs.Record.t -> (unit, error) result
+
+val builtin_copy : t -> pd_id:string -> (string, error) result
+
+val builtin_delete : t -> pd_id:string -> (unit, error) result
+(** Physical deletion (zeroing). *)
+
+val builtin_crypto_erase :
+  t -> pd_id:string -> seal:(Rgpdos_dbfs.Record.t -> string) ->
+  (unit, error) result
+(** Right-to-be-forgotten erasure: replace the record with an
+    authority-sealed envelope and withdraw every consent on the membrane. *)

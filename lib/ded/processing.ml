@@ -1,0 +1,35 @@
+module Value = Rgpdos_dbfs.Value
+module Record = Rgpdos_dbfs.Record
+
+type pd_input = { pd_id : string; subject : string; record : Record.t }
+
+type context = {
+  syscall : Rgpdos_kernel.Syscall.t -> (unit, string) result;
+  now : unit -> Rgpdos_util.Clock.ns;
+  log : string -> unit;
+}
+
+type output = {
+  value : Value.t option;
+  produced : (string * string * Record.t) list;
+}
+
+let no_output = { value = None; produced = [] }
+
+let value_output v = { value = Some v; produced = [] }
+
+type impl = context -> pd_input list -> (output, string) result
+
+type spec = {
+  name : string;
+  purpose : Rgpdos_lang.Ast.purpose_decl option;
+  touches : (string * string list) list;
+  cpu_cost_per_record : Rgpdos_util.Clock.ns;
+  body : impl;
+}
+
+let make ~name ?purpose ?(touches = []) ?(cpu_cost_per_record = 10_000) body =
+  { name; purpose; touches; cpu_cost_per_record; body }
+
+let purpose_name spec =
+  Option.map (fun p -> p.Rgpdos_lang.Ast.p_name) spec.purpose

@@ -1,0 +1,63 @@
+(** Data-processing definitions: a {i purpose} plus its {i implementation}
+    (the paper calls the pair a "data processing").
+
+    Implementations are OCaml closures, standing in for the arbitrary-
+    language functions of §2 ("functions can be implemented in any
+    programming language").  A closure receives a sandbox context — its
+    only window to the outside world — and the view-projected PD records
+    the DED fetched for it.  Attempting a denied syscall through the
+    context aborts the processing, exactly as seccomp would kill the
+    process. *)
+
+module Value = Rgpdos_dbfs.Value
+module Record = Rgpdos_dbfs.Record
+
+type pd_input = {
+  pd_id : string;
+  subject : string;
+  record : Record.t;  (** already projected to the consented view *)
+}
+
+(** The sandbox an implementation runs inside. *)
+type context = {
+  syscall : Rgpdos_kernel.Syscall.t -> (unit, string) result;
+      (** the simulated syscall trap; denied calls return [Error] and the
+          DED aborts the processing *)
+  now : unit -> Rgpdos_util.Clock.ns;
+  log : string -> unit;  (** public (non-PD) log line, via Sys_log_public *)
+}
+
+type output = {
+  value : Value.t option;  (** non-PD scalar result returned to the caller *)
+  produced : (string * string * Record.t) list;
+      (** new PD to store: (type_name, subject, record) *)
+}
+
+val no_output : output
+val value_output : Value.t -> output
+
+type impl = context -> pd_input list -> (output, string) result
+
+type spec = {
+  name : string;
+  purpose : Rgpdos_lang.Ast.purpose_decl option;
+      (** [None] models a function submitted without a purpose — the
+          Processing Store must reject it *)
+  touches : (string * string list) list;
+      (** static access footprint: (type, fields) the implementation
+          reads.  PS checks it against the declared purpose. *)
+  cpu_cost_per_record : Rgpdos_util.Clock.ns;
+      (** simulated compute per input record *)
+  body : impl;
+}
+
+val make :
+  name:string ->
+  ?purpose:Rgpdos_lang.Ast.purpose_decl ->
+  ?touches:(string * string list) list ->
+  ?cpu_cost_per_record:Rgpdos_util.Clock.ns ->
+  impl ->
+  spec
+(** Defaults: no footprint, 10us of compute per record. *)
+
+val purpose_name : spec -> string option

@@ -1,0 +1,60 @@
+type t =
+  | Art5_1c_minimisation
+  | Art5_1e_storage_limitation
+  | Art6_lawfulness
+  | Art7_consent
+  | Art15_access
+  | Art16_rectification
+  | Art17_erasure
+  | Art18_restriction
+  | Art20_portability
+  | Art25_by_design
+  | Art32_security
+
+let all =
+  [
+    Art5_1c_minimisation; Art5_1e_storage_limitation; Art6_lawfulness;
+    Art7_consent; Art15_access; Art16_rectification; Art17_erasure;
+    Art18_restriction; Art20_portability; Art25_by_design; Art32_security;
+  ]
+
+let to_string = function
+  | Art5_1c_minimisation -> "Art. 5(1)(c)"
+  | Art5_1e_storage_limitation -> "Art. 5(1)(e)"
+  | Art6_lawfulness -> "Art. 6"
+  | Art7_consent -> "Art. 7"
+  | Art15_access -> "Art. 15"
+  | Art16_rectification -> "Art. 16"
+  | Art17_erasure -> "Art. 17"
+  | Art18_restriction -> "Art. 18"
+  | Art20_portability -> "Art. 20"
+  | Art25_by_design -> "Art. 25"
+  | Art32_security -> "Art. 32"
+
+let description = function
+  | Art5_1c_minimisation -> "data minimisation"
+  | Art5_1e_storage_limitation -> "storage limitation"
+  | Art6_lawfulness -> "lawfulness of processing"
+  | Art7_consent -> "conditions for consent"
+  | Art15_access -> "right of access by the data subject"
+  | Art16_rectification -> "right to rectification"
+  | Art17_erasure -> "right to erasure (right to be forgotten)"
+  | Art18_restriction -> "right to restriction of processing"
+  | Art20_portability -> "right to data portability"
+  | Art25_by_design -> "data protection by design and by default"
+  | Art32_security -> "security of processing"
+
+let mechanism = function
+  | Art5_1c_minimisation -> "schema views + membrane consent scopes + DED projection"
+  | Art5_1e_storage_limitation -> "membrane TTL + storage-limitation sweeper"
+  | Art6_lawfulness -> "purpose declarations carry a legal basis; PS rejects purposeless functions"
+  | Art7_consent -> "per-purpose consents in the PD membrane; withdrawal built-ins"
+  | Art15_access -> "DBFS structured export + hash-chained processing log"
+  | Art16_rectification -> "built-in update (membrane-checked, zeroing rewrite)"
+  | Art17_erasure -> "crypto-erasure under the authority's public key + zeroing delete"
+  | Art18_restriction -> "membrane restriction flag: every purpose refused, data retained"
+  | Art20_portability -> "typed DBFS records export as structured machine-readable JSON"
+  | Art25_by_design -> "every application on rgpdOS inherits the enforcement rules"
+  | Art32_security -> "LSM mediation of DBFS + seccomp policies on F_pd functions"
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)

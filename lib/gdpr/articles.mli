@@ -1,0 +1,27 @@
+(** The GDPR articles the paper's mechanisms map to.
+
+    rgpdOS's pitch is that the data operator deals with {i technical
+    rules}, and the OS translates them into compliance with the Law; this
+    module is the translation table the compliance checker reports
+    against. *)
+
+type t =
+  | Art5_1c_minimisation       (** data minimisation — views/membrane scopes *)
+  | Art5_1e_storage_limitation (** storage limitation — TTL sweeper *)
+  | Art6_lawfulness            (** lawful basis — purpose legal_basis *)
+  | Art7_consent               (** conditions for consent — membrane consents *)
+  | Art15_access               (** right of access — DBFS export + audit log *)
+  | Art16_rectification        (** right to rectification — builtin update *)
+  | Art17_erasure              (** right to be forgotten — crypto-erasure *)
+  | Art18_restriction          (** restriction of processing — membrane flag *)
+  | Art20_portability          (** structured, machine-readable export *)
+  | Art25_by_design            (** data protection by design — the OS itself *)
+  | Art32_security             (** security of processing — LSM + seccomp *)
+
+val all : t list
+val to_string : t -> string
+val description : t -> string
+val mechanism : t -> string
+(** The rgpdOS mechanism that implements the article. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,34 @@
+(** The supervisory authority of the paper's §4 erasure model.
+
+    "Each data operator owns a public encryption key given to them by the
+    authorities who keep the private key": the authority mints keypairs,
+    hands operators the public half, and can later open sealed envelopes
+    (e.g. for a legal investigation). *)
+
+type t
+
+val create : ?key_bits:int -> seed:int64 -> unit -> t
+(** Deterministic from the seed; default 256-bit keys (simulation scale). *)
+
+val public_key : t -> Rgpdos_crypto.Rsa.public_key
+(** What the data operator receives. *)
+
+val key_fingerprint : t -> string
+
+val seal :
+  t -> prng:Rgpdos_util.Prng.t -> string -> Rgpdos_crypto.Envelope.t
+(** Operator-side sealing helper (uses only the public key). *)
+
+val sealer :
+  t -> prng:Rgpdos_util.Prng.t ->
+  (Rgpdos_dbfs.Record.t -> string)
+(** The [seal] callback DBFS's [erase_with] expects: encodes the record,
+    seals it, returns the envelope bytes that replace the plaintext. *)
+
+val open_envelope : t -> string -> (string, string) result
+(** Authority-side: decode + decrypt envelope bytes (the legal-
+    investigation path).  Only the authority can do this. *)
+
+val open_record :
+  t -> string -> (Rgpdos_dbfs.Record.t, string) result
+(** [open_envelope] followed by record decoding. *)

@@ -1,0 +1,100 @@
+type evidence = {
+  expired_live_pd : int;
+  membraneless_pd : int;
+  audit_chain_ok : bool;
+  forensic_leaks_after_erasure : int;
+  unconsented_accesses : int;
+  exports_machine_readable : bool;
+  minimisation_enforced : bool;
+}
+
+let clean =
+  {
+    expired_live_pd = 0;
+    membraneless_pd = 0;
+    audit_chain_ok = true;
+    forensic_leaks_after_erasure = 0;
+    unconsented_accesses = 0;
+    exports_machine_readable = true;
+    minimisation_enforced = true;
+  }
+
+type verdict = { article : Articles.t; ok : bool; detail : string }
+
+let evaluate e =
+  [
+    {
+      article = Articles.Art5_1c_minimisation;
+      ok = e.minimisation_enforced;
+      detail =
+        (if e.minimisation_enforced then "processings only see consented views"
+         else "processings can read fields beyond the consented view");
+    };
+    {
+      article = Articles.Art5_1e_storage_limitation;
+      ok = e.expired_live_pd = 0;
+      detail = Printf.sprintf "%d expired PD still live" e.expired_live_pd;
+    };
+    {
+      article = Articles.Art6_lawfulness;
+      ok = e.unconsented_accesses = 0;
+      detail =
+        Printf.sprintf "%d accesses without a lawful basis" e.unconsented_accesses;
+    };
+    {
+      article = Articles.Art7_consent;
+      ok = e.unconsented_accesses = 0 && e.membraneless_pd = 0;
+      detail =
+        Printf.sprintf "%d unconsented accesses, %d PD without consent metadata"
+          e.unconsented_accesses e.membraneless_pd;
+    };
+    {
+      article = Articles.Art15_access;
+      ok = e.audit_chain_ok && e.exports_machine_readable;
+      detail =
+        (if e.audit_chain_ok then "processing log verifies"
+         else "processing log corrupted or absent");
+    };
+    {
+      article = Articles.Art17_erasure;
+      ok = e.forensic_leaks_after_erasure = 0;
+      detail =
+        Printf.sprintf "%d forensic remnants of erased PD"
+          e.forensic_leaks_after_erasure;
+    };
+    {
+      article = Articles.Art20_portability;
+      ok = e.exports_machine_readable;
+      detail =
+        (if e.exports_machine_readable then
+           "exports are structured and machine-readable"
+         else "exports lack structure or meaningful keys");
+    };
+    {
+      article = Articles.Art32_security;
+      ok = e.membraneless_pd = 0;
+      detail = Printf.sprintf "%d PD stored outside the protection wrapper" e.membraneless_pd;
+    };
+  ]
+
+let all_ok verdicts = List.for_all (fun v -> v.ok) verdicts
+
+let pp_verdict fmt v =
+  Format.fprintf fmt "%s (%s): %s — %s"
+    (Articles.to_string v.article)
+    (Articles.description v.article)
+    (if v.ok then "PASS" else "VIOLATION")
+    v.detail
+
+let summary verdicts =
+  let total = List.length verdicts in
+  let passed = List.length (List.filter (fun v -> v.ok) verdicts) in
+  let violations =
+    verdicts
+    |> List.filter (fun v -> not v.ok)
+    |> List.map (fun v -> Articles.to_string v.article)
+  in
+  if violations = [] then Printf.sprintf "%d/%d articles satisfied" passed total
+  else
+    Printf.sprintf "%d/%d articles satisfied; violations: %s" passed total
+      (String.concat ", " violations)

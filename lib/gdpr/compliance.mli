@@ -1,0 +1,42 @@
+(** Per-article compliance checker.
+
+    A system under test (the rgpdOS machine, or the Fig-2 baseline)
+    produces an {!evidence} record from its own state; [evaluate] turns it
+    into article-by-article verdicts.  Experiments E3/E7 feed both systems
+    through this to show the paper's qualitative claim: the baseline
+    violates, rgpdOS does not. *)
+
+type evidence = {
+  expired_live_pd : int;
+      (** PD past its TTL still readable (art. 5(1)(e)) *)
+  membraneless_pd : int;
+      (** stored PD without a valid membrane (arts. 25/32 wrapper rule) *)
+  audit_chain_ok : bool;
+      (** the processing log verifies (art. 15 accountability) *)
+  forensic_leaks_after_erasure : int;
+      (** erased subjects' PD still recoverable from the medium (art. 17) *)
+  unconsented_accesses : int;
+      (** processings that read PD against its consents (arts. 6/7) *)
+  exports_machine_readable : bool;
+      (** access/portability exports are structured with meaningful keys
+          (arts. 15/20) *)
+  minimisation_enforced : bool;
+      (** processings only see consented views (art. 5(1)(c)) *)
+}
+
+val clean : evidence
+(** The all-green evidence, as a base for building test cases. *)
+
+type verdict = { article : Articles.t; ok : bool; detail : string }
+
+val evaluate : evidence -> verdict list
+(** One verdict per checkable article (rectification and by-design are
+    reported as mechanisms, not violations, and always reflect the
+    surrounding fields). *)
+
+val all_ok : verdict list -> bool
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val summary : verdict list -> string
+(** e.g. "7/8 articles satisfied; violations: Art. 17". *)

@@ -1,0 +1,44 @@
+module Sha256 = Rgpdos_crypto.Sha256
+module Hex = Rgpdos_util.Hex
+module Prng = Rgpdos_util.Prng
+module Record = Rgpdos_dbfs.Record
+module Value = Rgpdos_dbfs.Value
+
+type key = string
+
+let key_of_string s = Sha256.digest ("rgpdos-pseudonym-key|" ^ s)
+
+let random_key prng = Prng.bytes prng 32
+
+let pseudonym key ident =
+  String.sub (Hex.encode (Sha256.hmac ~key ident)) 0 16
+
+let pseudonymize_fields key ~fields record =
+  List.map
+    (fun (name, v) ->
+      match v with
+      | Value.VString s when List.mem name fields ->
+          (name, Value.VString (pseudonym key s))
+      | _ -> (name, v))
+    record
+
+let generalize_int ~bucket ~field record =
+  if bucket <= 0 then invalid_arg "Pseudonym.generalize_int: bucket <= 0";
+  List.map
+    (fun (name, v) ->
+      match v with
+      | Value.VInt i when name = field ->
+          let rounded = i - (((i mod bucket) + bucket) mod bucket) in
+          (name, Value.VInt rounded)
+      | _ -> (name, v))
+    record
+
+let k_anonymous_by quasi rows ~k =
+  let groups = Hashtbl.create 16 in
+  List.iter
+    (fun row ->
+      let q = quasi row in
+      let n = Option.value ~default:0 (Hashtbl.find_opt groups q) in
+      Hashtbl.replace groups q (n + 1))
+    rows;
+  Hashtbl.fold (fun _ n acc -> acc && n >= k) groups true

@@ -1,0 +1,46 @@
+(** Pseudonymisation and generalisation helpers.
+
+    ENISA classifies rgpdOS as a Privacy Enhancing Technology; these are
+    the record-level PET primitives the machine offers processings that
+    produce research or analytics datasets from PD:
+
+    - {b keyed pseudonyms}: HMAC-SHA256 under an operator-held key.
+      Deterministic (the same subject always maps to the same pseudonym,
+      so longitudinal analyses work) but irreversible without the key,
+      and unlinkable across operators using different keys — GDPR art.
+      4(5) pseudonymisation.
+    - {b generalisation}: coarsen quasi-identifiers (years to decades,
+      integers to buckets) so that small groups blur into larger ones.
+
+    A pseudonymised record is still personal data under the GDPR (the key
+    re-links it); these helpers reduce risk, they do not exit the
+    regulation — which is why the output still goes through DBFS with a
+    membrane. *)
+
+type key
+
+val key_of_string : string -> key
+(** Derive a pseudonymisation key from operator secret material. *)
+
+val random_key : Rgpdos_util.Prng.t -> key
+
+val pseudonym : key -> string -> string
+(** [pseudonym k ident] is a stable 16-hex-char pseudonym for [ident]
+    under [k]. *)
+
+val pseudonymize_fields :
+  key -> fields:string list -> Rgpdos_dbfs.Record.t -> Rgpdos_dbfs.Record.t
+(** Replace the string values of the named fields by their pseudonyms;
+    other fields pass through. *)
+
+val generalize_int :
+  bucket:int -> field:string -> Rgpdos_dbfs.Record.t -> Rgpdos_dbfs.Record.t
+(** Round the named int field down to a multiple of [bucket] (e.g.
+    [bucket:10] turns 1987 into 1980).
+    @raise Invalid_argument if [bucket <= 0]. *)
+
+val k_anonymous_by : ('a -> 'b) -> 'a list -> k:int -> bool
+(** [k_anonymous_by quasi rows ~k]: does every equivalence class of rows
+    under the quasi-identifier projection contain at least [k] rows?  The
+    check a release pipeline runs before publishing a generalised
+    dataset. *)

@@ -1,0 +1,60 @@
+module Dbfs = Rgpdos_dbfs.Dbfs
+module Membrane = Rgpdos_membrane.Membrane
+module Audit_log = Rgpdos_audit.Audit_log
+
+type mode = Physical_delete | Crypto_erase of (Rgpdos_dbfs.Record.t -> string)
+
+type report = {
+  scanned : int;
+  expired : int;
+  removed : int;
+  errors : (string * string) list;
+}
+
+let actor = "ded" (* the sweeper is an rgpdOS built-in and runs as the DED *)
+
+let sweep ~dbfs ~audit ~now ~mode () =
+  let all_pds =
+    match Dbfs.list_types dbfs ~actor with
+    | Error _ -> []
+    | Ok types ->
+        List.concat_map
+          (fun ty ->
+            match Dbfs.list_pds dbfs ~actor ty with Ok ids -> ids | Error _ -> [])
+          types
+  in
+  let scanned = ref 0 and expired = ref 0 and removed = ref 0 in
+  let errors = ref [] in
+  List.iter
+    (fun pd_id ->
+      match Dbfs.entry_info dbfs ~actor pd_id with
+      | Error _ -> ()
+      | Ok (_, _, true) -> () (* already erased *)
+      | Ok (_, _, false) -> (
+          incr scanned;
+          match Dbfs.get_membrane dbfs ~actor pd_id with
+          | Error e -> errors := (pd_id, Dbfs.error_to_string e) :: !errors
+          | Ok m ->
+              if Membrane.expired m ~now then begin
+                incr expired;
+                let result =
+                  match mode with
+                  | Physical_delete -> Dbfs.delete dbfs ~actor pd_id
+                  | Crypto_erase seal -> Dbfs.erase_with dbfs ~actor pd_id ~seal
+                in
+                match result with
+                | Ok () ->
+                    incr removed;
+                    let mode_str =
+                      match mode with
+                      | Physical_delete -> "physical"
+                      | Crypto_erase _ -> "crypto"
+                    in
+                    ignore
+                      (Audit_log.append audit ~now ~actor
+                         (Audit_log.Erased { pd_id; mode = mode_str }))
+                | Error e ->
+                    errors := (pd_id, Dbfs.error_to_string e) :: !errors
+              end))
+    all_pds;
+  { scanned = !scanned; expired = !expired; removed = !removed; errors = !errors }

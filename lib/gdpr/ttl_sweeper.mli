@@ -1,0 +1,29 @@
+(** Storage-limitation sweeper (GDPR art. 5(1)(e)).
+
+    The membrane's time-to-live "is directly requested by the GDPR and can
+    be used to implement the right to be forgotten" (§2).  The sweeper
+    scans every membrane and removes PD whose TTL has elapsed, either
+    physically or by crypto-erasure. *)
+
+type mode =
+  | Physical_delete
+  | Crypto_erase of (Rgpdos_dbfs.Record.t -> string)
+      (** the authority sealer *)
+
+type report = {
+  scanned : int;
+  expired : int;
+  removed : int;
+  errors : (string * string) list;  (** (pd_id, error) *)
+}
+
+val sweep :
+  dbfs:Rgpdos_dbfs.Dbfs.t ->
+  audit:Rgpdos_audit.Audit_log.t ->
+  now:Rgpdos_util.Clock.ns ->
+  mode:mode ->
+  unit ->
+  report
+(** Scans every non-erased PD entry (membranes only, data blocks untouched
+    for non-expired PD) and removes the expired ones, logging each removal
+    in the audit chain. *)

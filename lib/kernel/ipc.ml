@@ -1,0 +1,37 @@
+module Clock = Rgpdos_util.Clock
+
+type 'a t = {
+  name : string;
+  clock : Clock.t;
+  capacity : int;
+  latency : Clock.ns;
+  queue : 'a Queue.t;
+  mutable sent : int;
+}
+
+let create ~clock ?(capacity = 64) ?(latency = 2_000) ~name () =
+  if capacity <= 0 then invalid_arg "Ipc.create: capacity must be positive";
+  { name; clock; capacity; latency; queue = Queue.create (); sent = 0 }
+
+let name ch = ch.name
+
+let send ch msg =
+  if Queue.length ch.queue >= ch.capacity then
+    Error (Printf.sprintf "channel %s full (capacity %d)" ch.name ch.capacity)
+  else begin
+    Clock.advance ch.clock ch.latency;
+    Queue.push msg ch.queue;
+    ch.sent <- ch.sent + 1;
+    Ok ()
+  end
+
+let recv ch =
+  match Queue.pop ch.queue with
+  | msg ->
+      Clock.advance ch.clock ch.latency;
+      Some msg
+  | exception Queue.Empty -> None
+
+let length ch = Queue.length ch.queue
+
+let total_sent ch = ch.sent

@@ -1,0 +1,30 @@
+(** Message channels between sub-kernels.
+
+    The purpose-kernel model (§2) splits the machine kernel into
+    cooperating sub-kernels (IO-driver kernels, a general-purpose kernel,
+    the rgpdOS kernel).  They communicate over these bounded, typed
+    channels; every transfer charges simulated time, so the cost of the
+    split shows up in experiment E9. *)
+
+type 'a t
+
+val create :
+  clock:Rgpdos_util.Clock.t ->
+  ?capacity:int ->
+  ?latency:Rgpdos_util.Clock.ns ->
+  name:string ->
+  unit ->
+  'a t
+(** Default capacity 64 messages, default latency 2us per transfer (an
+    inter-core notification plus a cache-line handoff). *)
+
+val name : _ t -> string
+
+val send : 'a t -> 'a -> (unit, string) result
+(** [Error] when the channel is full (backpressure). *)
+
+val recv : 'a t -> 'a option
+(** FIFO; [None] when empty. *)
+
+val length : _ t -> int
+val total_sent : _ t -> int

@@ -1,0 +1,41 @@
+type decision = Allow | Deny
+
+type rule = { actor : string; klass : string; op : string }
+
+type t = {
+  default : decision;
+  mutable allows : rule list;
+  mutable denies : rule list;
+  mutable denied_log : (string * string * string) list;
+}
+
+let create ?(default = Deny) () =
+  { default; allows = []; denies = []; denied_log = [] }
+
+let allow t ~actor ~klass ~op = t.allows <- { actor; klass; op } :: t.allows
+
+let deny t ~actor ~klass ~op = t.denies <- { actor; klass; op } :: t.denies
+
+let rule_matches rule ~actor ~klass ~op =
+  let m pat v = pat = "*" || pat = v in
+  m rule.actor actor && m rule.klass klass && m rule.op op
+
+let check t ~actor ~klass ~op =
+  let verdict =
+    if List.exists (fun r -> rule_matches r ~actor ~klass ~op) t.denies then
+      Deny
+    else if List.exists (fun r -> rule_matches r ~actor ~klass ~op) t.allows
+    then Allow
+    else t.default
+  in
+  match verdict with
+  | Allow -> true
+  | Deny ->
+      t.denied_log <- (actor, klass, op) :: t.denied_log;
+      false
+
+let denials t = t.denied_log
+
+let denial_count t = List.length t.denied_log
+
+let as_dbfs_hook t ~actor ~op = check t ~actor ~klass:"dbfs" ~op

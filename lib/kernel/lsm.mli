@@ -1,0 +1,34 @@
+(** LSM-style mandatory access control.
+
+    §3(2): rgpdOS relies on the Linux Security Module framework (SELinux /
+    Smack would do the job) to block every direct access to DBFS from
+    outside the DED.  This module is the mediation layer: objects register
+    classes ("dbfs", "processing_store", ...), the machine loads a policy
+    of (actor, class, op) rules, and every component calls {!check} at its
+    entry points.  Denials are counted and remembered for the audit
+    trail. *)
+
+type decision = Allow | Deny
+
+type t
+
+val create : ?default:decision -> unit -> t
+(** [default] applies when no rule matches; the machine uses [Deny]
+    (deny-by-default, as the paper's enforcement section requires).  The
+    default default is [Deny]. *)
+
+val allow : t -> actor:string -> klass:string -> op:string -> unit
+(** Add an allow rule.  ["*"] acts as a wildcard for any position. *)
+
+val deny : t -> actor:string -> klass:string -> op:string -> unit
+(** Add a deny rule; deny rules take precedence over allow rules. *)
+
+val check : t -> actor:string -> klass:string -> op:string -> bool
+
+val denials : t -> (string * string * string) list
+(** Most recent first: the (actor, class, op) triples that were denied. *)
+
+val denial_count : t -> int
+
+val as_dbfs_hook : t -> actor:string -> op:string -> bool
+(** Convenience adaptor for [Dbfs.set_access_hook] (class "dbfs"). *)

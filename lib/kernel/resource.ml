@@ -1,0 +1,72 @@
+type partition = {
+  owner : string;
+  mutable cpu : int;
+  mutable mem : int;
+  mutable live : bool;
+}
+
+type t = {
+  total_cpu : int;
+  total_mem : int;
+  mutable parts : partition list;
+}
+
+let create ~cpu_millis ~mem_pages =
+  if cpu_millis <= 0 || mem_pages <= 0 then
+    invalid_arg "Resource.create: non-positive totals";
+  { total_cpu = cpu_millis; total_mem = mem_pages; parts = [] }
+
+let used_cpu t =
+  List.fold_left (fun acc p -> if p.live then acc + p.cpu else acc) 0 t.parts
+
+let used_mem t =
+  List.fold_left (fun acc p -> if p.live then acc + p.mem else acc) 0 t.parts
+
+let free_cpu t = t.total_cpu - used_cpu t
+let free_mem t = t.total_mem - used_mem t
+
+let claim t ~owner ~cpu_millis ~mem_pages =
+  if cpu_millis < 0 || mem_pages < 0 then Error "negative resource request"
+  else if cpu_millis > free_cpu t then
+    Error
+      (Printf.sprintf "cpu exhausted: %s wants %d, %d free" owner cpu_millis
+         (free_cpu t))
+  else if mem_pages > free_mem t then
+    Error
+      (Printf.sprintf "memory exhausted: %s wants %d pages, %d free" owner
+         mem_pages (free_mem t))
+  else begin
+    let p = { owner; cpu = cpu_millis; mem = mem_pages; live = true } in
+    t.parts <- p :: t.parts;
+    Ok p
+  end
+
+let resize t p ~cpu_millis ~mem_pages =
+  if not p.live then Error "partition already released"
+  else if cpu_millis < 0 || mem_pages < 0 then Error "negative resource request"
+  else
+    let cpu_delta = cpu_millis - p.cpu in
+    let mem_delta = mem_pages - p.mem in
+    if cpu_delta > free_cpu t then Error "cpu exhausted for resize"
+    else if mem_delta > free_mem t then Error "memory exhausted for resize"
+    else begin
+      p.cpu <- cpu_millis;
+      p.mem <- mem_pages;
+      Ok ()
+    end
+
+let release _t p =
+  p.live <- false;
+  p.cpu <- 0;
+  p.mem <- 0
+
+let owner p = p.owner
+let cpu_millis p = p.cpu
+let mem_pages p = p.mem
+
+let partitions t =
+  t.parts
+  |> List.filter_map (fun p -> if p.live then Some (p.owner, p.cpu, p.mem) else None)
+  |> List.sort compare
+
+let invariant_ok t = used_cpu t <= t.total_cpu && used_mem t <= t.total_mem

@@ -1,0 +1,40 @@
+(** Dynamic CPU/memory partitioning between sub-kernels.
+
+    "The different kernels cooperate to (dynamically) partition CPU and
+    memory resources" (§2).  A manager owns the machine's totals; each
+    sub-kernel holds a partition that can grow or shrink at run time, with
+    the invariant that allocations never exceed the totals. *)
+
+type t
+(** The machine-wide resource manager. *)
+
+type partition
+
+val create : cpu_millis:int -> mem_pages:int -> t
+(** Totals: CPU capacity in milli-cores (e.g. 8000 = 8 cores) and memory
+    in pages. *)
+
+val claim :
+  t -> owner:string -> cpu_millis:int -> mem_pages:int ->
+  (partition, string) result
+(** Carve an initial partition out of the free pool. *)
+
+val resize :
+  t -> partition -> cpu_millis:int -> mem_pages:int -> (unit, string) result
+(** Dynamic repartition: grow or shrink; growth is bounded by the free
+    pool. *)
+
+val release : t -> partition -> unit
+
+val owner : partition -> string
+val cpu_millis : partition -> int
+val mem_pages : partition -> int
+
+val free_cpu : t -> int
+val free_mem : t -> int
+
+val partitions : t -> (string * int * int) list
+(** [(owner, cpu, mem)] for every live partition, sorted by owner. *)
+
+val invariant_ok : t -> bool
+(** Allocations sum to at most the totals (checked in tests and fsck). *)

@@ -1,0 +1,95 @@
+module Clock = Rgpdos_util.Clock
+
+type data_class = Pd | Npd | Io of string
+
+type job = { job_id : string; data_class : data_class; work : Clock.ns }
+
+type running = { job : job; mutable remaining : Clock.ns }
+
+type kstate = {
+  kernel : Subkernel.t;
+  queue : running Queue.t;
+  mutable busy : Clock.ns;
+}
+
+type t = {
+  clock : Clock.t;
+  kernels : kstate list;
+  mutable completed_rev : string list;
+}
+
+let create ~clock ~kernels =
+  {
+    clock;
+    kernels =
+      List.map (fun k -> { kernel = k; queue = Queue.create (); busy = 0 }) kernels;
+    completed_rev = [];
+  }
+
+let eligible data_class k =
+  match (data_class, k.kernel.Subkernel.kind) with
+  | Pd, Subkernel.Rgpd -> true
+  | Npd, Subkernel.General_purpose -> true
+  | Io dev, Subkernel.Io_driver d -> d = dev
+  | (Pd | Npd | Io _), _ -> false
+
+(* place on the eligible kernel with the shortest queue *)
+let submit t job =
+  let candidates = List.filter (eligible job.data_class) t.kernels in
+  match candidates with
+  | [] ->
+      Error
+        (Printf.sprintf "no kernel can run %s job %s"
+           (match job.data_class with
+            | Pd -> "PD"
+            | Npd -> "NPD"
+            | Io dev -> "IO(" ^ dev ^ ")")
+           job.job_id)
+  | first :: rest ->
+      let best =
+        List.fold_left
+          (fun best k ->
+            if Queue.length k.queue < Queue.length best.queue then k else best)
+          first rest
+      in
+      Queue.push { job; remaining = job.work } best.queue;
+      Rgpdos_util.Stats.Counter.incr best.kernel.Subkernel.counters "jobs";
+      Ok ()
+
+let idle t = List.for_all (fun k -> Queue.is_empty k.queue) t.kernels
+
+(* One round: every kernel with work runs its head job for up to one
+   quantum, scaled by its CPU share (1000 mcpu = 1x speed).  The clock
+   advances by the longest wall-time any kernel spent. *)
+let run_round t quantum =
+  let max_wall = ref 0 in
+  List.iter
+    (fun k ->
+      match Queue.peek_opt k.queue with
+      | None -> ()
+      | Some r ->
+          let mcpu = max 1 (Resource.cpu_millis k.kernel.Subkernel.partition) in
+          let slice = min r.remaining quantum in
+          (* wall time = cpu time / share *)
+          let wall = slice * 1000 / mcpu in
+          r.remaining <- r.remaining - slice;
+          k.busy <- k.busy + wall;
+          if wall > !max_wall then max_wall := wall;
+          if r.remaining <= 0 then begin
+            ignore (Queue.pop k.queue);
+            t.completed_rev <- r.job.job_id :: t.completed_rev
+          end)
+    t.kernels;
+  Clock.advance t.clock !max_wall
+
+let run_until_idle t ?(quantum = 1_000_000) () =
+  while not (idle t) do
+    run_round t quantum
+  done
+
+let completed t = List.rev t.completed_rev
+
+let kernel_busy_time t =
+  t.kernels
+  |> List.map (fun k -> (k.kernel.Subkernel.id, k.busy))
+  |> List.sort compare

@@ -1,0 +1,41 @@
+(** Weighted round-robin scheduler over the sub-kernels.
+
+    Jobs are tagged PD or NPD and must run on a kernel of the matching
+    category — the scheduler {i refuses} to place a PD job on the
+    general-purpose kernel, which is the structural half of the paper's
+    data/process separation (experiment E9 measures the cost of the
+    split).  Each kernel executes work at a rate proportional to its CPU
+    partition; the virtual clock advances by the longest-running kernel
+    per scheduling round. *)
+
+type data_class =
+  | Pd   (** application processing over personal data — rgpdOS kernel only *)
+  | Npd  (** non-personal work — general-purpose kernel only *)
+  | Io of string
+      (** device work for the named device — the matching IO-driver kernel.
+          PD traverses IO-driver kernels (which is why the paper trusts
+          them), but application PD jobs never run there. *)
+
+type job = {
+  job_id : string;
+  data_class : data_class;
+  work : Rgpdos_util.Clock.ns;  (** CPU time the job needs at 1 core *)
+}
+
+type t
+
+val create : clock:Rgpdos_util.Clock.t -> kernels:Subkernel.t list -> t
+
+val submit : t -> job -> (unit, string) result
+(** Queues the job on a kernel able to process its data class (the rgpdOS
+    kernel for PD, the general-purpose kernel for NPD, the named device's
+    IO-driver kernel for IO).  [Error] if no eligible kernel exists. *)
+
+val run_until_idle : t -> ?quantum:Rgpdos_util.Clock.ns -> unit -> unit
+(** Execute all queued work; default quantum 1 ms of single-core time. *)
+
+val completed : t -> string list
+(** Job ids in completion order. *)
+
+val kernel_busy_time : t -> (string * Rgpdos_util.Clock.ns) list
+(** Accumulated busy time per kernel id, sorted by id. *)

@@ -1,0 +1,25 @@
+type kind = Io_driver of string | General_purpose | Rgpd
+
+type t = {
+  id : string;
+  kind : kind;
+  partition : Resource.partition;
+  policy : Syscall.Policy.t;
+  counters : Rgpdos_util.Stats.Counter.t;
+}
+
+let make ~id ~kind ~partition ~policy =
+  { id; kind; partition; policy; counters = Rgpdos_util.Stats.Counter.create () }
+
+let kind_to_string = function
+  | Io_driver dev -> "io-driver(" ^ dev ^ ")"
+  | General_purpose -> "general-purpose"
+  | Rgpd -> "rgpdos"
+
+let pp fmt k =
+  Format.fprintf fmt "%s [%s, %d mcpu, %d pages]" k.id (kind_to_string k.kind)
+    (Resource.cpu_millis k.partition)
+    (Resource.mem_pages k.partition)
+
+let handles_pd k =
+  match k.kind with Rgpd | Io_driver _ -> true | General_purpose -> false

@@ -1,0 +1,32 @@
+(** Sub-kernel descriptors for the purpose-kernel model (§2).
+
+    The machine kernel is the aggregation of sub-kernels of three kinds:
+    IO-driver kernels (one per device, holding just the driver), a
+    general-purpose kernel for non-personal data, and the rgpdOS kernel
+    for PD.  Each sub-kernel owns a resource partition and a syscall
+    policy; the machine wires them together with {!Ipc} channels. *)
+
+type kind =
+  | Io_driver of string  (** the device it drives, e.g. "nvme0" *)
+  | General_purpose
+  | Rgpd
+
+type t = {
+  id : string;
+  kind : kind;
+  partition : Resource.partition;
+  policy : Syscall.Policy.t;
+  counters : Rgpdos_util.Stats.Counter.t;
+}
+
+val make :
+  id:string -> kind:kind -> partition:Resource.partition ->
+  policy:Syscall.Policy.t -> t
+
+val kind_to_string : kind -> string
+val pp : Format.formatter -> t -> unit
+
+val handles_pd : t -> bool
+(** PD may only be processed on the rgpdOS kernel; PD also traverses the
+    IO-driver kernels (which is why the paper removes IO devices from the
+    general-purpose kernel). *)

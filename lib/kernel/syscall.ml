@@ -1,0 +1,57 @@
+type t =
+  | Sys_read_pd
+  | Sys_return_value
+  | Sys_alloc
+  | Sys_gettime
+  | Sys_log_public
+  | Sys_file_write
+  | Sys_file_read
+  | Sys_net_send
+  | Sys_net_recv
+  | Sys_spawn
+
+let to_string = function
+  | Sys_read_pd -> "read_pd"
+  | Sys_return_value -> "return_value"
+  | Sys_alloc -> "alloc"
+  | Sys_gettime -> "gettime"
+  | Sys_log_public -> "log_public"
+  | Sys_file_write -> "file_write"
+  | Sys_file_read -> "file_read"
+  | Sys_net_send -> "net_send"
+  | Sys_net_recv -> "net_recv"
+  | Sys_spawn -> "spawn"
+
+let pp fmt s = Format.pp_print_string fmt (to_string s)
+
+let all =
+  [
+    Sys_read_pd; Sys_return_value; Sys_alloc; Sys_gettime; Sys_log_public;
+    Sys_file_write; Sys_file_read; Sys_net_send; Sys_net_recv; Sys_spawn;
+  ]
+
+module Policy = struct
+  type syscall = t
+
+  type nonrec t = { allowed : t list }
+
+  let of_allowed allowed = { allowed }
+
+  let allow_all = { allowed = all }
+
+  let fpd_reader_policy =
+    of_allowed [ Sys_read_pd; Sys_return_value; Sys_alloc; Sys_gettime; Sys_log_public ]
+
+  let builtin_policy =
+    of_allowed
+      [ Sys_read_pd; Sys_return_value; Sys_alloc; Sys_gettime; Sys_log_public;
+        Sys_file_read; Sys_file_write ]
+
+  let allows p sc = List.mem sc p.allowed
+
+  let check p sc =
+    if allows p sc then Ok ()
+    else
+      Error
+        (Printf.sprintf "seccomp: syscall %s blocked by policy" (to_string sc))
+end

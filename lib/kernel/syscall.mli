@@ -1,0 +1,49 @@
+(** Simulated syscall surface and seccomp-style filters.
+
+    rgpdOS "leverages Linux Seccomp BPF to avoid functions which operate on
+    PD to perform syscalls that can leak data" (§3(2)).  Here the machine's
+    syscall table is a closed sum type and a filter is an allow-list; the
+    DED installs {!fpd_reader_policy} before running data-operator code, so
+    a processing that tries to [write] or [send] PD out of its domain is
+    killed exactly as seccomp would kill it. *)
+
+type t =
+  | Sys_read_pd        (** read PD from the DED-provided buffer *)
+  | Sys_return_value   (** produce the processing's result *)
+  | Sys_alloc          (** memory allocation *)
+  | Sys_gettime
+  | Sys_log_public     (** write a non-PD log line *)
+  | Sys_file_write     (** write to the general filesystem — can leak PD *)
+  | Sys_file_read
+  | Sys_net_send       (** network egress — can leak PD *)
+  | Sys_net_recv
+  | Sys_spawn          (** start another process *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val all : t list
+
+module Policy : sig
+  type syscall = t
+
+  type t
+
+  val of_allowed : syscall list -> t
+
+  val allow_all : t
+
+  val fpd_reader_policy : t
+  (** The policy for data-operator [F_pd^r] functions: compute-only —
+      reading the provided PD, allocating, telling time and returning a
+      value are allowed; every data-egress syscall (file write, network
+      send, spawn) is denied. *)
+
+  val builtin_policy : t
+  (** Policy for rgpdOS built-ins ([F_pd^w]): they may also read/write
+      through the DED's storage interface, but still no network egress. *)
+
+  val check : t -> syscall -> (unit, string) result
+  (** [Error] carries a seccomp-style violation message. *)
+
+  val allows : t -> syscall -> bool
+end

@@ -1,0 +1,137 @@
+module Membrane = Rgpdos_membrane.Membrane
+module Schema = Rgpdos_dbfs.Schema
+module Value = Rgpdos_dbfs.Value
+
+type legal_basis =
+  | Consent
+  | Contract
+  | Legal_obligation
+  | Vital_interest
+  | Public_interest
+  | Legitimate_interest
+
+let legal_basis_to_string = function
+  | Consent -> "consent"
+  | Contract -> "contract"
+  | Legal_obligation -> "legal_obligation"
+  | Vital_interest -> "vital_interest"
+  | Public_interest -> "public_interest"
+  | Legitimate_interest -> "legitimate_interest"
+
+let legal_basis_of_string = function
+  | "consent" -> Ok Consent
+  | "contract" -> Ok Contract
+  | "legal_obligation" -> Ok Legal_obligation
+  | "vital_interest" -> Ok Vital_interest
+  | "public_interest" -> Ok Public_interest
+  | "legitimate_interest" -> Ok Legitimate_interest
+  | other -> Error ("unknown legal basis " ^ other)
+
+type consent_expr = C_all | C_none | C_view of string
+
+type type_decl = {
+  t_name : string;
+  t_fields : (string * string) list;
+  t_views : (string * string list) list;
+  t_consents : (string * consent_expr) list;
+  t_collection : (string * string) list;
+  t_origin : string option;
+  t_age : int option;
+  t_sensitivity : string option;
+}
+
+type purpose_decl = {
+  p_name : string;
+  p_description : string;
+  p_reads : (string * string option) list;
+  p_produces : string option;
+  p_legal_basis : legal_basis;
+}
+
+type decl = Type_decl of type_decl | Purpose_decl of purpose_decl
+
+let ( let* ) = Result.bind
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+      let* y = f x in
+      let* ys = map_result f rest in
+      Ok (y :: ys)
+
+let to_schema d =
+  let* fields =
+    map_result
+      (fun (fname, tname) ->
+        let* ftype = Value.ftype_of_string tname in
+        Ok { Schema.fname; ftype; required = true })
+      d.t_fields
+  in
+  let views =
+    List.map (fun (vname, vfields) -> { Schema.vname; vfields }) d.t_views
+  in
+  let default_consents =
+    List.map
+      (fun (purpose, ce) ->
+        ( purpose,
+          match ce with
+          | C_all -> Membrane.All
+          | C_none -> Membrane.Denied
+          | C_view v -> Membrane.View v ))
+      d.t_consents
+  in
+  let* default_sensitivity =
+    match d.t_sensitivity with
+    | None -> Ok Membrane.Low
+    | Some "low" -> Ok Membrane.Low
+    | Some "medium" -> Ok Membrane.Medium
+    | Some ("high" | "hight") -> Ok Membrane.High
+      (* "hight" appears verbatim in the paper's Listing 1; accept it *)
+    | Some other -> Error ("unknown sensitivity " ^ other)
+  in
+  let* default_origin =
+    match d.t_origin with
+    | None | Some "subject" -> Ok Membrane.Subject
+    | Some "sysadmin" -> Ok Membrane.Sysadmin
+    | Some other when String.length other > 12
+                      && String.sub other 0 12 = "third_party:" ->
+        Ok (Membrane.Third_party (String.sub other 12 (String.length other - 12)))
+    | Some "third_party" -> Ok (Membrane.Third_party "unnamed")
+    | Some other -> Error ("unknown origin " ^ other)
+  in
+  Schema.make ~name:d.t_name ~fields ~views ~default_consents
+    ~collection:d.t_collection ?default_ttl:d.t_age ~default_sensitivity
+    ~default_origin ()
+
+let pp_type_decl fmt d =
+  Format.fprintf fmt "@[<v 2>type %s {@,fields { %s }@,%a%a}@]" d.t_name
+    (String.concat ", "
+       (List.map (fun (f, ty) -> Printf.sprintf "%s: %s" f ty) d.t_fields))
+    (Format.pp_print_list (fun fmt (v, fs) ->
+         Format.fprintf fmt "view %s { %s };@," v (String.concat ", " fs)))
+    d.t_views
+    (fun fmt -> function
+      | [] -> ()
+      | consents ->
+          Format.fprintf fmt "consent { %s };@,"
+            (String.concat ", "
+               (List.map
+                  (fun (p, ce) ->
+                    Printf.sprintf "%s: %s" p
+                      (match ce with
+                      | C_all -> "all"
+                      | C_none -> "none"
+                      | C_view v -> v))
+                  consents)))
+    d.t_consents
+
+let pp_purpose_decl fmt d =
+  Format.fprintf fmt
+    "@[<v 2>purpose %s {@,description: %S;@,reads: %s;@,legal_basis: %s;@]@,}"
+    d.p_name d.p_description
+    (String.concat ", "
+       (List.map
+          (fun (ty, view) ->
+            match view with None -> ty | Some v -> ty ^ "." ^ v)
+          d.p_reads))
+    (legal_basis_to_string d.p_legal_basis)

@@ -1,0 +1,49 @@
+(** Abstract syntax for the two rgpdOS declaration languages.
+
+    [type_decl] corresponds to the paper's Listing 1 (a PD type with
+    fields, views, default consents, collection interfaces, origin, age
+    i.e. TTL, sensitivity).  [purpose_decl] is our concrete realisation of
+    the paper's "very high level language" for purposes (§2, programming
+    model): it names the purpose, documents it, and declares the data it
+    is allowed to read (type, optionally restricted to a view), what it
+    produces, and its GDPR legal basis (art. 6). *)
+
+type legal_basis =
+  | Consent
+  | Contract
+  | Legal_obligation
+  | Vital_interest
+  | Public_interest
+  | Legitimate_interest
+
+val legal_basis_to_string : legal_basis -> string
+val legal_basis_of_string : string -> (legal_basis, string) result
+
+type consent_expr = C_all | C_none | C_view of string
+
+type type_decl = {
+  t_name : string;
+  t_fields : (string * string) list;  (** field name, type name *)
+  t_views : (string * string list) list;
+  t_consents : (string * consent_expr) list;
+  t_collection : (string * string) list;
+  t_origin : string option;  (** "subject" | "sysadmin" | "third_party" *)
+  t_age : int option;        (** TTL in nanoseconds *)
+  t_sensitivity : string option;
+}
+
+type purpose_decl = {
+  p_name : string;
+  p_description : string;
+  p_reads : (string * string option) list;  (** type, optional view *)
+  p_produces : string option;               (** output PD type, if any *)
+  p_legal_basis : legal_basis;
+}
+
+type decl = Type_decl of type_decl | Purpose_decl of purpose_decl
+
+val to_schema : type_decl -> (Rgpdos_dbfs.Schema.t, string) result
+(** Elaborate a parsed type declaration into a validated DBFS schema. *)
+
+val pp_type_decl : Format.formatter -> type_decl -> unit
+val pp_purpose_decl : Format.formatter -> purpose_decl -> unit

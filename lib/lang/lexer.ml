@@ -1,0 +1,150 @@
+module Clock = Rgpdos_util.Clock
+
+type token =
+  | IDENT of string
+  | STRING of string
+  | INT of int
+  | DURATION of int
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | COLON
+  | COMMA
+  | SEMI
+  | DOT
+  | LT
+  | GT
+  | EQUAL
+  | EOF
+
+type located = { token : token; line : int; col : int }
+
+let pp_token fmt = function
+  | IDENT s -> Format.fprintf fmt "identifier %s" s
+  | STRING s -> Format.fprintf fmt "string %S" s
+  | INT i -> Format.fprintf fmt "integer %d" i
+  | DURATION d -> Format.fprintf fmt "duration %a" Clock.pp_duration d
+  | LBRACE -> Format.pp_print_string fmt "'{'"
+  | RBRACE -> Format.pp_print_string fmt "'}'"
+  | LPAREN -> Format.pp_print_string fmt "'('"
+  | RPAREN -> Format.pp_print_string fmt "')'"
+  | COLON -> Format.pp_print_string fmt "':'"
+  | COMMA -> Format.pp_print_string fmt "','"
+  | SEMI -> Format.pp_print_string fmt "';'"
+  | DOT -> Format.pp_print_string fmt "'.'"
+  | LT -> Format.pp_print_string fmt "'<'"
+  | GT -> Format.pp_print_string fmt "'>'"
+  | EQUAL -> Format.pp_print_string fmt "'='"
+  | EOF -> Format.pp_print_string fmt "end of input"
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '-'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let duration_unit = function
+  | 'Y' | 'y' -> Some Clock.year
+  | 'D' | 'd' -> Some Clock.day
+  | 'H' | 'h' -> Some Clock.hour
+  | 'M' | 'm' -> Some Clock.minute
+  | 'S' | 's' -> Some Clock.second
+  | _ -> None
+
+let tokenize input =
+  let n = String.length input in
+  let line = ref 1 and col = ref 1 in
+  let pos = ref 0 in
+  let toks = ref [] in
+  let err = ref None in
+  let advance () =
+    (if input.[!pos] = '\n' then begin
+       incr line;
+       col := 1
+     end
+     else incr col);
+    incr pos
+  in
+  let emit tok l c = toks := { token = tok; line = l; col = c } :: !toks in
+  let fail msg =
+    err := Some (Printf.sprintf "line %d, column %d: %s" !line !col msg)
+  in
+  while !err = None && !pos < n do
+    let c = input.[!pos] in
+    let l0 = !line and c0 = !col in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    else if c = '#' || (c = '/' && !pos + 1 < n && input.[!pos + 1] = '/') then begin
+      while !pos < n && input.[!pos] <> '\n' do
+        advance ()
+      done
+    end
+    else if is_ident_start c then begin
+      let start = !pos in
+      while !pos < n && is_ident_char input.[!pos] do
+        advance ()
+      done;
+      emit (IDENT (String.sub input start (!pos - start))) l0 c0
+    end
+    else if is_digit c then begin
+      let start = !pos in
+      while !pos < n && is_digit input.[!pos] do
+        advance ()
+      done;
+      let value = int_of_string (String.sub input start (!pos - start)) in
+      if !pos < n && duration_unit input.[!pos] <> None then begin
+        let unit = Option.get (duration_unit input.[!pos]) in
+        advance ();
+        emit (DURATION (value * unit)) l0 c0
+      end
+      else emit (INT value) l0 c0
+    end
+    else if c = '"' then begin
+      advance ();
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while (not !closed) && !err = None && !pos < n do
+        let d = input.[!pos] in
+        if d = '"' then begin
+          advance ();
+          closed := true
+        end
+        else if d = '\\' && !pos + 1 < n then begin
+          advance ();
+          (match input.[!pos] with
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | d -> Buffer.add_char buf d);
+          advance ()
+        end
+        else if d = '\n' then fail "unterminated string literal"
+        else begin
+          Buffer.add_char buf d;
+          advance ()
+        end
+      done;
+      if (not !closed) && !err = None then fail "unterminated string literal";
+      if !err = None then emit (STRING (Buffer.contents buf)) l0 c0
+    end
+    else begin
+      (match c with
+      | '{' -> emit LBRACE l0 c0
+      | '}' -> emit RBRACE l0 c0
+      | '(' -> emit LPAREN l0 c0
+      | ')' -> emit RPAREN l0 c0
+      | ':' -> emit COLON l0 c0
+      | ',' -> emit COMMA l0 c0
+      | ';' -> emit SEMI l0 c0
+      | '.' -> emit DOT l0 c0
+      | '<' -> emit LT l0 c0
+      | '>' -> emit GT l0 c0
+      | '=' -> emit EQUAL l0 c0
+      | c -> fail (Printf.sprintf "unexpected character %C" c));
+      if !err = None then advance ()
+    end
+  done;
+  match !err with
+  | Some e -> Error e
+  | None ->
+      emit EOF !line !col;
+      Ok (List.rev !toks)

@@ -1,0 +1,31 @@
+(** Lexer for the rgpdOS declaration languages (PD types and purposes).
+
+    The surface syntax follows Listing 1 of the paper: braces, colons,
+    commas and semicolons, identifiers, integer literals with optional
+    duration suffix ([1Y], [30D], [12H]), and double-quoted strings.
+    Comments run from [#] or [//] to end of line. *)
+
+type token =
+  | IDENT of string
+  | STRING of string
+  | INT of int
+  | DURATION of int  (** nanoseconds *)
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | COLON
+  | COMMA
+  | SEMI
+  | DOT
+  | LT
+  | GT
+  | EQUAL
+  | EOF
+
+type located = { token : token; line : int; col : int }
+
+val pp_token : Format.formatter -> token -> unit
+
+val tokenize : string -> (located list, string) result
+(** Full-input tokenization; the error message carries line/column. *)

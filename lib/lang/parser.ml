@@ -1,0 +1,403 @@
+open Lexer
+
+type state = { toks : located array; mutable pos : int }
+
+exception Parse_error of string
+
+let peek st = st.toks.(st.pos)
+
+let next st =
+  let t = st.toks.(st.pos) in
+  if t.token <> EOF then st.pos <- st.pos + 1;
+  t
+
+let fail_at (t : located) fmt =
+  Format.kasprintf
+    (fun msg ->
+      raise
+        (Parse_error
+           (Printf.sprintf "line %d, column %d: %s" t.line t.col msg)))
+    fmt
+
+let expect st tok =
+  let t = next st in
+  if t.token <> tok then
+    fail_at t "expected %a but found %a" pp_token tok pp_token t.token
+
+let ident st =
+  let t = next st in
+  match t.token with
+  | IDENT s -> s
+  | other -> fail_at t "expected an identifier, found %a" pp_token other
+
+(* a "value": quoted string, or dotted identifier like user_form.html *)
+let value st =
+  let t = next st in
+  match t.token with
+  | STRING s -> s
+  | IDENT first ->
+      let buf = Buffer.create 16 in
+      Buffer.add_string buf first;
+      let rec dots () =
+        match (peek st).token with
+        | DOT ->
+            ignore (next st);
+            Buffer.add_char buf '.';
+            Buffer.add_string buf (ident st);
+            dots ()
+        | _ -> ()
+      in
+      dots ();
+      Buffer.contents buf
+  | other -> fail_at t "expected a value, found %a" pp_token other
+
+(* comma-separated items inside braces; trailing comma tolerated *)
+let braced_list st item =
+  expect st LBRACE;
+  let items = ref [] in
+  let rec go () =
+    match (peek st).token with
+    | RBRACE -> ignore (next st)
+    | _ ->
+        items := item st :: !items;
+        (match (peek st).token with
+        | COMMA ->
+            ignore (next st);
+            go ()
+        | RBRACE -> ignore (next st)
+        | _ ->
+            let t = peek st in
+            fail_at t "expected ',' or '}', found %a" pp_token t.token)
+  in
+  go ();
+  List.rev !items
+
+let optional_semi st =
+  match (peek st).token with SEMI -> ignore (next st) | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* type declarations                                                  *)
+
+let parse_field st =
+  let name = ident st in
+  expect st COLON;
+  let ty = ident st in
+  (name, ty)
+
+let parse_consent_item st =
+  let purpose = ident st in
+  expect st COLON;
+  let t = next st in
+  match t.token with
+  | IDENT "all" -> (purpose, Ast.C_all)
+  | IDENT "none" -> (purpose, Ast.C_none)
+  | IDENT view -> (purpose, Ast.C_view view)
+  | other -> fail_at t "expected all, none or a view name, found %a" pp_token other
+
+let parse_collection_item st =
+  let kind = ident st in
+  expect st COLON;
+  let v = value st in
+  (kind, v)
+
+let parse_type_decl st =
+  let t_name = ident st in
+  expect st LBRACE;
+  let fields = ref None in
+  let views = ref [] in
+  let consents = ref None in
+  let collection = ref None in
+  let origin = ref None in
+  let age = ref None in
+  let sensitivity = ref None in
+  let once name slot v =
+    match !slot with
+    | Some _ -> fail_at (peek st) "duplicate %s clause in type declaration" name
+    | None -> slot := Some v
+  in
+  let rec items () =
+    let t = peek st in
+    match t.token with
+    | RBRACE -> ignore (next st)
+    | IDENT "fields" ->
+        ignore (next st);
+        once "fields" fields (braced_list st parse_field);
+        optional_semi st;
+        items ()
+    | IDENT "view" ->
+        ignore (next st);
+        let vname = ident st in
+        let vfields = braced_list st ident in
+        views := (vname, vfields) :: !views;
+        optional_semi st;
+        items ()
+    | IDENT "consent" ->
+        ignore (next st);
+        once "consent" consents (braced_list st parse_consent_item);
+        optional_semi st;
+        items ()
+    | IDENT "collection" ->
+        ignore (next st);
+        once "collection" collection (braced_list st parse_collection_item);
+        optional_semi st;
+        items ()
+    | IDENT "origin" ->
+        ignore (next st);
+        expect st COLON;
+        let o = ident st in
+        let o =
+          if o = "third_party" && (peek st).token = LPAREN then begin
+            ignore (next st);
+            let who = value st in
+            expect st RPAREN;
+            "third_party:" ^ who
+          end
+          else o
+        in
+        once "origin" origin o;
+        optional_semi st;
+        items ()
+    | IDENT "age" ->
+        ignore (next st);
+        expect st COLON;
+        let t = next st in
+        (match t.token with
+        | DURATION d -> once "age" age d
+        | INT _ -> fail_at t "age needs a duration unit (e.g. 1Y, 30D)"
+        | other -> fail_at t "expected a duration, found %a" pp_token other);
+        optional_semi st;
+        items ()
+    | IDENT "sensitivity" ->
+        ignore (next st);
+        expect st COLON;
+        once "sensitivity" sensitivity (ident st);
+        optional_semi st;
+        items ()
+    | other ->
+        fail_at t
+          "expected fields, view, consent, collection, origin, age, \
+           sensitivity or '}', found %a"
+          pp_token other
+  in
+  items ();
+  match !fields with
+  | None -> fail_at (peek st) "type %s has no fields clause" t_name
+  | Some t_fields ->
+      {
+        Ast.t_name;
+        t_fields;
+        t_views = List.rev !views;
+        t_consents = Option.value ~default:[] !consents;
+        t_collection = Option.value ~default:[] !collection;
+        t_origin = !origin;
+        t_age = !age;
+        t_sensitivity = !sensitivity;
+      }
+
+(* ------------------------------------------------------------------ *)
+(* purpose declarations                                               *)
+
+let parse_read_item st =
+  let ty = ident st in
+  match (peek st).token with
+  | DOT ->
+      ignore (next st);
+      let view = ident st in
+      (ty, Some view)
+  | _ -> (ty, None)
+
+let parse_purpose_decl st =
+  let p_name = ident st in
+  expect st LBRACE;
+  let description = ref None in
+  let reads = ref None in
+  let produces = ref None in
+  let basis = ref None in
+  let once name slot v =
+    match !slot with
+    | Some _ -> fail_at (peek st) "duplicate %s clause in purpose declaration" name
+    | None -> slot := Some v
+  in
+  let comma_list item =
+    let items = ref [ item st ] in
+    let rec go () =
+      match (peek st).token with
+      | COMMA ->
+          ignore (next st);
+          items := item st :: !items;
+          go ()
+      | _ -> ()
+    in
+    go ();
+    List.rev !items
+  in
+  let rec items () =
+    let t = peek st in
+    match t.token with
+    | RBRACE -> ignore (next st)
+    | IDENT "description" ->
+        ignore (next st);
+        expect st COLON;
+        let t = next st in
+        (match t.token with
+        | STRING s -> once "description" description s
+        | other -> fail_at t "expected a string, found %a" pp_token other);
+        optional_semi st;
+        items ()
+    | IDENT "reads" ->
+        ignore (next st);
+        expect st COLON;
+        once "reads" reads (comma_list parse_read_item);
+        optional_semi st;
+        items ()
+    | IDENT "produces" ->
+        ignore (next st);
+        expect st COLON;
+        once "produces" produces (ident st);
+        optional_semi st;
+        items ()
+    | IDENT "legal_basis" ->
+        ignore (next st);
+        expect st COLON;
+        let b = ident st in
+        (match Ast.legal_basis_of_string b with
+        | Ok basis_v -> once "legal_basis" basis basis_v
+        | Error e -> fail_at t "%s" e);
+        optional_semi st;
+        items ()
+    | other ->
+        fail_at t
+          "expected description, reads, produces, legal_basis or '}', found %a"
+          pp_token other
+  in
+  items ();
+  match !description with
+  | None -> fail_at (peek st) "purpose %s has no description" p_name
+  | Some p_description ->
+      {
+        Ast.p_name;
+        p_description;
+        p_reads = Option.value ~default:[] !reads;
+        p_produces = !produces;
+        p_legal_basis = Option.value ~default:Ast.Consent !basis;
+      }
+
+(* ------------------------------------------------------------------ *)
+(* entry points                                                       *)
+
+let parse_decls st =
+  let decls = ref [] in
+  let rec go () =
+    let t = peek st in
+    match t.token with
+    | EOF -> ()
+    | IDENT "type" ->
+        ignore (next st);
+        decls := Ast.Type_decl (parse_type_decl st) :: !decls;
+        go ()
+    | IDENT "purpose" ->
+        ignore (next st);
+        decls := Ast.Purpose_decl (parse_purpose_decl st) :: !decls;
+        go ()
+    | other -> fail_at t "expected 'type' or 'purpose', found %a" pp_token other
+  in
+  go ();
+  List.rev !decls
+
+let parse input =
+  match Lexer.tokenize input with
+  | Error e -> Error e
+  | Ok toks -> (
+      let st = { toks = Array.of_list toks; pos = 0 } in
+      try Ok (parse_decls st) with Parse_error msg -> Error msg)
+
+(* ------------------------------------------------------------------ *)
+(* selection predicates                                               *)
+
+module Query = Rgpdos_dbfs.Query
+module Value = Rgpdos_dbfs.Value
+
+let parse_literal st =
+  let t = next st in
+  match t.token with
+  | INT i -> Value.VInt i
+  | STRING s -> Value.VString s
+  | IDENT "true" -> Value.VBool true
+  | IDENT "false" -> Value.VBool false
+  | other -> fail_at t "expected a literal, found %a" pp_token other
+
+let rec parse_pred st =
+  let left = parse_conj st in
+  match (peek st).token with
+  | IDENT "or" ->
+      ignore (next st);
+      Query.Or (left, parse_pred st)
+  | _ -> left
+
+and parse_conj st =
+  let left = parse_unary st in
+  match (peek st).token with
+  | IDENT "and" ->
+      ignore (next st);
+      Query.And (left, parse_conj st)
+  | _ -> left
+
+and parse_unary st =
+  let t = peek st in
+  match t.token with
+  | IDENT "not" ->
+      ignore (next st);
+      Query.Not (parse_unary st)
+  | LPAREN ->
+      ignore (next st);
+      let p = parse_pred st in
+      expect st RPAREN;
+      p
+  | IDENT "true" ->
+      ignore (next st);
+      Query.True
+  | IDENT field -> (
+      ignore (next st);
+      let op = next st in
+      match op.token with
+      | EQUAL -> Query.Eq (field, parse_literal st)
+      | LT -> Query.Lt (field, parse_literal st)
+      | GT -> Query.Gt (field, parse_literal st)
+      | IDENT "contains" -> (
+          let lit = next st in
+          match lit.token with
+          | STRING s -> Query.Contains (field, s)
+          | other -> fail_at lit "contains needs a quoted string, found %a" pp_token other)
+      | other -> fail_at op "expected =, <, > or contains, found %a" pp_token other)
+  | other -> fail_at t "expected a predicate, found %a" pp_token other
+
+let parse_predicate input =
+  match Lexer.tokenize input with
+  | Error e -> Error e
+  | Ok toks -> (
+      let st = { toks = Array.of_list toks; pos = 0 } in
+      try
+        let p = parse_pred st in
+        let t = peek st in
+        if t.token <> EOF then
+          fail_at t "trailing input after predicate: %a" pp_token t.token
+        else Ok p
+      with Parse_error msg -> Error msg)
+
+let parse_types input =
+  match parse input with
+  | Error e -> Error e
+  | Ok decls ->
+      Ok
+        (List.filter_map
+           (function Ast.Type_decl d -> Some d | Ast.Purpose_decl _ -> None)
+           decls)
+
+let parse_purposes input =
+  match parse input with
+  | Error e -> Error e
+  | Ok decls ->
+      Ok
+        (List.filter_map
+           (function Ast.Purpose_decl d -> Some d | Ast.Type_decl _ -> None)
+           decls)

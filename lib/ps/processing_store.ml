@@ -1,0 +1,168 @@
+module Clock = Rgpdos_util.Clock
+module Dbfs = Rgpdos_dbfs.Dbfs
+module Schema = Rgpdos_dbfs.Schema
+module Audit_log = Rgpdos_audit.Audit_log
+module Ded = Rgpdos_ded.Ded
+module Processing = Rgpdos_ded.Processing
+module Ast = Rgpdos_lang.Ast
+
+type register_outcome = Registered | Registered_with_alert of string
+
+type error =
+  | No_purpose of string
+  | Already_registered of string
+  | Unknown_processing of string
+  | Awaiting_approval of string
+  | Invoke_error of Ded.error
+  | Collection_error of string
+
+let pp_error fmt = function
+  | No_purpose n ->
+      Format.fprintf fmt "ps_register rejected %s: no purpose specified" n
+  | Already_registered n -> Format.fprintf fmt "processing %s already registered" n
+  | Unknown_processing n -> Format.fprintf fmt "unknown processing %s" n
+  | Awaiting_approval n ->
+      Format.fprintf fmt "processing %s awaits sysadmin approval" n
+  | Invoke_error e -> Ded.pp_error fmt e
+  | Collection_error m -> Format.fprintf fmt "collection failed: %s" m
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+type registered = { spec : Processing.spec; mutable approved : bool; alert : string option }
+
+type t = {
+  clock : Clock.t;
+  dbfs : Dbfs.t;
+  audit : Audit_log.t;
+  ded : Ded.t;
+  store : (string, registered) Hashtbl.t;
+}
+
+let actor = "ps"
+
+let create ~clock ~dbfs ~audit () =
+  {
+    clock;
+    dbfs;
+    audit;
+    ded = Ded.create ~clock ~dbfs ~audit ();
+    store = Hashtbl.create 16;
+  }
+
+(* The purpose/implementation match heuristic: every (type, field) the
+   implementation touches must be covered by the purpose's declared reads,
+   with view restrictions resolved through the DBFS schemas. *)
+let footprint_mismatch t (purpose : Ast.purpose_decl) touches =
+  let check_one (type_name, fields) =
+    match List.assoc_opt type_name purpose.Ast.p_reads with
+    | None ->
+        Some
+          (Printf.sprintf "implementation touches type %s not declared in purpose %s"
+             type_name purpose.Ast.p_name)
+    | Some None -> None (* whole type declared *)
+    | Some (Some view) -> (
+        match Dbfs.schema t.dbfs ~actor type_name with
+        | Error _ ->
+            Some (Printf.sprintf "purpose %s reads unknown type %s"
+                    purpose.Ast.p_name type_name)
+        | Ok schema -> (
+            let allowed =
+              Schema.view_fields schema (Rgpdos_membrane.Membrane.View view)
+            in
+            match List.find_opt (fun f -> not (List.mem f allowed)) fields with
+            | Some f ->
+                Some
+                  (Printf.sprintf
+                     "implementation reads %s.%s outside declared view %s.%s"
+                     type_name f type_name view)
+            | None -> None))
+  in
+  List.find_map check_one touches
+
+let register t spec =
+  let name = spec.Processing.name in
+  if Hashtbl.mem t.store name then Error (Already_registered name)
+  else
+    match spec.Processing.purpose with
+    | None ->
+        ignore
+          (Audit_log.append t.audit ~now:(Clock.now t.clock) ~actor
+             (Audit_log.Denied
+                { actor = name; reason = "registration without purpose" }));
+        Error (No_purpose name)
+    | Some purpose -> (
+        match footprint_mismatch t purpose spec.Processing.touches with
+        | Some reason ->
+            Hashtbl.replace t.store name
+              { spec; approved = false; alert = Some reason };
+            ignore
+              (Audit_log.append t.audit ~now:(Clock.now t.clock) ~actor
+                 (Audit_log.Registered { processing = name; alert = true }));
+            Ok (Registered_with_alert reason)
+        | None ->
+            Hashtbl.replace t.store name { spec; approved = true; alert = None };
+            ignore
+              (Audit_log.append t.audit ~now:(Clock.now t.clock) ~actor
+                 (Audit_log.Registered { processing = name; alert = false }));
+            Ok Registered)
+
+let approve t name =
+  match Hashtbl.find_opt t.store name with
+  | None -> Error (Unknown_processing name)
+  | Some r ->
+      r.approved <- true;
+      Ok ()
+
+let is_registered t name = Hashtbl.mem t.store name
+
+let is_approved t name =
+  match Hashtbl.find_opt t.store name with
+  | Some r -> r.approved
+  | None -> false
+
+let pending_alerts t =
+  Hashtbl.fold
+    (fun name r acc ->
+      match r.alert with
+      | Some reason when not r.approved -> (name, reason) :: acc
+      | _ -> acc)
+    t.store []
+  |> List.sort compare
+
+let list_processings t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.store [] |> List.sort compare
+
+type init = {
+  init_type : string;
+  init_interface : string;
+  init_rows : (string * Rgpdos_dbfs.Record.t) list;
+}
+
+let run_init t init =
+  let rec go = function
+    | [] -> Ok ()
+    | (subject, record) :: rest -> (
+        match
+          Ded.builtin_acquire t.ded ~type_name:init.init_type ~subject
+            ~interface:init.init_interface ~record ()
+        with
+        | Ok _ -> go rest
+        | Error e -> Error (Collection_error (Ded.error_to_string e)))
+  in
+  go init.init_rows
+
+let invoke t ?fetch_mode ?location ~name ~target ?init () =
+  match Hashtbl.find_opt t.store name with
+  | None -> Error (Unknown_processing name)
+  | Some r ->
+      if not r.approved then Error (Awaiting_approval name)
+      else
+        let collect =
+          match init with None -> Ok () | Some spec -> run_init t spec
+        in
+        (match collect with
+        | Error e -> Error e
+        | Ok () -> (
+            match Ded.execute t.ded ?fetch_mode ?location ~processing:r.spec ~target () with
+            | Ok outcome -> Ok outcome
+            | Error e -> Error (Invoke_error e)))

@@ -1,0 +1,83 @@
+(** The Processing Store (PS): rgpdOS's only entry point (§2).
+
+    Its public interface is exactly the paper's two calls:
+
+    - {!register} ([ps_register]): a function with no purpose is rejected
+      outright; a function whose purpose does not match its implementation
+      raises an alert that requires explicit sysadmin {!approve}al before
+      it can run.  The purpose/implementation match is the declared-
+      capability check described in DESIGN.md §4 (the paper leaves the
+      general problem open, §3(4)): the implementation's static access
+      footprint must be covered by the views its purpose declares.
+
+    - {!invoke} ([ps_invoke]): takes the reference of a registered data
+      processing, a target (a PD type or explicit PD references), an
+      optional data-collection step to initialise DBFS first, and runs the
+      processing in a fresh {!Rgpdos_ded.Ded} instance.
+
+    Enforcement rules 1 and 2 of §2 are structural here: stored
+    processings are private to this module, and invoking one is only
+    possible through {!invoke}. *)
+
+type t
+
+type register_outcome =
+  | Registered
+      (** purpose present and consistent with the implementation *)
+  | Registered_with_alert of string
+      (** stored, but flagged: the mismatch reason; sysadmin approval
+          required before invocation *)
+
+type error =
+  | No_purpose of string      (** rejected at registration (paper rule) *)
+  | Already_registered of string
+  | Unknown_processing of string
+  | Awaiting_approval of string
+  | Invoke_error of Rgpdos_ded.Ded.error
+  | Collection_error of string
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+val create :
+  clock:Rgpdos_util.Clock.t ->
+  dbfs:Rgpdos_dbfs.Dbfs.t ->
+  audit:Rgpdos_audit.Audit_log.t ->
+  unit ->
+  t
+
+val actor : string
+(** The actor string DBFS sees for PS schema lookups: ["ps"]. *)
+
+val register :
+  t -> Rgpdos_ded.Processing.spec -> (register_outcome, error) result
+
+val approve : t -> string -> (unit, error) result
+(** Sysadmin approval of an alerted processing. *)
+
+val is_registered : t -> string -> bool
+val is_approved : t -> string -> bool
+
+val pending_alerts : t -> (string * string) list
+(** [(processing, reason)] of registrations awaiting approval. *)
+
+val list_processings : t -> string list
+
+type init = {
+  init_type : string;
+  init_interface : string;  (** e.g. "web_form:user_form.html" *)
+  init_rows : (string * Rgpdos_dbfs.Record.t) list;  (** (subject, record) *)
+}
+
+val invoke :
+  t ->
+  ?fetch_mode:Rgpdos_ded.Ded.fetch_mode ->
+  ?location:Rgpdos_ded.Ded.location ->
+  name:string ->
+  target:Rgpdos_ded.Ded.target ->
+  ?init:init ->
+  unit ->
+  (Rgpdos_ded.Ded.outcome, error) result
+(** [ps_invoke].  When [init] is given, the acquisition built-in first
+    collects the rows into DBFS (each wrapped in a membrane from the
+    schema's defaults), then the processing runs. *)

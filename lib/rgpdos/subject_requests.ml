@@ -1,0 +1,130 @@
+module Clock = Rgpdos_util.Clock
+module Idgen = Rgpdos_util.Idgen
+
+type kind =
+  | Access
+  | Portability
+  | Erasure
+  | Restriction
+  | Lift_restriction
+  | Withdraw_consent of string
+
+let kind_to_string = function
+  | Access -> "access (art. 15)"
+  | Portability -> "portability (art. 20)"
+  | Erasure -> "erasure (art. 17)"
+  | Restriction -> "restriction (art. 18)"
+  | Lift_restriction -> "lift restriction (art. 18)"
+  | Withdraw_consent purpose -> "withdraw consent for " ^ purpose ^ " (art. 7)"
+
+type status = Pending | Fulfilled | Rejected of string
+
+type request = {
+  request_id : string;
+  subject : string;
+  kind : kind;
+  filed_at : Clock.ns;
+  deadline : Clock.ns;
+  mutable status : status;
+  mutable response : string option;
+}
+
+(* art. 12(3): "without undue delay and in any event within one month" *)
+let statutory_delay = 30 * Clock.day
+
+type t = {
+  machine : Machine.t;
+  ids : Idgen.t;
+  mutable requests_rev : request list;
+}
+
+let create machine =
+  { machine; ids = Idgen.create ~prefix:"req"; requests_rev = [] }
+
+let file t ~subject kind =
+  let now = Clock.now (Machine.clock t.machine) in
+  let request =
+    {
+      request_id = Idgen.fresh t.ids;
+      subject;
+      kind;
+      filed_at = now;
+      deadline = now + statutory_delay;
+      status = Pending;
+      response = None;
+    }
+  in
+  t.requests_rev <- request :: t.requests_rev;
+  request
+
+let all t = List.rev t.requests_rev
+
+let find t id = List.find_opt (fun r -> r.request_id = id) t.requests_rev
+
+let dispatch t (r : request) =
+  match r.kind with
+  | Access -> (
+      match Machine.right_of_access t.machine ~subject:r.subject with
+      | Ok doc -> Ok (Some doc)
+      | Error e -> Error e)
+  | Portability -> (
+      match Machine.right_to_portability t.machine ~subject:r.subject with
+      | Ok doc -> Ok (Some doc)
+      | Error e -> Error e)
+  | Erasure -> (
+      match Machine.right_to_erasure t.machine ~subject:r.subject with
+      | Ok n -> Ok (Some (Printf.sprintf "%d PD crypto-erased" n))
+      | Error e -> Error e)
+  | Restriction -> (
+      match Machine.restrict_processing t.machine ~subject:r.subject with
+      | Ok n -> Ok (Some (Printf.sprintf "%d membranes restricted" n))
+      | Error e -> Error e)
+  | Lift_restriction -> (
+      match Machine.lift_restriction t.machine ~subject:r.subject with
+      | Ok n -> Ok (Some (Printf.sprintf "%d membranes unrestricted" n))
+      | Error e -> Error e)
+  | Withdraw_consent purpose -> (
+      match Machine.withdraw_consent t.machine ~subject:r.subject ~purpose with
+      | Ok n -> Ok (Some (Printf.sprintf "consent withdrawn on %d membranes" n))
+      | Error e -> Error e)
+
+let fulfil t id =
+  match find t id with
+  | None -> Error (Printf.sprintf "unknown request %s" id)
+  | Some r -> (
+      match r.status with
+      | Fulfilled | Rejected _ ->
+          Error (Printf.sprintf "request %s is not pending" id)
+      | Pending -> (
+          match dispatch t r with
+          | Ok response ->
+              r.status <- Fulfilled;
+              r.response <- response;
+              Ok r
+          | Error e ->
+              r.status <- Rejected e;
+              Error e))
+
+let pending t = List.filter (fun r -> r.status = Pending) (all t)
+
+let fulfil_all_pending t =
+  List.fold_left
+    (fun n r -> match fulfil t r.request_id with Ok _ -> n + 1 | Error _ -> n)
+    0 (pending t)
+
+let overdue t =
+  let now = Clock.now (Machine.clock t.machine) in
+  List.filter (fun r -> r.status = Pending && now > r.deadline) (all t)
+
+let statistics t =
+  let filed = List.length t.requests_rev in
+  let fulfilled =
+    List.length (List.filter (fun r -> r.status = Fulfilled) t.requests_rev)
+  in
+  let rejected =
+    List.length
+      (List.filter
+         (fun r -> match r.status with Rejected _ -> true | _ -> false)
+         t.requests_rev)
+  in
+  (filed, fulfilled, rejected, List.length (overdue t))

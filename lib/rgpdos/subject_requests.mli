@@ -1,0 +1,61 @@
+(** The data-subject request desk.
+
+    GDPR art. 12(3) gives the operator one month to act on a subject's
+    rights request.  This module queues incoming requests against the
+    machine's virtual clock, dispatches each to the corresponding
+    machine right when fulfilled, and reports what is pending, fulfilled
+    and — the compliance-relevant part — overdue. *)
+
+type kind =
+  | Access          (** art. 15 *)
+  | Portability     (** art. 20 *)
+  | Erasure         (** art. 17 *)
+  | Restriction     (** art. 18 (apply) *)
+  | Lift_restriction
+  | Withdraw_consent of string  (** art. 7(3), for the named purpose *)
+
+val kind_to_string : kind -> string
+
+type status = Pending | Fulfilled | Rejected of string
+
+type request = {
+  request_id : string;
+  subject : string;
+  kind : kind;
+  filed_at : Rgpdos_util.Clock.ns;
+  deadline : Rgpdos_util.Clock.ns;  (** filed_at + one month *)
+  mutable status : status;
+  mutable response : string option;
+      (** for access/portability: the document returned to the subject *)
+}
+
+type t
+
+val create : Machine.t -> t
+(** One desk per machine; uses the machine's clock. *)
+
+val file : t -> subject:string -> kind -> request
+(** A subject files a request; the statutory one-month deadline starts
+    now. *)
+
+val fulfil : t -> string -> (request, string) result
+(** The operator fulfils a request by id: dispatches to the machine's
+    rights API, stores the response, marks it [Fulfilled].  Fulfilling a
+    non-pending request fails. *)
+
+val fulfil_all_pending : t -> int
+(** Fulfil every pending request (oldest first); returns how many were
+    fulfilled.  Requests whose dispatch fails are marked [Rejected]. *)
+
+val pending : t -> request list
+(** Oldest first. *)
+
+val overdue : t -> request list
+(** Pending requests past their deadline at the machine's current time —
+    each one is an art. 12(3) violation in the making. *)
+
+val all : t -> request list
+val find : t -> string -> request option
+
+val statistics : t -> int * int * int * int
+(** [(filed, fulfilled, rejected, overdue)]. *)

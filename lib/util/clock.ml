@@ -1,0 +1,36 @@
+type ns = int
+
+type t = { mutable now : ns }
+
+let create ?(now = 0) () = { now }
+
+let now c = c.now
+
+let advance c d =
+  if d < 0 then invalid_arg "Clock.advance: negative duration";
+  c.now <- c.now + d
+
+let set c t =
+  if t < c.now then invalid_arg "Clock.set: time cannot go backwards";
+  c.now <- t
+
+let second = 1_000_000_000
+let minute = 60 * second
+let hour = 60 * minute
+let day = 24 * hour
+let year = 365 * day
+
+let pp_duration fmt d =
+  if d >= year then
+    Format.fprintf fmt "%dy %dd" (d / year) (d mod year / day)
+  else if d >= day then Format.fprintf fmt "%dd %dh" (d / day) (d mod day / hour)
+  else if d >= hour then
+    Format.fprintf fmt "%dh %dm" (d / hour) (d mod hour / minute)
+  else if d >= minute then
+    Format.fprintf fmt "%dm %ds" (d / minute) (d mod minute / second)
+  else if d >= second then
+    Format.fprintf fmt "%.2fs" (float_of_int d /. float_of_int second)
+  else if d >= 1_000_000 then
+    Format.fprintf fmt "%.2fms" (float_of_int d /. 1e6)
+  else if d >= 1_000 then Format.fprintf fmt "%.2fus" (float_of_int d /. 1e3)
+  else Format.fprintf fmt "%dns" d

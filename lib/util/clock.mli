@@ -1,0 +1,33 @@
+(** Virtual time.
+
+    Every component of the simulated machine reads time from a [Clock.t]
+    rather than the host clock, which makes time-dependent behaviour (TTL
+    expiry, journal checkpoint intervals, scheduling quanta) fully
+    deterministic and lets experiments fast-forward years of retention
+    policy in microseconds. *)
+
+type t
+
+type ns = int
+(** Nanoseconds since machine boot.  A 63-bit [int] holds ~292 years. *)
+
+val create : ?now:ns -> unit -> t
+
+val now : t -> ns
+
+val advance : t -> ns -> unit
+(** [advance c d] moves time forward by [d] nanoseconds.
+    @raise Invalid_argument if [d < 0]. *)
+
+val set : t -> ns -> unit
+(** [set c t] jumps to absolute time [t], which must not be in the past. *)
+
+val second : ns
+val minute : ns
+val hour : ns
+val day : ns
+val year : ns
+(** Convenient durations, in nanoseconds.  [year] is 365 days. *)
+
+val pp_duration : Format.formatter -> ns -> unit
+(** Human-readable rendering, e.g. ["1y 12d"], ["3.2ms"]. *)

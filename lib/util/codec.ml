@@ -1,0 +1,81 @@
+let ( let* ) = Result.bind
+
+module Writer = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 256
+
+  let int buf v =
+    if v < 0 then invalid_arg "Codec.Writer.int: negative";
+    for i = 7 downto 0 do
+      Buffer.add_char buf (Char.chr ((v lsr (i * 8)) land 0xff))
+    done
+
+  let u32 buf v =
+    for i = 3 downto 0 do
+      Buffer.add_char buf (Char.chr ((v lsr (i * 8)) land 0xff))
+    done
+
+  let string buf s =
+    u32 buf (String.length s);
+    Buffer.add_string buf s
+
+  let bool buf b = Buffer.add_char buf (if b then '\001' else '\000')
+
+  let list buf f items =
+    u32 buf (List.length items);
+    List.iter f items
+
+  let contents = Buffer.contents
+end
+
+module Reader = struct
+  type t = { data : string; mutable pos : int }
+
+  let create data = { data; pos = 0 }
+
+  let take r n =
+    if r.pos + n > String.length r.data then Error "truncated input"
+    else begin
+      let s = String.sub r.data r.pos n in
+      r.pos <- r.pos + n;
+      Ok s
+    end
+
+  let int r =
+    let* s = take r 8 in
+    let v = ref 0 in
+    String.iter (fun c -> v := (!v lsl 8) lor Char.code c) s;
+    Ok !v
+
+  let u32 r =
+    let* s = take r 4 in
+    let v = ref 0 in
+    String.iter (fun c -> v := (!v lsl 8) lor Char.code c) s;
+    Ok !v
+
+  let string r =
+    let* len = u32 r in
+    take r len
+
+  let bool r =
+    let* s = take r 1 in
+    match s.[0] with
+    | '\000' -> Ok false
+    | '\001' -> Ok true
+    | c -> Error (Printf.sprintf "invalid bool byte %C" c)
+
+  let list r f =
+    let* n = u32 r in
+    let rec go acc k =
+      if k = 0 then Ok (List.rev acc)
+      else
+        let* item = f r in
+        go (item :: acc) (k - 1)
+    in
+    go [] n
+
+  let at_end r = r.pos = String.length r.data
+
+  let expect_end r = if at_end r then Ok () else Error "trailing bytes"
+end

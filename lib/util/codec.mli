@@ -1,0 +1,41 @@
+(** Minimal self-delimiting binary codec.
+
+    Both filesystems and the membrane store serialize their metadata with
+    this module: unsigned varint-free fixed-width ints and length-prefixed
+    strings, composed through a writer buffer and a cursor-based reader.
+    Decoding is total: malformed input yields [Error], never an exception. *)
+
+module Writer : sig
+  type t
+
+  val create : unit -> t
+  val int : t -> int -> unit
+  (** 8-byte big-endian; the value must be non-negative.
+      @raise Invalid_argument on negative input. *)
+
+  val string : t -> string -> unit
+  (** 4-byte length prefix + bytes. *)
+
+  val bool : t -> bool -> unit
+  val list : t -> ('a -> unit) -> 'a list -> unit
+  (** Length prefix + elements; the callback writes each element (typically
+      closing over the writer). *)
+
+  val contents : t -> string
+end
+
+module Reader : sig
+  type t
+
+  val create : string -> t
+  val int : t -> (int, string) result
+  val string : t -> (string, string) result
+  val bool : t -> (bool, string) result
+  val list : t -> (t -> ('a, string) result) -> ('a list, string) result
+  val at_end : t -> bool
+  val expect_end : t -> (unit, string) result
+end
+
+val ( let* ) :
+  ('a, 'e) result -> ('a -> ('b, 'e) result) -> ('b, 'e) result
+(** Result bind, re-exported for decoder pipelines. *)

@@ -1,0 +1,10 @@
+let hash64 s =
+  let h = ref 0x3bf29ce484222325 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x100000001b3 land max_int)
+    s;
+  !h
+
+let hash64_hex s = Printf.sprintf "%016x" (hash64 s)

@@ -1,0 +1,9 @@
+(** FNV-1a-style 63-bit hash, used as a cheap integrity checksum for
+    on-device frames (journal records, metadata checkpoints).  Not
+    cryptographic — tamper-evidence uses SHA-256 from [rgpdos_crypto]. *)
+
+val hash64 : string -> int
+(** Non-negative 63-bit hash. *)
+
+val hash64_hex : string -> string
+(** [hash64] rendered as 16 lowercase hex characters. *)

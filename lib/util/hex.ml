@@ -1,0 +1,35 @@
+let hexdigit n = "0123456789abcdef".[n]
+
+let encode s =
+  String.concat ""
+    (List.map
+       (fun c ->
+         let b = Char.code c in
+         Printf.sprintf "%c%c" (hexdigit (b lsr 4)) (hexdigit (b land 0xf)))
+       (List.init (String.length s) (String.get s)))
+
+let nibble c =
+  match c with
+  | '0' .. '9' -> Ok (Char.code c - Char.code '0')
+  | 'a' .. 'f' -> Ok (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' -> Ok (Char.code c - Char.code 'A' + 10)
+  | _ -> Error (Printf.sprintf "invalid hex digit %C" c)
+
+let decode s =
+  let n = String.length s in
+  if n mod 2 <> 0 then Error "odd-length hex string"
+  else
+    let buf = Bytes.create (n / 2) in
+    let rec go i =
+      if i >= n then Ok (Bytes.to_string buf)
+      else
+        match (nibble s.[i], nibble s.[i + 1]) with
+        | Ok hi, Ok lo ->
+            Bytes.set buf (i / 2) (Char.chr ((hi lsl 4) lor lo));
+            go (i + 2)
+        | Error e, _ | _, Error e -> Error e
+    in
+    go 0
+
+let decode_exn s =
+  match decode s with Ok v -> v | Error e -> invalid_arg ("Hex.decode: " ^ e)

@@ -1,0 +1,11 @@
+(** Hexadecimal encoding of byte strings. *)
+
+val encode : string -> string
+(** Lowercase hex, two characters per input byte. *)
+
+val decode : string -> (string, string) result
+(** Inverse of [encode]; accepts upper- and lowercase digits.  Returns
+    [Error _] on odd length or non-hex characters. *)
+
+val decode_exn : string -> string
+(** @raise Invalid_argument on malformed input. *)

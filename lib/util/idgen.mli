@@ -1,0 +1,17 @@
+(** Fresh-identifier generation.
+
+    Identifiers are short prefixed strings ("sub-00000017") so they remain
+    greppable in logs and deterministic across runs. *)
+
+type t
+
+val create : prefix:string -> t
+
+val fresh : t -> string
+(** Next identifier; monotone counter per generator. *)
+
+val fresh_int : t -> int
+(** Raw counter value of the identifier that [fresh] would have produced. *)
+
+val count : t -> int
+(** Number of identifiers handed out so far. *)

@@ -1,0 +1,117 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let default_seed = 0x5DEECE66DL
+
+let create ?(seed = default_seed) () = { state = seed }
+
+let copy g = { state = g.state }
+
+(* SplitMix64 finaliser: mix the counter into a well-distributed output. *)
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let next64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix64 g.state
+
+let split g =
+  let seed = next64 g in
+  { state = seed }
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let mask = Int64.of_int max_int in
+  let v = Int64.to_int (Int64.logand (next64 g) mask) in
+  v mod bound
+
+let int_in g lo hi =
+  if hi < lo then invalid_arg "Prng.int_in: empty range";
+  lo + int g (hi - lo + 1)
+
+let float g bound =
+  (* 53 uniform mantissa bits, matching Stdlib.Random.float's resolution. *)
+  let bits = Int64.shift_right_logical (next64 g) 11 in
+  Int64.to_float bits /. 9007199254740992.0 *. bound
+
+let bool g = Int64.logand (next64 g) 1L = 1L
+
+let bernoulli g p = float g 1.0 < p
+
+let pick g arr =
+  if Array.length arr = 0 then invalid_arg "Prng.pick: empty array";
+  arr.(int g (Array.length arr))
+
+let pick_list g l =
+  match l with
+  | [] -> invalid_arg "Prng.pick_list: empty list"
+  | _ -> List.nth l (int g (List.length l))
+
+let shuffle g arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let string g n =
+  String.init n (fun _ -> Char.chr (Char.code 'a' + int g 26))
+
+let bytes g n = String.init n (fun _ -> Char.chr (int g 256))
+
+let exponential g mean =
+  let u = float g 1.0 in
+  -. mean *. log (1.0 -. u)
+
+module Zipf = struct
+  type sampler = {
+    n : int;
+    theta : float;
+    zetan : float;
+    alpha : float;
+    eta : float;
+    zeta2 : float;
+  }
+
+  let zeta n theta =
+    let acc = ref 0.0 in
+    for i = 1 to n do
+      acc := !acc +. (1.0 /. (float_of_int i ** theta))
+    done;
+    !acc
+
+  let create ~n ~theta =
+    if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+    if theta < 0.0 then invalid_arg "Zipf.create: theta must be >= 0";
+    if theta = 1.0 then invalid_arg "Zipf.create: theta = 1 is singular";
+    let zetan = zeta n theta in
+    let zeta2 = zeta 2 theta in
+    let alpha = 1.0 /. (1.0 -. theta) in
+    let eta =
+      (1.0 -. ((2.0 /. float_of_int n) ** (1.0 -. theta)))
+      /. (1.0 -. (zeta2 /. zetan))
+    in
+    { n; theta; zetan; alpha; eta; zeta2 = zeta2 }
+
+  (* Gray's rejection-free method, as used by YCSB's ZipfianGenerator. *)
+  let sample s g =
+    let u = float g 1.0 in
+    let uz = u *. s.zetan in
+    if uz < 1.0 then 0
+    else if uz < 1.0 +. (0.5 ** s.theta) then 1
+    else
+      let rank =
+        float_of_int s.n *. (((s.eta *. u) -. s.eta +. 1.0) ** s.alpha)
+      in
+      let rank = int_of_float rank in
+      if rank >= s.n then s.n - 1 else if rank < 0 then 0 else rank
+
+  let n s = s.n
+
+  (* silence unused-field warning for diagnostic fields *)
+  let _ = fun s -> s.zeta2
+end

@@ -1,0 +1,73 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in the repository flows through this module so that every
+    experiment and test is reproducible from a seed.  The generator is
+    SplitMix64 (Steele, Lea & Flood, OOPSLA 2014): tiny state, excellent
+    statistical quality for simulation purposes, and trivially splittable. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : ?seed:int64 -> unit -> t
+(** [create ~seed ()] returns a fresh generator.  The default seed is a fixed
+    published constant so that two unseeded generators agree. *)
+
+val copy : t -> t
+(** Independent copy of the current state. *)
+
+val split : t -> t
+(** [split g] advances [g] and returns a new generator whose stream is
+    statistically independent from the remainder of [g]'s stream. *)
+
+val next64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [\[0, bound)].  @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in g lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val float : t -> float -> float
+(** [float g bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** [bernoulli g p] is [true] with probability [p]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val pick_list : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val string : t -> int -> string
+(** [string g n] is [n] bytes of printable lowercase ASCII. *)
+
+val bytes : t -> int -> string
+(** [bytes g n] is [n] uniformly random bytes. *)
+
+val exponential : t -> float -> float
+(** [exponential g mean] samples an exponential distribution. *)
+
+module Zipf : sig
+  type sampler
+  (** Zipfian distribution over [\[0, n)], the standard skewed-popularity
+      model for key-value workloads (used by the GDPRBench-style
+      generators). *)
+
+  val create : n:int -> theta:float -> sampler
+  (** [create ~n ~theta] precomputes the harmonic normalisation.  [theta] is
+      the skew (0 = uniform; YCSB uses 0.99).
+      @raise Invalid_argument if [n <= 0] or [theta < 0]. *)
+
+  val sample : sampler -> t -> int
+  (** Draw a rank in [\[0, n)]; rank 0 is the most popular. *)
+
+  val n : sampler -> int
+end

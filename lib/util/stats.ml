@@ -1,0 +1,74 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+let mean l =
+  match l with
+  | [] -> 0.0
+  | _ -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+let stddev l =
+  match l with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+      let m = mean l in
+      let sq = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 l in
+      sqrt (sq /. float_of_int (List.length l - 1))
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Stats.percentile: empty array";
+  if n = 1 then sorted.(0)
+  else
+    let rank = p *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+
+let summarize l =
+  match l with
+  | [] -> invalid_arg "Stats.summarize: empty sample"
+  | _ ->
+      let arr = Array.of_list l in
+      Array.sort compare arr;
+      {
+        count = Array.length arr;
+        mean = mean l;
+        stddev = stddev l;
+        min = arr.(0);
+        max = arr.(Array.length arr - 1);
+        p50 = percentile arr 0.50;
+        p95 = percentile arr 0.95;
+        p99 = percentile arr 0.99;
+      }
+
+let pp_summary fmt s =
+  Format.fprintf fmt
+    "n=%d mean=%.2f sd=%.2f min=%.2f p50=%.2f p95=%.2f p99=%.2f max=%.2f"
+    s.count s.mean s.stddev s.min s.p50 s.p95 s.p99 s.max
+
+module Counter = struct
+  type t = (string, int) Hashtbl.t
+
+  let create () = Hashtbl.create 16
+
+  let incr t ?(by = 1) key =
+    let cur = Option.value ~default:0 (Hashtbl.find_opt t key) in
+    Hashtbl.replace t key (cur + by)
+
+  let get t key = Option.value ~default:0 (Hashtbl.find_opt t key)
+
+  let to_list t =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+  let reset = Hashtbl.reset
+end

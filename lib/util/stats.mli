@@ -1,0 +1,39 @@
+(** Small descriptive-statistics toolkit for the experiment harness. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+val summarize : float list -> summary
+(** @raise Invalid_argument on an empty list. *)
+
+val percentile : float array -> float -> float
+(** [percentile sorted p] with [p] in [\[0,1\]]; linear interpolation.  The
+    array must already be sorted ascending. *)
+
+val mean : float list -> float
+val stddev : float list -> float
+
+val pp_summary : Format.formatter -> summary -> unit
+
+module Counter : sig
+  (** String-keyed monotone counters, used for event accounting
+      (IO operations, enforcement denials, leaks found, ...). *)
+
+  type t
+
+  val create : unit -> t
+  val incr : t -> ?by:int -> string -> unit
+  val get : t -> string -> int
+  val to_list : t -> (string * int) list
+  (** Sorted by key. *)
+
+  val reset : t -> unit
+end

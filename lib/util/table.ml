@@ -1,0 +1,54 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let normalize_row width row =
+  let n = List.length row in
+  if n >= width then row else row @ List.init (width - n) (fun _ -> "")
+
+let render ?(align = []) ~header rows =
+  let ncols = List.length header in
+  let rows = List.map (normalize_row ncols) rows in
+  let aligns =
+    List.init ncols (fun i ->
+        match List.nth_opt align i with Some a -> a | None -> Left)
+  in
+  let widths =
+    List.init ncols (fun i ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length (List.nth header i))
+          rows)
+  in
+  let render_row row =
+    String.concat "  "
+      (List.mapi
+         (fun i cell -> pad (List.nth aligns i) (List.nth widths i) cell)
+         row)
+  in
+  let sep =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n"
+    (render_row header :: sep :: List.map render_row rows)
+
+let print ?align ~header rows =
+  print_endline (render ?align ~header rows)
+
+let fmt_float ?(decimals = 2) f = Printf.sprintf "%.*f" decimals f
+
+let fmt_int n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + (len / 3)) in
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  (if n < 0 then "-" else "") ^ Buffer.contents buf

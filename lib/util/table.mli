@@ -1,0 +1,25 @@
+(** Plain-text table rendering for experiment output.
+
+    The benchmark harness prints the same rows/series a paper table or
+    figure would contain; this module keeps that output aligned and
+    machine-greppable. *)
+
+type align = Left | Right
+
+val render :
+  ?align:align list ->
+  header:string list ->
+  string list list ->
+  string
+(** [render ~header rows] lays the table out with a separator line under the
+    header.  Columns default to left alignment; a too-short [align] list is
+    padded with [Left].  Rows shorter than the header are padded with empty
+    cells. *)
+
+val print :
+  ?align:align list -> header:string list -> string list list -> unit
+(** [render] to stdout, followed by a newline. *)
+
+val fmt_float : ?decimals:int -> float -> string
+val fmt_int : int -> string
+(** Thousands-separated integer rendering, e.g. [12_345] -> ["12,345"]. *)

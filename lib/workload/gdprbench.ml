@@ -1,0 +1,87 @@
+module Prng = Rgpdos_util.Prng
+
+type op =
+  | Op_insert of Population.person
+  | Op_purpose_query of string
+  | Op_subject_read of string
+  | Op_update_consent of { subject : string; purpose : string; grant : bool }
+  | Op_access of string
+  | Op_erase of string
+  | Op_ttl_sweep
+  | Op_verify_audit
+
+let op_kind = function
+  | Op_insert _ -> "insert"
+  | Op_purpose_query _ -> "purpose_query"
+  | Op_subject_read _ -> "subject_read"
+  | Op_update_consent _ -> "update_consent"
+  | Op_access _ -> "access"
+  | Op_erase _ -> "erase"
+  | Op_ttl_sweep -> "ttl_sweep"
+  | Op_verify_audit -> "verify_audit"
+
+type role = Controller | Customer | Processor | Regulator
+
+let role_to_string = function
+  | Controller -> "controller"
+  | Customer -> "customer"
+  | Processor -> "processor"
+  | Regulator -> "regulator"
+
+let all_roles = [ Controller; Customer; Processor; Regulator ]
+
+let mix = function
+  | Controller ->
+      [ ("insert", 0.35); ("update_consent", 0.35); ("subject_read", 0.20);
+        ("ttl_sweep", 0.10) ]
+  | Customer ->
+      [ ("access", 0.40); ("update_consent", 0.30); ("erase", 0.15);
+        ("insert", 0.15) ]
+  | Processor ->
+      [ ("purpose_query", 0.70); ("subject_read", 0.25); ("insert", 0.05) ]
+  | Regulator ->
+      [ ("access", 0.50); ("verify_audit", 0.35); ("purpose_query", 0.15) ]
+
+let pick_kind prng weights =
+  let roll = Prng.float prng 1.0 in
+  let rec go acc = function
+    | [] -> fst (List.hd weights)
+    | (kind, w) :: rest -> if roll < acc +. w then kind else go (acc +. w) rest
+  in
+  go 0.0 weights
+
+let generate prng ~role ~population ~n =
+  let pop = Array.of_list population in
+  if Array.length pop = 0 then invalid_arg "Gdprbench.generate: empty population";
+  let zipf = Prng.Zipf.create ~n:(Array.length pop) ~theta:0.99 in
+  let next_fresh = ref (Array.length pop) in
+  let pick_subject () = pop.(Prng.Zipf.sample zipf prng).Population.subject_id in
+  let weights = mix role in
+  List.init n (fun _ ->
+      match pick_kind prng weights with
+      | "insert" ->
+          (* a brand-new person signing up *)
+          let person = List.hd (Population.generate prng ~n:1) in
+          let person =
+            {
+              person with
+              Population.subject_id = Printf.sprintf "sub-%06d" !next_fresh;
+            }
+          in
+          incr next_fresh;
+          Op_insert person
+      | "purpose_query" ->
+          Op_purpose_query (Prng.pick_list prng Population.purposes)
+      | "subject_read" -> Op_subject_read (pick_subject ())
+      | "update_consent" ->
+          Op_update_consent
+            {
+              subject = pick_subject ();
+              purpose = Prng.pick_list prng [ "analytics"; "marketing" ];
+              grant = Prng.bool prng;
+            }
+      | "access" -> Op_access (pick_subject ())
+      | "erase" -> Op_erase (pick_subject ())
+      | "ttl_sweep" -> Op_ttl_sweep
+      | "verify_audit" -> Op_verify_audit
+      | other -> failwith ("unknown op kind " ^ other))

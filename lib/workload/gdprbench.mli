@@ -1,0 +1,46 @@
+(** GDPRBench-style workload mixes.
+
+    Shastri et al. (VLDB 2020) — the operational prior work the paper
+    cites — model four roles exercising a GDPR-compliant store.  We
+    reproduce their roles as operation mixes over the synthetic
+    {!Population}:
+
+    - {b controller}: the operator curates data — inserts, consent
+      metadata updates, storage-limitation sweeps;
+    - {b customer}: data subjects exercise rights — access, consent
+      changes, erasure;
+    - {b processor}: purpose-bound processing dominates — query all PD a
+      purpose may read;
+    - {b regulator}: audits — access exports and log verification.
+
+    Subject selection is Zipf-skewed (theta 0.99, YCSB-style). *)
+
+type op =
+  | Op_insert of Population.person
+  | Op_purpose_query of string
+  | Op_subject_read of string   (** run the service processing on one subject *)
+  | Op_update_consent of { subject : string; purpose : string; grant : bool }
+  | Op_access of string         (** right of access *)
+  | Op_erase of string          (** right to be forgotten *)
+  | Op_ttl_sweep
+  | Op_verify_audit
+
+val op_kind : op -> string
+(** Short label for grouping: "insert", "purpose_query", ... *)
+
+type role = Controller | Customer | Processor | Regulator
+
+val role_to_string : role -> string
+val all_roles : role list
+
+val mix : role -> (string * float) list
+(** The op-kind distribution of a role (weights sum to 1). *)
+
+val generate :
+  Rgpdos_util.Prng.t ->
+  role:role ->
+  population:Population.person list ->
+  n:int ->
+  op list
+(** [n] operations; subjects drawn Zipf-skewed from the population; new
+    people synthesized for inserts. *)

@@ -1,0 +1,113 @@
+module Prng = Rgpdos_util.Prng
+module Membrane = Rgpdos_membrane.Membrane
+module Value = Rgpdos_dbfs.Value
+
+type person = {
+  subject_id : string;
+  name : string;
+  email : string;
+  year_of_birth : int;
+  consent_profile : (string * Membrane.consent_scope) list;
+}
+
+let purposes = [ "service"; "analytics"; "marketing" ]
+
+let type_name = "person"
+
+let type_declaration =
+  {|
+type person {
+  fields {
+    name: string,
+    email: string,
+    year_of_birth: int
+  };
+  view v_contact { name, email };
+  view v_ano { year_of_birth };
+  consent {
+    service: all,
+    analytics: v_ano,
+    marketing: none
+  };
+  collection {
+    web_form: signup_form.html
+  };
+  origin: subject;
+  age: 2Y;
+  sensitivity: medium;
+}
+
+purpose service {
+  description: "operate the account the subject contracted for";
+  reads: person;
+  legal_basis: contract;
+}
+
+purpose analytics {
+  description: "aggregate usage statistics over anonymised attributes";
+  reads: person.v_ano;
+  produces: person;
+  legal_basis: consent;
+}
+
+purpose marketing {
+  description: "send promotional offers to subscribed users";
+  reads: person.v_contact;
+  legal_basis: consent;
+}
+|}
+
+let syllables =
+  [| "ka"; "mi"; "lo"; "ra"; "ben"; "chi"; "ve"; "na"; "tou"; "sel"; "dar";
+     "ya"; "zo"; "fe"; "lu" |]
+
+let make_name prng =
+  let syllable () = syllables.(Prng.int prng (Array.length syllables)) in
+  let cap s = String.capitalize_ascii s in
+  cap (syllable () ^ syllable ()) ^ " " ^ cap (syllable () ^ syllable () ^ syllable ())
+
+let consent_profile prng =
+  let analytics =
+    if Prng.bernoulli prng 0.70 then Membrane.View "v_ano" else Membrane.Denied
+  in
+  let marketing =
+    if Prng.bernoulli prng 0.30 then Membrane.View "v_contact" else Membrane.Denied
+  in
+  [ ("service", Membrane.All); ("analytics", analytics); ("marketing", marketing) ]
+
+let generate prng ~n =
+  List.init n (fun i ->
+      let name = make_name prng in
+      let email =
+        Printf.sprintf "%s%d@example.test"
+          (String.lowercase_ascii
+             (String.concat "." (String.split_on_char ' ' name)))
+          i
+      in
+      {
+        subject_id = Printf.sprintf "sub-%06d" i;
+        name;
+        email;
+        year_of_birth = Prng.int_in prng 1940 2007;
+        consent_profile = consent_profile prng;
+      })
+
+let record_of p =
+  [
+    ("name", Value.VString p.name);
+    ("email", Value.VString p.email);
+    ("year_of_birth", Value.VInt p.year_of_birth);
+  ]
+
+let baseline_fields p =
+  [
+    ("name", p.name);
+    ("email", p.email);
+    ("year_of_birth", string_of_int p.year_of_birth);
+  ]
+
+let allowed_purposes_of p =
+  List.filter_map
+    (fun (purpose, scope) ->
+      match scope with Membrane.Denied -> None | _ -> Some purpose)
+    p.consent_profile

@@ -1,0 +1,40 @@
+(** Synthetic subject population.
+
+    The paper's target workloads (and GDPRBench, its cited evaluation
+    framework) need a population of data subjects with personal records
+    and heterogeneous consent decisions.  Everything is derived
+    deterministically from a PRNG so experiments are reproducible. *)
+
+type person = {
+  subject_id : string;
+  name : string;
+  email : string;
+  year_of_birth : int;
+  consent_profile : (string * Rgpdos_membrane.Membrane.consent_scope) list;
+      (** this subject's decision for each workload purpose *)
+}
+
+val purposes : string list
+(** The workload's processing purposes: ["service"] (contractual
+    necessity, everyone), ["analytics"] (view-restricted for some),
+    ["marketing"] (frequently denied). *)
+
+val generate : Rgpdos_util.Prng.t -> n:int -> person list
+(** [n] distinct people.  Consent skew: service always granted, analytics
+    granted-as-view ~70%, marketing granted ~30%. *)
+
+val record_of : person -> Rgpdos_dbfs.Record.t
+(** The typed DBFS record for a person (matches {!type_declaration}). *)
+
+val baseline_fields : person -> (string * string) list
+(** The same data as flat string pairs for the baseline engine. *)
+
+val allowed_purposes_of : person -> string list
+(** Purposes this person's consents allow at all (for the baseline's
+    row metadata). *)
+
+val type_declaration : string
+(** Declaration-language source for the workload's PD type ("person") and
+    the three purposes; feed it to [Machine.load_declarations]. *)
+
+val type_name : string

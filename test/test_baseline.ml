@@ -1,0 +1,214 @@
+module Clock = Rgpdos_util.Clock
+module Block_device = Rgpdos_block.Block_device
+module Jfs = Rgpdos_journalfs.Journalfs
+module Userdb = Rgpdos_baseline.Userdb
+module Process_model = Rgpdos_baseline.Process_model
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "baseline error: %s" (Userdb.error_to_string e)
+
+let make_db mode =
+  let clock = Clock.create () in
+  let dev =
+    Block_device.create
+      ~config:{ Block_device.default_config with Block_device.block_count = 4096 }
+      ~clock ()
+  in
+  let fs = Jfs.format dev ~journal_blocks:64 in
+  let db = ok (Userdb.create fs ~mode) in
+  ok (Userdb.create_table db "person");
+  (db, dev, clock)
+
+let row ?(purposes = [ "service" ]) ?expires subject name =
+  {
+    Userdb.subject;
+    fields = [ ("name", name); ("email", name ^ "@x.test") ];
+    allowed_purposes = purposes;
+    expires_at = expires;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* userdb engine                                                      *)
+
+let test_insert_get () =
+  let db, _, _ = make_db Userdb.Gdpr in
+  let id = ok (Userdb.insert db ~table:"person" (row "s1" "Ana")) in
+  match ok (Userdb.get db ~table:"person" id) with
+  | Some r -> check_bool "name" true (List.assoc "name" r.Userdb.fields = "Ana")
+  | None -> Alcotest.fail "row missing"
+
+let test_update_delete () =
+  let db, _, _ = make_db Userdb.Gdpr in
+  let id = ok (Userdb.insert db ~table:"person" (row "s1" "Ana")) in
+  ok (Userdb.update db ~table:"person" id (row "s1" "Anna"));
+  (match ok (Userdb.get db ~table:"person" id) with
+  | Some r -> check_bool "updated" true (List.assoc "name" r.Userdb.fields = "Anna")
+  | None -> Alcotest.fail "row missing");
+  ok (Userdb.delete db ~table:"person" id);
+  check_bool "gone" true (ok (Userdb.get db ~table:"person" id) = None);
+  check_int "count" 0 (ok (Userdb.row_count db ~table:"person"))
+
+let test_unknown_table () =
+  let db, _, _ = make_db Userdb.Gdpr in
+  check_bool "unknown table" true
+    (Result.is_error (Userdb.insert db ~table:"ghost" (row "s" "x")))
+
+let test_gdpr_mode_purpose_filtering () =
+  let db, _, clock = make_db Userdb.Gdpr in
+  ignore (ok (Userdb.insert db ~table:"person" (row ~purposes:[ "service" ] "s1" "A")));
+  ignore
+    (ok
+       (Userdb.insert db ~table:"person"
+          (row ~purposes:[ "service"; "marketing" ] "s2" "B")));
+  let marketing =
+    ok (Userdb.query_purpose db ~table:"person" ~purpose:"marketing" ~now:(Clock.now clock))
+  in
+  check_int "only consented row" 1 (List.length marketing);
+  let service =
+    ok (Userdb.query_purpose db ~table:"person" ~purpose:"service" ~now:(Clock.now clock))
+  in
+  check_int "both rows" 2 (List.length service)
+
+let test_vanilla_mode_ignores_consent () =
+  let db, _, clock = make_db Userdb.Vanilla in
+  ignore (ok (Userdb.insert db ~table:"person" (row ~purposes:[] "s1" "A")));
+  let rows =
+    ok (Userdb.query_purpose db ~table:"person" ~purpose:"marketing" ~now:(Clock.now clock))
+  in
+  check_int "vanilla returns everything" 1 (List.length rows)
+
+let test_gdpr_mode_ttl_filtering () =
+  let db, _, clock = make_db Userdb.Gdpr in
+  ignore
+    (ok
+       (Userdb.insert db ~table:"person"
+          (row ~purposes:[ "service" ] ~expires:1000 "s1" "A")));
+  check_int "before expiry" 1
+    (List.length
+       (ok (Userdb.query_purpose db ~table:"person" ~purpose:"service" ~now:500)));
+  Clock.advance clock 2000;
+  check_int "after expiry hidden" 0
+    (List.length
+       (ok
+          (Userdb.query_purpose db ~table:"person" ~purpose:"service"
+             ~now:(Clock.now clock))));
+  (* but the row is still on disk until an expiry pass runs *)
+  check_int "still stored" 1 (ok (Userdb.row_count db ~table:"person"));
+  let n = ok (Userdb.expire_rows db ~table:"person" ~now:(Clock.now clock)) in
+  check_int "expired" 1 n;
+  check_int "removed" 0 (ok (Userdb.row_count db ~table:"person"))
+
+let test_subject_rows_and_delete_subject () =
+  let db, _, _ = make_db Userdb.Gdpr in
+  ignore (ok (Userdb.insert db ~table:"person" (row "alice" "A1")));
+  ignore (ok (Userdb.insert db ~table:"person" (row "bob" "B")));
+  ignore (ok (Userdb.insert db ~table:"person" (row "alice" "A2")));
+  check_int "alice rows" 2
+    (List.length (ok (Userdb.rows_of_subject db ~table:"person" "alice")));
+  check_int "deleted" 2 (ok (Userdb.delete_subject db ~table:"person" "alice"));
+  check_int "remaining" 1 (ok (Userdb.row_count db ~table:"person"))
+
+let test_export_positional_keys () =
+  (* the §4 critique: baseline exports are structured but the keys are the
+     field VALUES in positional pairs, not meaningful names *)
+  let db, _, _ = make_db Userdb.Gdpr in
+  ignore
+    (ok
+       (Userdb.insert db ~table:"person"
+          {
+            Userdb.subject = "s";
+            fields = [ ("first_name", "Chiraz"); ("last_name", "Benamor") ];
+            allowed_purposes = [];
+            expires_at = None;
+          }));
+  let export = ok (Userdb.export_subject db ~table:"person" "s") in
+  let contains needle =
+    let hl = String.length export and nl = String.length needle in
+    let rec go i = i + nl <= hl && (String.sub export i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "positional pairing" true (contains "\"Chiraz\": \"Benamor\"");
+  check_bool "no meaningful key" false (contains "first_name")
+
+(* ------------------------------------------------------------------ *)
+(* the E3 leak: baseline erasure is not forgetting                    *)
+
+let test_baseline_erasure_leaks_via_journal () =
+  let db, dev, _ = make_db Userdb.Gdpr in
+  let secret = "FORGOTTEN-SUBJECT-SECRET" in
+  ignore (ok (Userdb.insert db ~table:"person" (row "victim" secret)));
+  check_int "deleted" 1
+    (ok (Userdb.delete_subject ~secure:true db ~table:"person" "victim"));
+  check_bool "engine says gone" true
+    (ok (Userdb.rows_of_subject db ~table:"person" "victim") = []);
+  (* the forensic scan still finds the data: journal retention *)
+  check_bool "journal leaks" true (Block_device.scan dev secret <> [])
+
+(* ------------------------------------------------------------------ *)
+(* process model (E7): use-after-free crosses purposes                *)
+
+let test_uaf_reads_other_owners_pd () =
+  let heap = Process_model.create ~slots:4 in
+  let p1 = Process_model.alloc heap ~owner:"purpose1" ~data:"pd1-alice" in
+  Process_model.free heap p1;
+  (* the allocator reuses the slot for another purpose's PD *)
+  let _p2 = Process_model.alloc heap ~owner:"purpose2" ~data:"pd2-bob-SECRET" in
+  (* f1 still holds the stale pointer and dereferences it *)
+  (match Process_model.read heap p1 with
+  | Some (owner, data) ->
+      check_bool "sees other purpose's data" true
+        (owner = "purpose2" && data = "pd2-bob-SECRET")
+  | None -> Alcotest.fail "slot should be occupied");
+  check_int "leak counted" 1 (Process_model.cross_owner_reads heap)
+
+let test_valid_reads_not_counted () =
+  let heap = Process_model.create ~slots:4 in
+  let p = Process_model.alloc heap ~owner:"p1" ~data:"mine" in
+  (match Process_model.read heap p with
+  | Some (owner, _) -> check_bool "own data" true (owner = "p1")
+  | None -> Alcotest.fail "missing");
+  check_int "no leak" 0 (Process_model.cross_owner_reads heap)
+
+let test_read_after_free_before_reuse () =
+  let heap = Process_model.create ~slots:4 in
+  let p = Process_model.alloc heap ~owner:"p1" ~data:"mine" in
+  Process_model.free heap p;
+  check_bool "unmapped" true (Process_model.read heap p = None);
+  check_int "live" 0 (Process_model.live_slots heap)
+
+let test_heap_exhaustion () =
+  let heap = Process_model.create ~slots:2 in
+  ignore (Process_model.alloc heap ~owner:"a" ~data:"1");
+  ignore (Process_model.alloc heap ~owner:"a" ~data:"2");
+  Alcotest.check_raises "oom" (Failure "Process_model.alloc: out of memory")
+    (fun () -> ignore (Process_model.alloc heap ~owner:"a" ~data:"3"))
+
+let () =
+  Alcotest.run "baseline"
+    [
+      ( "userdb",
+        [
+          Alcotest.test_case "insert/get" `Quick test_insert_get;
+          Alcotest.test_case "update/delete" `Quick test_update_delete;
+          Alcotest.test_case "unknown table" `Quick test_unknown_table;
+          Alcotest.test_case "gdpr purpose filtering" `Quick test_gdpr_mode_purpose_filtering;
+          Alcotest.test_case "vanilla ignores consent" `Quick test_vanilla_mode_ignores_consent;
+          Alcotest.test_case "gdpr ttl filtering" `Quick test_gdpr_mode_ttl_filtering;
+          Alcotest.test_case "subject rows / delete subject" `Quick
+            test_subject_rows_and_delete_subject;
+          Alcotest.test_case "positional export keys" `Quick test_export_positional_keys;
+          Alcotest.test_case "erasure leaks via journal" `Quick
+            test_baseline_erasure_leaks_via_journal;
+        ] );
+      ( "process-model",
+        [
+          Alcotest.test_case "UAF crosses purposes" `Quick test_uaf_reads_other_owners_pd;
+          Alcotest.test_case "valid reads clean" `Quick test_valid_reads_not_counted;
+          Alcotest.test_case "read after free" `Quick test_read_after_free_before_reuse;
+          Alcotest.test_case "heap exhaustion" `Quick test_heap_exhaustion;
+        ] );
+    ]

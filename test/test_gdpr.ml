@@ -1,0 +1,207 @@
+module Prng = Rgpdos_util.Prng
+module Clock = Rgpdos_util.Clock
+module Articles = Rgpdos_gdpr.Articles
+module Authority = Rgpdos_gdpr.Authority
+module Compliance = Rgpdos_gdpr.Compliance
+module Record = Rgpdos_dbfs.Record
+module Value = Rgpdos_dbfs.Value
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* articles                                                           *)
+
+let test_articles_complete () =
+  check_int "eleven articles" 11 (List.length Articles.all);
+  List.iter
+    (fun a ->
+      check_bool "has description" true (String.length (Articles.description a) > 0);
+      check_bool "has mechanism" true (String.length (Articles.mechanism a) > 0))
+    Articles.all
+
+(* ------------------------------------------------------------------ *)
+(* authority                                                          *)
+
+let test_authority_seal_open () =
+  let auth = Authority.create ~seed:99L () in
+  let prng = Prng.create ~seed:5L () in
+  let record : Record.t =
+    [ ("name", Value.VString "Chiraz"); ("age", Value.VInt 34) ]
+  in
+  let sealed = Authority.sealer auth ~prng record in
+  check_bool "opaque" true (sealed <> Record.encode record);
+  match Authority.open_record auth sealed with
+  | Ok r -> check_bool "roundtrip" true (Record.equal r record)
+  | Error e -> Alcotest.fail e
+
+let test_authority_keys_differ () =
+  let a1 = Authority.create ~seed:1L () in
+  let a2 = Authority.create ~seed:2L () in
+  check_bool "fingerprints differ" true
+    (Authority.key_fingerprint a1 <> Authority.key_fingerprint a2)
+
+let test_wrong_authority_cannot_open () =
+  let a1 = Authority.create ~seed:1L () in
+  let a2 = Authority.create ~seed:2L () in
+  let prng = Prng.create ~seed:6L () in
+  let sealed = Authority.sealer a1 ~prng [ ("x", Value.VInt 1) ] in
+  check_bool "other authority fails" true
+    (Result.is_error (Authority.open_record a2 sealed))
+
+let test_authority_rejects_garbage () =
+  let auth = Authority.create ~seed:1L () in
+  check_bool "garbage" true (Result.is_error (Authority.open_envelope auth "junk"))
+
+let test_authority_deterministic_from_seed () =
+  let a1 = Authority.create ~seed:7L () in
+  let a2 = Authority.create ~seed:7L () in
+  check_string "same key" (Authority.key_fingerprint a1) (Authority.key_fingerprint a2)
+
+(* ------------------------------------------------------------------ *)
+(* pseudonymisation                                                   *)
+
+module Pseudonym = Rgpdos_gdpr.Pseudonym
+
+let test_pseudonym_deterministic_and_opaque () =
+  let k = Pseudonym.key_of_string "operator-secret" in
+  let p1 = Pseudonym.pseudonym k "alice@example.test" in
+  let p2 = Pseudonym.pseudonym k "alice@example.test" in
+  check_string "stable" p1 p2;
+  check_int "16 hex chars" 16 (String.length p1);
+  check_bool "opaque" true (p1 <> "alice@example.test");
+  (* different identities, different pseudonyms *)
+  check_bool "injective-ish" true (Pseudonym.pseudonym k "bob@example.test" <> p1)
+
+let test_pseudonym_unlinkable_across_keys () =
+  let k1 = Pseudonym.key_of_string "operator-A" in
+  let k2 = Pseudonym.key_of_string "operator-B" in
+  check_bool "different keys, different pseudonyms" true
+    (Pseudonym.pseudonym k1 "alice" <> Pseudonym.pseudonym k2 "alice")
+
+let test_pseudonymize_fields () =
+  let k = Pseudonym.key_of_string "s" in
+  let record =
+    [ ("name", Value.VString "Alice"); ("email", Value.VString "a@x");
+      ("year", Value.VInt 1990) ]
+  in
+  let out = Pseudonym.pseudonymize_fields k ~fields:[ "name"; "email" ] record in
+  check_bool "name pseudonymised" true
+    (Record.get out "name" <> Some (Value.VString "Alice"));
+  check_bool "int field untouched" true
+    (Record.get out "year" = Some (Value.VInt 1990));
+  (* idempotent shape: field order preserved *)
+  check_int "same arity" 3 (List.length out)
+
+let test_generalize_int () =
+  let record = [ ("year", Value.VInt 1987); ("n", Value.VInt (-7)) ] in
+  let out = Pseudonym.generalize_int ~bucket:10 ~field:"year" record in
+  check_bool "1987 -> 1980" true (Record.get out "year" = Some (Value.VInt 1980));
+  let out2 = Pseudonym.generalize_int ~bucket:10 ~field:"n" record in
+  check_bool "-7 -> -10 (floor)" true (Record.get out2 "n" = Some (Value.VInt (-10)));
+  Alcotest.check_raises "bucket 0"
+    (Invalid_argument "Pseudonym.generalize_int: bucket <= 0") (fun () ->
+      ignore (Pseudonym.generalize_int ~bucket:0 ~field:"year" record))
+
+let test_k_anonymity () =
+  let rows = [ 1980; 1980; 1980; 1990; 1990; 1990 ] in
+  check_bool "3-anonymous" true (Pseudonym.k_anonymous_by Fun.id rows ~k:3);
+  check_bool "not 4-anonymous" false (Pseudonym.k_anonymous_by Fun.id rows ~k:4);
+  (* generalisation repairs a failing release *)
+  let years = [ 1981; 1983; 1987; 1992; 1995; 1999 ] in
+  check_bool "raw years not 3-anonymous" false
+    (Pseudonym.k_anonymous_by Fun.id years ~k:3);
+  check_bool "decades are 3-anonymous" true
+    (Pseudonym.k_anonymous_by (fun y -> y / 10) years ~k:3)
+
+(* ------------------------------------------------------------------ *)
+(* compliance evaluation                                              *)
+
+let test_compliance_clean_passes () =
+  let verdicts = Compliance.evaluate Compliance.clean in
+  check_bool "all ok" true (Compliance.all_ok verdicts);
+  check_bool "summary" true
+    (Compliance.summary verdicts = Printf.sprintf "%d/%d articles satisfied"
+                                     (List.length verdicts) (List.length verdicts))
+
+let failing_article evidence article =
+  let verdicts = Compliance.evaluate evidence in
+  let v = List.find (fun v -> v.Compliance.article = article) verdicts in
+  not v.Compliance.ok
+
+let test_each_violation_maps_to_article () =
+  check_bool "expired -> 5(1)(e)" true
+    (failing_article
+       { Compliance.clean with Compliance.expired_live_pd = 3 }
+       Articles.Art5_1e_storage_limitation);
+  check_bool "leaks -> 17" true
+    (failing_article
+       { Compliance.clean with Compliance.forensic_leaks_after_erasure = 1 }
+       Articles.Art17_erasure);
+  check_bool "unconsented -> 6" true
+    (failing_article
+       { Compliance.clean with Compliance.unconsented_accesses = 2 }
+       Articles.Art6_lawfulness);
+  check_bool "bad audit -> 15" true
+    (failing_article
+       { Compliance.clean with Compliance.audit_chain_ok = false }
+       Articles.Art15_access);
+  check_bool "membraneless -> 32" true
+    (failing_article
+       { Compliance.clean with Compliance.membraneless_pd = 1 }
+       Articles.Art32_security);
+  check_bool "bad export -> 20" true
+    (failing_article
+       { Compliance.clean with Compliance.exports_machine_readable = false }
+       Articles.Art20_portability);
+  check_bool "no minimisation -> 5(1)(c)" true
+    (failing_article
+       { Compliance.clean with Compliance.minimisation_enforced = false }
+       Articles.Art5_1c_minimisation)
+
+let test_summary_names_violations () =
+  let verdicts =
+    Compliance.evaluate
+      { Compliance.clean with Compliance.forensic_leaks_after_erasure = 5 }
+  in
+  let s = Compliance.summary verdicts in
+  let contains needle =
+    let hl = String.length s and nl = String.length needle in
+    let rec go i = i + nl <= hl && (String.sub s i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "names article 17" true (contains "Art. 17")
+
+let () =
+  Alcotest.run "gdpr"
+    [
+      ( "articles",
+        [ Alcotest.test_case "complete" `Quick test_articles_complete ] );
+      ( "authority",
+        [
+          Alcotest.test_case "seal/open" `Quick test_authority_seal_open;
+          Alcotest.test_case "keys differ" `Quick test_authority_keys_differ;
+          Alcotest.test_case "wrong authority" `Quick test_wrong_authority_cannot_open;
+          Alcotest.test_case "garbage" `Quick test_authority_rejects_garbage;
+          Alcotest.test_case "deterministic" `Quick test_authority_deterministic_from_seed;
+        ] );
+      ( "pseudonym",
+        [
+          Alcotest.test_case "deterministic + opaque" `Quick
+            test_pseudonym_deterministic_and_opaque;
+          Alcotest.test_case "unlinkable across keys" `Quick
+            test_pseudonym_unlinkable_across_keys;
+          Alcotest.test_case "pseudonymize fields" `Quick test_pseudonymize_fields;
+          Alcotest.test_case "generalize int" `Quick test_generalize_int;
+          Alcotest.test_case "k-anonymity" `Quick test_k_anonymity;
+        ] );
+      ( "compliance",
+        [
+          Alcotest.test_case "clean passes" `Quick test_compliance_clean_passes;
+          Alcotest.test_case "violations map to articles" `Quick
+            test_each_violation_maps_to_article;
+          Alcotest.test_case "summary names violations" `Quick
+            test_summary_names_violations;
+        ] );
+    ]

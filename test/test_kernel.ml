@@ -1,0 +1,377 @@
+module Clock = Rgpdos_util.Clock
+module Syscall = Rgpdos_kernel.Syscall
+module Lsm = Rgpdos_kernel.Lsm
+module Ipc = Rgpdos_kernel.Ipc
+module Resource = Rgpdos_kernel.Resource
+module Subkernel = Rgpdos_kernel.Subkernel
+module Scheduler = Rgpdos_kernel.Scheduler
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* syscall policies                                                   *)
+
+let test_policy_fpd_reader () =
+  let p = Syscall.Policy.fpd_reader_policy in
+  check_bool "read_pd ok" true (Syscall.Policy.allows p Syscall.Sys_read_pd);
+  check_bool "return ok" true (Syscall.Policy.allows p Syscall.Sys_return_value);
+  check_bool "file_write blocked" false
+    (Syscall.Policy.allows p Syscall.Sys_file_write);
+  check_bool "net_send blocked" false (Syscall.Policy.allows p Syscall.Sys_net_send);
+  check_bool "spawn blocked" false (Syscall.Policy.allows p Syscall.Sys_spawn)
+
+let test_policy_check_message () =
+  match Syscall.Policy.check Syscall.Policy.fpd_reader_policy Syscall.Sys_net_send with
+  | Error msg -> check_bool "mentions seccomp" true (String.length msg > 0)
+  | Ok () -> Alcotest.fail "net_send must be denied"
+
+let test_policy_allow_all () =
+  List.iter
+    (fun sc ->
+      check_bool (Syscall.to_string sc) true
+        (Syscall.Policy.allows Syscall.Policy.allow_all sc))
+    Syscall.all
+
+let test_builtin_policy_no_net () =
+  let p = Syscall.Policy.builtin_policy in
+  check_bool "file_write ok for builtins" true
+    (Syscall.Policy.allows p Syscall.Sys_file_write);
+  check_bool "net still blocked" false (Syscall.Policy.allows p Syscall.Sys_net_send)
+
+(* ------------------------------------------------------------------ *)
+(* LSM                                                                *)
+
+let test_lsm_deny_by_default () =
+  let lsm = Lsm.create () in
+  check_bool "denied" false (Lsm.check lsm ~actor:"anyone" ~klass:"dbfs" ~op:"read");
+  check_int "denial logged" 1 (Lsm.denial_count lsm)
+
+let test_lsm_allow_rules_and_wildcards () =
+  let lsm = Lsm.create () in
+  Lsm.allow lsm ~actor:"ded" ~klass:"dbfs" ~op:"*";
+  Lsm.allow lsm ~actor:"ps" ~klass:"dbfs" ~op:"read";
+  check_bool "ded write" true (Lsm.check lsm ~actor:"ded" ~klass:"dbfs" ~op:"write");
+  check_bool "ded erase" true (Lsm.check lsm ~actor:"ded" ~klass:"dbfs" ~op:"erase");
+  check_bool "ps read" true (Lsm.check lsm ~actor:"ps" ~klass:"dbfs" ~op:"read");
+  check_bool "ps write denied" false
+    (Lsm.check lsm ~actor:"ps" ~klass:"dbfs" ~op:"write");
+  check_bool "app denied" false
+    (Lsm.check lsm ~actor:"app" ~klass:"dbfs" ~op:"read")
+
+let test_lsm_deny_overrides_allow () =
+  let lsm = Lsm.create () in
+  Lsm.allow lsm ~actor:"*" ~klass:"dbfs" ~op:"read";
+  Lsm.deny lsm ~actor:"evil" ~klass:"dbfs" ~op:"*";
+  check_bool "good actor passes" true
+    (Lsm.check lsm ~actor:"good" ~klass:"dbfs" ~op:"read");
+  check_bool "deny wins" false (Lsm.check lsm ~actor:"evil" ~klass:"dbfs" ~op:"read")
+
+let test_lsm_denial_log_contents () =
+  let lsm = Lsm.create () in
+  ignore (Lsm.check lsm ~actor:"mallory" ~klass:"dbfs" ~op:"read");
+  match Lsm.denials lsm with
+  | [ ("mallory", "dbfs", "read") ] -> ()
+  | _ -> Alcotest.fail "denial log mismatch"
+
+(* ------------------------------------------------------------------ *)
+(* IPC                                                                *)
+
+let test_ipc_fifo () =
+  let clock = Clock.create () in
+  let ch = Ipc.create ~clock ~name:"test" () in
+  check_bool "send1" true (Result.is_ok (Ipc.send ch 1));
+  check_bool "send2" true (Result.is_ok (Ipc.send ch 2));
+  Alcotest.(check (option int)) "fifo 1" (Some 1) (Ipc.recv ch);
+  Alcotest.(check (option int)) "fifo 2" (Some 2) (Ipc.recv ch);
+  Alcotest.(check (option int)) "empty" None (Ipc.recv ch)
+
+let test_ipc_capacity_backpressure () =
+  let clock = Clock.create () in
+  let ch = Ipc.create ~clock ~capacity:2 ~name:"small" () in
+  ignore (Ipc.send ch "a");
+  ignore (Ipc.send ch "b");
+  check_bool "full" true (Result.is_error (Ipc.send ch "c"));
+  ignore (Ipc.recv ch);
+  check_bool "drained" true (Result.is_ok (Ipc.send ch "c"))
+
+let test_ipc_charges_time () =
+  let clock = Clock.create () in
+  let ch = Ipc.create ~clock ~latency:500 ~name:"timed" () in
+  ignore (Ipc.send ch ());
+  check_int "send cost" 500 (Clock.now clock);
+  ignore (Ipc.recv ch);
+  check_int "recv cost" 1000 (Clock.now clock);
+  check_int "sent counter" 1 (Ipc.total_sent ch)
+
+(* ------------------------------------------------------------------ *)
+(* resources                                                          *)
+
+let test_resource_claims_and_limits () =
+  let r = Resource.create ~cpu_millis:4000 ~mem_pages:1000 in
+  let p1 = Result.get_ok (Resource.claim r ~owner:"a" ~cpu_millis:3000 ~mem_pages:500) in
+  check_int "free cpu" 1000 (Resource.free_cpu r);
+  check_bool "over-claim rejected" true
+    (Result.is_error (Resource.claim r ~owner:"b" ~cpu_millis:2000 ~mem_pages:100));
+  Resource.release r p1;
+  check_int "released" 4000 (Resource.free_cpu r);
+  check_bool "invariant" true (Resource.invariant_ok r)
+
+let test_resource_dynamic_resize () =
+  let r = Resource.create ~cpu_millis:4000 ~mem_pages:1000 in
+  let p = Result.get_ok (Resource.claim r ~owner:"k" ~cpu_millis:1000 ~mem_pages:100) in
+  (* grow *)
+  check_bool "grow" true (Result.is_ok (Resource.resize r p ~cpu_millis:3500 ~mem_pages:800));
+  check_int "grown" 3500 (Resource.cpu_millis p);
+  (* grow beyond total *)
+  check_bool "grow too far" true
+    (Result.is_error (Resource.resize r p ~cpu_millis:4500 ~mem_pages:800));
+  (* shrink *)
+  check_bool "shrink" true (Result.is_ok (Resource.resize r p ~cpu_millis:500 ~mem_pages:50));
+  check_int "free after shrink" 3500 (Resource.free_cpu r);
+  check_bool "invariant" true (Resource.invariant_ok r)
+
+let test_resource_resize_after_release_fails () =
+  let r = Resource.create ~cpu_millis:1000 ~mem_pages:100 in
+  let p = Result.get_ok (Resource.claim r ~owner:"k" ~cpu_millis:100 ~mem_pages:10) in
+  Resource.release r p;
+  check_bool "resize dead partition" true
+    (Result.is_error (Resource.resize r p ~cpu_millis:50 ~mem_pages:5))
+
+(* ------------------------------------------------------------------ *)
+(* scheduler / purpose-kernel placement                               *)
+
+let make_kernels () =
+  let r = Resource.create ~cpu_millis:8000 ~mem_pages:10000 in
+  let claim owner cpu =
+    Result.get_ok (Resource.claim r ~owner ~cpu_millis:cpu ~mem_pages:100)
+  in
+  let general =
+    Subkernel.make ~id:"general" ~kind:Subkernel.General_purpose
+      ~partition:(claim "general" 4000) ~policy:Syscall.Policy.allow_all
+  in
+  let rgpd =
+    Subkernel.make ~id:"rgpdos" ~kind:Subkernel.Rgpd
+      ~partition:(claim "rgpdos" 2000) ~policy:Syscall.Policy.builtin_policy
+  in
+  let io =
+    Subkernel.make ~id:"io-pd" ~kind:(Subkernel.Io_driver "nvme0")
+      ~partition:(claim "io-pd" 1000) ~policy:Syscall.Policy.allow_all
+  in
+  (general, rgpd, io)
+
+let test_pd_jobs_never_on_general_kernel () =
+  let general, rgpd, io = make_kernels () in
+  let clock = Clock.create () in
+  let sched = Scheduler.create ~clock ~kernels:[ general; rgpd; io ] in
+  for i = 0 to 9 do
+    ignore
+      (Scheduler.submit sched
+         {
+           Scheduler.job_id = Printf.sprintf "pd%d" i;
+           data_class = Scheduler.Pd;
+           work = 1_000_000;
+         })
+  done;
+  Scheduler.run_until_idle sched ();
+  let busy = Scheduler.kernel_busy_time sched in
+  check_int "general did no PD work" 0 (List.assoc "general" busy);
+  check_bool "rgpd did work" true (List.assoc "rgpdos" busy > 0)
+
+let test_npd_jobs_only_on_general () =
+  let general, rgpd, io = make_kernels () in
+  let clock = Clock.create () in
+  let sched = Scheduler.create ~clock ~kernels:[ general; rgpd; io ] in
+  for i = 0 to 4 do
+    ignore
+      (Scheduler.submit sched
+         {
+           Scheduler.job_id = Printf.sprintf "npd%d" i;
+           data_class = Scheduler.Npd;
+           work = 1_000_000;
+         })
+  done;
+  Scheduler.run_until_idle sched ();
+  let busy = Scheduler.kernel_busy_time sched in
+  check_bool "general busy" true (List.assoc "general" busy > 0);
+  check_int "rgpd idle" 0 (List.assoc "rgpdos" busy);
+  check_int "io idle" 0 (List.assoc "io-pd" busy)
+
+let test_no_eligible_kernel () =
+  let _, rgpd, io = make_kernels () in
+  let clock = Clock.create () in
+  let sched = Scheduler.create ~clock ~kernels:[ rgpd; io ] in
+  check_bool "npd with no general kernel" true
+    (Result.is_error
+       (Scheduler.submit sched
+          { Scheduler.job_id = "j"; data_class = Scheduler.Npd; work = 1 }))
+
+let test_io_jobs_routed_to_driver_kernel () =
+  let general, rgpd, io = make_kernels () in
+  let clock = Clock.create () in
+  let sched = Scheduler.create ~clock ~kernels:[ general; rgpd; io ] in
+  check_bool "io job accepted" true
+    (Result.is_ok
+       (Scheduler.submit sched
+          { Scheduler.job_id = "io1"; data_class = Scheduler.Io "nvme0"; work = 500_000 }));
+  check_bool "unknown device refused" true
+    (Result.is_error
+       (Scheduler.submit sched
+          { Scheduler.job_id = "io2"; data_class = Scheduler.Io "sda"; work = 1 }));
+  Scheduler.run_until_idle sched ();
+  let busy = Scheduler.kernel_busy_time sched in
+  check_bool "driver kernel did the work" true (List.assoc "io-pd" busy > 0);
+  check_int "others idle" 0 (List.assoc "general" busy + List.assoc "rgpdos" busy)
+
+let test_pd_never_on_io_driver () =
+  (* application PD jobs go to the rgpdOS kernel, not the IO drivers *)
+  let _, rgpd, io = make_kernels () in
+  let clock = Clock.create () in
+  let sched = Scheduler.create ~clock ~kernels:[ rgpd; io ] in
+  for i = 0 to 5 do
+    ignore
+      (Scheduler.submit sched
+         { Scheduler.job_id = string_of_int i; data_class = Scheduler.Pd;
+           work = 500_000 })
+  done;
+  Scheduler.run_until_idle sched ();
+  let busy = Scheduler.kernel_busy_time sched in
+  check_int "io driver untouched by app PD jobs" 0 (List.assoc "io-pd" busy);
+  check_bool "rgpd did all of it" true (List.assoc "rgpdos" busy > 0)
+
+let test_all_jobs_complete_and_clock_advances () =
+  let general, rgpd, io = make_kernels () in
+  let clock = Clock.create () in
+  let sched = Scheduler.create ~clock ~kernels:[ general; rgpd; io ] in
+  for i = 0 to 19 do
+    let data_class = if i mod 2 = 0 then Scheduler.Pd else Scheduler.Npd in
+    ignore
+      (Scheduler.submit sched
+         { Scheduler.job_id = string_of_int i; data_class; work = 500_000 })
+  done;
+  Scheduler.run_until_idle sched ();
+  check_int "all complete" 20 (List.length (Scheduler.completed sched));
+  check_bool "time advanced" true (Clock.now clock > 0)
+
+let test_bigger_partition_finishes_faster () =
+  (* same work, one kernel with 4x the cpu share: its busy (wall) time is
+     smaller *)
+  let r = Resource.create ~cpu_millis:8000 ~mem_pages:1000 in
+  let claim owner cpu =
+    Result.get_ok (Resource.claim r ~owner ~cpu_millis:cpu ~mem_pages:10)
+  in
+  let big =
+    Subkernel.make ~id:"big" ~kind:Subkernel.Rgpd ~partition:(claim "big" 4000)
+      ~policy:Syscall.Policy.allow_all
+  in
+  let small =
+    Subkernel.make ~id:"small" ~kind:Subkernel.General_purpose
+      ~partition:(claim "small" 1000) ~policy:Syscall.Policy.allow_all
+  in
+  let clock = Clock.create () in
+  let sched = Scheduler.create ~clock ~kernels:[ big; small ] in
+  ignore
+    (Scheduler.submit sched
+       { Scheduler.job_id = "pd"; data_class = Scheduler.Pd; work = 4_000_000 });
+  ignore
+    (Scheduler.submit sched
+       { Scheduler.job_id = "npd"; data_class = Scheduler.Npd; work = 4_000_000 });
+  Scheduler.run_until_idle sched ();
+  let busy = Scheduler.kernel_busy_time sched in
+  check_bool "4x share => ~4x less wall time" true
+    (List.assoc "big" busy * 3 < List.assoc "small" busy)
+
+let prop_scheduler_conserves_work =
+  (* every submitted job completes, and each kernel's wall time equals the
+     cpu work it ran scaled by its share *)
+  QCheck.Test.make ~name:"scheduler conserves work" ~count:60
+    QCheck.(pair (int_range 1 30) (int_range 1 30))
+    (fun (n_pd, n_npd) ->
+      let r = Resource.create ~cpu_millis:8000 ~mem_pages:1000 in
+      let claim owner cpu =
+        Result.get_ok (Resource.claim r ~owner ~cpu_millis:cpu ~mem_pages:10)
+      in
+      let general =
+        Subkernel.make ~id:"general" ~kind:Subkernel.General_purpose
+          ~partition:(claim "general" 2000) ~policy:Syscall.Policy.allow_all
+      in
+      let rgpd =
+        Subkernel.make ~id:"rgpdos" ~kind:Subkernel.Rgpd
+          ~partition:(claim "rgpdos" 4000) ~policy:Syscall.Policy.allow_all
+      in
+      let clock = Clock.create () in
+      let sched = Scheduler.create ~clock ~kernels:[ general; rgpd ] in
+      let work = 1_000_000 in
+      for i = 0 to n_pd - 1 do
+        ignore
+          (Scheduler.submit sched
+             { Scheduler.job_id = Printf.sprintf "p%d" i;
+               data_class = Scheduler.Pd; work })
+      done;
+      for i = 0 to n_npd - 1 do
+        ignore
+          (Scheduler.submit sched
+             { Scheduler.job_id = Printf.sprintf "n%d" i;
+               data_class = Scheduler.Npd; work })
+      done;
+      Scheduler.run_until_idle sched ();
+      let busy = Scheduler.kernel_busy_time sched in
+      List.length (Scheduler.completed sched) = n_pd + n_npd
+      (* rgpd at 4000 mcpu: wall = work/4 per job; general at 2000: work/2 *)
+      && List.assoc "rgpdos" busy = n_pd * work * 1000 / 4000
+      && List.assoc "general" busy = n_npd * work * 1000 / 2000)
+
+let test_subkernel_pd_handling () =
+  let general, rgpd, io = make_kernels () in
+  check_bool "general no pd" false (Subkernel.handles_pd general);
+  check_bool "rgpd pd" true (Subkernel.handles_pd rgpd);
+  check_bool "io pd" true (Subkernel.handles_pd io)
+
+let () =
+  Alcotest.run "kernel"
+    [
+      ( "syscall",
+        [
+          Alcotest.test_case "fpd reader policy" `Quick test_policy_fpd_reader;
+          Alcotest.test_case "check message" `Quick test_policy_check_message;
+          Alcotest.test_case "allow all" `Quick test_policy_allow_all;
+          Alcotest.test_case "builtin policy" `Quick test_builtin_policy_no_net;
+        ] );
+      ( "lsm",
+        [
+          Alcotest.test_case "deny by default" `Quick test_lsm_deny_by_default;
+          Alcotest.test_case "allow rules + wildcards" `Quick
+            test_lsm_allow_rules_and_wildcards;
+          Alcotest.test_case "deny overrides allow" `Quick test_lsm_deny_overrides_allow;
+          Alcotest.test_case "denial log" `Quick test_lsm_denial_log_contents;
+        ] );
+      ( "ipc",
+        [
+          Alcotest.test_case "fifo" `Quick test_ipc_fifo;
+          Alcotest.test_case "capacity backpressure" `Quick test_ipc_capacity_backpressure;
+          Alcotest.test_case "charges time" `Quick test_ipc_charges_time;
+        ] );
+      ( "resources",
+        [
+          Alcotest.test_case "claims and limits" `Quick test_resource_claims_and_limits;
+          Alcotest.test_case "dynamic resize" `Quick test_resource_dynamic_resize;
+          Alcotest.test_case "resize after release" `Quick
+            test_resource_resize_after_release_fails;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "PD never on general kernel" `Quick
+            test_pd_jobs_never_on_general_kernel;
+          Alcotest.test_case "NPD only on general" `Quick test_npd_jobs_only_on_general;
+          Alcotest.test_case "no eligible kernel" `Quick test_no_eligible_kernel;
+          Alcotest.test_case "IO jobs routed to driver" `Quick
+            test_io_jobs_routed_to_driver_kernel;
+          Alcotest.test_case "PD never on IO driver" `Quick test_pd_never_on_io_driver;
+          Alcotest.test_case "all jobs complete" `Quick
+            test_all_jobs_complete_and_clock_advances;
+          Alcotest.test_case "partition share scales speed" `Quick
+            test_bigger_partition_finishes_faster;
+          Alcotest.test_case "subkernel pd handling" `Quick test_subkernel_pd_handling;
+          QCheck_alcotest.to_alcotest prop_scheduler_conserves_work;
+        ] );
+    ]

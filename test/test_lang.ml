@@ -1,0 +1,320 @@
+module Lexer = Rgpdos_lang.Lexer
+module Parser = Rgpdos_lang.Parser
+module Ast = Rgpdos_lang.Ast
+module Clock = Rgpdos_util.Clock
+module M = Rgpdos_membrane.Membrane
+module Schema = Rgpdos_dbfs.Schema
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* the paper's Listing 1, in the concrete syntax *)
+let listing1 =
+  {|
+type user {
+  fields {
+    name: string,
+    pwd: string,
+    year_of_birthdate: int
+  };
+  view v_name { name };
+  view v_ano { year_of_birthdate };
+  consent {
+    purpose1: all,
+    purpose2: none,
+    purpose3: v_ano
+  };
+  collection {
+    web_form: user_form.html,
+    third_party: fetch_data.py
+  };
+  origin: subject;
+  age: 1Y;
+  sensitivity: high;
+}
+|}
+
+let purpose3_decl =
+  {|
+purpose purpose3 {
+  description: "compute the age of the input user";
+  reads: user.v_ano;
+  produces: age_result;
+  legal_basis: consent;
+}
+|}
+
+let parse_one_type src =
+  match Parser.parse_types src with
+  | Ok [ d ] -> d
+  | Ok ds -> Alcotest.failf "expected 1 type, got %d" (List.length ds)
+  | Error e -> Alcotest.fail e
+
+(* ------------------------------------------------------------------ *)
+(* lexer                                                              *)
+
+let test_lexer_basic_tokens () =
+  match Lexer.tokenize "type user { age: 1Y; x: 42 } // comment" with
+  | Error e -> Alcotest.fail e
+  | Ok toks ->
+      let kinds = List.map (fun t -> t.Lexer.token) toks in
+      check_bool "has type ident" true (List.mem (Lexer.IDENT "type") kinds);
+      check_bool "has duration" true (List.mem (Lexer.DURATION Clock.year) kinds);
+      check_bool "has int" true (List.mem (Lexer.INT 42) kinds);
+      check_bool "comment dropped" false
+        (List.mem (Lexer.IDENT "comment") kinds);
+      check_bool "ends with EOF" true (List.mem Lexer.EOF kinds)
+
+let test_lexer_strings_and_escapes () =
+  match Lexer.tokenize {|"hello \"world\"\n"|} with
+  | Ok [ { Lexer.token = Lexer.STRING s; _ }; _ ] ->
+      check_string "escaped" "hello \"world\"\n" s
+  | Ok _ -> Alcotest.fail "unexpected token stream"
+  | Error e -> Alcotest.fail e
+
+let test_lexer_durations () =
+  let dur src expected =
+    match Lexer.tokenize src with
+    | Ok ({ Lexer.token = Lexer.DURATION d; _ } :: _) ->
+        check_int src expected d
+    | _ -> Alcotest.failf "no duration in %s" src
+  in
+  dur "2Y" (2 * Clock.year);
+  dur "30D" (30 * Clock.day);
+  dur "12H" (12 * Clock.hour);
+  dur "5M" (5 * Clock.minute);
+  dur "10S" (10 * Clock.second)
+
+let test_lexer_line_numbers_in_errors () =
+  match Lexer.tokenize "ok tokens\n  @bad" with
+  | Error e ->
+      check_bool "mentions line 2" true
+        (String.length e >= 6 && String.sub e 0 6 = "line 2")
+  | Ok _ -> Alcotest.fail "expected lexer error"
+
+let test_lexer_unterminated_string () =
+  check_bool "unterminated" true (Result.is_error (Lexer.tokenize "\"oops"))
+
+(* ------------------------------------------------------------------ *)
+(* parser: the paper's listing                                        *)
+
+let test_parse_listing1 () =
+  let d = parse_one_type listing1 in
+  check_string "name" "user" d.Ast.t_name;
+  Alcotest.(check (list (pair string string)))
+    "fields"
+    [ ("name", "string"); ("pwd", "string"); ("year_of_birthdate", "int") ]
+    d.Ast.t_fields;
+  check_int "views" 2 (List.length d.Ast.t_views);
+  check_bool "v_ano view" true
+    (List.assoc "v_ano" d.Ast.t_views = [ "year_of_birthdate" ]);
+  check_bool "purpose1 all" true (List.assoc "purpose1" d.Ast.t_consents = Ast.C_all);
+  check_bool "purpose2 none" true
+    (List.assoc "purpose2" d.Ast.t_consents = Ast.C_none);
+  check_bool "purpose3 view" true
+    (List.assoc "purpose3" d.Ast.t_consents = Ast.C_view "v_ano");
+  check_bool "collection file kept" true
+    (List.assoc "web_form" d.Ast.t_collection = "user_form.html");
+  check_bool "origin" true (d.Ast.t_origin = Some "subject");
+  check_bool "age 1Y" true (d.Ast.t_age = Some Clock.year);
+  check_bool "sensitivity" true (d.Ast.t_sensitivity = Some "high")
+
+let test_parse_purpose_decl () =
+  match Parser.parse_purposes purpose3_decl with
+  | Error e -> Alcotest.fail e
+  | Ok [ p ] ->
+      check_string "name" "purpose3" p.Ast.p_name;
+      check_string "description" "compute the age of the input user"
+        p.Ast.p_description;
+      check_bool "reads view" true (p.Ast.p_reads = [ ("user", Some "v_ano") ]);
+      check_bool "produces" true (p.Ast.p_produces = Some "age_result");
+      check_bool "basis" true (p.Ast.p_legal_basis = Ast.Consent)
+  | Ok ps -> Alcotest.failf "expected 1 purpose, got %d" (List.length ps)
+
+let test_parse_mixed_file () =
+  match Parser.parse (listing1 ^ purpose3_decl) with
+  | Ok [ Ast.Type_decl _; Ast.Purpose_decl _ ] -> ()
+  | Ok ds -> Alcotest.failf "unexpected decl count %d" (List.length ds)
+  | Error e -> Alcotest.fail e
+
+let test_parse_minimal_type () =
+  let d = parse_one_type "type t { fields { a: int } }" in
+  check_bool "no views" true (d.Ast.t_views = []);
+  check_bool "no age" true (d.Ast.t_age = None)
+
+let test_parse_third_party_origin () =
+  let d =
+    parse_one_type
+      {|type t { fields { a: int }; origin: third_party("partner-hospital"); }|}
+  in
+  check_bool "third party parsed" true
+    (d.Ast.t_origin = Some "third_party:partner-hospital")
+
+let test_parse_errors () =
+  let expect_error src =
+    match Parser.parse src with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "should not parse: %s" src
+  in
+  expect_error "type {}";
+  expect_error "type t { }" (* no fields *);
+  expect_error "type t { fields { a: int } age: 1 }" (* unitless age *);
+  expect_error "type t { fields { a int } }" (* missing colon *);
+  expect_error "purpose p { reads: user; }" (* no description *);
+  expect_error "purpose p { description: \"d\"; legal_basis: astrology; }";
+  expect_error "banana t {}"
+
+let test_parse_error_position () =
+  match Parser.parse "type t {\n  fields { a: }\n}" with
+  | Error e ->
+      check_bool "mentions line 2" true
+        (String.length e >= 6 && String.sub e 0 6 = "line 2")
+  | Ok _ -> Alcotest.fail "expected parse error"
+
+let test_duplicate_clause_rejected () =
+  match
+    Parser.parse
+      "type t { fields { a: int }; fields { b: int } }"
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "duplicate fields clause must be rejected"
+
+(* ------------------------------------------------------------------ *)
+(* elaboration to schema                                              *)
+
+let test_to_schema_listing1 () =
+  let d = parse_one_type listing1 in
+  match Ast.to_schema d with
+  | Error e -> Alcotest.fail e
+  | Ok s ->
+      check_string "schema name" "user" s.Schema.name;
+      check_int "fields" 3 (List.length s.Schema.fields);
+      check_bool "ttl" true (s.Schema.default_ttl = Some Clock.year);
+      check_bool "sensitivity high" true
+        (s.Schema.default_sensitivity = M.High);
+      check_bool "origin subject" true (s.Schema.default_origin = M.Subject);
+      check_bool "consent scope elaborated" true
+        (List.assoc "purpose3" s.Schema.default_consents = M.View "v_ano")
+
+let test_to_schema_accepts_papers_hight_typo () =
+  (* Listing 1 in the paper literally says "sensitivity: hight" *)
+  let d =
+    parse_one_type "type t { fields { a: int }; sensitivity: hight; }"
+  in
+  match Ast.to_schema d with
+  | Ok s -> check_bool "hight = high" true (s.Schema.default_sensitivity = M.High)
+  | Error e -> Alcotest.fail e
+
+let test_to_schema_bad_field_type () =
+  let d = parse_one_type "type t { fields { a: quaternion } }" in
+  check_bool "rejected" true (Result.is_error (Ast.to_schema d))
+
+let test_to_schema_bad_view_reference () =
+  let d = parse_one_type "type t { fields { a: int }; view v { ghost }; }" in
+  check_bool "rejected by schema validation" true (Result.is_error (Ast.to_schema d))
+
+(* ------------------------------------------------------------------ *)
+(* selection predicates                                               *)
+
+module Query = Rgpdos_dbfs.Query
+module Value = Rgpdos_dbfs.Value
+
+let parse_pred src =
+  match Parser.parse_predicate src with
+  | Ok p -> p
+  | Error e -> Alcotest.fail e
+
+let test_predicate_atoms () =
+  check_bool "eq int" true
+    (parse_pred "year = 1990" = Query.Eq ("year", Value.VInt 1990));
+  check_bool "eq string" true
+    (parse_pred {|name = "Chiraz"|} = Query.Eq ("name", Value.VString "Chiraz"));
+  check_bool "lt" true (parse_pred "y < 2000" = Query.Lt ("y", Value.VInt 2000));
+  check_bool "gt" true (parse_pred "y > 1987" = Query.Gt ("y", Value.VInt 1987));
+  check_bool "contains" true
+    (parse_pred {|name contains "hir"|} = Query.Contains ("name", "hir"));
+  check_bool "bool literal" true
+    (parse_pred "active = true" = Query.Eq ("active", Value.VBool true));
+  check_bool "true" true (parse_pred "true" = Query.True)
+
+let test_predicate_connectives_and_precedence () =
+  (* and binds tighter than or *)
+  check_bool "precedence" true
+    (parse_pred "a = 1 or b = 2 and c = 3"
+    = Query.Or
+        ( Query.Eq ("a", Value.VInt 1),
+          Query.And (Query.Eq ("b", Value.VInt 2), Query.Eq ("c", Value.VInt 3)) ));
+  (* parentheses override *)
+  check_bool "parens" true
+    (parse_pred "(a = 1 or b = 2) and c = 3"
+    = Query.And
+        ( Query.Or (Query.Eq ("a", Value.VInt 1), Query.Eq ("b", Value.VInt 2)),
+          Query.Eq ("c", Value.VInt 3) ));
+  check_bool "not" true
+    (parse_pred {|not (name contains "test")|}
+    = Query.Not (Query.Contains ("name", "test")))
+
+let test_predicate_evaluates_end_to_end () =
+  let p = parse_pred {|year_of_birthdate > 1987 and not (name contains "bot")|} in
+  let alice = [ ("name", Value.VString "alice"); ("year_of_birthdate", Value.VInt 1990) ] in
+  let robot = [ ("name", Value.VString "crawler-bot"); ("year_of_birthdate", Value.VInt 1995) ] in
+  let old = [ ("name", Value.VString "zo"); ("year_of_birthdate", Value.VInt 1960) ] in
+  check_bool "alice matches" true (Query.eval p alice);
+  check_bool "bot excluded" false (Query.eval p robot);
+  check_bool "too old excluded" false (Query.eval p old)
+
+let test_predicate_errors () =
+  List.iter
+    (fun src ->
+      match Parser.parse_predicate src with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "should not parse: %s" src)
+    [ ""; "a ="; "= 3"; "a contains 3"; "a = 1 extra"; "a ~ 1"; "(a = 1" ]
+
+let prop_parser_never_crashes =
+  QCheck.Test.make ~name:"parser total on arbitrary input" ~count:300
+    QCheck.(string_of_size Gen.(0 -- 200))
+    (fun src ->
+      match Parser.parse src with Ok _ | Error _ -> true)
+
+let () =
+  Alcotest.run "lang"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "basic tokens" `Quick test_lexer_basic_tokens;
+          Alcotest.test_case "strings and escapes" `Quick test_lexer_strings_and_escapes;
+          Alcotest.test_case "durations" `Quick test_lexer_durations;
+          Alcotest.test_case "error positions" `Quick test_lexer_line_numbers_in_errors;
+          Alcotest.test_case "unterminated string" `Quick test_lexer_unterminated_string;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "paper listing 1" `Quick test_parse_listing1;
+          Alcotest.test_case "purpose declaration" `Quick test_parse_purpose_decl;
+          Alcotest.test_case "mixed file" `Quick test_parse_mixed_file;
+          Alcotest.test_case "minimal type" `Quick test_parse_minimal_type;
+          Alcotest.test_case "third-party origin" `Quick test_parse_third_party_origin;
+          Alcotest.test_case "syntax errors rejected" `Quick test_parse_errors;
+          Alcotest.test_case "error positions" `Quick test_parse_error_position;
+          Alcotest.test_case "duplicate clause" `Quick test_duplicate_clause_rejected;
+          QCheck_alcotest.to_alcotest prop_parser_never_crashes;
+        ] );
+      ( "predicates",
+        [
+          Alcotest.test_case "atoms" `Quick test_predicate_atoms;
+          Alcotest.test_case "connectives + precedence" `Quick
+            test_predicate_connectives_and_precedence;
+          Alcotest.test_case "end-to-end eval" `Quick test_predicate_evaluates_end_to_end;
+          Alcotest.test_case "errors" `Quick test_predicate_errors;
+        ] );
+      ( "elaboration",
+        [
+          Alcotest.test_case "listing 1 to schema" `Quick test_to_schema_listing1;
+          Alcotest.test_case "paper's 'hight' accepted" `Quick
+            test_to_schema_accepts_papers_hight_typo;
+          Alcotest.test_case "bad field type" `Quick test_to_schema_bad_field_type;
+          Alcotest.test_case "bad view reference" `Quick test_to_schema_bad_view_reference;
+        ] );
+    ]

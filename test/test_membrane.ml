@@ -1,0 +1,188 @@
+module M = Rgpdos_membrane.Membrane
+module Clock = Rgpdos_util.Clock
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let mk ?(consents = [ ("p1", M.All); ("p2", M.Denied); ("p3", M.View "v_ano") ])
+    ?ttl ?(sensitivity = M.Low) () =
+  M.make ~pd_id:"pd-0" ~type_name:"user" ~subject_id:"sub-1" ~origin:M.Subject
+    ~consents ~created_at:0 ?ttl ~sensitivity ()
+
+let scope_testable =
+  Alcotest.testable M.pp_consent_scope (fun a b -> a = b)
+
+let granted = function M.Granted s -> Some s | M.Refused _ -> None
+
+let test_decide_all () =
+  let m = mk () in
+  match M.decide m ~purpose:"p1" ~now:0 with
+  | M.Granted M.All -> ()
+  | _ -> Alcotest.fail "expected Granted All"
+
+let test_decide_denied () =
+  let m = mk () in
+  check_bool "denied" false (M.allows m ~purpose:"p2" ~now:0)
+
+let test_decide_view () =
+  let m = mk () in
+  Alcotest.(check (option scope_testable))
+    "view scope" (Some (M.View "v_ano"))
+    (granted (M.decide m ~purpose:"p3" ~now:0))
+
+let test_decide_unknown_purpose_fails_closed () =
+  let m = mk () in
+  check_bool "deny by default" false (M.allows m ~purpose:"never-declared" ~now:0)
+
+let test_ttl_expiry () =
+  let m = mk ~ttl:Clock.year () in
+  check_bool "fresh" true (M.allows m ~purpose:"p1" ~now:0);
+  check_bool "just before expiry" true
+    (M.allows m ~purpose:"p1" ~now:(Clock.year - 1));
+  check_bool "at expiry" false (M.allows m ~purpose:"p1" ~now:Clock.year);
+  check_bool "expired flag" true (M.expired m ~now:Clock.year);
+  check_bool "no ttl never expires" false (M.expired (mk ()) ~now:max_int)
+
+let test_duplicate_purposes_rejected () =
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Membrane.make: duplicate purpose in consents") (fun () ->
+      ignore (mk ~consents:[ ("p", M.All); ("p", M.Denied) ] ()))
+
+let test_set_consent_and_version () =
+  let m = mk () in
+  check_int "version 0" 0 m.M.version;
+  let m1 = M.set_consent m ~purpose:"p2" M.All in
+  check_bool "p2 now allowed" true (M.allows m1 ~purpose:"p2" ~now:0);
+  check_int "version bumped" 1 m1.M.version;
+  let m2 = M.set_consent m1 ~purpose:"brand-new" (M.View "v_ano") in
+  check_bool "new purpose added" true (M.allows m2 ~purpose:"brand-new" ~now:0);
+  check_int "consents grew" 4 (List.length m2.M.consents)
+
+let test_withdraw () =
+  let m = mk () in
+  let m1 = M.withdraw m ~purpose:"p1" in
+  check_bool "withdrawn" false (M.allows m1 ~purpose:"p1" ~now:0);
+  (* withdrawing an unknown purpose records an explicit denial *)
+  let m2 = M.withdraw m ~purpose:"unknown" in
+  check_bool "unknown recorded as denied" true
+    (List.assoc "unknown" m2.M.consents = M.Denied)
+
+let test_withdraw_all () =
+  let m = M.withdraw_all (mk ()) in
+  List.iter
+    (fun (p, _) -> check_bool p false (M.allows m ~purpose:p ~now:0))
+    m.M.consents
+
+let test_restriction_art18 () =
+  let m = mk () in
+  let r = M.set_restricted m true in
+  (* every purpose refused while restricted, even previously granted ones *)
+  List.iter
+    (fun (p, _) -> check_bool p false (M.allows r ~purpose:p ~now:0))
+    r.M.consents;
+  check_int "version bumped" 1 r.M.version;
+  (* consents intact underneath: lifting restores the previous decisions *)
+  let back = M.set_restricted r false in
+  check_bool "p1 restored" true (M.allows back ~purpose:"p1" ~now:0);
+  check_bool "p2 still denied" false (M.allows back ~purpose:"p2" ~now:0);
+  (* restriction survives the codec *)
+  match M.decode (M.encode r) with
+  | Ok r' -> check_bool "restricted roundtrips" true r'.M.restricted
+  | Error e -> Alcotest.fail e
+
+let test_copy_inherits_and_lineage () =
+  let m = mk () in
+  let c = M.copy_for m ~new_pd_id:"pd-42" in
+  check_string "new id" "pd-42" c.M.pd_id;
+  check_string "lineage preserved" "pd-0" (M.lineage_root c);
+  check_string "original lineage is self" "pd-0" (M.lineage_root m);
+  check_bool "restrictions inherited" false (M.allows c ~purpose:"p2" ~now:0);
+  let cc = M.copy_for c ~new_pd_id:"pd-43" in
+  check_string "lineage stable across copies" "pd-0" (M.lineage_root cc)
+
+let test_encode_decode_roundtrip () =
+  let m =
+    M.make ~pd_id:"pd-9" ~type_name:"patient" ~subject_id:"sub-7"
+      ~origin:(M.Third_party "hospital-B")
+      ~consents:[ ("care", M.All); ("ads", M.Denied); ("stats", M.View "anon") ]
+      ~created_at:12345 ~ttl:(2 * Clock.year) ~sensitivity:M.High
+      ~collection:[ ("web_form", "patient.html"); ("third_party", "fetch.py") ]
+      ()
+  in
+  match M.decode (M.encode m) with
+  | Ok m' -> check_bool "roundtrip" true (M.equal m m')
+  | Error e -> Alcotest.fail e
+
+let test_decode_garbage () =
+  check_bool "garbage" true (Result.is_error (M.decode "not a membrane"));
+  check_bool "truncated" true
+    (Result.is_error
+       (M.decode (String.sub (M.encode (mk ())) 0 10)))
+
+let prop_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      let scope =
+        oneof
+          [ return M.All; return M.Denied;
+            map (fun s -> M.View s) (string_size ~gen:(char_range 'a' 'z') (1 -- 6)) ]
+      in
+      let purpose i = "purpose" ^ string_of_int i in
+      map
+        (fun (scopes, ttl, created) ->
+          M.make ~pd_id:"pd-p" ~type_name:"t" ~subject_id:"s" ~origin:M.Sysadmin
+            ~consents:(List.mapi (fun i s -> (purpose i, s)) scopes)
+            ~created_at:created
+            ?ttl:(if ttl = 0 then None else Some ttl)
+            ())
+        (triple (list_size (0 -- 8) scope) (0 -- 1000000) (0 -- 1000000)))
+  in
+  QCheck.Test.make ~name:"membrane codec roundtrip" ~count:200 (QCheck.make gen)
+    (fun m ->
+      match M.decode (M.encode m) with Ok m' -> M.equal m m' | Error _ -> false)
+
+let prop_withdraw_monotone =
+  (* withdrawing can only shrink what is allowed *)
+  QCheck.Test.make ~name:"withdraw monotone" ~count:100
+    QCheck.(pair (int_range 0 2) (int_range 0 2))
+    (fun (i, j) ->
+      let m = mk () in
+      let p_with = "p" ^ string_of_int (i + 1) in
+      let p_test = "p" ^ string_of_int (j + 1) in
+      let m' = M.withdraw m ~purpose:p_with in
+      (not (M.allows m' ~purpose:p_with ~now:0))
+      && ((not (M.allows m' ~purpose:p_test ~now:0))
+         || M.allows m ~purpose:p_test ~now:0))
+
+let () =
+  Alcotest.run "membrane"
+    [
+      ( "decide",
+        [
+          Alcotest.test_case "all" `Quick test_decide_all;
+          Alcotest.test_case "denied" `Quick test_decide_denied;
+          Alcotest.test_case "view" `Quick test_decide_view;
+          Alcotest.test_case "unknown fails closed" `Quick
+            test_decide_unknown_purpose_fails_closed;
+          Alcotest.test_case "ttl expiry" `Quick test_ttl_expiry;
+          Alcotest.test_case "duplicate purposes rejected" `Quick
+            test_duplicate_purposes_rejected;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "set_consent and version" `Quick test_set_consent_and_version;
+          Alcotest.test_case "withdraw" `Quick test_withdraw;
+          Alcotest.test_case "withdraw_all" `Quick test_withdraw_all;
+          Alcotest.test_case "copy inherits, lineage stable" `Quick
+            test_copy_inherits_and_lineage;
+          Alcotest.test_case "art. 18 restriction" `Quick test_restriction_art18;
+          QCheck_alcotest.to_alcotest prop_withdraw_monotone;
+        ] );
+      ( "codec",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_encode_decode_roundtrip;
+          Alcotest.test_case "garbage" `Quick test_decode_garbage;
+          QCheck_alcotest.to_alcotest prop_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,169 @@
+(* Direct unit and property tests of the shared journal ring (both
+   filesystems sit on it, so its replay/checkpoint semantics deserve their
+   own coverage). *)
+
+module Clock = Rgpdos_util.Clock
+module Block_device = Rgpdos_block.Block_device
+module Ring = Rgpdos_block.Journal_ring
+module Prng = Rgpdos_util.Prng
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let make_ring ?(num_blocks = 8) () =
+  let clock = Clock.create () in
+  let dev =
+    Block_device.create
+      ~config:
+        {
+          Block_device.block_size = 128;
+          block_count = 64;
+          read_latency = 1;
+          write_latency = 1;
+          byte_latency = 0;
+        }
+      ~clock ()
+  in
+  (Ring.create dev ~start_block:2 ~num_blocks, dev)
+
+let no_overflow () = Alcotest.fail "unexpected ring overflow"
+
+let test_append_replay_roundtrip () =
+  let ring, dev = make_ring () in
+  let payloads = [ "alpha"; "beta"; "gamma with spaces"; "" ] in
+  List.iter (Ring.append ring ~on_overflow:no_overflow) payloads;
+  check_int "live records" 4 (fst (Ring.live ring));
+  (* replay from a fresh attach at position 0 *)
+  let reader = Ring.attach dev ~start_block:2 ~num_blocks:8 ~head:0 ~seq:0 in
+  let seen = ref [] in
+  Ring.replay reader (fun p -> seen := p :: !seen);
+  Alcotest.(check (list string)) "replayed in order" payloads (List.rev !seen)
+
+let test_replay_from_checkpoint_position () =
+  let ring, dev = make_ring () in
+  Ring.append ring ~on_overflow:no_overflow "before";
+  let head = Ring.head ring and seq = Ring.seq ring in
+  Ring.append ring ~on_overflow:no_overflow "after-1";
+  Ring.append ring ~on_overflow:no_overflow "after-2";
+  let reader = Ring.attach dev ~start_block:2 ~num_blocks:8 ~head ~seq in
+  let seen = ref [] in
+  Ring.replay reader (fun p -> seen := p :: !seen);
+  Alcotest.(check (list string)) "only post-checkpoint records"
+    [ "after-1"; "after-2" ] (List.rev !seen)
+
+let test_overflow_triggers_checkpoint_callback () =
+  let ring, _ = make_ring ~num_blocks:2 () in
+  (* 2 * 128 = 256 bytes of ring; 64-byte payloads + ~30B framing *)
+  let checkpoints = ref 0 in
+  let on_overflow () =
+    incr checkpoints;
+    Ring.mark_checkpointed ring
+  in
+  for _ = 1 to 10 do
+    Ring.append ring ~on_overflow (String.make 64 'x')
+  done;
+  check_bool "overflow fired" true (!checkpoints > 0)
+
+let test_record_too_large () =
+  let ring, _ = make_ring ~num_blocks:1 () in
+  Alcotest.check_raises "oversized record"
+    (Failure "Journal_ring: record larger than ring") (fun () ->
+      Ring.append ring ~on_overflow:no_overflow (String.make 1000 'x'))
+
+let test_overflow_handler_must_checkpoint () =
+  let ring, _ = make_ring ~num_blocks:1 () in
+  Alcotest.check_raises "bad handler"
+    (Failure "Journal_ring: overflow handler did not checkpoint") (fun () ->
+      for _ = 1 to 10 do
+        Ring.append ring ~on_overflow:(fun () -> ()) (String.make 64 'x')
+      done)
+
+let test_replay_stops_at_garbage () =
+  let ring, dev = make_ring () in
+  Ring.append ring ~on_overflow:no_overflow "good-1";
+  Ring.append ring ~on_overflow:no_overflow "good-2";
+  (* clobber bytes just past the second record *)
+  Block_device.write dev 4 (String.make 128 'Z');
+  let reader = Ring.attach dev ~start_block:2 ~num_blocks:8 ~head:0 ~seq:0 in
+  let seen = ref 0 in
+  Ring.replay reader (fun _ -> incr seen);
+  check_bool "stops without crashing" true (!seen <= 2)
+
+let test_scrub_zeroes_dead_blocks () =
+  let ring, dev = make_ring () in
+  Ring.append ring ~on_overflow:no_overflow "SECRET-IN-RING";
+  check_bool "present before scrub" true
+    (Block_device.scan dev "SECRET-IN-RING" <> []);
+  Ring.mark_checkpointed ring;
+  Ring.scrub ring;
+  check_int "scrubbed" 0 (List.length (Block_device.scan dev "SECRET-IN-RING"))
+
+let test_scrub_preserves_live_records () =
+  let ring, dev = make_ring () in
+  Ring.append ring ~on_overflow:no_overflow "dead-record";
+  Ring.mark_checkpointed ring;
+  let head = Ring.head ring and seq = Ring.seq ring in
+  Ring.append ring ~on_overflow:no_overflow "LIVE-RECORD";
+  Ring.scrub ring;
+  check_bool "live survives" true (Block_device.scan dev "LIVE-RECORD" <> []);
+  (* and it still replays from the checkpoint position *)
+  let reader = Ring.attach dev ~start_block:2 ~num_blocks:8 ~head ~seq in
+  let seen = ref [] in
+  Ring.replay reader (fun p -> seen := p :: !seen);
+  Alcotest.(check (list string)) "live replays" [ "LIVE-RECORD" ] !seen
+
+let prop_roundtrip_arbitrary_payloads =
+  QCheck.Test.make ~name:"ring roundtrips arbitrary payload lists" ~count:100
+    QCheck.(list_of_size Gen.(0 -- 12) (string_of_size Gen.(0 -- 100)))
+    (fun payloads ->
+      let ring, dev = make_ring ~num_blocks:32 () in
+      List.iter (Ring.append ring ~on_overflow:(fun () -> assert false)) payloads;
+      let reader = Ring.attach dev ~start_block:2 ~num_blocks:32 ~head:0 ~seq:0 in
+      let seen = ref [] in
+      Ring.replay reader (fun p -> seen := p :: !seen);
+      List.rev !seen = payloads)
+
+let prop_wraparound_preserves_tail =
+  (* fill the ring several times over with checkpoints; the records since
+     the last checkpoint must always replay *)
+  QCheck.Test.make ~name:"wraparound keeps post-checkpoint records" ~count:50
+    QCheck.(int_range 1 40)
+    (fun n ->
+      let ring, dev = make_ring ~num_blocks:3 () in
+      let last_ckpt = ref (0, 0) in
+      for i = 1 to n do
+        Ring.append ring
+          ~on_overflow:(fun () ->
+            last_ckpt := (Ring.head ring, Ring.seq ring);
+            Ring.mark_checkpointed ring)
+          (Printf.sprintf "record-%04d" i)
+      done;
+      let head, seq = !last_ckpt in
+      let reader = Ring.attach dev ~start_block:2 ~num_blocks:3 ~head ~seq in
+      let seen = ref [] in
+      Ring.replay reader (fun p -> seen := p :: !seen);
+      (* the replayed list must be a contiguous suffix ending at record n *)
+      match !seen with
+      | [] -> fst (Ring.live ring) = 0
+      | last :: _ -> last = Printf.sprintf "record-%04d" n)
+
+let () =
+  Alcotest.run "journal-ring"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "append/replay roundtrip" `Quick test_append_replay_roundtrip;
+          Alcotest.test_case "replay from checkpoint" `Quick
+            test_replay_from_checkpoint_position;
+          Alcotest.test_case "overflow callback" `Quick
+            test_overflow_triggers_checkpoint_callback;
+          Alcotest.test_case "record too large" `Quick test_record_too_large;
+          Alcotest.test_case "handler must checkpoint" `Quick
+            test_overflow_handler_must_checkpoint;
+          Alcotest.test_case "replay stops at garbage" `Quick test_replay_stops_at_garbage;
+          Alcotest.test_case "scrub zeroes dead blocks" `Quick test_scrub_zeroes_dead_blocks;
+          Alcotest.test_case "scrub preserves live" `Quick test_scrub_preserves_live_records;
+          QCheck_alcotest.to_alcotest prop_roundtrip_arbitrary_payloads;
+          QCheck_alcotest.to_alcotest prop_wraparound_preserves_tail;
+        ] );
+    ]

@@ -1,0 +1,348 @@
+open Rgpdos_util
+module Codec = Rgpdos_util.Codec
+
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Prng                                                               *)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:42L () in
+  let b = Prng.create ~seed:42L () in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next64 a) (Prng.next64 b)
+  done
+
+let test_prng_seeds_differ () =
+  let a = Prng.create ~seed:1L () in
+  let b = Prng.create ~seed:2L () in
+  let la = List.init 16 (fun _ -> Prng.next64 a) in
+  let lb = List.init 16 (fun _ -> Prng.next64 b) in
+  Alcotest.(check bool) "different streams" true (la <> lb)
+
+let test_prng_int_bounds () =
+  let g = Prng.create () in
+  for _ = 1 to 1000 do
+    let v = Prng.int g 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_prng_int_rejects_nonpositive () =
+  let g = Prng.create () in
+  Alcotest.check_raises "zero bound"
+    (Invalid_argument "Prng.int: bound must be positive") (fun () ->
+      ignore (Prng.int g 0))
+
+let test_prng_int_in () =
+  let g = Prng.create () in
+  for _ = 1 to 500 do
+    let v = Prng.int_in g (-3) 3 in
+    Alcotest.(check bool) "in closed range" true (v >= -3 && v <= 3)
+  done
+
+let test_prng_float_bounds () =
+  let g = Prng.create () in
+  for _ = 1 to 1000 do
+    let v = Prng.float g 2.5 in
+    Alcotest.(check bool) "in range" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_prng_bernoulli_extremes () =
+  let g = Prng.create () in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=0 never" false (Prng.bernoulli g 0.0)
+  done;
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=1 always" true (Prng.bernoulli g 1.0)
+  done
+
+let test_prng_split_independent () =
+  let g = Prng.create ~seed:7L () in
+  let h = Prng.split g in
+  let a = List.init 8 (fun _ -> Prng.next64 g) in
+  let b = List.init 8 (fun _ -> Prng.next64 h) in
+  Alcotest.(check bool) "split streams differ" true (a <> b)
+
+let test_prng_shuffle_permutation () =
+  let g = Prng.create () in
+  let arr = Array.init 50 Fun.id in
+  Prng.shuffle g arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+let test_prng_mean_uniformity () =
+  (* crude statistical smoke test: mean of 10k U[0,1) within 3 sigma *)
+  let g = Prng.create ~seed:99L () in
+  let n = 10_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Prng.float g 1.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 0.5" true (abs_float (mean -. 0.5) < 0.01)
+
+let test_zipf_bounds_and_skew () =
+  let g = Prng.create ~seed:5L () in
+  let s = Prng.Zipf.create ~n:100 ~theta:0.99 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 20_000 do
+    let r = Prng.Zipf.sample s g in
+    Alcotest.(check bool) "rank in range" true (r >= 0 && r < 100);
+    counts.(r) <- counts.(r) + 1
+  done;
+  Alcotest.(check bool) "rank 0 dominates rank 50" true
+    (counts.(0) > 4 * counts.(50))
+
+let test_zipf_theta_zero_uniformish () =
+  let g = Prng.create ~seed:6L () in
+  let s = Prng.Zipf.create ~n:10 ~theta:0.0 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let r = Prng.Zipf.sample s g in
+    counts.(r) <- counts.(r) + 1
+  done;
+  Array.iter
+    (fun c -> Alcotest.(check bool) "roughly uniform" true (c > 600 && c < 1400))
+    counts
+
+let test_zipf_invalid () =
+  Alcotest.check_raises "n=0" (Invalid_argument "Zipf.create: n must be positive")
+    (fun () -> ignore (Prng.Zipf.create ~n:0 ~theta:0.5))
+
+(* ------------------------------------------------------------------ *)
+(* Clock                                                              *)
+
+let test_clock_advance () =
+  let c = Clock.create () in
+  check_int "starts at 0" 0 (Clock.now c);
+  Clock.advance c 500;
+  check_int "advanced" 500 (Clock.now c);
+  Clock.advance c Clock.day;
+  check_int "plus a day" (500 + Clock.day) (Clock.now c)
+
+let test_clock_no_backwards () =
+  let c = Clock.create ~now:100 () in
+  Alcotest.check_raises "negative advance"
+    (Invalid_argument "Clock.advance: negative duration") (fun () ->
+      Clock.advance c (-1));
+  Alcotest.check_raises "set backwards"
+    (Invalid_argument "Clock.set: time cannot go backwards") (fun () ->
+      Clock.set c 50)
+
+let test_clock_pp () =
+  let s d = Format.asprintf "%a" Clock.pp_duration d in
+  check_string "ns" "42ns" (s 42);
+  check_string "years" "2y 10d" (s ((2 * Clock.year) + (10 * Clock.day)))
+
+(* ------------------------------------------------------------------ *)
+(* Hex                                                                *)
+
+let test_hex_roundtrip_known () =
+  check_string "encode" "68656c6c6f" (Hex.encode "hello");
+  check_string "decode" "hello" (Hex.decode_exn "68656c6c6f");
+  check_string "empty" "" (Hex.encode "");
+  check_string "binary" "00ff10" (Hex.encode "\x00\xff\x10")
+
+let test_hex_decode_errors () =
+  Alcotest.(check bool) "odd length" true (Result.is_error (Hex.decode "abc"));
+  Alcotest.(check bool) "bad digit" true (Result.is_error (Hex.decode "zz"))
+
+let test_hex_uppercase () =
+  check_string "uppercase accepted" "\xAB\xCD" (Hex.decode_exn "ABCD")
+
+let prop_hex_roundtrip =
+  QCheck.Test.make ~name:"hex roundtrip" ~count:500
+    QCheck.(string_of_size Gen.(0 -- 64))
+    (fun s -> Hex.decode_exn (Hex.encode s) = s)
+
+(* ------------------------------------------------------------------ *)
+(* Codec                                                              *)
+
+let test_codec_roundtrip () =
+  let w = Codec.Writer.create () in
+  Codec.Writer.int w 1234567890;
+  Codec.Writer.string w "hello";
+  Codec.Writer.bool w true;
+  Codec.Writer.bool w false;
+  Codec.Writer.list w (Codec.Writer.string w) [ "a"; "bb"; "" ];
+  let r = Codec.Reader.create (Codec.Writer.contents w) in
+  Alcotest.(check (result int string)) "int" (Ok 1234567890) (Codec.Reader.int r);
+  Alcotest.(check (result string string)) "string" (Ok "hello") (Codec.Reader.string r);
+  Alcotest.(check (result bool string)) "bool t" (Ok true) (Codec.Reader.bool r);
+  Alcotest.(check (result bool string)) "bool f" (Ok false) (Codec.Reader.bool r);
+  (match Codec.Reader.list r Codec.Reader.string with
+  | Ok l -> Alcotest.(check (list string)) "list" [ "a"; "bb"; "" ] l
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "at end" true (Codec.Reader.at_end r);
+  Alcotest.(check bool) "expect_end ok" true (Codec.Reader.expect_end r = Ok ())
+
+let test_codec_negative_int_rejected () =
+  let w = Codec.Writer.create () in
+  Alcotest.check_raises "negative" (Invalid_argument "Codec.Writer.int: negative")
+    (fun () -> Codec.Writer.int w (-1))
+
+let test_codec_truncation_and_trailing () =
+  let w = Codec.Writer.create () in
+  Codec.Writer.string w "payload";
+  let bytes = Codec.Writer.contents w in
+  (* truncated input decodes to Error, never raises *)
+  let r = Codec.Reader.create (String.sub bytes 0 5) in
+  Alcotest.(check bool) "truncated" true (Result.is_error (Codec.Reader.string r));
+  (* trailing bytes detected *)
+  let r2 = Codec.Reader.create (bytes ^ "junk") in
+  ignore (Codec.Reader.string r2);
+  Alcotest.(check bool) "trailing" true (Result.is_error (Codec.Reader.expect_end r2))
+
+let test_codec_invalid_bool_byte () =
+  let r = Codec.Reader.create "\x07" in
+  Alcotest.(check bool) "bad bool" true (Result.is_error (Codec.Reader.bool r))
+
+let prop_codec_string_roundtrip =
+  QCheck.Test.make ~name:"codec string roundtrip" ~count:300
+    QCheck.(pair (string_of_size Gen.(0 -- 200)) (int_range 0 1000000))
+    (fun (payload, n) ->
+      let w = Codec.Writer.create () in
+      Codec.Writer.string w payload;
+      Codec.Writer.int w n;
+      let r = Codec.Reader.create (Codec.Writer.contents w) in
+      Codec.Reader.string r = Ok payload && Codec.Reader.int r = Ok n)
+
+(* ------------------------------------------------------------------ *)
+(* Idgen                                                              *)
+
+let test_idgen_sequence () =
+  let g = Idgen.create ~prefix:"sub" in
+  check_string "first" "sub-00000000" (Idgen.fresh g);
+  check_string "second" "sub-00000001" (Idgen.fresh g);
+  check_int "count" 2 (Idgen.count g)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                              *)
+
+let test_stats_summary () =
+  let s = Stats.summarize [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+  Alcotest.(check (float 1e-9)) "mean" 3.0 s.mean;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.min;
+  Alcotest.(check (float 1e-9)) "max" 5.0 s.max;
+  Alcotest.(check (float 1e-9)) "p50" 3.0 s.p50;
+  check_int "count" 5 s.count
+
+let test_stats_stddev () =
+  Alcotest.(check (float 1e-9)) "sd of constant" 0.0 (Stats.stddev [ 2.0; 2.0; 2.0 ]);
+  Alcotest.(check (float 1e-6)) "sd known" 1.0 (Stats.stddev [ 1.0; 2.0; 3.0 ])
+
+let test_stats_percentile_interpolates () =
+  let arr = [| 10.0; 20.0 |] in
+  Alcotest.(check (float 1e-9)) "p50 between" 15.0 (Stats.percentile arr 0.5)
+
+let test_stats_empty_raises () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.summarize: empty sample")
+    (fun () -> ignore (Stats.summarize []))
+
+let test_counter () =
+  let c = Stats.Counter.create () in
+  Stats.Counter.incr c "reads";
+  Stats.Counter.incr c ~by:4 "reads";
+  Stats.Counter.incr c "writes";
+  check_int "reads" 5 (Stats.Counter.get c "reads");
+  check_int "writes" 1 (Stats.Counter.get c "writes");
+  check_int "absent" 0 (Stats.Counter.get c "nope");
+  Alcotest.(check (list (pair string int)))
+    "to_list sorted"
+    [ ("reads", 5); ("writes", 1) ]
+    (Stats.Counter.to_list c)
+
+(* ------------------------------------------------------------------ *)
+(* Table                                                              *)
+
+let test_table_render () =
+  let out =
+    Table.render ~header:[ "name"; "n" ]
+      [ [ "alpha"; "1" ]; [ "b"; "22" ] ]
+  in
+  let lines = String.split_on_char '\n' out in
+  check_int "4 lines" 4 (List.length lines);
+  Alcotest.(check bool) "header present" true
+    (String.length (List.nth lines 0) > 0)
+
+let test_table_alignment_and_padding () =
+  let out =
+    Table.render
+      ~align:[ Table.Left; Table.Right ]
+      ~header:[ "k"; "value" ]
+      [ [ "x"; "1" ]; [ "y" ] (* short row gets padded *) ]
+  in
+  Alcotest.(check bool) "right-aligned value" true
+    (let lines = String.split_on_char '\n' out in
+     let row = List.nth lines 2 in
+     (* "value" column is 5 wide; "1" should be preceded by spaces *)
+     String.length row >= 8)
+
+let test_fmt_int () =
+  check_string "small" "999" (Table.fmt_int 999);
+  check_string "thousands" "12,345" (Table.fmt_int 12345);
+  check_string "millions" "1,234,567" (Table.fmt_int 1234567);
+  check_string "negative" "-1,000" (Table.fmt_int (-1000))
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_prng_seeds_differ;
+          Alcotest.test_case "int bounds" `Quick test_prng_int_bounds;
+          Alcotest.test_case "int rejects <=0" `Quick test_prng_int_rejects_nonpositive;
+          Alcotest.test_case "int_in closed range" `Quick test_prng_int_in;
+          Alcotest.test_case "float bounds" `Quick test_prng_float_bounds;
+          Alcotest.test_case "bernoulli extremes" `Quick test_prng_bernoulli_extremes;
+          Alcotest.test_case "split independent" `Quick test_prng_split_independent;
+          Alcotest.test_case "shuffle is permutation" `Quick test_prng_shuffle_permutation;
+          Alcotest.test_case "mean uniformity" `Quick test_prng_mean_uniformity;
+        ] );
+      ( "zipf",
+        [
+          Alcotest.test_case "bounds and skew" `Quick test_zipf_bounds_and_skew;
+          Alcotest.test_case "theta 0 uniformish" `Quick test_zipf_theta_zero_uniformish;
+          Alcotest.test_case "invalid args" `Quick test_zipf_invalid;
+        ] );
+      ( "clock",
+        [
+          Alcotest.test_case "advance" `Quick test_clock_advance;
+          Alcotest.test_case "no backwards" `Quick test_clock_no_backwards;
+          Alcotest.test_case "pp_duration" `Quick test_clock_pp;
+        ] );
+      ( "hex",
+        [
+          Alcotest.test_case "known vectors" `Quick test_hex_roundtrip_known;
+          Alcotest.test_case "decode errors" `Quick test_hex_decode_errors;
+          Alcotest.test_case "uppercase" `Quick test_hex_uppercase;
+          QCheck_alcotest.to_alcotest prop_hex_roundtrip;
+        ] );
+      ( "codec",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_codec_roundtrip;
+          Alcotest.test_case "negative int" `Quick test_codec_negative_int_rejected;
+          Alcotest.test_case "truncation/trailing" `Quick test_codec_truncation_and_trailing;
+          Alcotest.test_case "invalid bool byte" `Quick test_codec_invalid_bool_byte;
+          QCheck_alcotest.to_alcotest prop_codec_string_roundtrip;
+        ] );
+      ( "idgen",
+        [ Alcotest.test_case "sequence" `Quick test_idgen_sequence ] );
+      ( "stats",
+        [
+          Alcotest.test_case "summary" `Quick test_stats_summary;
+          Alcotest.test_case "stddev" `Quick test_stats_stddev;
+          Alcotest.test_case "percentile interpolation" `Quick test_stats_percentile_interpolates;
+          Alcotest.test_case "empty raises" `Quick test_stats_empty_raises;
+          Alcotest.test_case "counter" `Quick test_counter;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "alignment/padding" `Quick test_table_alignment_and_padding;
+          Alcotest.test_case "fmt_int" `Quick test_fmt_int;
+        ] );
+    ]

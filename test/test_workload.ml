@@ -1,0 +1,198 @@
+module Prng = Rgpdos_util.Prng
+module Population = Rgpdos_workload.Population
+module Gdprbench = Rgpdos_workload.Gdprbench
+module Runner = Rgpdos_workload.Runner
+module Userdb = Rgpdos_baseline.Userdb
+module Penalties = Rgpdos_penalties.Penalties
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* population                                                         *)
+
+let test_population_deterministic () =
+  let g1 = Prng.create ~seed:3L () in
+  let g2 = Prng.create ~seed:3L () in
+  let p1 = Population.generate g1 ~n:20 in
+  let p2 = Population.generate g2 ~n:20 in
+  check_bool "same population" true (p1 = p2)
+
+let test_population_shape () =
+  let g = Prng.create ~seed:4L () in
+  let pop = Population.generate g ~n:200 in
+  check_int "size" 200 (List.length pop);
+  let ids = List.map (fun p -> p.Population.subject_id) pop in
+  check_int "unique ids" 200 (List.length (List.sort_uniq compare ids));
+  List.iter
+    (fun p ->
+      check_bool "service always granted" true
+        (List.assoc "service" p.Population.consent_profile
+        = Rgpdos_membrane.Membrane.All);
+      check_bool "birth year range" true
+        (p.Population.year_of_birth >= 1940 && p.Population.year_of_birth <= 2007))
+    pop;
+  (* consent skew: marketing denied for most *)
+  let marketing_ok =
+    List.length
+      (List.filter
+         (fun p ->
+           List.assoc "marketing" p.Population.consent_profile
+           <> Rgpdos_membrane.Membrane.Denied)
+         pop)
+  in
+  check_bool "marketing minority" true (marketing_ok < 100)
+
+let test_type_declaration_parses () =
+  match Rgpdos_lang.Parser.parse Population.type_declaration with
+  | Ok decls -> check_int "one type + three purposes" 4 (List.length decls)
+  | Error e -> Alcotest.fail e
+
+(* ------------------------------------------------------------------ *)
+(* op generation                                                      *)
+
+let test_mix_weights_sum_to_one () =
+  List.iter
+    (fun role ->
+      let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 (Gdprbench.mix role) in
+      Alcotest.(check (float 1e-9)) (Gdprbench.role_to_string role) 1.0 total)
+    Gdprbench.all_roles
+
+let test_generate_respects_mix () =
+  let g = Prng.create ~seed:5L () in
+  let pop = Population.generate g ~n:50 in
+  let ops = Gdprbench.generate g ~role:Gdprbench.Processor ~population:pop ~n:2000 in
+  check_int "count" 2000 (List.length ops);
+  let count kind =
+    List.length (List.filter (fun op -> Gdprbench.op_kind op = kind) ops)
+  in
+  (* processor mix: 70% purpose_query, 25% subject_read, 5% insert *)
+  check_bool "purpose_query dominates" true (count "purpose_query" > 1200);
+  check_bool "some reads" true (count "subject_read" > 300);
+  check_bool "no erases in processor mix" true (count "erase" = 0)
+
+let test_generate_fresh_subjects_for_inserts () =
+  let g = Prng.create ~seed:6L () in
+  let pop = Population.generate g ~n:10 in
+  let ops = Gdprbench.generate g ~role:Gdprbench.Controller ~population:pop ~n:200 in
+  let inserted =
+    List.filter_map
+      (function Gdprbench.Op_insert p -> Some p.Population.subject_id | _ -> None)
+      ops
+  in
+  check_bool "some inserts" true (inserted <> []);
+  check_int "no id collisions" (List.length inserted)
+    (List.length (List.sort_uniq compare inserted));
+  List.iter
+    (fun id ->
+      check_bool "fresh vs population" false
+        (List.exists (fun p -> p.Population.subject_id = id) pop))
+    inserted
+
+(* ------------------------------------------------------------------ *)
+(* runner: all three backends execute all roles                       *)
+
+let smoke_run backend_of =
+  let g = Prng.create ~seed:7L () in
+  let pop = Population.generate g ~n:40 in
+  let backend = backend_of pop in
+  List.iter
+    (fun role ->
+      let ops = Gdprbench.generate g ~role ~population:pop ~n:60 in
+      let result = Runner.run backend ops in
+      check_int
+        (Runner.backend_name backend ^ "/" ^ Gdprbench.role_to_string role ^ " errors")
+        0 result.Runner.errors;
+      check_bool "simulated time advanced" true (result.Runner.total_simulated_ns > 0))
+    Gdprbench.all_roles
+
+let test_runner_machine_backend () =
+  smoke_run (fun pop -> Runner.machine_backend ~seed:11L ~population:pop)
+
+let test_runner_db_gdpr_backend () =
+  smoke_run (fun pop ->
+      Runner.baseline_backend ~seed:11L ~mode:Userdb.Gdpr ~population:pop)
+
+let test_runner_db_vanilla_backend () =
+  smoke_run (fun pop ->
+      Runner.baseline_backend ~seed:11L ~mode:Userdb.Vanilla ~population:pop)
+
+let test_runner_unsupported_counted () =
+  let g = Prng.create ~seed:8L () in
+  let pop = Population.generate g ~n:10 in
+  let backend = Runner.baseline_backend ~seed:1L ~mode:Userdb.Gdpr ~population:pop in
+  let result = Runner.run backend [ Gdprbench.Op_verify_audit ] in
+  check_int "audit verification unsupported on baseline" 1 result.Runner.unsupported
+
+(* ------------------------------------------------------------------ *)
+(* penalties dataset (Figure 1)                                       *)
+
+let test_fig1_totals_grow_yearly () =
+  match Penalties.totals_by_year () with
+  | [ (2018, t18); (2019, t19); (2020, t20); (2021, t21) ] ->
+      check_bool "2018 < 2019" true (t18 < t19);
+      check_bool "2019 < 2020" true (t19 < t20);
+      check_bool "2020 < 2021" true (t20 < t21);
+      (* the paper: "topping 1.2 billion euros in 2021" *)
+      check_bool "2021 tops 1.1B" true (t21 > 1_100_000_000);
+      check_bool "2021 around 1.2B" true (t21 < 1_400_000_000)
+  | other -> Alcotest.failf "unexpected years: %d" (List.length other)
+
+let test_fig1_top_sectors () =
+  let top = Penalties.top_sectors () in
+  check_int "five sectors" 5 (List.length top);
+  (* descending *)
+  let amounts = List.map snd top in
+  check_bool "sorted desc" true (List.sort (fun a b -> compare b a) amounts = amounts);
+  check_bool "retail among top (Amazon 2021)" true
+    (List.mem_assoc "retail" top)
+
+let test_fig1_render () =
+  let out = Penalties.render_figure1 () in
+  check_bool "mentions both panels" true
+    (String.length out > 100
+    && String.sub out 0 8 = "Figure 1")
+
+let test_dataset_sane () =
+  List.iter
+    (fun f ->
+      check_bool "year range" true (f.Penalties.year >= 2018 && f.Penalties.year <= 2021);
+      check_bool "positive amount" true (f.Penalties.amount_eur > 0))
+    Penalties.dataset;
+  check_bool "has the CNIL doctors fine from the intro" true
+    (List.exists
+       (fun f -> f.Penalties.amount_eur = 9_000 && f.Penalties.sector = "health")
+       (Penalties.fines_in 2020))
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "population",
+        [
+          Alcotest.test_case "deterministic" `Quick test_population_deterministic;
+          Alcotest.test_case "shape" `Quick test_population_shape;
+          Alcotest.test_case "declaration parses" `Quick test_type_declaration_parses;
+        ] );
+      ( "gdprbench",
+        [
+          Alcotest.test_case "mix weights" `Quick test_mix_weights_sum_to_one;
+          Alcotest.test_case "respects mix" `Quick test_generate_respects_mix;
+          Alcotest.test_case "fresh insert subjects" `Quick
+            test_generate_fresh_subjects_for_inserts;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "machine backend all roles" `Slow test_runner_machine_backend;
+          Alcotest.test_case "db-gdpr backend all roles" `Quick test_runner_db_gdpr_backend;
+          Alcotest.test_case "db-vanilla backend all roles" `Quick
+            test_runner_db_vanilla_backend;
+          Alcotest.test_case "unsupported counted" `Quick test_runner_unsupported_counted;
+        ] );
+      ( "penalties",
+        [
+          Alcotest.test_case "fig1 totals grow" `Quick test_fig1_totals_grow_yearly;
+          Alcotest.test_case "fig1 top sectors" `Quick test_fig1_top_sectors;
+          Alcotest.test_case "fig1 render" `Quick test_fig1_render;
+          Alcotest.test_case "dataset sane" `Quick test_dataset_sane;
+        ] );
+    ]
