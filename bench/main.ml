@@ -1,12 +1,21 @@
 (* The full evaluation harness.
 
-   Usage: dune exec bench/main.exe [-- --quick] [-- fig1 e1 e3 micro ...]
+   Usage: dune exec bench/main.exe [-- --quick] [-- --json PATH]
+                                   [-- fig1 e1 e3 micro ...]
 
    With no section arguments it regenerates everything: Figure 1 (the
    paper's penalty statistics), experiments E1-E10 with the E2b scaling
    sweep and the A1/A2/A3 ablations (DESIGN.md §3), and the bechamel
    micro-benchmarks of the core primitives.  [--quick] shrinks problem
-   sizes for a fast smoke pass. *)
+   sizes for a fast smoke pass.
+
+   [--json PATH] additionally writes a machine-readable report (see
+   Rgpdos_workload.Bench_report) holding the micro ns/op rows and the
+   E1/E4 aggregates from whichever of those sections ran — the committed
+   BENCH_hotpath.json artifact is produced by
+
+     dune exec bench/main.exe -- --quick micro e1 e4 --json BENCH_hotpath.json
+*)
 
 open Bechamel
 open Toolkit
@@ -107,27 +116,27 @@ let run_micro () =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
   let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows =
-    Hashtbl.fold
-      (fun name ols_result acc ->
-        let estimate =
-          match Analyze.OLS.estimates ols_result with
-          | Some (e :: _) -> e
-          | _ -> nan
-        in
-        let r2 =
-          match Analyze.OLS.r_square ols_result with Some r -> r | None -> nan
-        in
-        (name, estimate, r2) :: acc)
-      results []
-    |> List.sort compare
-  in
+  Hashtbl.fold
+    (fun name ols_result acc ->
+      let estimate =
+        match Analyze.OLS.estimates ols_result with
+        | Some (e :: _) -> e
+        | _ -> nan
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols_result with Some r -> r | None -> nan
+      in
+      { Rgpdos_workload.Bench_report.name; ns_per_op = estimate; r2 } :: acc)
+    results []
+  |> List.sort compare
+
+let render_micro rows =
   Rgpdos_util.Table.render
     ~align:[ Rgpdos_util.Table.Left; Rgpdos_util.Table.Right; Rgpdos_util.Table.Right ]
     ~header:[ "benchmark"; "wall ns/op"; "r^2" ]
     (List.map
-       (fun (name, est, r2) ->
-         [ name; Printf.sprintf "%.1f" est; Printf.sprintf "%.4f" r2 ])
+       (fun { Rgpdos_workload.Bench_report.name; ns_per_op; r2 } ->
+         [ name; Printf.sprintf "%.1f" ns_per_op; Printf.sprintf "%.4f" r2 ])
        rows)
 
 (* A3: crypto-erasure cost versus the authority's key size.  Wall-clock
@@ -183,17 +192,40 @@ let run_keysize_ablation () =
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "--quick" args in
+  let rec extract_json acc = function
+    | [] -> (None, List.rev acc)
+    | "--json" :: path :: rest -> (Some path, List.rev_append acc rest)
+    | [ "--json" ] -> failwith "--json requires a PATH argument"
+    | a :: rest -> extract_json (a :: acc) rest
+  in
+  let json_path, args = extract_json [] args in
   let wanted = List.filter (fun a -> a <> "--quick") args in
   let enabled name = wanted = [] || List.mem name wanted in
+  if json_path <> None && not (enabled "micro") then
+    failwith
+      "--json needs the micro section for a valid report; run e.g. \
+       bench/main.exe -- --quick micro e1 e4 --json PATH";
   let d full small = if quick then small else full in
+
+  (* host wall-clock per section, for the JSON report *)
+  let timed f =
+    let t0 = Sys.time () in
+    let r = f () in
+    (r, (Sys.time () -. t0) *. 1e3)
+  in
+  let micro_rows = ref [] in
+  let e1_result = ref None in
+  let e4_result = ref None in
 
   if enabled "fig1" then
     section "FIG1 — GDPR penalty statistics (paper Figure 1)"
       (Penalties.render_figure1 ());
 
-  if enabled "e1" then
-    section "E1 — DED pipeline breakdown"
-      (E.render_e1 (E.e1_ded_stages ~subjects:(d 2_000 200) ()));
+  if enabled "e1" then begin
+    let r, wall_ms = timed (fun () -> E.e1_ded_stages ~subjects:(d 2_000 200) ()) in
+    e1_result := Some (r, wall_ms);
+    section "E1 — DED pipeline breakdown" (E.render_e1 r)
+  end;
 
   if enabled "e2" then
     section "E2 — GDPRBench roles: rgpdOS vs DB-level GDPR vs vanilla"
@@ -211,12 +243,16 @@ let () =
     section "E3 — right to be forgotten (forensic)"
       (E.render_e3 (E.e3_erasure ~subjects:(d 300 60) ~erase_fraction:0.10 ()));
 
-  if enabled "e4" then
-    section "E4 — right of access latency"
-      (E.render_e4
-         (E.e4_access
+  if enabled "e4" then begin
+    let r, wall_ms =
+      timed (fun () ->
+          E.e4_access
             ~records_per_subject:(d [ 1; 10; 50; 200; 1_000 ] [ 1; 10; 50 ])
-            ()));
+            ())
+    in
+    e4_result := Some (r, wall_ms);
+    section "E4 — right of access latency" (E.render_e4 r)
+  end;
 
   if enabled "e5" then
     section "E5 — storage-limitation sweep"
@@ -261,8 +297,25 @@ let () =
     section "A3 — ablation: crypto-erasure cost vs authority key size (wall clock)"
       (run_keysize_ablation ());
 
-  if enabled "micro" then
-    section "MICRO — bechamel micro-benchmarks (host wall clock)" (run_micro ());
+  if enabled "micro" then begin
+    let rows = run_micro () in
+    micro_rows := rows;
+    section "MICRO — bechamel micro-benchmarks (host wall clock)"
+      (render_micro rows)
+  end;
+
+  (match json_path with
+  | None -> ()
+  | Some path ->
+      let module BR = Rgpdos_workload.Bench_report in
+      let report =
+        BR.make ~quick ~micro:!micro_rows ?e1:!e1_result ?e4:!e4_result ()
+      in
+      (match BR.validate report with
+      | Ok () -> ()
+      | Error e -> failwith ("bench report failed self-validation: " ^ e));
+      BR.write_file path report;
+      Printf.printf "\nwrote %s\n" path);
 
   print_newline ();
   print_endline "done."

@@ -25,11 +25,25 @@ type entry = {
   hash : string;
 }
 
-type t = { mutable entries_rev : entry list; mutable count : int }
+type t = {
+  mutable entries_rev : entry list;
+  mutable count : int;
+  (* scratch state reused across appends: the chain hashes one small
+     material string per entry, so a fresh hash context and Buffer per
+     call would be pure allocation churn on the hot path *)
+  scratch_ctx : Sha256.ctx;
+  scratch_w : Codec.Writer.t;
+}
 
 let genesis_hash = Sha256.hexdigest "rgpdos-audit-genesis"
 
-let create () = { entries_rev = []; count = 0 }
+let create () =
+  {
+    entries_rev = [];
+    count = 0;
+    scratch_ctx = Sha256.init ();
+    scratch_w = Codec.Writer.create ();
+  }
 
 let encode_event w event =
   let open Codec.Writer in
@@ -74,8 +88,8 @@ let encode_event w event =
       string w processing;
       string w measurement
 
-let entry_material ~seq ~timestamp ~actor ~event ~prev_hash =
-  let w = Codec.Writer.create () in
+let entry_material w ~seq ~timestamp ~actor ~event ~prev_hash =
+  Codec.Writer.clear w;
   Codec.Writer.int w seq;
   Codec.Writer.int w timestamp;
   Codec.Writer.string w actor;
@@ -83,15 +97,20 @@ let entry_material ~seq ~timestamp ~actor ~event ~prev_hash =
   Codec.Writer.string w prev_hash;
   Codec.Writer.contents w
 
-let compute_hash ~seq ~timestamp ~actor ~event ~prev_hash =
-  Sha256.hexdigest (entry_material ~seq ~timestamp ~actor ~event ~prev_hash)
+let compute_hash t ~seq ~timestamp ~actor ~event ~prev_hash =
+  let material =
+    entry_material t.scratch_w ~seq ~timestamp ~actor ~event ~prev_hash
+  in
+  Sha256.reset t.scratch_ctx;
+  Sha256.feed t.scratch_ctx material;
+  Hex.encode (Sha256.finalize t.scratch_ctx)
 
 let append t ~now ~actor event =
   let prev_hash =
     match t.entries_rev with [] -> genesis_hash | e :: _ -> e.hash
   in
   let seq = t.count in
-  let hash = compute_hash ~seq ~timestamp:now ~actor ~event ~prev_hash in
+  let hash = compute_hash t ~seq ~timestamp:now ~actor ~event ~prev_hash in
   let entry = { seq; timestamp = now; actor; event; prev_hash; hash } in
   t.entries_rev <- entry :: t.entries_rev;
   t.count <- t.count + 1;
@@ -125,7 +144,7 @@ let verify t =
     | [] -> Ok ()
     | e :: rest ->
         let expected =
-          compute_hash ~seq:e.seq ~timestamp:e.timestamp ~actor:e.actor
+          compute_hash t ~seq:e.seq ~timestamp:e.timestamp ~actor:e.actor
             ~event:e.event ~prev_hash
         in
         if e.prev_hash <> prev_hash || e.hash <> expected then Error e.seq
@@ -215,7 +234,13 @@ let of_bytes raw =
           Ok { seq; timestamp; actor; event; prev_hash; hash })
     in
     let* () = expect_end r in
-    Ok { entries_rev = List.rev entry_list; count = List.length entry_list }
+    Ok
+      {
+        entries_rev = List.rev entry_list;
+        count = List.length entry_list;
+        scratch_ctx = Sha256.init ();
+        scratch_w = Codec.Writer.create ();
+      }
 
 let pp_event fmt = function
   | Collected { pd_id; interface } ->

@@ -39,6 +39,13 @@ val read : t -> int -> string
 (** [read dev i] returns the contents of block [i] (always [block_size]
     bytes; unwritten blocks read as zeros). *)
 
+val charge_read : t -> int -> unit
+(** Charge exactly the simulated cost (and IO statistics) of [read dev i]
+    without transferring the block's bytes.  Used by read caches that hold
+    a decoded copy in host memory: the host-side work disappears but the
+    simulated device cost model — and therefore every experiment's
+    [stage_ns] accounting — is unchanged. *)
+
 val write : t -> int -> string -> unit
 (** [write dev i data] stores [data] as block [i].  [data] shorter than
     [block_size] is zero-padded; longer raises [Invalid_argument]. *)

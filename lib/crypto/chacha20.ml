@@ -1,61 +1,70 @@
+(* RFC 8439 ChaCha20 with hot loops over unboxed native [int] words (masked
+   to 32 bits).  The keystream for each block is produced directly from the
+   working state into the output buffer — encryption XORs the plaintext in
+   the same pass, so there is no intermediate keystream string. *)
+
 let key_size = 32
 let nonce_size = 12
+let mask32 = 0xffffffff
 
-let rotl x n = Int32.logor (Int32.shift_left x n) (Int32.shift_right_logical x (32 - n))
+let[@inline] qr x a b c d =
+  let xa = (Array.unsafe_get x a + Array.unsafe_get x b) land mask32 in
+  let xd = Array.unsafe_get x d lxor xa in
+  let xd = ((xd lsl 16) lor (xd lsr 16)) land mask32 in
+  let xc = (Array.unsafe_get x c + xd) land mask32 in
+  let xb = Array.unsafe_get x b lxor xc in
+  let xb = ((xb lsl 12) lor (xb lsr 20)) land mask32 in
+  let xa = (xa + xb) land mask32 in
+  let xd = xd lxor xa in
+  let xd = ((xd lsl 8) lor (xd lsr 24)) land mask32 in
+  let xc = (xc + xd) land mask32 in
+  let xb = xb lxor xc in
+  let xb = ((xb lsl 7) lor (xb lsr 25)) land mask32 in
+  Array.unsafe_set x a xa;
+  Array.unsafe_set x b xb;
+  Array.unsafe_set x c xc;
+  Array.unsafe_set x d xd
 
-let quarter_round st a b c d =
-  st.(a) <- Int32.add st.(a) st.(b);
-  st.(d) <- rotl (Int32.logxor st.(d) st.(a)) 16;
-  st.(c) <- Int32.add st.(c) st.(d);
-  st.(b) <- rotl (Int32.logxor st.(b) st.(c)) 12;
-  st.(a) <- Int32.add st.(a) st.(b);
-  st.(d) <- rotl (Int32.logxor st.(d) st.(a)) 8;
-  st.(c) <- Int32.add st.(c) st.(d);
-  st.(b) <- rotl (Int32.logxor st.(b) st.(c)) 7
+let[@inline] word32_le s off =
+  Char.code (String.unsafe_get s off)
+  lor (Char.code (String.unsafe_get s (off + 1)) lsl 8)
+  lor (Char.code (String.unsafe_get s (off + 2)) lsl 16)
+  lor (Char.code (String.unsafe_get s (off + 3)) lsl 24)
 
-let word32_le s off =
-  Int32.logor
-    (Int32.of_int (Char.code s.[off]))
-    (Int32.logor
-       (Int32.shift_left (Int32.of_int (Char.code s.[off + 1])) 8)
-       (Int32.logor
-          (Int32.shift_left (Int32.of_int (Char.code s.[off + 2])) 16)
-          (Int32.shift_left (Int32.of_int (Char.code s.[off + 3])) 24)))
-
-let block ~key ~nonce counter =
-  let st = Array.make 16 0l in
-  st.(0) <- 0x61707865l;
-  st.(1) <- 0x3320646el;
-  st.(2) <- 0x79622d32l;
-  st.(3) <- 0x6b206574l;
+let init_state ~key ~nonce =
+  let st = Array.make 16 0 in
+  st.(0) <- 0x61707865;
+  st.(1) <- 0x3320646e;
+  st.(2) <- 0x79622d32;
+  st.(3) <- 0x6b206574;
   for i = 0 to 7 do
-    st.(8 + i - 4) <- word32_le key (i * 4)
+    st.(4 + i) <- word32_le key (i * 4)
   done;
-  st.(12) <- Int32.of_int counter;
+  (* st.(12) is the block counter, set per block *)
   for i = 0 to 2 do
     st.(13 + i) <- word32_le nonce (i * 4)
   done;
-  let working = Array.copy st in
+  st
+
+(* 20 rounds of [st] (with the given block counter) into [x]: afterwards
+   x.(i) holds the i-th little-endian keystream word of the block. *)
+let core_block st x counter =
+  st.(12) <- counter land mask32;
+  Array.blit st 0 x 0 16;
   for _ = 1 to 10 do
-    quarter_round working 0 4 8 12;
-    quarter_round working 1 5 9 13;
-    quarter_round working 2 6 10 14;
-    quarter_round working 3 7 11 15;
-    quarter_round working 0 5 10 15;
-    quarter_round working 1 6 11 12;
-    quarter_round working 2 7 8 13;
-    quarter_round working 3 4 9 14
+    qr x 0 4 8 12;
+    qr x 1 5 9 13;
+    qr x 2 6 10 14;
+    qr x 3 7 11 15;
+    qr x 0 5 10 15;
+    qr x 1 6 11 12;
+    qr x 2 7 8 13;
+    qr x 3 4 9 14
   done;
-  let out = Bytes.create 64 in
   for i = 0 to 15 do
-    let v = Int32.add working.(i) st.(i) in
-    for b = 0 to 3 do
-      Bytes.set out ((i * 4) + b)
-        (Char.chr
-           (Int32.to_int (Int32.logand (Int32.shift_right_logical v (b * 8)) 0xffl)))
-    done
-  done;
-  Bytes.to_string out
+    Array.unsafe_set x i
+      ((Array.unsafe_get x i + Array.unsafe_get st i) land mask32)
+  done
 
 let check_sizes ~key ~nonce =
   if String.length key <> key_size then
@@ -63,16 +72,75 @@ let check_sizes ~key ~nonce =
   if String.length nonce <> nonce_size then
     invalid_arg "Chacha20: nonce must be 12 bytes"
 
+(* the last (possibly partial) block, one byte at a time *)
+let[@inline] keystream_byte x j = (Array.unsafe_get x (j lsr 2) lsr ((j land 3) * 8)) land 0xff
+
 let keystream ~key ~nonce ?(counter = 0) n =
   check_sizes ~key ~nonce;
-  let buf = Buffer.create n in
-  let blocks = (n + 63) / 64 in
-  for i = 0 to blocks - 1 do
-    Buffer.add_string buf (block ~key ~nonce (counter + i))
+  let out = Bytes.create n in
+  let st = init_state ~key ~nonce in
+  let x = Array.make 16 0 in
+  let full = n / 64 in
+  for b = 0 to full - 1 do
+    core_block st x (counter + b);
+    let o = b * 64 in
+    for i = 0 to 15 do
+      let v = Array.unsafe_get x i in
+      Bytes.unsafe_set out (o + (4 * i)) (Char.unsafe_chr (v land 0xff));
+      Bytes.unsafe_set out (o + (4 * i) + 1) (Char.unsafe_chr ((v lsr 8) land 0xff));
+      Bytes.unsafe_set out (o + (4 * i) + 2) (Char.unsafe_chr ((v lsr 16) land 0xff));
+      Bytes.unsafe_set out (o + (4 * i) + 3) (Char.unsafe_chr ((v lsr 24) land 0xff))
+    done
   done;
-  Buffer.sub buf 0 n
+  let rem = n - (full * 64) in
+  if rem > 0 then begin
+    core_block st x (counter + full);
+    let o = full * 64 in
+    for j = 0 to rem - 1 do
+      Bytes.unsafe_set out (o + j) (Char.unsafe_chr (keystream_byte x j))
+    done
+  end;
+  Bytes.unsafe_to_string out
 
 let encrypt ~key ~nonce ?(counter = 0) plaintext =
-  let ks = keystream ~key ~nonce ~counter (String.length plaintext) in
-  String.init (String.length plaintext) (fun i ->
-      Char.chr (Char.code plaintext.[i] lxor Char.code ks.[i]))
+  check_sizes ~key ~nonce;
+  let n = String.length plaintext in
+  let out = Bytes.create n in
+  let st = init_state ~key ~nonce in
+  let x = Array.make 16 0 in
+  let full = n / 64 in
+  for b = 0 to full - 1 do
+    core_block st x (counter + b);
+    let o = b * 64 in
+    for i = 0 to 15 do
+      let v = Array.unsafe_get x i in
+      let p = o + (4 * i) in
+      Bytes.unsafe_set out p
+        (Char.unsafe_chr
+           (Char.code (String.unsafe_get plaintext p) lxor (v land 0xff)));
+      Bytes.unsafe_set out (p + 1)
+        (Char.unsafe_chr
+           (Char.code (String.unsafe_get plaintext (p + 1))
+           lxor ((v lsr 8) land 0xff)));
+      Bytes.unsafe_set out (p + 2)
+        (Char.unsafe_chr
+           (Char.code (String.unsafe_get plaintext (p + 2))
+           lxor ((v lsr 16) land 0xff)));
+      Bytes.unsafe_set out (p + 3)
+        (Char.unsafe_chr
+           (Char.code (String.unsafe_get plaintext (p + 3))
+           lxor ((v lsr 24) land 0xff)))
+    done
+  done;
+  let rem = n - (full * 64) in
+  if rem > 0 then begin
+    core_block st x (counter + full);
+    let o = full * 64 in
+    for j = 0 to rem - 1 do
+      Bytes.unsafe_set out (o + j)
+        (Char.unsafe_chr
+           (Char.code (String.unsafe_get plaintext (o + j))
+           lxor keystream_byte x j))
+    done
+  end;
+  Bytes.unsafe_to_string out

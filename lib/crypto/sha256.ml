@@ -1,22 +1,29 @@
-(* Straightforward FIPS 180-4 implementation over int32. *)
+(* FIPS 180-4, hot loops over unboxed native [int] (64-bit platforms keep
+   every 32-bit word in a tagged immediate, so the compression function
+   allocates nothing).  Words are kept masked to 32 bits; sums are allowed
+   to carry into the high bits between masks because OCaml's int is wide
+   enough for several 32-bit additions. *)
+
+let mask32 = 0xffffffff
 
 let k =
-  [| 0x428a2f98l; 0x71374491l; 0xb5c0fbcfl; 0xe9b5dba5l; 0x3956c25bl;
-     0x59f111f1l; 0x923f82a4l; 0xab1c5ed5l; 0xd807aa98l; 0x12835b01l;
-     0x243185bel; 0x550c7dc3l; 0x72be5d74l; 0x80deb1fel; 0x9bdc06a7l;
-     0xc19bf174l; 0xe49b69c1l; 0xefbe4786l; 0x0fc19dc6l; 0x240ca1ccl;
-     0x2de92c6fl; 0x4a7484aal; 0x5cb0a9dcl; 0x76f988dal; 0x983e5152l;
-     0xa831c66dl; 0xb00327c8l; 0xbf597fc7l; 0xc6e00bf3l; 0xd5a79147l;
-     0x06ca6351l; 0x14292967l; 0x27b70a85l; 0x2e1b2138l; 0x4d2c6dfcl;
-     0x53380d13l; 0x650a7354l; 0x766a0abbl; 0x81c2c92el; 0x92722c85l;
-     0xa2bfe8a1l; 0xa81a664bl; 0xc24b8b70l; 0xc76c51a3l; 0xd192e819l;
-     0xd6990624l; 0xf40e3585l; 0x106aa070l; 0x19a4c116l; 0x1e376c08l;
-     0x2748774cl; 0x34b0bcb5l; 0x391c0cb3l; 0x4ed8aa4al; 0x5b9cca4fl;
-     0x682e6ff3l; 0x748f82eel; 0x78a5636fl; 0x84c87814l; 0x8cc70208l;
-     0x90befffal; 0xa4506cebl; 0xbef9a3f7l; 0xc67178f2l |]
+  [| 0x428a2f98; 0x71374491; 0xb5c0fbcf; 0xe9b5dba5; 0x3956c25b;
+     0x59f111f1; 0x923f82a4; 0xab1c5ed5; 0xd807aa98; 0x12835b01;
+     0x243185be; 0x550c7dc3; 0x72be5d74; 0x80deb1fe; 0x9bdc06a7;
+     0xc19bf174; 0xe49b69c1; 0xefbe4786; 0x0fc19dc6; 0x240ca1cc;
+     0x2de92c6f; 0x4a7484aa; 0x5cb0a9dc; 0x76f988da; 0x983e5152;
+     0xa831c66d; 0xb00327c8; 0xbf597fc7; 0xc6e00bf3; 0xd5a79147;
+     0x06ca6351; 0x14292967; 0x27b70a85; 0x2e1b2138; 0x4d2c6dfc;
+     0x53380d13; 0x650a7354; 0x766a0abb; 0x81c2c92e; 0x92722c85;
+     0xa2bfe8a1; 0xa81a664b; 0xc24b8b70; 0xc76c51a3; 0xd192e819;
+     0xd6990624; 0xf40e3585; 0x106aa070; 0x19a4c116; 0x1e376c08;
+     0x2748774c; 0x34b0bcb5; 0x391c0cb3; 0x4ed8aa4a; 0x5b9cca4f;
+     0x682e6ff3; 0x748f82ee; 0x78a5636f; 0x84c87814; 0x8cc70208;
+     0x90befffa; 0xa4506ceb; 0xbef9a3f7; 0xc67178f2 |]
 
 type ctx = {
-  h : int32 array;
+  h : int array; (* 8 chaining words, always masked to 32 bits *)
+  w : int array; (* 64-entry message schedule, reused across blocks *)
   buf : Bytes.t; (* 64-byte block buffer *)
   mutable buf_len : int;
   mutable total : int; (* total bytes absorbed *)
@@ -25,104 +32,133 @@ type ctx = {
 let init () =
   {
     h =
-      [| 0x6a09e667l; 0xbb67ae85l; 0x3c6ef372l; 0xa54ff53al; 0x510e527fl;
-         0x9b05688cl; 0x1f83d9abl; 0x5be0cd19l |];
+      [| 0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a; 0x510e527f;
+         0x9b05688c; 0x1f83d9ab; 0x5be0cd19 |];
+    w = Array.make 64 0;
     buf = Bytes.create 64;
     buf_len = 0;
     total = 0;
   }
 
-let rotr x n = Int32.logor (Int32.shift_right_logical x n) (Int32.shift_left x (32 - n))
+let reset ctx =
+  let h = ctx.h in
+  h.(0) <- 0x6a09e667;
+  h.(1) <- 0xbb67ae85;
+  h.(2) <- 0x3c6ef372;
+  h.(3) <- 0xa54ff53a;
+  h.(4) <- 0x510e527f;
+  h.(5) <- 0x9b05688c;
+  h.(6) <- 0x1f83d9ab;
+  h.(7) <- 0x5be0cd19;
+  ctx.buf_len <- 0;
+  ctx.total <- 0
+
+let copy ctx =
+  {
+    h = Array.copy ctx.h;
+    w = Array.make 64 0;
+    buf = Bytes.copy ctx.buf;
+    buf_len = ctx.buf_len;
+    total = ctx.total;
+  }
+
+let[@inline] rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask32
 
 let process_block ctx block off =
-  let w = Array.make 64 0l in
+  let w = ctx.w in
   for i = 0 to 15 do
-    w.(i) <-
-      Int32.logor
-        (Int32.shift_left (Int32.of_int (Char.code (Bytes.get block (off + (i * 4))))) 24)
-        (Int32.logor
-           (Int32.shift_left (Int32.of_int (Char.code (Bytes.get block (off + (i * 4) + 1)))) 16)
-           (Int32.logor
-              (Int32.shift_left (Int32.of_int (Char.code (Bytes.get block (off + (i * 4) + 2)))) 8)
-              (Int32.of_int (Char.code (Bytes.get block (off + (i * 4) + 3))))))
+    let o = off + (i * 4) in
+    Array.unsafe_set w i
+      ((Char.code (Bytes.unsafe_get block o) lsl 24)
+      lor (Char.code (Bytes.unsafe_get block (o + 1)) lsl 16)
+      lor (Char.code (Bytes.unsafe_get block (o + 2)) lsl 8)
+      lor Char.code (Bytes.unsafe_get block (o + 3)))
   done;
   for i = 16 to 63 do
-    let s0 =
-      Int32.logxor (rotr w.(i - 15) 7)
-        (Int32.logxor (rotr w.(i - 15) 18) (Int32.shift_right_logical w.(i - 15) 3))
-    in
-    let s1 =
-      Int32.logxor (rotr w.(i - 2) 17)
-        (Int32.logxor (rotr w.(i - 2) 19) (Int32.shift_right_logical w.(i - 2) 10))
-    in
-    w.(i) <- Int32.add (Int32.add w.(i - 16) s0) (Int32.add w.(i - 7) s1)
+    let w15 = Array.unsafe_get w (i - 15) in
+    let s0 = rotr w15 7 lxor rotr w15 18 lxor (w15 lsr 3) in
+    let w2 = Array.unsafe_get w (i - 2) in
+    let s1 = rotr w2 17 lxor rotr w2 19 lxor (w2 lsr 10) in
+    Array.unsafe_set w i
+      ((Array.unsafe_get w (i - 16) + s0 + Array.unsafe_get w (i - 7) + s1)
+      land mask32)
   done;
-  let a = ref ctx.h.(0) and b = ref ctx.h.(1) and c = ref ctx.h.(2) in
-  let d = ref ctx.h.(3) and e = ref ctx.h.(4) and f = ref ctx.h.(5) in
-  let g = ref ctx.h.(6) and hh = ref ctx.h.(7) in
-  for i = 0 to 63 do
-    let s1 = Int32.logxor (rotr !e 6) (Int32.logxor (rotr !e 11) (rotr !e 25)) in
-    let ch = Int32.logxor (Int32.logand !e !f) (Int32.logand (Int32.lognot !e) !g) in
-    let temp1 = Int32.add (Int32.add (Int32.add !hh s1) (Int32.add ch k.(i))) w.(i) in
-    let s0 = Int32.logxor (rotr !a 2) (Int32.logxor (rotr !a 13) (rotr !a 22)) in
-    let maj =
-      Int32.logxor (Int32.logand !a !b)
-        (Int32.logxor (Int32.logand !a !c) (Int32.logand !b !c))
-    in
-    let temp2 = Int32.add s0 maj in
-    hh := !g;
-    g := !f;
-    f := !e;
-    e := Int32.add !d temp1;
-    d := !c;
-    c := !b;
-    b := !a;
-    a := Int32.add temp1 temp2
-  done;
-  ctx.h.(0) <- Int32.add ctx.h.(0) !a;
-  ctx.h.(1) <- Int32.add ctx.h.(1) !b;
-  ctx.h.(2) <- Int32.add ctx.h.(2) !c;
-  ctx.h.(3) <- Int32.add ctx.h.(3) !d;
-  ctx.h.(4) <- Int32.add ctx.h.(4) !e;
-  ctx.h.(5) <- Int32.add ctx.h.(5) !f;
-  ctx.h.(6) <- Int32.add ctx.h.(6) !g;
-  ctx.h.(7) <- Int32.add ctx.h.(7) !hh
+  let h = ctx.h in
+  (* int arguments stay in registers: the round function allocates nothing *)
+  let rec rounds a b c d e f g hh i =
+    if i = 64 then begin
+      h.(0) <- (h.(0) + a) land mask32;
+      h.(1) <- (h.(1) + b) land mask32;
+      h.(2) <- (h.(2) + c) land mask32;
+      h.(3) <- (h.(3) + d) land mask32;
+      h.(4) <- (h.(4) + e) land mask32;
+      h.(5) <- (h.(5) + f) land mask32;
+      h.(6) <- (h.(6) + g) land mask32;
+      h.(7) <- (h.(7) + hh) land mask32
+    end
+    else begin
+      let s1 = rotr e 6 lxor rotr e 11 lxor rotr e 25 in
+      let ch = e land f lxor (lnot e land g) land mask32 in
+      let temp1 =
+        hh + s1 + ch + Array.unsafe_get k i + Array.unsafe_get w i
+      in
+      let s0 = rotr a 2 lxor rotr a 13 lxor rotr a 22 in
+      let maj = a land b lxor (a land c) lxor (b land c) in
+      let temp2 = s0 + maj in
+      rounds ((temp1 + temp2) land mask32) a b c ((d + temp1) land mask32) e f
+        g (i + 1)
+    end
+  in
+  rounds h.(0) h.(1) h.(2) h.(3) h.(4) h.(5) h.(6) h.(7) 0
 
 let feed ctx s =
-  ctx.total <- ctx.total + String.length s;
-  let pos = ref 0 in
   let len = String.length s in
-  while !pos < len do
-    let take = min (64 - ctx.buf_len) (len - !pos) in
-    Bytes.blit_string s !pos ctx.buf ctx.buf_len take;
+  ctx.total <- ctx.total + len;
+  let pos = ref 0 in
+  (* top up a partially filled buffer first *)
+  if ctx.buf_len > 0 then begin
+    let take = min (64 - ctx.buf_len) len in
+    Bytes.blit_string s 0 ctx.buf ctx.buf_len take;
     ctx.buf_len <- ctx.buf_len + take;
-    pos := !pos + take;
+    pos := take;
     if ctx.buf_len = 64 then begin
       process_block ctx ctx.buf 0;
       ctx.buf_len <- 0
     end
-  done
+  end;
+  (* whole blocks straight from the input, no copy *)
+  if ctx.buf_len = 0 then begin
+    let sb = Bytes.unsafe_of_string s in
+    while len - !pos >= 64 do
+      process_block ctx sb !pos;
+      pos := !pos + 64
+    done
+  end;
+  (* stash the tail *)
+  let rem = len - !pos in
+  if rem > 0 then begin
+    Bytes.blit_string s !pos ctx.buf ctx.buf_len rem;
+    ctx.buf_len <- ctx.buf_len + rem
+  end
 
 let finalize ctx =
-  let total_bits = Int64.of_int (ctx.total * 8) in
-  (* padding: 0x80, zeros, 8-byte big-endian bit length *)
-  feed ctx "\x80";
-  while ctx.buf_len <> 56 do
-    feed ctx "\x00"
-  done;
-  (* feed updates total, but length was captured before padding *)
-  let len_bytes =
-    String.init 8 (fun i ->
-        Char.chr
-          (Int64.to_int
-             (Int64.logand (Int64.shift_right_logical total_bits ((7 - i) * 8)) 0xffL)))
+  let total_bits = ctx.total * 8 in
+  (* padding: 0x80, zeros to 56 mod 64, 8-byte big-endian bit length —
+     built as a single trailer so finalize feeds exactly once *)
+  let zeros =
+    if ctx.buf_len < 56 then 55 - ctx.buf_len else 119 - ctx.buf_len
   in
-  feed ctx len_bytes;
+  let tail = Bytes.make (zeros + 9) '\000' in
+  Bytes.set tail 0 '\x80';
+  for i = 0 to 7 do
+    Bytes.set tail
+      (zeros + 1 + i)
+      (Char.chr ((total_bits lsr ((7 - i) * 8)) land 0xff))
+  done;
+  feed ctx (Bytes.unsafe_to_string tail);
   assert (ctx.buf_len = 0);
   String.init 32 (fun i ->
-      let word = ctx.h.(i / 4) in
-      Char.chr
-        (Int32.to_int (Int32.logand (Int32.shift_right_logical word ((3 - i mod 4) * 8)) 0xffl)))
+      Char.chr ((ctx.h.(i / 4) lsr ((3 - (i mod 4)) * 8)) land 0xff))
 
 let digest s =
   let ctx = init () in
@@ -131,10 +167,32 @@ let digest s =
 
 let hexdigest s = Rgpdos_util.Hex.encode (digest s)
 
-let hmac ~key msg =
-  let block = 64 in
-  let key = if String.length key > block then digest key else key in
-  let key = key ^ String.make (block - String.length key) '\000' in
-  let xor_with c = String.map (fun k -> Char.chr (Char.code k lxor c)) key in
-  let ipad = xor_with 0x36 and opad = xor_with 0x5c in
-  digest (opad ^ digest (ipad ^ msg))
+(* HMAC with precomputed pads: the ipad/opad midstates are hashed once per
+   key, so each message costs two block-aligned continuations instead of
+   two fresh hashes over [pad ^ msg]. *)
+
+type hmac_key = { ictx : ctx; octx : ctx }
+
+let hmac_key key =
+  let key = if String.length key > 64 then digest key else key in
+  let ipad = Bytes.make 64 '\x36' and opad = Bytes.make 64 '\x5c' in
+  String.iteri
+    (fun i c ->
+      Bytes.set ipad i (Char.chr (Char.code c lxor 0x36));
+      Bytes.set opad i (Char.chr (Char.code c lxor 0x5c)))
+    key;
+  let ictx = init () in
+  feed ictx (Bytes.unsafe_to_string ipad);
+  let octx = init () in
+  feed octx (Bytes.unsafe_to_string opad);
+  { ictx; octx }
+
+let hmac_with hk msg =
+  let inner = copy hk.ictx in
+  feed inner msg;
+  let digest_inner = finalize inner in
+  let outer = copy hk.octx in
+  feed outer digest_inner;
+  finalize outer
+
+let hmac ~key msg = hmac_with (hmac_key key) msg

@@ -9,6 +9,11 @@ type ctx
 
 val init : unit -> ctx
 
+val reset : ctx -> unit
+(** Return a context to its freshly-initialised state.  Lets a hot caller
+    (the audit chain hashes one small entry per append) reuse one context's
+    buffers instead of allocating a new message schedule per hash. *)
+
 val feed : ctx -> string -> unit
 (** Absorb bytes; may be called repeatedly. *)
 
@@ -23,3 +28,13 @@ val hexdigest : string -> string
 
 val hmac : key:string -> string -> string
 (** HMAC-SHA256 (RFC 2104), 32 raw bytes. *)
+
+type hmac_key
+(** Precomputed HMAC pads: the ipad/opad midstates are hashed once, so
+    repeated MACs under the same key (the audit chain's per-entry case)
+    skip re-hashing [key ^ pad] every call. *)
+
+val hmac_key : string -> hmac_key
+
+val hmac_with : hmac_key -> string -> string
+(** [hmac_with (hmac_key k) msg = hmac ~key:k msg]. *)

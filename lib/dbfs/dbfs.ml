@@ -61,6 +61,15 @@ type t = {
   mutable next_pd : int;
   mutable hook : (actor:string -> op:string -> bool) option;
   counters : Stats.Counter.t;
+  (* Decoded read caches, keyed by pd_id.  Coherence rule: ANY mutation of
+     an entry (membrane update, record update, erasure, delete — including
+     journal replay) invalidates its cached value; the only population
+     points are [insert] (write-through) and a read miss.  Cache hits still
+     charge the full simulated device-read cost (Block_device.charge_read),
+     so the experiments' stage_ns accounting is unchanged — the cache only
+     removes host-side block reassembly and decoding. *)
+  membrane_cache : (string, Membrane.t) Hashtbl.t;
+  record_cache : (string, Record.t) Hashtbl.t;
 }
 
 let superblock_magic = "RGPDBFS1"
@@ -140,6 +149,10 @@ let read_payload t blocks size =
   let buf = Buffer.create size in
   List.iter (fun b -> Buffer.add_string buf (Block_device.read t.dev b)) blocks;
   Buffer.sub buf 0 size
+
+(* cache hit: simulated cost of the reads we did not perform *)
+let charge_payload_read t blocks =
+  List.iter (fun b -> Block_device.charge_read t.dev b) blocks
 
 (* ------------------------------------------------------------------ *)
 (* journal ops (metadata only: no PD bytes ever enter the ring)       *)
@@ -252,7 +265,22 @@ let mark_used t blocks = List.iter (fun b -> t.free.(b - t.data_start) <- false)
 
 let mark_free t blocks = List.iter (fun b -> t.free.(b - t.data_start) <- true) blocks
 
+(* Every path that changes an entry funnels through here (live ops via
+   log_and_apply, recovery via journal replay), so this is the single
+   invalidation point of the coherence rule above. *)
+let invalidate_caches t pd_id =
+  Hashtbl.remove t.membrane_cache pd_id;
+  Hashtbl.remove t.record_cache pd_id
+
 let apply_op t op =
+  (match op with
+  | J_create_type _ -> ()
+  | J_insert { pd_id; _ }
+  | J_update_record { pd_id; _ }
+  | J_update_membrane { pd_id; _ }
+  | J_delete pd_id
+  | J_erase { pd_id; _ } ->
+      invalidate_caches t pd_id);
   match op with
   | J_create_type schema_bytes -> (
       match Schema.decode schema_bytes with
@@ -453,6 +481,8 @@ let format dev ~journal_blocks =
       next_pd = 0;
       hook = None;
       counters = Stats.Counter.create ();
+      membrane_cache = Hashtbl.create 256;
+      record_cache = Hashtbl.create 256;
     }
   in
   write_meta t;
@@ -527,6 +557,8 @@ let mount dev =
                   next_pd;
                   hook = None;
                   counters = Stats.Counter.create ();
+                  membrane_cache = Hashtbl.create 256;
+                  record_cache = Hashtbl.create 256;
                 }
               in
               List.iter
@@ -625,15 +657,30 @@ let insert t ~actor ~subject ~type_name ~record ~membrane_of =
                            membrane_size = String.length membrane_bytes;
                          });
                     Stats.Counter.incr t.counters "inserts";
+                    (* write-through: the values just validated and encoded
+                       are exactly what a subsequent read would decode *)
+                    Hashtbl.replace t.membrane_cache pd_id membrane;
+                    Hashtbl.replace t.record_cache pd_id record;
                     Ok pd_id)))
 
 let get_membrane t ~actor pd_id =
   let** () = guard t ~actor ~op:"read" in
   let** e = find_entry t pd_id in
   Stats.Counter.incr t.counters "membrane_reads";
-  match Membrane.decode (read_payload t e.membrane_blocks e.membrane_size) with
-  | Ok m -> Ok m
-  | Error msg -> Error (Corrupt ("membrane of " ^ pd_id ^ ": " ^ msg))
+  match Hashtbl.find_opt t.membrane_cache pd_id with
+  | Some m ->
+      Stats.Counter.incr t.counters "cache_hits";
+      charge_payload_read t e.membrane_blocks;
+      Ok m
+  | None -> (
+      Stats.Counter.incr t.counters "cache_misses";
+      match
+        Membrane.decode (read_payload t e.membrane_blocks e.membrane_size)
+      with
+      | Ok m ->
+          Hashtbl.replace t.membrane_cache pd_id m;
+          Ok m
+      | Error msg -> Error (Corrupt ("membrane of " ^ pd_id ^ ": " ^ msg)))
 
 let get_record t ~actor pd_id =
   let** () = guard t ~actor ~op:"read" in
@@ -641,9 +688,18 @@ let get_record t ~actor pd_id =
   if e.erased then Error (Erased pd_id)
   else begin
     Stats.Counter.incr t.counters "record_reads";
-    match Record.decode (read_payload t e.record_blocks e.record_size) with
-    | Ok r -> Ok r
-    | Error msg -> Error (Corrupt ("record of " ^ pd_id ^ ": " ^ msg))
+    match Hashtbl.find_opt t.record_cache pd_id with
+    | Some r ->
+        Stats.Counter.incr t.counters "cache_hits";
+        charge_payload_read t e.record_blocks;
+        Ok r
+    | None -> (
+        Stats.Counter.incr t.counters "cache_misses";
+        match Record.decode (read_payload t e.record_blocks e.record_size) with
+        | Ok r ->
+            Hashtbl.replace t.record_cache pd_id r;
+            Ok r
+        | Error msg -> Error (Corrupt ("record of " ^ pd_id ^ ": " ^ msg)))
   end
 
 let update_record t ~actor pd_id record =

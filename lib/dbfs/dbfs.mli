@@ -174,4 +174,13 @@ val fsck : t -> (unit, string list) result
 
 val stats : t -> Rgpdos_util.Stats.Counter.t
 (** Operation counters ("inserts", "membrane_reads", "record_reads",
-    "deletes", "erasures", "denials", ...). *)
+    "deletes", "erasures", "denials", ...).
+
+    "cache_hits" / "cache_misses" count lookups in the decoded
+    membrane/record read cache.  A hit skips the host-side payload
+    reassembly and decode but is charged the identical simulated device
+    cost, so experiment [stage_ns] figures are unaffected.  Coherence
+    rule: every journalled operation that touches a pd ([J_insert],
+    [J_update_record], [J_update_membrane], [J_delete], [J_erase]) —
+    whether live or replayed at mount — invalidates that pd's cached
+    entries before it applies. *)

@@ -5,6 +5,8 @@ module Writer = struct
 
   let create () = Buffer.create 256
 
+  let clear = Buffer.clear
+
   let int buf v =
     if v < 0 then invalid_arg "Codec.Writer.int: negative";
     for i = 7 downto 0 do

@@ -9,6 +9,11 @@ module Writer : sig
   type t
 
   val create : unit -> t
+
+  val clear : t -> unit
+  (** Empty the writer for reuse, keeping its allocation.  For hot paths
+      that would otherwise create a fresh writer per small message. *)
+
   val int : t -> int -> unit
   (** 8-byte big-endian; the value must be non-negative.
       @raise Invalid_argument on negative input. *)

@@ -1,12 +1,9 @@
 let hexdigit n = "0123456789abcdef".[n]
 
 let encode s =
-  String.concat ""
-    (List.map
-       (fun c ->
-         let b = Char.code c in
-         Printf.sprintf "%c%c" (hexdigit (b lsr 4)) (hexdigit (b land 0xf)))
-       (List.init (String.length s) (String.get s)))
+  String.init (2 * String.length s) (fun i ->
+      let b = Char.code (String.unsafe_get s (i lsr 1)) in
+      hexdigit (if i land 1 = 0 then b lsr 4 else b land 0xf))
 
 let nibble c =
   match c with

@@ -1,0 +1,157 @@
+module Json = Rgpdos_util.Json
+
+type micro_row = { name : string; ns_per_op : float; r2 : float }
+
+let schema_id = "rgpdos-bench-hotpath/1"
+
+let micro_json rows =
+  Json.List
+    (List.map
+       (fun { name; ns_per_op; r2 } ->
+         Json.Obj
+           [
+             ("name", Json.Str name);
+             ("ns_per_op", Json.Num ns_per_op);
+             ("r2", Json.Num r2);
+           ])
+       rows)
+
+let e1_json (r : Experiments.e1_result) wall_ms =
+  Json.Obj
+    [
+      ("subjects", Json.Num (float_of_int r.Experiments.e1_subjects));
+      ( "stage_ns",
+        Json.Obj
+          (List.map
+             (fun (stage, ns) -> (stage, Json.Num (float_of_int ns)))
+             r.Experiments.e1_stage_ns) );
+      ("total_sim_ns", Json.Num (float_of_int r.Experiments.e1_total_ns));
+      ("wall_ms", Json.Num wall_ms);
+    ]
+
+let e4_json (rows : Experiments.e4_row list) wall_ms =
+  Json.Obj
+    [
+      ( "rows",
+        Json.List
+          (List.map
+             (fun (row : Experiments.e4_row) ->
+               Json.Obj
+                 [
+                   ( "records_per_subject",
+                     Json.Num (float_of_int row.Experiments.e4_records_per_subject)
+                   );
+                   ("sim_us", Json.Num row.Experiments.e4_sim_us);
+                   ( "export_complete",
+                     Json.Bool row.Experiments.e4_export_complete );
+                 ])
+             rows) );
+      ("wall_ms", Json.Num wall_ms);
+    ]
+
+let make ~quick ~micro ?e1 ?e4 () =
+  let opt key f = function Some v -> [ (key, f v) ] | None -> [] in
+  Json.Obj
+    ([
+       ("schema", Json.Str schema_id);
+       ("quick", Json.Bool quick);
+       ("micro", micro_json micro);
+     ]
+    @ opt "e1" (fun (r, w) -> e1_json r w) e1
+    @ opt "e4" (fun (r, w) -> e4_json r w) e4)
+
+(* ---------- validation ---------- *)
+
+let ( let* ) = Result.bind
+
+let require msg = function Some v -> Ok v | None -> Error msg
+
+let check_micro v =
+  let* rows = require "micro: not a list" (Json.to_list v) in
+  if rows = [] then Error "micro: empty"
+  else
+    let* named =
+      List.fold_left
+        (fun acc row ->
+          let* acc = acc in
+          let* name =
+            require "micro row: missing name"
+              (Option.bind (Json.member "name" row) Json.to_str)
+          in
+          let* ns =
+            require (name ^ ": missing ns_per_op")
+              (Option.bind (Json.member "ns_per_op" row) Json.to_float)
+          in
+          if ns <= 0.0 || Float.is_nan ns then
+            Error (name ^ ": non-positive ns_per_op")
+          else Ok (name :: acc))
+        (Ok []) rows
+    in
+    let has suffix =
+      List.exists
+        (fun n ->
+          String.length n >= String.length suffix
+          && String.sub n
+               (String.length n - String.length suffix)
+               (String.length suffix)
+             = suffix)
+        named
+    in
+    let missing =
+      List.filter
+        (fun s -> not (has s))
+        [ "sha256/1KiB"; "chacha20/1KiB"; "audit/append" ]
+    in
+    if missing <> [] then
+      Error ("micro: missing hot-path rows: " ^ String.concat ", " missing)
+    else Ok ()
+
+let check_e1 v =
+  let* _ =
+    require "e1: missing total_sim_ns"
+      (Option.bind (Json.member "total_sim_ns" v) Json.to_float)
+  in
+  let* stages =
+    require "e1: missing stage_ns"
+      (match Json.member "stage_ns" v with
+      | Some (Json.Obj kvs) -> Some kvs
+      | _ -> None)
+  in
+  if stages = [] then Error "e1: empty stage_ns" else Ok ()
+
+let check_e4 v =
+  let* rows =
+    require "e4: missing rows"
+      (Option.bind (Json.member "rows" v) Json.to_list)
+  in
+  if rows = [] then Error "e4: empty rows"
+  else
+    List.fold_left
+      (fun acc row ->
+        let* () = acc in
+        let* _ =
+          require "e4 row: missing sim_us"
+            (Option.bind (Json.member "sim_us" row) Json.to_float)
+        in
+        Ok ())
+      (Ok ()) rows
+
+let validate v =
+  let* schema =
+    require "missing schema key"
+      (Option.bind (Json.member "schema" v) Json.to_str)
+  in
+  if schema <> schema_id then Error ("unexpected schema id " ^ schema)
+  else
+    let* micro = require "missing micro section" (Json.member "micro" v) in
+    let* () = check_micro micro in
+    let* () =
+      match Json.member "e1" v with Some e1 -> check_e1 e1 | None -> Ok ()
+    in
+    match Json.member "e4" v with Some e4 -> check_e4 e4 | None -> Ok ()
+
+let write_file path v =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Json.to_string v))

@@ -1,0 +1,35 @@
+(** Machine-readable benchmark artifact ([BENCH_hotpath.json]).
+
+    The bench binary's [--json PATH] mode assembles one of these from the
+    bechamel micro rows and the E1/E4 experiment results, so perf changes
+    are reviewable as a committed diff instead of eyeballed table output.
+    [validate] is what the test suite runs against the emitted file. *)
+
+module Json = Rgpdos_util.Json
+
+type micro_row = {
+  name : string;  (** bechamel test name, e.g. "core/sha256/1KiB" *)
+  ns_per_op : float;  (** OLS estimate, host wall clock *)
+  r2 : float;
+}
+
+val schema_id : string
+(** Value of the report's ["schema"] key; bump on layout changes. *)
+
+val make :
+  quick:bool ->
+  micro:micro_row list ->
+  ?e1:Experiments.e1_result * float ->
+  ?e4:Experiments.e4_row list * float ->
+  unit ->
+  Json.t
+(** [make ~quick ~micro ?e1 ?e4 ()] builds the report.  The [float]
+    paired with each experiment result is its host wall-clock runtime in
+    milliseconds (the simulated figures live inside the result itself). *)
+
+val validate : Json.t -> (unit, string) result
+(** Shape check: schema id, non-empty [micro] with the hot-path rows
+    ("sha256/1KiB", "chacha20/1KiB", "audit/append") present and numeric,
+    and — when present — well-formed [e1]/[e4] sections. *)
+
+val write_file : string -> Json.t -> unit

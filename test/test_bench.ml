@@ -1,0 +1,165 @@
+(* The machine-readable benchmark artifact: the tiny JSON layer it is
+   built on, the report builder/validator, and the committed
+   BENCH_hotpath.json itself. *)
+
+module Json = Rgpdos_util.Json
+module BR = Rgpdos_workload.Bench_report
+module E = Rgpdos_workload.Experiments
+
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Json                                                               *)
+
+let sample =
+  Json.Obj
+    [
+      ("s", Json.Str "a \"quoted\" line\nwith\ttabs and \\slashes");
+      ("n", Json.Num 42.0);
+      ("f", Json.Num 1.5);
+      ("yes", Json.Bool true);
+      ("no", Json.Bool false);
+      ("nothing", Json.Null);
+      ("empty_list", Json.List []);
+      ("empty_obj", Json.Obj []);
+      ( "nested",
+        Json.List
+          [ Json.Num 1.0; Json.Str "two"; Json.Obj [ ("k", Json.Num 3.0) ] ] );
+    ]
+
+let test_json_roundtrip () =
+  List.iter
+    (fun indent ->
+      match Json.of_string (Json.to_string ~indent sample) with
+      | Ok v ->
+          check_bool
+            (Printf.sprintf "roundtrip indent=%d" indent)
+            true (v = sample)
+      | Error e -> Alcotest.failf "parse failed: %s" e)
+    [ 0; 2; 4 ]
+
+let test_json_parse_errors () =
+  List.iter
+    (fun s ->
+      check_bool
+        (Printf.sprintf "%S rejected" s)
+        true
+        (Result.is_error (Json.of_string s)))
+    [ ""; "{"; "[1,]"; "tru"; "{\"a\" 1}"; "1 2"; "\"unterminated" ]
+
+let test_json_accessors () =
+  (match Json.member "n" sample with
+  | Some v -> check_bool "num" true (Json.to_float v = Some 42.0)
+  | None -> Alcotest.fail "member n missing");
+  check_bool "missing member" true (Json.member "absent" sample = None);
+  check_bool "member of non-obj" true (Json.member "x" (Json.Num 1.0) = None)
+
+(* ------------------------------------------------------------------ *)
+(* Bench_report                                                       *)
+
+let hotpath_micro =
+  [
+    { BR.name = "core/sha256/1KiB"; ns_per_op = 11000.0; r2 = 0.97 };
+    { BR.name = "core/chacha20/1KiB"; ns_per_op = 8300.0; r2 = 0.96 };
+    { BR.name = "core/audit/append"; ns_per_op = 2200.0; r2 = 0.93 };
+  ]
+
+let fake_e1 : E.e1_result =
+  {
+    e1_subjects = 10;
+    e1_stage_ns = [ ("load_membrane", 500); ("load_data", 400) ];
+    e1_total_ns = 1000;
+  }
+
+let fake_e4 : E.e4_row list =
+  [ { e4_records_per_subject = 1; e4_sim_us = 18.2; e4_export_complete = true } ]
+
+let test_report_valid_and_parses_back () =
+  let report =
+    BR.make ~quick:true ~micro:hotpath_micro ~e1:(fake_e1, 12.5)
+      ~e4:(fake_e4, 3.25) ()
+  in
+  (match BR.validate report with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "fresh report invalid: %s" e);
+  (* what the file holds must parse back to an equally valid report *)
+  match Json.of_string (Json.to_string report) with
+  | Error e -> Alcotest.failf "emitted JSON does not parse: %s" e
+  | Ok parsed -> (
+      check_bool "identical after roundtrip" true (parsed = report);
+      match BR.validate parsed with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "parsed report invalid: %s" e)
+
+let test_report_rejects_bad_shapes () =
+  check_bool "empty object" true (Result.is_error (BR.validate (Json.Obj [])));
+  check_bool "wrong schema id" true
+    (Result.is_error
+       (BR.validate
+          (Json.Obj [ ("schema", Json.Str "something-else/9") ])));
+  (* dropping a required hot-path row must fail validation *)
+  let missing_chacha =
+    BR.make ~quick:false
+      ~micro:(List.filter (fun r -> r.BR.name <> "core/chacha20/1KiB") hotpath_micro)
+      ()
+  in
+  check_bool "missing hot-path row" true
+    (Result.is_error (BR.validate missing_chacha));
+  let zero_ns =
+    BR.make ~quick:false
+      ~micro:({ BR.name = "core/sha256/1KiB"; ns_per_op = 0.0; r2 = 1.0 }
+              :: List.tl hotpath_micro)
+      ()
+  in
+  check_bool "non-positive ns_per_op" true (Result.is_error (BR.validate zero_ns))
+
+(* ------------------------------------------------------------------ *)
+(* the committed artifact                                             *)
+
+(* `dune runtest` runs from the test dir (the dep is staged one level up);
+   `dune exec test/test_bench.exe` runs from the project root *)
+let artifact =
+  List.find_opt Sys.file_exists
+    [ "../BENCH_hotpath.json"; "BENCH_hotpath.json" ]
+
+let test_committed_artifact () =
+  match artifact with
+  | None ->
+      Alcotest.fail
+        "BENCH_hotpath.json missing (regenerate: dune exec bench/main.exe -- \
+         --quick micro e1 e4 --json BENCH_hotpath.json)"
+  | Some artifact ->
+      let ic = open_in_bin artifact in
+      let raw = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      (match Json.of_string raw with
+      | Error e -> Alcotest.failf "%s does not parse: %s" artifact e
+      | Ok v ->
+          (match BR.validate v with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "%s invalid: %s" artifact e);
+          check_string "schema id" BR.schema_id
+            (Option.get (Option.bind (Json.member "schema" v) Json.to_str));
+          (* the sections named in the regeneration command are present *)
+          check_bool "has e1 section" true (Json.member "e1" v <> None);
+          check_bool "has e4 section" true (Json.member "e4" v <> None))
+
+let () =
+  Alcotest.run "bench-report"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "valid and parses back" `Quick
+            test_report_valid_and_parses_back;
+          Alcotest.test_case "rejects bad shapes" `Quick
+            test_report_rejects_bad_shapes;
+          Alcotest.test_case "committed artifact" `Quick test_committed_artifact;
+        ] );
+    ]

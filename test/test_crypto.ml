@@ -229,6 +229,77 @@ let test_sha256_streaming_equals_oneshot () =
   String.iter (fun c -> Sha256.feed ctx (String.make 1 c)) msg;
   check_string "streaming = oneshot" (Sha256.digest msg) (Sha256.finalize ctx)
 
+(* padding edge cases: lengths around the 64-byte block boundary and the
+   55/56-byte cutoff where the length field spills into an extra block.
+   Expected digests computed independently (python3 hashlib). *)
+let test_sha256_boundary_lengths () =
+  List.iter
+    (fun (n, expected) ->
+      check_string
+        (Printf.sprintf "'a' x %d" n)
+        expected
+        (Sha256.hexdigest (String.make n 'a')))
+    [
+      (55, "9f4390f8d30c2dd92ec9f095b65e2b9ae9b0a925a5258e241c9f1e910f734318");
+      (56, "b35439a4ac6f0948b6d6f9e3c6af0f5f590ce20f1bde7090ef7970686ec6738a");
+      (57, "f13b2d724659eb3bf47f2dd6af1accc87b81f09f59f2b75e5c0bed6589dfe8c6");
+      (63, "7d3e74a05d7db15bce4ad9ec0658ea98e3f06eeecf16b4c6fff2da457ddc2f34");
+      (64, "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb");
+      (65, "635361c48bb9eab14198e76ea8ab7f1a41685d6ad62aa9146d301d4f17eb0ae0");
+      (127, "c57e9278af78fa3cab38667bef4ce29d783787a2f731d4e12200270f0c32320a");
+      (128, "6836cf13bac400e9105071cd6af47084dfacad4e5e302c94bfed24e013afb73e");
+      (129, "c12cb024a2e5551cca0e08fce8f1c5e314555cc3fef6329ee994a3db752166ae");
+    ]
+
+let test_sha256_nist_four_block () =
+  check_string "896-bit x2 NIST vector"
+    "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1"
+    (Sha256.hexdigest
+       "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno\
+        ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu")
+
+(* feed sizes chosen to straddle the internal 64-byte block buffer in
+   every way: partial fill, exact fill, fill + spill *)
+let test_sha256_streaming_chunk_sizes () =
+  let msg =
+    String.init 1000 (fun i -> Char.chr (((i * 131) + 17) land 0xff))
+  in
+  let expected = Sha256.digest msg in
+  List.iter
+    (fun chunk ->
+      let ctx = Sha256.init () in
+      let pos = ref 0 in
+      while !pos < String.length msg do
+        let n = min chunk (String.length msg - !pos) in
+        Sha256.feed ctx (String.sub msg !pos n);
+        pos := !pos + n
+      done;
+      check_string
+        (Printf.sprintf "chunk=%d" chunk)
+        expected (Sha256.finalize ctx))
+    [ 1; 7; 63; 64; 65; 127; 128; 129; 999 ]
+
+let test_sha256_streaming_large () =
+  (* > 1 MiB through the streaming interface, against an independently
+     computed digest (python3 hashlib over the same byte pattern) *)
+  let total = 1_500_000 in
+  let chunk = 997 in
+  let gen off len =
+    String.init len (fun i ->
+        let j = off + i in
+        ((j * 31) + 7) land 0xff |> Char.chr)
+  in
+  let ctx = Sha256.init () in
+  let pos = ref 0 in
+  while !pos < total do
+    let n = min chunk (total - !pos) in
+    Sha256.feed ctx (gen !pos n);
+    pos := !pos + n
+  done;
+  check_string "1.5 MB streamed"
+    "8fded0cd134ddf5d8af9fc42f62df1ae422dcad39d2042d2608464a54ef5a0d6"
+    (Rgpdos_util.Hex.encode (Sha256.finalize ctx))
+
 let prop_sha256_deterministic_and_sized =
   QCheck.Test.make ~name:"sha256 32 bytes, deterministic" ~count:200
     QCheck.(string_of_size Gen.(0 -- 300))
@@ -246,6 +317,31 @@ let test_hmac_rfc4231 () =
     "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
     (Hex.encode (Sha256.hmac ~key:"Jefe" "what do ya want for nothing?"))
 
+let test_hmac_precomputed_key () =
+  (* hmac_with over a precomputed key must agree with one-shot hmac for
+     every key-length regime: short, block-sized, and > 64 bytes (which
+     forces the hash-the-key-first path).  RFC 4231 test case 6 pins the
+     long-key case to a published value. *)
+  let msg = "The quick brown fox jumps over the lazy dog" in
+  List.iter
+    (fun key ->
+      let hk = Sha256.hmac_key key in
+      check_string
+        (Printf.sprintf "key len %d" (String.length key))
+        (Hex.encode (Sha256.hmac ~key msg))
+        (Hex.encode (Sha256.hmac_with hk msg));
+      (* the precomputed key is reusable across messages *)
+      check_string "reuse"
+        (Hex.encode (Sha256.hmac ~key "second message"))
+        (Hex.encode (Sha256.hmac_with hk "second message")))
+    [ ""; "k"; String.make 20 '\x0b'; String.make 64 'x'; String.make 131 'z' ];
+  let key131 = String.make 131 '\xaa' in
+  check_string "rfc4231 tc6"
+    "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+    (Hex.encode
+       (Sha256.hmac_with (Sha256.hmac_key key131)
+          "Test Using Larger Than Block-Size Key - Hash Key First"))
+
 (* ------------------------------------------------------------------ *)
 (* ChaCha20: RFC 8439 vector                                          *)
 
@@ -262,6 +358,45 @@ let test_chacha20_rfc8439 () =
   in
   check_string "rfc8439 ciphertext" expected
     (Hex.encode (Chacha20.encrypt ~key ~nonce ~counter:1 plaintext))
+
+let test_chacha20_keystream_rfc8439 () =
+  (* RFC 8439 A.1 test vector #1: all-zero key and nonce, counter 0 *)
+  check_string "A.1 #1 keystream"
+    "76b8e0ada0f13d90405d6ae55386bd28bdd219b8a08ded1aa836efcc8b770dc7\
+     da41597c5157488d7724e03fb8d84a376a43b8f41518a11cc387b669b2ee6586"
+    (Hex.encode
+       (Chacha20.keystream ~key:(String.make 32 '\000')
+          ~nonce:(String.make 12 '\000') 64));
+  (* RFC 8439 §2.3.2 block function vector: counter 1 *)
+  let key = Hex.decode_exn
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f" in
+  let nonce = Hex.decode_exn "000000090000004a00000000" in
+  check_string "2.3.2 block"
+    "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
+     d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e"
+    (Hex.encode (Chacha20.keystream ~key ~nonce ~counter:1 64))
+
+let test_chacha20_partial_blocks () =
+  let key = String.make 32 'K' and nonce = String.make 12 'N' in
+  let full = Chacha20.keystream ~key ~nonce 256 in
+  (* a shorter request is an exact prefix: the generator must not
+     round partial final blocks up or down *)
+  List.iter
+    (fun n ->
+      Alcotest.(check int) "exact length" n
+        (String.length (Chacha20.keystream ~key ~nonce n));
+      check_string
+        (Printf.sprintf "prefix %d" n)
+        (String.sub full 0 n)
+        (Chacha20.keystream ~key ~nonce n))
+    [ 0; 1; 63; 64; 65; 127; 128; 130; 255 ];
+  (* encrypt = plaintext XOR keystream, including on a partial block *)
+  let msg = String.init 130 (fun i -> Char.chr ((i * 7) land 0xff)) in
+  let expected =
+    String.init 130 (fun i ->
+        Char.chr (Char.code msg.[i] lxor Char.code full.[i]))
+  in
+  check_string "xor identity" expected (Chacha20.encrypt ~key ~nonce msg)
 
 let test_chacha20_involution () =
   let g = Prng.create ~seed:3L () in
@@ -424,14 +559,23 @@ let () =
       ( "sha256",
         [
           Alcotest.test_case "NIST vectors" `Quick test_sha256_nist_vectors;
+          Alcotest.test_case "NIST four-block" `Quick test_sha256_nist_four_block;
+          Alcotest.test_case "boundary lengths" `Quick test_sha256_boundary_lengths;
           Alcotest.test_case "million a" `Slow test_sha256_million_a;
           Alcotest.test_case "streaming" `Quick test_sha256_streaming_equals_oneshot;
+          Alcotest.test_case "streaming chunk sizes" `Quick
+            test_sha256_streaming_chunk_sizes;
+          Alcotest.test_case "streaming >1MiB" `Quick test_sha256_streaming_large;
           Alcotest.test_case "hmac rfc4231" `Quick test_hmac_rfc4231;
+          Alcotest.test_case "hmac precomputed key" `Quick test_hmac_precomputed_key;
           QCheck_alcotest.to_alcotest prop_sha256_deterministic_and_sized;
         ] );
       ( "chacha20",
         [
           Alcotest.test_case "rfc8439 vector" `Quick test_chacha20_rfc8439;
+          Alcotest.test_case "rfc8439 keystream" `Quick
+            test_chacha20_keystream_rfc8439;
+          Alcotest.test_case "partial blocks" `Quick test_chacha20_partial_blocks;
           Alcotest.test_case "involution" `Quick test_chacha20_involution;
           Alcotest.test_case "bad sizes" `Quick test_chacha20_bad_sizes;
           QCheck_alcotest.to_alcotest prop_chacha20_involution;

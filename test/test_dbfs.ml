@@ -597,6 +597,113 @@ let prop_crash_consistency =
       && Dbfs.fsck recovered = Ok ()
       && Dbfs.pd_count recovered = Hashtbl.length model)
 
+(* ------------------------------------------------------------------ *)
+(* decoded membrane/record read cache                                 *)
+
+let counter t name = Rgpdos_util.Stats.Counter.get (Dbfs.stats t) name
+
+let test_cache_hits_on_repeated_access () =
+  let t, dev, _ = setup () in
+  let pd = insert_user t ~subject:"alice" "Alice" 1990 in
+  (* insert populates write-through, so reads hit immediately *)
+  check_int "no hits yet" 0 (counter t "cache_hits");
+  let m1 = ok (Dbfs.get_membrane t ~actor:ded pd) in
+  check_int "membrane read hits" 1 (counter t "cache_hits");
+  let r1 = ok (Dbfs.get_record t ~actor:ded pd) in
+  check_int "record read hits" 2 (counter t "cache_hits");
+  check_int "no misses" 0 (counter t "cache_misses");
+  check_string "cached record agrees" "Alice"
+    (match List.assoc "name" r1 with Value.VString s -> s | _ -> "?");
+  (* a fresh mount starts cold: first read misses, second hits, and the
+     hit charges the identical simulated device cost as the miss *)
+  let clock = Block_device.clock dev in
+  let t2 = Result.get_ok (Dbfs.crash_and_remount t) in
+  let before_miss = Clock.now clock in
+  let m_miss = ok (Dbfs.get_membrane t2 ~actor:ded pd) in
+  let miss_cost = Clock.now clock - before_miss in
+  check_int "cold after remount" 1 (counter t2 "cache_misses");
+  let before_hit = Clock.now clock in
+  let m_hit = ok (Dbfs.get_membrane t2 ~actor:ded pd) in
+  let hit_cost = Clock.now clock - before_hit in
+  check_int "warm on repeat" 1 (counter t2 "cache_hits");
+  check_int "hit charges the miss's simulated cost" miss_cost hit_cost;
+  check_bool "all three reads agree" true (m1 = m_miss && m_miss = m_hit)
+
+let test_cache_invalidated_by_consent_flip () =
+  let t, _, _ = setup () in
+  let pd = insert_user t ~subject:"bob" "Bob" 1985 in
+  let m = ok (Dbfs.get_membrane t ~actor:ded pd) in
+  check_bool "purpose1 granted initially" true
+    (List.assoc "purpose1" m.M.consents = M.All);
+  let hits_before = counter t "cache_hits" in
+  let flipped = M.set_consent m ~purpose:"purpose1" M.Denied in
+  ok (Dbfs.update_membrane t ~actor:ded pd flipped);
+  (* the update invalidated the cached copy: the next read misses and
+     must observe the new consent, never the stale cached membrane *)
+  let m' = ok (Dbfs.get_membrane t ~actor:ded pd) in
+  check_int "read after update is a miss" 1 (counter t "cache_misses");
+  check_int "no stale hit served" hits_before (counter t "cache_hits");
+  check_bool "flip visible" true (List.assoc "purpose1" m'.M.consents = M.Denied);
+  (* and the repopulated cache serves the new value *)
+  let m'' = ok (Dbfs.get_membrane t ~actor:ded pd) in
+  check_int "subsequent read hits" (hits_before + 1) (counter t "cache_hits");
+  check_bool "cached value is the new one" true
+    (List.assoc "purpose1" m''.M.consents = M.Denied)
+
+let test_cache_invalidated_by_update_record () =
+  let t, _, _ = setup () in
+  let pd = insert_user t ~subject:"carol" "Carol" 1970 in
+  ignore (ok (Dbfs.get_record t ~actor:ded pd));
+  ok (Dbfs.update_record t ~actor:ded pd (user_record "Caroline" 1970));
+  let r = ok (Dbfs.get_record t ~actor:ded pd) in
+  check_string "update visible, not the cached record" "Caroline"
+    (match List.assoc "name" r with Value.VString s -> s | _ -> "?")
+
+let test_cache_invalidated_by_erasure () =
+  let t, _, _ = setup () in
+  let pd = insert_user t ~subject:"dave" "Dave" 1965 in
+  (* warm both caches *)
+  ignore (ok (Dbfs.get_record t ~actor:ded pd));
+  ignore (ok (Dbfs.get_membrane t ~actor:ded pd));
+  ok (Dbfs.erase_with t ~actor:ded pd ~seal:(fun _ -> "SEALED"));
+  (* the cached plaintext record must be gone, not served *)
+  (match Dbfs.get_record t ~actor:ded pd with
+  | Error (Dbfs.Erased _) -> ()
+  | Ok _ -> Alcotest.fail "erased record served from cache"
+  | Error e -> Alcotest.failf "unexpected: %s" (Dbfs.error_to_string e));
+  (* the membrane survives erasure but was invalidated: re-read misses *)
+  let misses_before = counter t "cache_misses" in
+  ignore (ok (Dbfs.get_membrane t ~actor:ded pd));
+  check_int "membrane re-read is a miss" (misses_before + 1)
+    (counter t "cache_misses")
+
+let test_cache_invalidated_by_delete () =
+  let t, _, _ = setup () in
+  let pd = insert_user t ~subject:"erin" "Erin" 2000 in
+  ignore (ok (Dbfs.get_record t ~actor:ded pd));
+  ok (Dbfs.delete t ~actor:ded pd);
+  match Dbfs.get_record t ~actor:ded pd with
+  | Error (Dbfs.Unknown_pd _) -> ()
+  | Ok _ -> Alcotest.fail "deleted record served from cache"
+  | Error e -> Alcotest.failf "unexpected: %s" (Dbfs.error_to_string e)
+
+let test_cache_invalidated_by_ttl_sweep () =
+  let t, _, _ = setup () in
+  let pd = insert_user t ~subject:"frank" "Frank" 1955 in
+  ignore (ok (Dbfs.get_record t ~actor:ded pd));
+  ignore (ok (Dbfs.get_membrane t ~actor:ded pd));
+  (* default user ttl is one year; sweep well past expiry *)
+  let audit = Rgpdos_audit.Audit_log.create () in
+  let report =
+    Rgpdos_gdpr.Ttl_sweeper.sweep ~dbfs:t ~audit ~now:(2 * Clock.year)
+      ~mode:Rgpdos_gdpr.Ttl_sweeper.Physical_delete ()
+  in
+  check_int "swept" 1 report.Rgpdos_gdpr.Ttl_sweeper.removed;
+  match Dbfs.get_record t ~actor:ded pd with
+  | Error (Dbfs.Unknown_pd _) -> ()
+  | Ok _ -> Alcotest.fail "expired record served from cache"
+  | Error e -> Alcotest.failf "unexpected: %s" (Dbfs.error_to_string e)
+
 let () =
   Alcotest.run "dbfs"
     [
@@ -644,5 +751,20 @@ let () =
           Alcotest.test_case "fsck detects corruption" `Quick test_dbfs_fsck_detects_corruption;
           QCheck_alcotest.to_alcotest prop_insert_then_get;
           QCheck_alcotest.to_alcotest prop_crash_consistency;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hits on repeated access" `Quick
+            test_cache_hits_on_repeated_access;
+          Alcotest.test_case "consent flip invalidates" `Quick
+            test_cache_invalidated_by_consent_flip;
+          Alcotest.test_case "update record invalidates" `Quick
+            test_cache_invalidated_by_update_record;
+          Alcotest.test_case "erasure invalidates" `Quick
+            test_cache_invalidated_by_erasure;
+          Alcotest.test_case "delete invalidates" `Quick
+            test_cache_invalidated_by_delete;
+          Alcotest.test_case "ttl sweep invalidates" `Quick
+            test_cache_invalidated_by_ttl_sweep;
         ] );
     ]
