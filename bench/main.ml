@@ -15,6 +15,16 @@
    BENCH_hotpath.json artifact is produced by
 
      dune exec bench/main.exe -- --quick micro e1 e4 --json BENCH_hotpath.json
+
+   The [vecio] section runs E1 twice — scalar device cost model vs
+   vectored run-merging — and [--vec-json PATH] writes the before/after
+   artifact; the committed BENCH_vectored_io.json is produced by
+
+     dune exec bench/main.exe -- vecio --vec-json BENCH_vectored_io.json
+
+   [--compare OLD.json] reruns E1 and exits non-zero when any stage's
+   per-subject simulated time regressed past the gate in Bench_report
+   (CI runs this against the committed BENCH_hotpath.json).
 *)
 
 open Bechamel
@@ -199,12 +209,24 @@ let () =
     | a :: rest -> extract_json (a :: acc) rest
   in
   let json_path, args = extract_json [] args in
+  let rec extract_flag name acc = function
+    | [] -> (None, List.rev acc)
+    | flag :: path :: rest when flag = name -> (Some path, List.rev_append acc rest)
+    | [ flag ] when flag = name -> failwith (name ^ " requires a PATH argument")
+    | a :: rest -> extract_flag name (a :: acc) rest
+  in
+  let vec_json_path, args = extract_flag "--vec-json" [] args in
+  let compare_path, args = extract_flag "--compare" [] args in
   let wanted = List.filter (fun a -> a <> "--quick") args in
   let enabled name = wanted = [] || List.mem name wanted in
   if json_path <> None && not (enabled "micro") then
     failwith
       "--json needs the micro section for a valid report; run e.g. \
        bench/main.exe -- --quick micro e1 e4 --json PATH";
+  if vec_json_path <> None && not (enabled "vecio") then
+    failwith
+      "--vec-json needs the vecio section; run e.g. \
+       bench/main.exe -- vecio --vec-json BENCH_vectored_io.json";
   let d full small = if quick then small else full in
 
   (* host wall-clock per section, for the JSON report *)
@@ -303,6 +325,70 @@ let () =
     section "MICRO — bechamel micro-benchmarks (host wall clock)"
       (render_micro rows)
   end;
+
+  if enabled "vecio" then begin
+    let module BR = Rgpdos_workload.Bench_report in
+    let subjects = d 2_000 200 in
+    let scalar, scalar_wall_ms =
+      timed (fun () -> E.e1_ded_stages ~subjects ~vectored:false ())
+    in
+    let vectored, vectored_wall_ms =
+      timed (fun () -> E.e1_ded_stages ~subjects ~vectored:true ())
+    in
+    let baseline =
+      (* committed hotpath artifact, when running from the project root *)
+      Option.bind
+        (List.find_opt Sys.file_exists
+           [ "BENCH_hotpath.json"; "../BENCH_hotpath.json" ])
+        BR.read_file
+    in
+    let report =
+      BR.make_vectored ~scalar ~scalar_wall_ms ~vectored ~vectored_wall_ms
+        ?baseline ()
+    in
+    (match BR.validate_vectored report with
+    | Ok () -> ()
+    | Error e ->
+        failwith ("vectored-io report failed self-validation: " ^ e));
+    let body =
+      Printf.sprintf
+        "scalar (one seek per block):\n%s\nvectored (one seek per merged \
+         run):\n%s\nmerge ratio: %.1f blocks per seek"
+        (E.render_e1 scalar) (E.render_e1 vectored)
+        (BR.merge_ratio vectored.E.e1_device)
+    in
+    section "VECIO — scalar vs vectored device cost model (E1)" body;
+    match vec_json_path with
+    | None -> ()
+    | Some path ->
+        BR.write_file path report;
+        Printf.printf "\nwrote %s\n" path
+  end;
+
+  (match compare_path with
+  | None -> ()
+  | Some path ->
+      let module BR = Rgpdos_workload.Bench_report in
+      let old_report =
+        match BR.read_file path with
+        | Some r -> r
+        | None -> failwith ("--compare: cannot parse " ^ path)
+      in
+      let current =
+        match !e1_result with
+        | Some (r, _) -> r
+        | None -> E.e1_ded_stages ~subjects:(d 2_000 200) ()
+      in
+      (match BR.compare_e1 ~old_report current with
+      | Ok n ->
+          Printf.printf
+            "\ncompare: %d E1 stages checked against %s — no regression > \
+             %.0f%%\n"
+            n path BR.regression_threshold_pct
+      | Error lines ->
+          Printf.eprintf "\ncompare: E1 regression vs %s:\n" path;
+          List.iter (fun l -> Printf.eprintf "  %s\n" l) lines;
+          exit 1));
 
   (match json_path with
   | None -> ()

@@ -17,6 +17,11 @@ type config = {
   read_latency : Rgpdos_util.Clock.ns;   (** fixed cost per read *)
   write_latency : Rgpdos_util.Clock.ns;  (** fixed cost per write *)
   byte_latency : Rgpdos_util.Clock.ns;   (** additional cost per byte moved *)
+  vectored : bool;
+  (** when true (the default), vectored requests charge one fixed seek per
+      merged contiguous run; when false they degrade to one seek per block
+      (the scalar cost model), letting before/after comparisons run on the
+      same build. *)
 }
 
 val default_config : config
@@ -46,6 +51,26 @@ val charge_read : t -> int -> unit
     simulated device cost model — and therefore every experiment's
     [stage_ns] accounting — is unchanged. *)
 
+val read_vec : t -> int list -> (int * string) list
+(** [read_vec dev indices] reads all the named blocks in one vectored
+    request.  The indices are sorted (elevator order), duplicates are
+    collapsed, and contiguous indices are merged into runs: the request
+    charges one [read_latency] seek per run plus the usual per-byte cost.
+    Returns [(index, contents)] in ascending index order, one entry per
+    distinct requested index. *)
+
+val charge_read_vec : t -> int list -> unit
+(** Charge exactly the simulated cost (and IO statistics) of
+    [read_vec dev indices] without transferring any bytes.  The vectored
+    analogue of {!charge_read}: read caches use it so a cache hit costs
+    the same simulated device time as the vectored miss it replaces. *)
+
+val write_vec : t -> (int * string) list -> unit
+(** [write_vec dev writes] stores every [(index, data)] pair in one
+    vectored request, charging one [write_latency] seek per contiguous
+    run of distinct indices plus the per-byte cost.  Later pairs win on
+    duplicate indices.  Data constraints are as for {!write}. *)
+
 val write : t -> int -> string -> unit
 (** [write dev i data] stores [data] as block [i].  [data] shorter than
     [block_size] is zero-padded; longer raises [Invalid_argument]. *)
@@ -67,7 +92,11 @@ val snapshot : t -> string array
 val restore : t -> string array -> unit
 
 val stats : t -> Rgpdos_util.Stats.Counter.t
-(** Counters: "reads", "writes", "trims", "bytes_read", "bytes_written". *)
+(** Counters: "reads", "writes", "trims", "bytes_read", "bytes_written",
+    plus vectored-IO observability: "vec_reads" / "vec_writes" (vectored
+    requests issued) and "merged_runs" (contiguous runs charged across
+    all vectored requests).  "reads"/"writes"/bytes stay per-block, so
+    the merge ratio is [reads / merged_runs]. *)
 
 val reset_stats : t -> unit
 

@@ -101,58 +101,117 @@ let total_blocks t = (Block_device.config t.dev).Block_device.block_count
 
 let blocks_needed t len = if len = 0 then 0 else ((len - 1) / block_size t) + 1
 
-(* Sensitive region: the top quarter of the data region. *)
-let compute_high_start ~data_start ~block_count =
-  data_start + ((block_count - data_start) * 3 / 4)
+(* Data-region layout.  Membranes and records get disjoint zones so a
+   whole-selection batch read of one kind covers (mostly) contiguous
+   blocks: with the old interleaved allocation (record, membrane, record,
+   membrane, ...) a membranes-only request had stride-2 block numbers and
+   the vectored path could never merge anything.
 
-let alloc_blocks t ~high n =
-  let lo, hi =
-    if high then (t.high_start - t.data_start, total_blocks t - t.data_start)
-    else (0, t.high_start - t.data_start)
-  in
-  let out = ref [] in
-  let found = ref 0 in
+   [data_start, rec_start)   membrane zone (one per entry, any sensitivity)
+   [rec_start,  high_start)  ordinary records
+   [high_start, block_count) High-sensitivity records (stored apart, §3(1))
+
+   The split is a pure function of the device geometry, so [mount] can
+   recompute it without any metadata format change. *)
+let compute_rec_start ~data_start ~block_count =
+  data_start + ((block_count - data_start) / 4)
+
+(* Sensitive region: the top quarter of the record zone. *)
+let compute_high_start ~data_start ~block_count =
+  let rec_start = compute_rec_start ~data_start ~block_count in
+  rec_start + ((block_count - rec_start) * 3 / 4)
+
+let rec_start t =
+  compute_rec_start ~data_start:t.data_start ~block_count:(total_blocks t)
+
+type zone = Z_membrane | Z_record of bool (* high? *)
+
+(* Zone bounds in free-array coordinates (offset by data_start). *)
+let zone_bounds t = function
+  | Z_membrane -> (0, rec_start t - t.data_start)
+  | Z_record false -> (rec_start t - t.data_start, t.high_start - t.data_start)
+  | Z_record true -> (t.high_start - t.data_start, total_blocks t - t.data_start)
+
+(* First-fit contiguous extent of [n] free slots inside [lo, hi). *)
+let find_extent t ~lo ~hi n =
+  let result = ref None in
+  let start = ref (-1) in
   let i = ref lo in
-  while !found < n && !i < hi do
+  while !result = None && !i < hi do
     if t.free.(!i) then begin
-      t.free.(!i) <- false;
-      out := (t.data_start + !i) :: !out;
-      incr found
-    end;
+      if !start < 0 then start := !i;
+      if !i - !start + 1 >= n then result := Some !start
+    end
+    else start := -1;
     incr i
   done;
-  if !found < n then begin
-    List.iter (fun b -> t.free.(b - t.data_start) <- true) !out;
-    None
-  end
-  else Some (List.rev !out)
+  !result
+
+(* Extent allocation: contiguous first-fit, falling back to scattered
+   per-block first-fit when the zone is too fragmented to hold a single
+   run.  Either way, failure rolls back every block taken. *)
+let alloc_zone t zone n =
+  if n = 0 then Some []
+  else
+    let lo, hi = zone_bounds t zone in
+    match find_extent t ~lo ~hi n with
+    | Some s ->
+        for j = s to s + n - 1 do
+          t.free.(j) <- false
+        done;
+        Some (List.init n (fun j -> t.data_start + s + j))
+    | None ->
+        let out = ref [] in
+        let found = ref 0 in
+        let i = ref lo in
+        while !found < n && !i < hi do
+          if t.free.(!i) then begin
+            t.free.(!i) <- false;
+            out := (t.data_start + !i) :: !out;
+            incr found
+          end;
+          incr i
+        done;
+        if !found < n then begin
+          List.iter (fun b -> t.free.(b - t.data_start) <- true) !out;
+          None
+        end
+        else Some (List.rev !out)
+
+let alloc_record_blocks t ~high n = alloc_zone t (Z_record high) n
+
+let alloc_membrane_blocks t n = alloc_zone t Z_membrane n
 
 let zero_and_free t blocks =
   let bs = block_size t in
-  List.iter
-    (fun b ->
-      Block_device.write t.dev b (String.make bs '\000');
-      t.free.(b - t.data_start) <- true)
-    blocks
+  (match blocks with
+  | [] -> ()
+  | _ ->
+      Block_device.write_vec t.dev
+        (List.map (fun b -> (b, String.make bs '\000')) blocks));
+  List.iter (fun b -> t.free.(b - t.data_start) <- true) blocks
 
 let write_payload t payload blocks =
   let bs = block_size t in
-  List.iteri
-    (fun i b ->
-      let chunk =
-        String.sub payload (i * bs) (min bs (String.length payload - (i * bs)))
-      in
-      Block_device.write t.dev b chunk)
-    blocks
+  match blocks with
+  | [] -> ()
+  | _ ->
+      Block_device.write_vec t.dev
+        (List.mapi
+           (fun i b ->
+             ( b,
+               String.sub payload (i * bs)
+                 (min bs (String.length payload - (i * bs))) ))
+           blocks)
 
 let read_payload t blocks size =
+  let got = Block_device.read_vec t.dev blocks in
   let buf = Buffer.create size in
-  List.iter (fun b -> Buffer.add_string buf (Block_device.read t.dev b)) blocks;
+  List.iter (fun b -> Buffer.add_string buf (List.assoc b got)) blocks;
   Buffer.sub buf 0 size
 
-(* cache hit: simulated cost of the reads we did not perform *)
-let charge_payload_read t blocks =
-  List.iter (fun b -> Block_device.charge_read t.dev b) blocks
+(* cache hit: simulated cost of the vectored read we did not perform *)
+let charge_payload_read t blocks = Block_device.charge_read_vec t.dev blocks
 
 (* ------------------------------------------------------------------ *)
 (* journal ops (metadata only: no PD bytes ever enter the ring)       *)
@@ -421,18 +480,19 @@ let write_meta t =
   if String.length framed > t.meta_blocks * bs then
     failwith "Dbfs: metadata region overflow";
   let nblocks = ((String.length framed - 1) / bs) + 1 in
-  for i = 0 to nblocks - 1 do
-    let chunk =
-      String.sub framed (i * bs) (min bs (String.length framed - (i * bs)))
-    in
-    Block_device.write t.dev (t.meta_start + i) chunk
-  done
+  Block_device.write_vec t.dev
+    (List.init nblocks (fun i ->
+         ( t.meta_start + i,
+           String.sub framed (i * bs)
+             (min bs (String.length framed - (i * bs))) )));
+  ()
 
 let read_meta dev ~meta_start ~meta_blocks =
+  let got =
+    Block_device.read_vec dev (List.init meta_blocks (fun i -> meta_start + i))
+  in
   let buf = Buffer.create 4096 in
-  for i = 0 to meta_blocks - 1 do
-    Buffer.add_string buf (Block_device.read dev (meta_start + i))
-  done;
+  List.iter (fun (_, s) -> Buffer.add_string buf s) got;
   let raw = Buffer.contents buf in
   let r = Codec.Reader.create raw in
   let* payload = Codec.Reader.string r in
@@ -576,6 +636,21 @@ let mount dev =
 
 let device t = t.dev
 
+type layout = {
+  l_data_start : int;
+  l_rec_start : int;
+  l_high_start : int;
+  l_block_count : int;
+}
+
+let layout t =
+  {
+    l_data_start = t.data_start;
+    l_rec_start = rec_start t;
+    l_high_start = t.high_start;
+    l_block_count = total_blocks t;
+  }
+
 let set_access_hook t hook = t.hook <- Some hook
 
 (* ------------------------------------------------------------------ *)
@@ -609,6 +684,11 @@ let find_entry t pd_id =
   | Some e -> Ok e
   | None -> Error (Unknown_pd pd_id)
 
+let entry_blocks t ~actor pd_id =
+  let** () = guard t ~actor ~op:"read" in
+  let** e = find_entry t pd_id in
+  Ok (e.record_blocks, e.membrane_blocks)
+
 let insert t ~actor ~subject ~type_name ~record ~membrane_of =
   let** () = guard t ~actor ~op:"write" in
   match Hashtbl.find_opt t.tables type_name with
@@ -632,10 +712,10 @@ let insert t ~actor ~subject ~type_name ~record ~membrane_of =
             let membrane_bytes = Membrane.encode membrane in
             let rn = blocks_needed t (String.length record_bytes) in
             let mn = blocks_needed t (String.length membrane_bytes) in
-            match alloc_blocks t ~high rn with
+            match alloc_record_blocks t ~high rn with
             | None -> Error No_space
             | Some record_blocks -> (
-                match alloc_blocks t ~high mn with
+                match alloc_membrane_blocks t mn with
                 | None ->
                     mark_free t record_blocks;
                     Error No_space
@@ -702,6 +782,109 @@ let get_record t ~actor pd_id =
         | Error msg -> Error (Corrupt ("record of " ^ pd_id ^ ": " ^ msg)))
   end
 
+(* ---------- batched reads (the DED's vectored load path) ----------
+
+   One vectored device request covers every pd in the selection, so the
+   fixed seek latency is paid once per contiguous run of the union rather
+   than once per pd.  Cost transparency is preserved: cached entries'
+   blocks stay in the request (only the host-side decode is skipped), so
+   a warm cache changes no stage_ns figure. *)
+
+let resolve_entries t pd_ids =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | pd_id :: rest -> (
+        match find_entry t pd_id with
+        | Ok e -> go (e :: acc) rest
+        | Error e -> Error e)
+  in
+  go [] pd_ids
+
+(* Issue the batch request for [blocks]: a full [read_vec] when at least
+   one entry needs bytes, a cost-only [charge_read_vec] when every entry
+   is cached.  Returns an index->contents lookup. *)
+let batch_read t ~any_miss blocks =
+  if any_miss then begin
+    let got = Block_device.read_vec t.dev blocks in
+    let h = Hashtbl.create (max 16 (2 * List.length got)) in
+    List.iter (fun (i, s) -> Hashtbl.replace h i s) got;
+    h
+  end
+  else begin
+    Block_device.charge_read_vec t.dev blocks;
+    Hashtbl.create 1
+  end
+
+let assemble h blocks size =
+  let buf = Buffer.create size in
+  List.iter (fun b -> Buffer.add_string buf (Hashtbl.find h b)) blocks;
+  Buffer.sub buf 0 size
+
+let get_membranes t ~actor pd_ids =
+  let** () = guard t ~actor ~op:"read" in
+  let** entries = resolve_entries t pd_ids in
+  let blocks = List.concat_map (fun e -> e.membrane_blocks) entries in
+  let any_miss =
+    List.exists (fun e -> not (Hashtbl.mem t.membrane_cache e.pd_id)) entries
+  in
+  let h = batch_read t ~any_miss blocks in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | e :: rest -> (
+        Stats.Counter.incr t.counters "membrane_reads";
+        match Hashtbl.find_opt t.membrane_cache e.pd_id with
+        | Some m ->
+            Stats.Counter.incr t.counters "cache_hits";
+            go ((e.pd_id, m) :: acc) rest
+        | None -> (
+            Stats.Counter.incr t.counters "cache_misses";
+            match
+              Membrane.decode (assemble h e.membrane_blocks e.membrane_size)
+            with
+            | Ok m ->
+                Hashtbl.replace t.membrane_cache e.pd_id m;
+                go ((e.pd_id, m) :: acc) rest
+            | Error msg ->
+                Error (Corrupt ("membrane of " ^ e.pd_id ^ ": " ^ msg))))
+  in
+  go [] entries
+
+(* Erased pds yield [None] (their sealed payload is not PD and is not
+   read), matching the DED's skip-erased semantics without forcing every
+   caller to pre-filter the selection. *)
+let get_records t ~actor pd_ids =
+  let** () = guard t ~actor ~op:"read" in
+  let** entries = resolve_entries t pd_ids in
+  let live = List.filter (fun e -> not e.erased) entries in
+  let blocks = List.concat_map (fun e -> e.record_blocks) live in
+  let any_miss =
+    List.exists (fun e -> not (Hashtbl.mem t.record_cache e.pd_id)) live
+  in
+  let h = batch_read t ~any_miss blocks in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | e :: rest ->
+        if e.erased then go ((e.pd_id, None) :: acc) rest
+        else begin
+          Stats.Counter.incr t.counters "record_reads";
+          match Hashtbl.find_opt t.record_cache e.pd_id with
+          | Some r ->
+              Stats.Counter.incr t.counters "cache_hits";
+              go ((e.pd_id, Some r) :: acc) rest
+          | None -> (
+              Stats.Counter.incr t.counters "cache_misses";
+              match
+                Record.decode (assemble h e.record_blocks e.record_size)
+              with
+              | Ok r ->
+                  Hashtbl.replace t.record_cache e.pd_id r;
+                  go ((e.pd_id, Some r) :: acc) rest
+              | Error msg ->
+                  Error (Corrupt ("record of " ^ e.pd_id ^ ": " ^ msg)))
+        end
+  in
+  go [] entries
+
 let update_record t ~actor pd_id record =
   let** () = guard t ~actor ~op:"write" in
   let** e = find_entry t pd_id in
@@ -715,7 +898,10 @@ let update_record t ~actor pd_id record =
         | Ok () -> (
             let bytes = Record.encode record in
             let old_blocks = e.record_blocks in
-            match alloc_blocks t ~high:e.high (blocks_needed t (String.length bytes)) with
+            match
+              alloc_record_blocks t ~high:e.high
+                (blocks_needed t (String.length bytes))
+            with
             | None -> Error No_space
             | Some blocks ->
                 write_payload t bytes blocks;
@@ -738,7 +924,7 @@ let update_membrane t ~actor pd_id membrane =
   else
     let bytes = Membrane.encode membrane in
     let old_blocks = e.membrane_blocks in
-    match alloc_blocks t ~high:e.high (blocks_needed t (String.length bytes)) with
+    match alloc_membrane_blocks t (blocks_needed t (String.length bytes)) with
     | None -> Error No_space
     | Some blocks ->
         write_payload t bytes blocks;
@@ -754,19 +940,18 @@ let update_membranes_by_lineage t ~actor ~lineage f =
     Hashtbl.fold (fun pd_id _ acc -> pd_id :: acc) t.entries []
     |> List.sort compare
   in
+  (* one batched membrane load to find the lineage, then point updates *)
+  let** membranes = get_membranes t ~actor ids in
   let rec go updated = function
     | [] -> Ok updated
-    | pd_id :: rest -> (
-        match get_membrane t ~actor pd_id with
-        | Error e -> Error e
-        | Ok m ->
-            if Membrane.lineage_root m = lineage then
-              match update_membrane t ~actor pd_id (f m) with
-              | Error e -> Error e
-              | Ok () -> go (updated + 1) rest
-            else go updated rest)
+    | (pd_id, m) :: rest ->
+        if Membrane.lineage_root m = lineage then
+          match update_membrane t ~actor pd_id (f m) with
+          | Error e -> Error e
+          | Ok () -> go (updated + 1) rest
+        else go updated rest
   in
-  go 0 ids
+  go 0 membranes
 
 let copy_pd t ~actor pd_id =
   let** () = guard t ~actor ~op:"write" in
@@ -784,11 +969,12 @@ let delete t ~actor pd_id =
   let record_blocks = e.record_blocks in
   let membrane_blocks = e.membrane_blocks in
   log_and_apply t (J_delete pd_id);
-  (* physical zeroing after the metadata commit *)
+  (* physical zeroing after the metadata commit, as one vectored write *)
   let bs = block_size t in
-  List.iter
-    (fun b -> Block_device.write t.dev b (String.make bs '\000'))
-    (record_blocks @ membrane_blocks);
+  Block_device.write_vec t.dev
+    (List.map
+       (fun b -> (b, String.make bs '\000'))
+       (record_blocks @ membrane_blocks));
   Stats.Counter.incr t.counters "deletes";
   Ok ()
 
@@ -800,7 +986,10 @@ let erase_with t ~actor pd_id ~seal =
     let** record = get_record t ~actor pd_id in
     let sealed = seal record in
     let old_blocks = e.record_blocks in
-    match alloc_blocks t ~high:e.high (blocks_needed t (String.length sealed)) with
+    match
+      alloc_record_blocks t ~high:e.high
+        (blocks_needed t (String.length sealed))
+    with
     | None -> Error No_space
     | Some blocks ->
         write_payload t sealed blocks;
@@ -847,18 +1036,16 @@ let entry_info t ~actor pd_id =
 let export_subject t ~actor subject =
   let** () = guard t ~actor ~op:"export" in
   let** ids = pds_of_subject t ~actor subject in
+  (* one vectored request for the whole subject subtree *)
+  let** records = get_records t ~actor ids in
   let rec go acc = function
     | [] -> Ok (List.rev acc)
-    | pd_id :: rest -> (
+    | (_, None) :: rest -> go acc rest (* erased *)
+    | (pd_id, Some record) :: rest ->
         let** e = find_entry t pd_id in
-        if e.erased then go acc rest
-        else
-          match get_record t ~actor pd_id with
-          | Error err -> Error err
-          | Ok record ->
-              go (Record.to_export ~type_name:e.type_name ~pd_id record :: acc) rest)
+        go (Record.to_export ~type_name:e.type_name ~pd_id record :: acc) rest
   in
-  let** items = go [] ids in
+  let** items = go [] records in
   Stats.Counter.incr t.counters "exports";
   Ok ("[" ^ String.concat ", " items ^ "]")
 
@@ -953,25 +1140,40 @@ let fsck t =
             note "entry %s: membrane subject %s <> %s" pd_id
               m.Membrane.subject_id e.subject)
     t.entries;
-  (* block ownership: unique, allocated, correct region *)
+  (* block ownership: unique, allocated, correct zone *)
   let owners = Hashtbl.create 64 in
+  let rs = rec_start t in
+  let check_block pd_id b =
+    if t.free.(b - t.data_start) then note "entry %s owns free block %d" pd_id b;
+    match Hashtbl.find_opt owners b with
+    | Some other -> note "block %d owned by %s and %s" b other pd_id
+    | None -> Hashtbl.replace owners b pd_id
+  in
   Hashtbl.iter
     (fun pd_id e ->
       List.iter
         (fun b ->
           if b < t.data_start then note "entry %s owns non-data block %d" pd_id b
           else begin
-            if t.free.(b - t.data_start) then
-              note "entry %s owns free block %d" pd_id b;
+            if b < rs then
+              note "entry %s stores record in membrane zone (block %d)" pd_id b;
             if e.high && b < t.high_start then
               note "sensitive entry %s stored in ordinary region (block %d)" pd_id b;
             if (not e.high) && b >= t.high_start then
               note "ordinary entry %s stored in sensitive region (block %d)" pd_id b;
-            match Hashtbl.find_opt owners b with
-            | Some other -> note "block %d owned by %s and %s" b other pd_id
-            | None -> Hashtbl.replace owners b pd_id
+            check_block pd_id b
           end)
-        (e.record_blocks @ e.membrane_blocks))
+        e.record_blocks;
+      List.iter
+        (fun b ->
+          if b < t.data_start then note "entry %s owns non-data block %d" pd_id b
+          else begin
+            if b >= rs then
+              note "entry %s stores membrane outside membrane zone (block %d)"
+                pd_id b;
+            check_block pd_id b
+          end)
+        e.membrane_blocks)
     t.entries;
   (* table membership consistent *)
   Hashtbl.iter

@@ -58,6 +58,27 @@ val mount : Rgpdos_block.Block_device.t -> (t, string) result
 
 val device : t -> Rgpdos_block.Block_device.t
 
+type layout = {
+  l_data_start : int;   (** first data block *)
+  l_rec_start : int;    (** first record block; membranes live below *)
+  l_high_start : int;   (** first High-sensitivity record block *)
+  l_block_count : int;
+}
+
+val layout : t -> layout
+(** Data-region zone boundaries.  Membranes are allocated in
+    [l_data_start, l_rec_start); ordinary records in
+    [l_rec_start, l_high_start); High-sensitivity records in
+    [l_high_start, l_block_count).  Separate membrane/record zones keep a
+    whole-selection batch read of one kind contiguous (mergeable by the
+    vectored device path); the High split implements storing sensitive
+    data apart. *)
+
+val entry_blocks :
+  t -> actor:string -> string -> (int list * int list, error) result
+(** [(record_blocks, membrane_blocks)] of a pd — placement introspection
+    for allocator tests and forensic checks. *)
+
 val set_access_hook : t -> (actor:string -> op:string -> bool) -> unit
 (** Install the LSM-style mediation hook.  Ops are ["create_type"],
     ["read"], ["write"], ["delete"], ["erase"], ["export"], ["admin"]. *)
@@ -91,6 +112,29 @@ val get_membrane :
 val get_record : t -> actor:string -> string -> (Record.t, error) result
 (** Fetch the record data (ded_load_data).  Fails with [Erased] after
     crypto-erasure. *)
+
+val get_membranes :
+  t ->
+  actor:string ->
+  string list ->
+  ((string * Rgpdos_membrane.Membrane.t) list, error) result
+(** Batched membrane load: one elevator-ordered vectored device request
+    covers every pd in the selection, so the fixed seek cost is paid per
+    contiguous run rather than per pd.  Results are in input order.  Any
+    unknown pd fails the whole batch.  Cache hits skip only the host-side
+    decode — their blocks stay in the request, so the simulated cost (and
+    every stage_ns figure) is identical whether the cache is cold or
+    warm. *)
+
+val get_records :
+  t ->
+  actor:string ->
+  string list ->
+  ((string * Record.t option) list, error) result
+(** Batched record load, one vectored request for the selection (input
+    order preserved).  Erased pds yield [None] — their sealed payload is
+    neither read nor charged — matching the DED's skip-erased semantics.
+    Any unknown pd fails the whole batch. *)
 
 val update_record :
   t -> actor:string -> string -> Record.t -> (unit, error) result

@@ -138,22 +138,19 @@ let execute t ?(fetch_mode = Two_phase) ?(location = Host) ~processing ~target (
           | Single_phase -> "ded_load_membrane+data"
         in
         staged stage_name (fun () ->
-            let rec go acc = function
-              | [] -> Ok (List.rev acc)
-              | pd_id :: rest -> (
-                  match Dbfs.get_membrane t.dbfs ~actor pd_id with
-                  | Error e -> storage e
-                  | Ok m -> (
-                      match fetch_mode with
-                      | Two_phase -> go ((pd_id, m, None) :: acc) rest
-                      | Single_phase -> (
-                          match Dbfs.get_record t.dbfs ~actor pd_id with
-                          | Ok record -> go ((pd_id, m, Some record) :: acc) rest
-                          | Error (Rgpdos_dbfs.Dbfs.Erased _) ->
-                              go ((pd_id, m, None) :: acc) rest
-                          | Error e -> storage e)))
-            in
-            go [] refs)
+            (* one vectored request for the whole selection's membranes *)
+            let** membranes = lift (Dbfs.get_membranes t.dbfs ~actor refs) in
+            match fetch_mode with
+            | Two_phase ->
+                Ok (List.map (fun (pd_id, m) -> (pd_id, m, None)) membranes)
+            | Single_phase ->
+                (* the ablation fetches the records alongside, before the
+                   filter has spoken (erased pds come back as None) *)
+                let** records = lift (Dbfs.get_records t.dbfs ~actor refs) in
+                Ok
+                  (List.map2
+                     (fun (pd_id, m) (_, r) -> (pd_id, m, r))
+                     membranes records))
       in
       (* 3. ded_filter *)
       let now = Clock.now t.clock in
@@ -189,24 +186,28 @@ let execute t ?(fetch_mode = Two_phase) ?(location = Host) ~processing ~target (
           | Single_phase -> "ded_project"
         in
         staged stage_name (fun () ->
+            (* one vectored request for every record the filter granted;
+               erased pds come back as None and silently drop out *)
+            let need =
+              List.filter_map
+                (fun (pd_id, _, _, prefetched) ->
+                  if prefetched = None then Some pd_id else None)
+                granted
+            in
+            let** fetched = lift (Dbfs.get_records t.dbfs ~actor need) in
+            let by_id = Hashtbl.create (max 16 (2 * List.length fetched)) in
+            List.iter (fun (pd_id, r) -> Hashtbl.replace by_id pd_id r) fetched;
             let rec go acc = function
               | [] -> Ok (List.rev acc)
               | (pd_id, m, scope, prefetched) :: rest -> (
-                  let fetched =
+                  let record_opt =
                     match prefetched with
-                    | Some record -> Ok (Some record)
-                    | None -> (
-                        match Dbfs.get_record t.dbfs ~actor pd_id with
-                        | Ok record -> Ok (Some record)
-                        | Error (Rgpdos_dbfs.Dbfs.Erased _) ->
-                            (* erased PD silently drops out of processing *)
-                            Ok None
-                        | Error e -> Error e)
+                    | Some record -> Some record
+                    | None -> Hashtbl.find by_id pd_id
                   in
-                  match fetched with
-                  | Error e -> storage e
-                  | Ok None -> go acc rest
-                  | Ok (Some record) -> (
+                  match record_opt with
+                  | None -> go acc rest
+                  | Some record -> (
                       match Dbfs.schema t.dbfs ~actor m.Membrane.type_name with
                       | Error e -> storage e
                       | Ok schema ->

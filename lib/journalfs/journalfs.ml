@@ -125,25 +125,49 @@ let block_size fs = (Block_device.config fs.dev).Block_device.block_size
 let data_block_count fs =
   (Block_device.config fs.dev).Block_device.block_count - fs.data_start
 
+(* Extent allocation, same policy as DBFS's data zones: contiguous
+   first-fit so vectored reads of a file merge into one run, scattered
+   per-block fallback when fragmented, rollback on shortfall. *)
 let alloc_blocks fs n =
-  let out = ref [] in
-  let found = ref 0 in
-  let i = ref 0 in
   let total = data_block_count fs in
-  while !found < n && !i < total do
-    if fs.free.(!i) then begin
-      fs.free.(!i) <- false;
-      out := (fs.data_start + !i) :: !out;
-      incr found
-    end;
-    incr i
-  done;
-  if !found < n then begin
-    (* roll back *)
-    List.iter (fun b -> fs.free.(b - fs.data_start) <- true) !out;
-    None
-  end
-  else Some (List.rev !out)
+  let extent =
+    let result = ref None in
+    let start = ref (-1) in
+    let i = ref 0 in
+    while !result = None && !i < total do
+      if fs.free.(!i) then begin
+        if !start < 0 then start := !i;
+        if !i - !start + 1 >= n then result := Some !start
+      end
+      else start := -1;
+      incr i
+    done;
+    !result
+  in
+  match extent with
+  | Some s when n > 0 ->
+      for j = s to s + n - 1 do
+        fs.free.(j) <- false
+      done;
+      Some (List.init n (fun j -> fs.data_start + s + j))
+  | _ ->
+      let out = ref [] in
+      let found = ref 0 in
+      let i = ref 0 in
+      while !found < n && !i < total do
+        if fs.free.(!i) then begin
+          fs.free.(!i) <- false;
+          out := (fs.data_start + !i) :: !out;
+          incr found
+        end;
+        incr i
+      done;
+      if !found < n then begin
+        (* roll back *)
+        List.iter (fun b -> fs.free.(b - fs.data_start) <- true) !out;
+        None
+      end
+      else Some (List.rev !out)
 
 let free_block fs b = fs.free.(b - fs.data_start) <- true
 
@@ -273,18 +297,19 @@ let write_meta fs =
   if String.length framed > fs.meta_blocks * bs then
     failwith "Journalfs: metadata region overflow";
   let nblocks = ((String.length framed - 1) / bs) + 1 in
-  for i = 0 to nblocks - 1 do
-    let chunk =
-      String.sub framed (i * bs) (min bs (String.length framed - (i * bs)))
-    in
-    Block_device.write fs.dev (fs.meta_start + i) chunk
-  done
+  Block_device.write_vec fs.dev
+    (List.init nblocks (fun i ->
+         ( fs.meta_start + i,
+           String.sub framed (i * bs)
+             (min bs (String.length framed - (i * bs))) )));
+  ()
 
 let read_meta dev ~meta_start ~meta_blocks =
+  let got =
+    Block_device.read_vec dev (List.init meta_blocks (fun i -> meta_start + i))
+  in
   let buf = Buffer.create 4096 in
-  for i = 0 to meta_blocks - 1 do
-    Buffer.add_string buf (Block_device.read dev (meta_start + i))
-  done;
+  List.iter (fun (_, s) -> Buffer.add_string buf s) got;
   let raw = Buffer.contents buf in
   let r = Codec.Reader.create raw in
   let* payload = Codec.Reader.string r in
@@ -319,13 +344,16 @@ let decode_superblock raw =
 
 let write_data_blocks fs data blocks =
   let bs = block_size fs in
-  List.iteri
-    (fun i b ->
-      let chunk =
-        String.sub data (i * bs) (min bs (String.length data - (i * bs)))
-      in
-      Block_device.write fs.dev b chunk)
-    blocks
+  match blocks with
+  | [] -> ()
+  | _ ->
+      Block_device.write_vec fs.dev
+        (List.mapi
+           (fun i b ->
+             ( b,
+               String.sub data (i * bs)
+                 (min bs (String.length data - (i * bs))) ))
+           blocks)
 
 (* Apply an op to the in-memory state and data region.  The op is assumed
    valid: validation happened before journaling. *)
@@ -355,12 +383,12 @@ let apply_op fs op =
       (match Hashtbl.find_opt fs.inodes ino with
       | None -> ()
       | Some node ->
-          List.iter
-            (fun b ->
-              if secure then
-                Block_device.write fs.dev b (String.make (block_size fs) '\000');
-              free_block fs b)
-            node.blocks;
+          if secure && node.blocks <> [] then
+            Block_device.write_vec fs.dev
+              (List.map
+                 (fun b -> (b, String.make (block_size fs) '\000'))
+                 node.blocks);
+          List.iter (fun b -> free_block fs b) node.blocks;
           Hashtbl.remove fs.inodes ino)
   | Op_rename { src_parent; src_name; dst_parent; dst_name } ->
       let src_dir = Hashtbl.find fs.inodes src_parent in
@@ -523,8 +551,12 @@ let read_file fs path =
       | None -> Error (Not_found path)
       | Some node when node.is_dir -> Error (Is_a_directory path)
       | Some node ->
+          (* one vectored request for the whole file *)
+          let got = Block_device.read_vec fs.dev node.blocks in
           let buf = Buffer.create node.size in
-          List.iter (fun b -> Buffer.add_string buf (Block_device.read fs.dev b)) node.blocks;
+          List.iter
+            (fun b -> Buffer.add_string buf (List.assoc b got))
+            node.blocks;
           Ok (Buffer.sub buf 0 node.size))
 
 let append_file fs path data =

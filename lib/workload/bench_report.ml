@@ -16,6 +16,16 @@ let micro_json rows =
            ])
        rows)
 
+let device_json counters =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.Num (float_of_int v))) counters)
+
+(* merge ratio: per-block reads per seek actually charged — the vectored
+   path's whole point is pushing this far above 1.0 *)
+let merge_ratio counters =
+  let get k = match List.assoc_opt k counters with Some v -> v | None -> 0 in
+  let runs = get "merged_runs" in
+  if runs = 0 then 1.0 else float_of_int (get "reads") /. float_of_int runs
+
 let e1_json (r : Experiments.e1_result) wall_ms =
   Json.Obj
     [
@@ -26,6 +36,8 @@ let e1_json (r : Experiments.e1_result) wall_ms =
              (fun (stage, ns) -> (stage, Json.Num (float_of_int ns)))
              r.Experiments.e1_stage_ns) );
       ("total_sim_ns", Json.Num (float_of_int r.Experiments.e1_total_ns));
+      ("device", device_json r.Experiments.e1_device);
+      ("merge_ratio", Json.Num (merge_ratio r.Experiments.e1_device));
       ("wall_ms", Json.Num wall_ms);
     ]
 
@@ -155,3 +167,214 @@ let write_file path v =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (Json.to_string v))
+
+let read_file path =
+  let ic = open_in_bin path in
+  let raw =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  Result.to_option (Json.of_string raw)
+
+(* ---------- vectored-IO artifact ---------- *)
+
+let vectored_schema_id = "rgpdos-bench-vectored-io/1"
+
+let stage_of r name =
+  match List.assoc_opt name r.Experiments.e1_stage_ns with
+  | Some ns -> ns
+  | None -> 0
+
+let pct_reduction ~before ~after =
+  if before <= 0.0 then 0.0 else 100.0 *. (before -. after) /. before
+
+(* The committed before/after evidence for the vectored path: the same E1
+   population and scale run twice on the same build — once with the
+   device's scalar cost model (one seek per block), once with run-merging
+   vectored charging — plus a per-subject comparison against the earlier
+   committed hotpath artifact, whose E1 ran at a smaller scale. *)
+let make_vectored ~scalar ~scalar_wall_ms ~vectored ~vectored_wall_ms
+    ?baseline () =
+  let load_stages = [ "ded_load_membrane"; "ded_load_data" ] in
+  let loads r =
+    List.fold_left (fun acc s -> acc + stage_of r s) 0 load_stages
+  in
+  let reductions =
+    List.map
+      (fun s ->
+        ( s,
+          Json.Num
+            (pct_reduction
+               ~before:(float_of_int (stage_of scalar s))
+               ~after:(float_of_int (stage_of vectored s))) ))
+      load_stages
+    @ [
+        ( "load_stages_combined",
+          Json.Num
+            (pct_reduction
+               ~before:(float_of_int (loads scalar))
+               ~after:(float_of_int (loads vectored))) );
+        ( "total",
+          Json.Num
+            (pct_reduction
+               ~before:(float_of_int scalar.Experiments.e1_total_ns)
+               ~after:(float_of_int vectored.Experiments.e1_total_ns)) );
+      ]
+  in
+  let baseline_section =
+    match baseline with
+    | None -> []
+    | Some b ->
+        (* normalise per subject: the hotpath artifact's E1 ran at a
+           different scale than this one *)
+        let b_subjects =
+          match
+            Option.bind (Json.member "e1" b) (fun e1 ->
+                Option.bind (Json.member "subjects" e1) Json.to_float)
+          with
+          | Some n when n > 0.0 -> n
+          | _ -> 1.0
+        in
+        let b_stage name =
+          match
+            Option.bind (Json.member "e1" b) (fun e1 ->
+                Option.bind (Json.member "stage_ns" e1) (fun stages ->
+                    Option.bind (Json.member name stages) Json.to_float))
+          with
+          | Some ns -> ns
+          | None -> 0.0
+        in
+        let v_subjects = float_of_int vectored.Experiments.e1_subjects in
+        let per_subject_reductions =
+          List.map
+            (fun s ->
+              ( s,
+                Json.Num
+                  (pct_reduction
+                     ~before:(b_stage s /. b_subjects)
+                     ~after:(float_of_int (stage_of vectored s) /. v_subjects))
+              ))
+            load_stages
+          @ [
+              ( "load_stages_combined",
+                Json.Num
+                  (pct_reduction
+                     ~before:
+                       (List.fold_left
+                          (fun acc s -> acc +. b_stage s)
+                          0.0 load_stages
+                       /. b_subjects)
+                     ~after:(float_of_int (loads vectored) /. v_subjects)) );
+            ]
+        in
+        [
+          ( "baseline",
+            Json.Obj
+              [
+                ("source", Json.Str "BENCH_hotpath.json");
+                ("subjects", Json.Num b_subjects);
+                ( "load_ns_per_subject",
+                  Json.Obj
+                    (List.map
+                       (fun s -> (s, Json.Num (b_stage s /. b_subjects)))
+                       load_stages) );
+                ("reduction_per_subject_pct", Json.Obj per_subject_reductions);
+              ] );
+        ]
+  in
+  Json.Obj
+    ([
+       ("schema", Json.Str vectored_schema_id);
+       ("scalar", e1_json scalar scalar_wall_ms);
+       ("vectored", e1_json vectored vectored_wall_ms);
+       ("reduction_pct", Json.Obj reductions);
+     ]
+    @ baseline_section)
+
+let validate_vectored v =
+  let* schema =
+    require "missing schema key"
+      (Option.bind (Json.member "schema" v) Json.to_str)
+  in
+  if schema <> vectored_schema_id then Error ("unexpected schema id " ^ schema)
+  else
+    let* scalar = require "missing scalar section" (Json.member "scalar" v) in
+    let* () = check_e1 scalar in
+    let* vectored =
+      require "missing vectored section" (Json.member "vectored" v)
+    in
+    let* () = check_e1 vectored in
+    let* reductions =
+      require "missing reduction_pct" (Json.member "reduction_pct" v)
+    in
+    let red name =
+      require
+        ("reduction_pct: missing " ^ name)
+        (Option.bind (Json.member name reductions) Json.to_float)
+    in
+    let* membrane = red "ded_load_membrane" in
+    let* data = red "ded_load_data" in
+    let* combined = red "load_stages_combined" in
+    if membrane < 30.0 || data < 30.0 || combined < 30.0 then
+      Error
+        (Printf.sprintf
+           "load-stage reduction below the 30%% bar: membrane %.1f%%, data \
+            %.1f%%, combined %.1f%%"
+           membrane data combined)
+    else Ok ()
+
+(* ---------- regression comparison (bench --compare) ---------- *)
+
+(* Compare a freshly measured E1 against the E1 section of a previously
+   committed report.  Stage times are normalised per subject (the two runs
+   may be at different scales) and a stage only counts as regressed when
+   it is both >25% slower AND at least [epsilon_ns] absolute per subject
+   slower — the fixed-cost stages (ded_type2req at 1000 ns, ded_return at
+   200 ns) would otherwise trip the percentage gate on constant-cost noise
+   at different scales. *)
+let regression_threshold_pct = 25.0
+
+let epsilon_ns_per_subject = 50.0
+
+let compare_e1 ~old_report (current : Experiments.e1_result) =
+  match Json.member "e1" old_report with
+  | None -> Error [ "old report has no e1 section" ]
+  | Some old_e1 ->
+      let old_subjects =
+        match
+          Option.bind (Json.member "subjects" old_e1) Json.to_float
+        with
+        | Some n when n > 0.0 -> n
+        | _ -> 1.0
+      in
+      let old_stages =
+        match Json.member "stage_ns" old_e1 with
+        | Some (Json.Obj kvs) ->
+            List.filter_map
+              (fun (k, v) -> Option.map (fun f -> (k, f)) (Json.to_float v))
+              kvs
+        | _ -> []
+      in
+      let cur_subjects = float_of_int current.Experiments.e1_subjects in
+      let regressions =
+        List.filter_map
+          (fun (stage, old_ns) ->
+            match List.assoc_opt stage current.Experiments.e1_stage_ns with
+            | None -> Some (stage ^ ": stage disappeared from E1")
+            | Some cur_ns ->
+                let old_ps = old_ns /. old_subjects in
+                let cur_ps = float_of_int cur_ns /. cur_subjects in
+                if
+                  cur_ps > old_ps *. (1.0 +. (regression_threshold_pct /. 100.0))
+                  && cur_ps -. old_ps > epsilon_ns_per_subject
+                then
+                  Some
+                    (Printf.sprintf
+                       "%s: %.1f ns/subject -> %.1f ns/subject (+%.1f%%)"
+                       stage old_ps cur_ps
+                       (100.0 *. ((cur_ps /. old_ps) -. 1.0)))
+                else None)
+          old_stages
+      in
+      if regressions = [] then Ok (List.length old_stages) else Error regressions

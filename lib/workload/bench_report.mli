@@ -33,3 +33,46 @@ val validate : Json.t -> (unit, string) result
     and — when present — well-formed [e1]/[e4] sections. *)
 
 val write_file : string -> Json.t -> unit
+
+val read_file : string -> Json.t option
+(** Parse a previously written report; [None] on malformed JSON. *)
+
+val merge_ratio : (string * int) list -> float
+(** Per-block reads per charged seek, from device counters
+    ("reads" / "merged_runs"); 1.0 when no vectored run was charged. *)
+
+(** {1 Vectored-IO artifact ([BENCH_vectored_io.json])} *)
+
+val vectored_schema_id : string
+
+val make_vectored :
+  scalar:Experiments.e1_result ->
+  scalar_wall_ms:float ->
+  vectored:Experiments.e1_result ->
+  vectored_wall_ms:float ->
+  ?baseline:Json.t ->
+  unit ->
+  Json.t
+(** Build the before/after evidence for the vectored IO path: the same E1
+    scale run with the scalar device cost model (one seek per block) and
+    with run-merging vectored charging, stage-level [reduction_pct], and
+    (when [baseline] — the committed hotpath report — is given) a
+    per-subject comparison against its E1 section. *)
+
+val validate_vectored : Json.t -> (unit, string) result
+(** Shape check plus the acceptance bar: [ded_load_membrane],
+    [ded_load_data], and their combination must each show >= 30%%
+    simulated-time reduction. *)
+
+(** {1 Regression comparison (bench [--compare])} *)
+
+val regression_threshold_pct : float
+(** A stage regresses when its per-subject simulated time grows by more
+    than this percentage (and by more than a small absolute epsilon, so
+    the sub-microsecond fixed-cost stages cannot trip the gate). *)
+
+val compare_e1 :
+  old_report:Json.t -> Experiments.e1_result -> (int, string list) result
+(** Compare a fresh E1 run against the [e1] section of a previously
+    committed report, per-subject.  [Ok n] reports how many stages were
+    checked; [Error lines] lists every regressed stage. *)

@@ -25,11 +25,12 @@ let fmt_f = Table.fmt_float
 
 (* Boot a machine sized for [n] PD entries and loaded with the workload
    declarations. *)
-let boot_sized ~seed ~n =
+let boot_sized ?(vectored = true) ~seed ~n () =
   let config =
     {
       Block_device.default_config with
       Block_device.block_count = max 16_384 ((n * 8) + 4_096);
+      Block_device.vectored;
     }
   in
   let m = Machine.boot ~seed ~pd_device:config ()
@@ -72,14 +73,18 @@ type e1_result = {
   e1_subjects : int;
   e1_stage_ns : (string * int) list;
   e1_total_ns : int;
+  e1_device : (string * int) list;
 }
 
-let e1_ded_stages ?(subjects = 2_000) () =
-  let m = boot_sized ~seed:101L ~n:subjects in
+let e1_ded_stages ?(subjects = 2_000) ?(vectored = true) () =
+  let m = boot_sized ~vectored ~seed:101L ~n:subjects () in
   let prng = Prng.create ~seed:102L () in
   collect_population m (Population.generate prng ~n:subjects);
   register_reader m ~name:"e1_reader" ~purpose:"service"
     ~touches:[ (Population.type_name, [ "name"; "email"; "year_of_birth" ]) ];
+  (* count only the hot path: reset device counters after population load
+     so reads/merged_runs reflect the invoke alone *)
+  Block_device.reset_stats (Machine.pd_device m);
   match
     Machine.invoke m ~name:"e1_reader"
       ~target:(Ded.All_of_type Population.type_name) ()
@@ -90,6 +95,9 @@ let e1_ded_stages ?(subjects = 2_000) () =
         e1_subjects = subjects;
         e1_stage_ns = outcome.Ded.stage_ns;
         e1_total_ns = List.fold_left (fun acc (_, ns) -> acc + ns) 0 outcome.Ded.stage_ns;
+        e1_device =
+          Rgpdos_util.Stats.Counter.to_list
+            (Block_device.stats (Machine.pd_device m));
       }
 
 let render_e1 r =
@@ -287,7 +295,7 @@ let e3_baseline_system ~subjects ~victims ~secure ~scrub =
   }
 
 let e3_rgpdos_system ~subjects ~victims =
-  let m = boot_sized ~seed:301L ~n:subjects in
+  let m = boot_sized ~seed:301L ~n:subjects () in
   let people =
     List.init subjects (fun i ->
         let p = { (List.hd (Population.generate (Prng.create ~seed:(Int64.of_int i) ()) ~n:1))
@@ -383,7 +391,7 @@ let count_sub hay needle =
 let e4_access ?(records_per_subject = [ 1; 10; 50; 200; 1_000 ]) () =
   List.map
     (fun rps ->
-      let m = boot_sized ~seed:401L ~n:(rps + 64) in
+      let m = boot_sized ~seed:401L ~n:(rps + 64) () in
       let prng = Prng.create ~seed:402L () in
       let base = List.hd (Population.generate prng ~n:1) in
       for k = 0 to rps - 1 do
@@ -437,7 +445,7 @@ type e5_row = {
 let e5_ttl ?(sizes = [ 500; 1_000; 2_000; 4_000 ]) ?(expired_fraction = 0.3) () =
   List.map
     (fun n ->
-      let m = boot_sized ~seed:501L ~n:(n * 2) in
+      let m = boot_sized ~seed:501L ~n:(n * 2) () in
       let prng = Prng.create ~seed:502L () in
       let n_old = int_of_float (float_of_int n *. expired_fraction) in
       let old_people = Population.generate prng ~n:n_old in
@@ -488,7 +496,7 @@ type e6_row = {
 let e6_filter ?(subjects = 1_000) ?(rates = [ 0.0; 0.25; 0.5; 0.75; 1.0 ]) () =
   List.map
     (fun rate ->
-      let m = boot_sized ~seed:601L ~n:subjects in
+      let m = boot_sized ~seed:601L ~n:subjects () in
       let prng = Prng.create ~seed:602L () in
       let people = Population.generate prng ~n:subjects in
       List.iter
@@ -563,7 +571,7 @@ let e7_leak ?(attacks = 200) () =
   done;
   let baseline_leaks = Process_model.cross_owner_reads heap in
   (* rgpdOS: the same intent, attempted through the only available door *)
-  let m = boot_sized ~seed:701L ~n:64 in
+  let m = boot_sized ~seed:701L ~n:64 () in
   let prng = Prng.create ~seed:702L () in
   collect_population m (Population.generate prng ~n:16);
   let exfil_impl (ctx : Processing.context) _inputs =
@@ -647,7 +655,7 @@ type e8_result = {
 }
 
 let e8_register () =
-  let m = boot_sized ~seed:801L ~n:64 in
+  let m = boot_sized ~seed:801L ~n:64 () in
   let noop _ _ = Ok Processing.no_output in
   let mk name purpose touches =
     match Machine.make_processing m ~name ~purpose ~touches noop with
@@ -814,7 +822,7 @@ type e11_result = {
 }
 
 let e11_consent_churn ?(subjects = 300) ?(copy_fraction = 0.2) ?(flips = 200) () =
-  let m = boot_sized ~seed:1101L ~n:(subjects * 2) in
+  let m = boot_sized ~seed:1101L ~n:(subjects * 2) () in
   let prng = Prng.create ~seed:1102L () in
   let people = Population.generate prng ~n:subjects in
   collect_population m people;
@@ -913,7 +921,7 @@ let a1_fetch_mode ?(subjects = 500) ?(rates = [ 0.1; 0.5; 0.9 ]) () =
     (fun rate ->
       List.map
         (fun (mode, mode_name) ->
-          let m = boot_sized ~seed:901L ~n:subjects in
+          let m = boot_sized ~seed:901L ~n:subjects () in
           let prng = Prng.create ~seed:902L () in
           let people = Population.generate prng ~n:subjects in
           List.iter
@@ -979,7 +987,7 @@ let a2_placement ?(subjects = 1_000) ?(cpu_costs_ns = [ 1_000; 10_000; 50_000 ])
     (fun cpu_cost ->
       List.map
         (fun (location, location_name) ->
-          let m = boot_sized ~seed:951L ~n:subjects in
+          let m = boot_sized ~seed:951L ~n:subjects () in
           let prng = Prng.create ~seed:952L () in
           collect_population m (Population.generate prng ~n:subjects);
           let spec =

@@ -13,9 +13,16 @@ type e1_result = {
   e1_subjects : int;
   e1_stage_ns : (string * int) list;  (** per-stage simulated ns *)
   e1_total_ns : int;
+  e1_device : (string * int) list;
+      (** PD-device counters over the invoke alone (stats are reset after
+          the population load): reads, merged_runs, bytes_read, ... *)
 }
 
-val e1_ded_stages : ?subjects:int -> unit -> e1_result
+val e1_ded_stages : ?subjects:int -> ?vectored:bool -> unit -> e1_result
+(** [?vectored:false] reruns the same pipeline with the device's scalar
+    cost model (one seek per block) — the before/after pair behind
+    [BENCH_vectored_io.json]. *)
+
 val render_e1 : e1_result -> string
 
 (** {1 E2 — GDPRBench-style comparison} *)

@@ -70,6 +70,7 @@ let fake_e1 : E.e1_result =
     e1_subjects = 10;
     e1_stage_ns = [ ("load_membrane", 500); ("load_data", 400) ];
     e1_total_ns = 1000;
+    e1_device = [ ("merged_runs", 2); ("reads", 20); ("vec_reads", 2) ];
   }
 
 let fake_e4 : E.e4_row list =

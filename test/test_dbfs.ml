@@ -28,6 +28,7 @@ let small_config =
     read_latency = 10;
     write_latency = 20;
     byte_latency = 0;
+    vectored = true;
   }
 
 let make_dbfs () =

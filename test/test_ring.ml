@@ -21,6 +21,7 @@ let make_ring ?(num_blocks = 8) () =
           read_latency = 1;
           write_latency = 1;
           byte_latency = 0;
+          vectored = true;
         }
       ~clock ()
   in
