@@ -22,9 +22,19 @@
 
      dune exec bench/main.exe -- vecio --vec-json BENCH_vectored_io.json
 
+   The [scale] section runs the sharded GDPRBench driver over 1/2/4/8
+   domains (processor-role mix) plus the E1 ded_execute sequential vs
+   parallel pair; [--scale-json PATH] writes the speedup artifact; the
+   committed BENCH_parallel_scale.json is produced by
+
+     dune exec bench/main.exe -- scale --scale-json BENCH_parallel_scale.json
+
    [--compare OLD.json] reruns E1 and exits non-zero when any stage's
    per-subject simulated time regressed past the gate in Bench_report
-   (CI runs this against the committed BENCH_hotpath.json).
+   (CI runs this against the committed BENCH_hotpath.json).  When
+   BENCH_vectored_io.json / BENCH_parallel_scale.json sit next to
+   OLD.json, the merge ratio and the 4-domain speedup are gated the same
+   way (>25% regression fails).
 *)
 
 open Bechamel
@@ -216,6 +226,7 @@ let () =
     | a :: rest -> extract_flag name (a :: acc) rest
   in
   let vec_json_path, args = extract_flag "--vec-json" [] args in
+  let scale_json_path, args = extract_flag "--scale-json" [] args in
   let compare_path, args = extract_flag "--compare" [] args in
   let wanted = List.filter (fun a -> a <> "--quick") args in
   let enabled name = wanted = [] || List.mem name wanted in
@@ -227,6 +238,10 @@ let () =
     failwith
       "--vec-json needs the vecio section; run e.g. \
        bench/main.exe -- vecio --vec-json BENCH_vectored_io.json";
+  if scale_json_path <> None && not (enabled "scale") then
+    failwith
+      "--scale-json needs the scale section; run e.g. \
+       bench/main.exe -- scale --scale-json BENCH_parallel_scale.json";
   let d full small = if quick then small else full in
 
   (* host wall-clock per section, for the JSON report *)
@@ -238,6 +253,7 @@ let () =
   let micro_rows = ref [] in
   let e1_result = ref None in
   let e4_result = ref None in
+  let scale_speedup4 = ref None in
 
   if enabled "fig1" then
     section "FIG1 — GDPR penalty statistics (paper Figure 1)"
@@ -365,6 +381,74 @@ let () =
         Printf.printf "\nwrote %s\n" path
   end;
 
+  if enabled "scale" then begin
+    let module SB = Rgpdos_workload.Shard_bench in
+    let module BR = Rgpdos_workload.Bench_report in
+    let module Table = Rgpdos_util.Table in
+    let subjects = d 800 240 and total_ops = d 400 120 in
+    let domain_counts = [ 1; 2; 4; 8 ] in
+    let runs =
+      Rgpdos_util.Pool.with_pool (fun pool ->
+          List.map
+            (fun shards ->
+              SB.run ~pool ~role:Rgpdos_workload.Gdprbench.Processor ~subjects
+                ~total_ops ~shards ())
+            domain_counts)
+    in
+    let baseline = List.hd runs in
+    let rows = List.map (BR.scale_row_of_report ~baseline) runs in
+    let e1_subjects = d 2_000 200 in
+    let e1_cores = Rgpdos_ded.Ded.location_cores Rgpdos_ded.Ded.Host in
+    let e1_seq = E.e1_ded_stages ~subjects:e1_subjects ~cores:1 () in
+    let e1_par = E.e1_ded_stages ~subjects:e1_subjects () in
+    let report =
+      BR.make_scale ~role:"processor" ~subjects ~total_ops ~rows ~e1_seq
+        ~e1_par ~e1_cores ()
+    in
+    (match BR.validate_scale report with
+    | Ok () -> ()
+    | Error e -> failwith ("parallel-scale report failed self-validation: " ^ e));
+    scale_speedup4 := BR.scale_speedup_at report 4;
+    let exec r = List.assoc "ded_execute" r.E.e1_stage_ns in
+    let body =
+      Table.render
+        ~align:Table.[ Right; Right; Right; Right; Right; Right ]
+        ~header:
+          [
+            "domains"; "sim critical ms"; "aggregate ms"; "kops/sim-s";
+            "speedup"; "host wall s";
+          ]
+        (List.map
+           (fun (row : BR.scale_row) ->
+             [
+               string_of_int row.BR.domains;
+               Printf.sprintf "%.2f" (float_of_int row.BR.sim_critical_ns /. 1e6);
+               Printf.sprintf "%.2f" (float_of_int row.BR.sim_total_ns /. 1e6);
+               Printf.sprintf "%.1f" row.BR.kops_per_sim_s;
+               Printf.sprintf "%.2fx" row.BR.speedup;
+               Printf.sprintf "%.3f" row.BR.wall_s;
+             ])
+           rows)
+      ^ Printf.sprintf
+          "\nE1 ded_execute (%d subjects): sequential %.2f sim-ms -> %d-core \
+           %.2f sim-ms (%.1f%% less)"
+          e1_subjects
+          (float_of_int (exec e1_seq) /. 1e6)
+          e1_cores
+          (float_of_int (exec e1_par) /. 1e6)
+          (100.0
+          *. float_of_int (exec e1_seq - exec e1_par)
+          /. float_of_int (max 1 (exec e1_seq)))
+    in
+    section
+      "SCALE — sharded GDPRBench domains sweep (processor-role mix)" body;
+    match scale_json_path with
+    | None -> ()
+    | Some path ->
+        BR.write_file path report;
+        Printf.printf "\nwrote %s\n" path
+  end;
+
   (match compare_path with
   | None -> ()
   | Some path ->
@@ -388,7 +472,53 @@ let () =
       | Error lines ->
           Printf.eprintf "\ncompare: E1 regression vs %s:\n" path;
           List.iter (fun l -> Printf.eprintf "  %s\n" l) lines;
-          exit 1));
+          exit 1);
+      (* the artifacts committed next to OLD.json gate their own
+         headline numbers the same way *)
+      let sibling name = Filename.concat (Filename.dirname path) name in
+      (match BR.read_file (sibling "BENCH_vectored_io.json") with
+      | None -> ()
+      | Some old_vec -> (
+          let ratio = BR.merge_ratio current.E.e1_device in
+          match
+            BR.compare_vectored ~old_report:old_vec
+              ~subjects:current.E.e1_subjects ~merge_ratio:ratio
+          with
+          | Ok committed ->
+              Printf.printf
+                "compare: E1 merge ratio %.2f vs committed %.2f — ok\n" ratio
+                committed
+          | Error line ->
+              Printf.eprintf "\ncompare: %s\n" line;
+              exit 1));
+      match BR.read_file (sibling "BENCH_parallel_scale.json") with
+      | None -> ()
+      | Some old_scale -> (
+          let speedup4 =
+            match !scale_speedup4 with
+            | Some s -> s
+            | None ->
+                (* scale section did not run: measure a small sweep *)
+                let module SB = Rgpdos_workload.Shard_bench in
+                let subjects = d 400 160 and total_ops = d 200 80 in
+                let one =
+                  SB.run ~role:Rgpdos_workload.Gdprbench.Processor ~subjects
+                    ~total_ops ~shards:1 ()
+                in
+                let four =
+                  SB.run ~role:Rgpdos_workload.Gdprbench.Processor ~subjects
+                    ~total_ops ~shards:4 ()
+                in
+                SB.speedup ~baseline:one four
+          in
+          match BR.compare_scale ~old_report:old_scale ~speedup4 with
+          | Ok committed ->
+              Printf.printf
+                "compare: 4-domain speedup %.2fx vs committed %.2fx — ok\n"
+                speedup4 committed
+          | Error line ->
+              Printf.eprintf "\ncompare: %s\n" line;
+              exit 1));
 
   (match json_path with
   | None -> ()

@@ -27,11 +27,11 @@ let run_stream ~rgpd_mcpu ~general_mcpu =
   let kernels =
     [
       Subkernel.make ~id:"io-pd" ~kind:(Subkernel.Io_driver "pd-nvme")
-        ~partition:(claim "io-pd" 500) ~policy:Syscall.Policy.allow_all;
+        ~partition:(claim "io-pd" 500) ~policy:Syscall.Policy.allow_all ();
       Subkernel.make ~id:"general" ~kind:Subkernel.General_purpose
-        ~partition:(claim "general" general_mcpu) ~policy:Syscall.Policy.allow_all;
+        ~partition:(claim "general" general_mcpu) ~policy:Syscall.Policy.allow_all ();
       Subkernel.make ~id:"rgpdos" ~kind:Subkernel.Rgpd
-        ~partition:(claim "rgpdos" rgpd_mcpu) ~policy:Syscall.Policy.builtin_policy;
+        ~partition:(claim "rgpdos" rgpd_mcpu) ~policy:Syscall.Policy.builtin_policy ();
     ]
   in
   let sched = Scheduler.create ~clock ~kernels in
@@ -79,7 +79,7 @@ let () =
       ~kernels:
         [
           Subkernel.make ~id:"general" ~kind:Subkernel.General_purpose
-            ~partition:part ~policy:Syscall.Policy.allow_all;
+            ~partition:part ~policy:Syscall.Policy.allow_all ();
         ]
   in
   (match

@@ -83,6 +83,13 @@ let cost_filter_per_membrane = 300
 let cost_build_membrane = 500
 let cost_return = 200
 
+(* Parallel ded_execute (§3(3)): shardable processings fan out over the
+   location's cores.  Host has few fast cores; PIM exposes many slow
+   DPUs; PIS sits in between — so the A2 crossover is a function of
+   parallelism, not just the per-core multiplier. *)
+let location_cores = function Host -> 8 | Pim -> 64 | Pis -> 16
+let cost_spawn_per_shard = 500
+
 let storage e = Error (Storage_error (Dbfs.error_to_string e))
 
 let ( let** ) r f = match r with Error e -> Error e | Ok v -> f v
@@ -106,8 +113,12 @@ let value_leaks inputs value =
         inputs
   | _ -> false
 
-let execute t ?(fetch_mode = Two_phase) ?(location = Host) ~processing ~target () =
+let execute t ?(fetch_mode = Two_phase) ?(location = Host) ?cores ?pool
+    ~processing ~target () =
   let open Processing in
+  let cores =
+    match cores with Some c -> max 1 c | None -> location_cores location
+  in
   match processing.purpose with
   | None -> Error (No_purpose processing.name)
   | Some purpose -> (
@@ -236,32 +247,88 @@ let execute t ?(fetch_mode = Two_phase) ?(location = Host) ~processing ~target (
               (fun (i : Processing.pd_input) -> Query.eval pred i.record)
               inputs
       in
-      (* 5. ded_execute, inside the seccomp sandbox *)
+      (* 5. ded_execute, inside the seccomp sandbox.  Each (potential)
+         shard gets its own violation cell and sandbox context so a pool
+         worker never writes state another shard reads; violations merge
+         deterministically in shard order afterwards. *)
       let violation = ref None in
       let policy = Syscall.Policy.fpd_reader_policy in
-      let context =
+      let sandbox_context cell =
         {
           syscall =
             (fun sc ->
               match Syscall.Policy.check policy sc with
               | Ok () -> Ok ()
               | Error msg ->
-                  if !violation = None then violation := Some msg;
+                  if !cell = None then cell := Some msg;
                   Error msg);
           now = (fun () -> Clock.now t.clock);
           log = (fun _line -> ());
         }
       in
+      let run_body cell shard_inputs =
+        match processing.body (sandbox_context cell) shard_inputs with
+        | exception exn -> Error (Implementation_error (Printexc.to_string exn))
+        | Error msg -> Error (Implementation_error msg)
+        | Ok out -> Ok out
+      in
+      let n_inputs = List.length inputs in
+      let mult = execute_multiplier location in
       let** out =
         staged "ded_execute" (fun () ->
-            Clock.advance t.clock
-              (processing.cpu_cost_per_record * execute_multiplier location
-              * List.length inputs);
-            match processing.body context inputs with
-            | exception exn ->
-                Error (Implementation_error (Printexc.to_string exn))
-            | Error msg -> Error (Implementation_error msg)
-            | Ok out -> Ok out)
+            match processing.shard_reduce with
+            | Some reduce when cores > 1 && n_inputs > 1 ->
+                let input_arr = Array.of_list inputs in
+                let bounds =
+                  Rgpdos_util.Pool.chunks ~items:n_inputs ~chunks:cores
+                in
+                let nshards = Array.length bounds in
+                (* critical path: every shard spawns, the slowest shard
+                   gates completion *)
+                let longest =
+                  Array.fold_left (fun acc (_, len) -> max acc len) 0 bounds
+                in
+                Clock.advance t.clock
+                  ((cost_spawn_per_shard * nshards)
+                  + (processing.cpu_cost_per_record * mult * longest));
+                let cells = Array.map (fun _ -> ref None) bounds in
+                let run_shard i =
+                  let off, len = bounds.(i) in
+                  let shard_inputs =
+                    Array.to_list (Array.sub input_arr off len)
+                  in
+                  run_body cells.(i) shard_inputs
+                in
+                let shard_results =
+                  let indices = Array.init nshards Fun.id in
+                  match pool with
+                  | Some p -> Rgpdos_util.Pool.map_array p run_shard indices
+                  | None -> Array.map run_shard indices
+                in
+                (* first violation in shard order wins, matching what a
+                   sequential left-to-right run would have recorded *)
+                (match Array.find_map (fun c -> !c) cells with
+                | Some msg -> if !violation = None then violation := Some msg
+                | None -> ());
+                let** outs =
+                  Array.fold_left
+                    (fun acc r ->
+                      match (acc, r) with
+                      | (Error _ as e), _ -> e
+                      | Ok outs, Ok o -> Ok (o :: outs)
+                      | Ok _, (Error _ as e) -> e)
+                    (Ok []) shard_results
+                  |> Result.map List.rev
+                in
+                Ok
+                  {
+                    value = reduce (List.map (fun o -> o.value) outs);
+                    produced = List.concat_map (fun o -> o.produced) outs;
+                  }
+            | _ ->
+                Clock.advance t.clock
+                  (processing.cpu_cost_per_record * mult * n_inputs);
+                run_body violation inputs)
       in
       let** () =
         match !violation with

@@ -86,17 +86,49 @@ val measurement : Processing.spec -> string
     footprint).  Recorded in the audit chain on every execution so a
     regulator can verify {i which} code ran against the PD. *)
 
+val location_cores : location -> int
+(** Cores the [ded_execute] stage may fan out over at each location:
+    [Host] has few fast cores (8), [Pim] many slow DPUs (64), [Pis] an
+    intermediate array (16).  Together with {!execute_multiplier}'s
+    per-core slowdown this makes the A2 placement crossover a function
+    of parallelism (§3(3)). *)
+
+val execute_multiplier : location -> int
+(** Per-core slowdown of [ded_execute] at each location (Host 1×,
+    Pim 2×, Pis 4×). *)
+
+val cost_filter_per_membrane : Rgpdos_util.Clock.ns
+(** Simulated cost [ded_filter] charges per membrane examined (the stage
+    is linear in the selection size, not flat). *)
+
+val cost_spawn_per_shard : Rgpdos_util.Clock.ns
+(** Simulated overhead charged per shard spawned by a parallel
+    [ded_execute]. *)
+
 val execute :
   t ->
   ?fetch_mode:fetch_mode ->
   ?location:location ->
+  ?cores:int ->
+  ?pool:Rgpdos_util.Pool.t ->
   processing:Processing.spec ->
   target:target ->
   unit ->
   (outcome, error) result
 (** Run the eight-step pipeline (default [Two_phase], [Host]).  The processing
     must have a purpose (enforced again here, defence in depth — PS
-    already rejects purposeless functions). *)
+    already rejects purposeless functions).
+
+    When the processing declares [shard_reduce] and [cores > 1] (default:
+    [location_cores location]), the [ded_execute] stage splits the
+    granted records into at most [cores] contiguous shards, runs the
+    body once per shard, and charges simulated time as the {b critical
+    path} — [cost_spawn_per_shard * shards + cost of the longest shard]
+    — instead of the sum.  [?pool] additionally runs the shards on real
+    domains, which changes host wall-clock time only: outcomes, filter /
+    overread counters, audit verdicts and the virtual clock are
+    identical with or without a pool, and (for honestly-declared
+    [shard_reduce]) identical to the sequential [~cores:1] run. *)
 
 (** {1 Built-in functions} ([F_pd^w], provided by rgpdOS itself) *)
 

@@ -20,16 +20,35 @@ let value_output v = { value = Some v; produced = [] }
 
 type impl = context -> pd_input list -> (output, string) result
 
+type reduce = Value.t option list -> Value.t option
+
 type spec = {
   name : string;
   purpose : Rgpdos_lang.Ast.purpose_decl option;
   touches : (string * string list) list;
   cpu_cost_per_record : Rgpdos_util.Clock.ns;
   body : impl;
+  shard_reduce : reduce option;
 }
 
-let make ~name ?purpose ?(touches = []) ?(cpu_cost_per_record = 10_000) body =
-  { name; purpose; touches; cpu_cost_per_record; body }
+let make ~name ?purpose ?(touches = []) ?(cpu_cost_per_record = 10_000)
+    ?shard_reduce body =
+  { name; purpose; touches; cpu_cost_per_record; body; shard_reduce }
+
+let reduce_int_sum values =
+  let ints =
+    List.filter_map
+      (function Some (Value.VInt n) -> Some n | _ -> None)
+      values
+  in
+  match ints with
+  | [] -> None
+  | _ -> Some (Value.VInt (List.fold_left ( + ) 0 ints))
+
+let reduce_first values =
+  List.fold_left
+    (fun acc v -> match acc with Some _ -> acc | None -> v)
+    None values
 
 let purpose_name spec =
   Option.map (fun p -> p.Rgpdos_lang.Ast.p_name) spec.purpose

@@ -38,6 +38,10 @@ val value_output : Value.t -> output
 
 type impl = context -> pd_input list -> (output, string) result
 
+type reduce = Value.t option list -> Value.t option
+(** Merge the scalar results of per-shard executions (in shard order)
+    into the value a whole-list execution would have produced. *)
+
 type spec = {
   name : string;
   purpose : Rgpdos_lang.Ast.purpose_decl option;
@@ -49,6 +53,16 @@ type spec = {
   cpu_cost_per_record : Rgpdos_util.Clock.ns;
       (** simulated compute per input record *)
   body : impl;
+  shard_reduce : reduce option;
+      (** [Some reduce] declares the body {i pure over its footprint} and
+          record-wise decomposable: running it on disjoint shards of the
+          input and combining the shard values with [reduce] (and
+          concatenating [produced] in shard order) is equivalent to one
+          whole-list run.  The DED then executes [ded_execute] in
+          parallel over record shards and charges the critical path
+          instead of the sum.  [None] (the default) keeps the body
+          sequential — the only safe choice for bodies with cross-record
+          state. *)
 }
 
 val make :
@@ -56,8 +70,17 @@ val make :
   ?purpose:Rgpdos_lang.Ast.purpose_decl ->
   ?touches:(string * string list) list ->
   ?cpu_cost_per_record:Rgpdos_util.Clock.ns ->
+  ?shard_reduce:reduce ->
   impl ->
   spec
-(** Defaults: no footprint, 10us of compute per record. *)
+(** Defaults: no footprint, 10us of compute per record, sequential
+    (no [shard_reduce]). *)
+
+val reduce_int_sum : reduce
+(** Sum [VInt] shard values; [None] if no shard returned one.  The right
+    reduce for counting/aggregating readers. *)
+
+val reduce_first : reduce
+(** First [Some] value in shard order ([None] if all are [None]). *)
 
 val purpose_name : spec -> string option

@@ -58,27 +58,43 @@ let submit t job =
 
 let idle t = List.for_all (fun k -> Queue.is_empty k.queue) t.kernels
 
-(* One round: every kernel with work runs its head job for up to one
-   quantum, scaled by its CPU share (1000 mcpu = 1x speed).  The clock
-   advances by the longest wall-time any kernel spent. *)
+(* One round: every kernel runs up to [cores] head jobs, each for up to
+   one quantum, scaled by its CPU share (1000 mcpu = 1x per-core speed).
+   [busy] accumulates the SUM of the core walls (aggregate core-time, so
+   it is identical to the sequential total at any core count), while the
+   clock advances by the longest wall any core anywhere spent — the
+   per-round critical path. *)
 let run_round t quantum =
   let max_wall = ref 0 in
   List.iter
     (fun k ->
-      match Queue.peek_opt k.queue with
-      | None -> ()
-      | Some r ->
-          let mcpu = max 1 (Resource.cpu_millis k.kernel.Subkernel.partition) in
+      let cores = max 1 k.kernel.Subkernel.cores in
+      let mcpu = max 1 (Resource.cpu_millis k.kernel.Subkernel.partition) in
+      (* detach up to [cores] jobs from the head, preserving order *)
+      let rec take acc n =
+        if n = 0 then List.rev acc
+        else
+          match Queue.take_opt k.queue with
+          | None -> List.rev acc
+          | Some r -> take (r :: acc) (n - 1)
+      in
+      let running = take [] cores in
+      let survivors = Queue.create () in
+      List.iter
+        (fun r ->
           let slice = min r.remaining quantum in
           (* wall time = cpu time / share *)
           let wall = slice * 1000 / mcpu in
           r.remaining <- r.remaining - slice;
           k.busy <- k.busy + wall;
           if wall > !max_wall then max_wall := wall;
-          if r.remaining <= 0 then begin
-            ignore (Queue.pop k.queue);
+          if r.remaining <= 0 then
             t.completed_rev <- r.job.job_id :: t.completed_rev
-          end)
+          else Queue.push r survivors)
+        running;
+      (* unfinished jobs return to the head, ahead of the waiting tail *)
+      Queue.transfer k.queue survivors;
+      Queue.transfer survivors k.queue)
     t.kernels;
   Clock.advance t.clock !max_wall
 

@@ -5,11 +5,20 @@ type t = {
   kind : kind;
   partition : Resource.partition;
   policy : Syscall.Policy.t;
+  cores : int;
   counters : Rgpdos_util.Stats.Counter.t;
 }
 
-let make ~id ~kind ~partition ~policy =
-  { id; kind; partition; policy; counters = Rgpdos_util.Stats.Counter.create () }
+let make ~id ~kind ~partition ~policy ?(cores = 1) () =
+  if cores < 1 then invalid_arg "Subkernel.make: cores must be >= 1";
+  {
+    id;
+    kind;
+    partition;
+    policy;
+    cores;
+    counters = Rgpdos_util.Stats.Counter.create ();
+  }
 
 let kind_to_string = function
   | Io_driver dev -> "io-driver(" ^ dev ^ ")"
@@ -17,8 +26,10 @@ let kind_to_string = function
   | Rgpd -> "rgpdos"
 
 let pp fmt k =
-  Format.fprintf fmt "%s [%s, %d mcpu, %d pages]" k.id (kind_to_string k.kind)
+  Format.fprintf fmt "%s [%s, %d mcpu x%d cores, %d pages]" k.id
+    (kind_to_string k.kind)
     (Resource.cpu_millis k.partition)
+    k.cores
     (Resource.mem_pages k.partition)
 
 let handles_pd k =

@@ -16,12 +16,19 @@ type t = {
   kind : kind;
   partition : Resource.partition;
   policy : Syscall.Policy.t;
+  cores : int;
+      (** independent cores the scheduler may run in parallel; each core
+          runs at the partition's full mcpu share, so [busy] time (an
+          aggregate of core-time) is core-count independent while the
+          virtual clock advances by the per-round critical path *)
   counters : Rgpdos_util.Stats.Counter.t;
 }
 
 val make :
   id:string -> kind:kind -> partition:Resource.partition ->
-  policy:Syscall.Policy.t -> t
+  policy:Syscall.Policy.t -> ?cores:int -> unit -> t
+(** Default [cores = 1] (the pre-multicore behaviour).
+    @raise Invalid_argument if [cores < 1]. *)
 
 val kind_to_string : kind -> string
 val pp : Format.formatter -> t -> unit

@@ -151,7 +151,7 @@ let run_init t init =
   in
   go init.init_rows
 
-let invoke t ?fetch_mode ?location ~name ~target ?init () =
+let invoke t ?fetch_mode ?location ?cores ?pool ~name ~target ?init () =
   match Hashtbl.find_opt t.store name with
   | None -> Error (Unknown_processing name)
   | Some r ->
@@ -163,6 +163,9 @@ let invoke t ?fetch_mode ?location ~name ~target ?init () =
         (match collect with
         | Error e -> Error e
         | Ok () -> (
-            match Ded.execute t.ded ?fetch_mode ?location ~processing:r.spec ~target () with
+            match
+              Ded.execute t.ded ?fetch_mode ?location ?cores ?pool
+                ~processing:r.spec ~target ()
+            with
             | Ok outcome -> Ok outcome
             | Error e -> Error (Invoke_error e)))

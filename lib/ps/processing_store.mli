@@ -73,6 +73,8 @@ val invoke :
   t ->
   ?fetch_mode:Rgpdos_ded.Ded.fetch_mode ->
   ?location:Rgpdos_ded.Ded.location ->
+  ?cores:int ->
+  ?pool:Rgpdos_util.Pool.t ->
   name:string ->
   target:Rgpdos_ded.Ded.target ->
   ?init:init ->

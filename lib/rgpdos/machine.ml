@@ -68,16 +68,16 @@ let assemble ~clock ~prng ~authority ~pd_dev ~npd_dev ~dbfs ~npd_fs ~audit =
     [
       Subkernel.make ~id:"io-pd" ~kind:(Subkernel.Io_driver "pd-nvme")
         ~partition:(claim "io-pd" 500 32_768)
-        ~policy:Syscall.Policy.allow_all;
+        ~policy:Syscall.Policy.allow_all ();
       Subkernel.make ~id:"io-npd" ~kind:(Subkernel.Io_driver "npd-nvme")
         ~partition:(claim "io-npd" 500 32_768)
-        ~policy:Syscall.Policy.allow_all;
+        ~policy:Syscall.Policy.allow_all ();
       Subkernel.make ~id:"general" ~kind:Subkernel.General_purpose
         ~partition:(claim "general" 4_000 524_288)
-        ~policy:Syscall.Policy.allow_all;
+        ~policy:Syscall.Policy.allow_all ();
       Subkernel.make ~id:"rgpdos" ~kind:Subkernel.Rgpd
         ~partition:(claim "rgpdos" 3_000 262_144)
-        ~policy:Syscall.Policy.builtin_policy;
+        ~policy:Syscall.Policy.builtin_policy ();
     ]
   in
   let scheduler = Scheduler.create ~clock ~kernels in
@@ -190,11 +190,14 @@ let load_declarations t source =
 
 let find_purpose t name = Hashtbl.find_opt t.purposes name
 
-let make_processing t ~name ~purpose ?touches ?cpu_cost_per_record body =
+let make_processing t ~name ~purpose ?touches ?cpu_cost_per_record
+    ?shard_reduce body =
   match find_purpose t purpose with
   | None -> Error (Printf.sprintf "purpose %s was never declared" purpose)
   | Some decl ->
-      Ok (Processing.make ~name ~purpose:decl ?touches ?cpu_cost_per_record body)
+      Ok
+        (Processing.make ~name ~purpose:decl ?touches ?cpu_cost_per_record
+           ?shard_reduce body)
 
 let register_processing t spec =
   match Processing_store.register t.ps spec with
@@ -206,8 +209,11 @@ let approve_processing t name =
   | Ok () -> Ok ()
   | Error e -> Error (Processing_store.error_to_string e)
 
-let invoke t ?fetch_mode ?location ~name ~target ?init () =
-  match Processing_store.invoke t.ps ?fetch_mode ?location ~name ~target ?init () with
+let invoke t ?fetch_mode ?location ?cores ?pool ~name ~target ?init () =
+  match
+    Processing_store.invoke t.ps ?fetch_mode ?location ?cores ?pool ~name
+      ~target ?init ()
+  with
   | Ok outcome -> Ok outcome
   | Error e -> Error (Processing_store.error_to_string e)
 

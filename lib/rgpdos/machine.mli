@@ -64,6 +64,7 @@ val make_processing :
   purpose:string ->
   ?touches:(string * string list) list ->
   ?cpu_cost_per_record:Rgpdos_util.Clock.ns ->
+  ?shard_reduce:Rgpdos_ded.Processing.reduce ->
   Rgpdos_ded.Processing.impl ->
   (Rgpdos_ded.Processing.spec, string) result
 (** Build a processing spec whose purpose is looked up in the registry
@@ -80,6 +81,8 @@ val invoke :
   t ->
   ?fetch_mode:Rgpdos_ded.Ded.fetch_mode ->
   ?location:Rgpdos_ded.Ded.location ->
+  ?cores:int ->
+  ?pool:Rgpdos_util.Pool.t ->
   name:string ->
   target:Rgpdos_ded.Ded.target ->
   ?init:Rgpdos_ps.Processing_store.init ->

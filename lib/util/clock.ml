@@ -1,16 +1,31 @@
 type ns = int
 
-type t = { mutable now : ns }
+(* Virtual clocks are single-writer: the first domain that mutates a
+   clock owns it for life.  [owner] is -1 until the first mutation.
+   Reads ([now]) are unguarded — a torn read cannot happen on an
+   immediate int field, and read-only observers (e.g. sandbox contexts
+   running on pool workers) are legitimate. *)
+type t = { mutable now : ns; mutable owner : int }
 
-let create ?(now = 0) () = { now }
+let create ?(now = 0) () = { now; owner = -1 }
 
 let now c = c.now
 
+let assert_single_writer c =
+  let me = (Domain.self () :> int) in
+  if c.owner < 0 then c.owner <- me
+  else if c.owner <> me then
+    failwith
+      "Clock: mutation from a second domain; virtual clocks are \
+       single-writer — give each shard its own Clock.t"
+
 let advance c d =
+  assert_single_writer c;
   if d < 0 then invalid_arg "Clock.advance: negative duration";
   c.now <- c.now + d
 
 let set c t =
+  assert_single_writer c;
   if t < c.now then invalid_arg "Clock.set: time cannot go backwards";
   c.now <- t
 

@@ -4,7 +4,14 @@
     rather than the host clock, which makes time-dependent behaviour (TTL
     expiry, journal checkpoint intervals, scheduling quanta) fully
     deterministic and lets experiments fast-forward years of retention
-    policy in microseconds. *)
+    policy in microseconds.
+
+    {b Single-writer rule.}  A clock may be mutated ([advance] / [set])
+    by exactly one domain — the first domain that mutates it becomes its
+    owner, and any later mutation from a different domain raises
+    [Failure].  Reads ([now]) are allowed from any domain.  Parallel
+    code must give each shard its own [Clock.t] (as the sharded
+    GDPRBench driver does) rather than share one. *)
 
 type t
 

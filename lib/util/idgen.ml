@@ -1,8 +1,20 @@
-type t = { prefix : string; mutable next : int }
+(* Same single-writer discipline as Clock: the first domain to draw an
+   identifier owns the generator; a second mutating domain is a sharding
+   bug, not a race to paper over with a mutex. *)
+type t = { prefix : string; mutable next : int; mutable owner : int }
 
-let create ~prefix = { prefix; next = 0 }
+let create ~prefix = { prefix; next = 0; owner = -1 }
+
+let assert_single_writer g =
+  let me = (Domain.self () :> int) in
+  if g.owner < 0 then g.owner <- me
+  else if g.owner <> me then
+    failwith
+      "Idgen: mutation from a second domain; id generators are \
+       single-writer — give each shard its own Idgen.t"
 
 let fresh_int g =
+  assert_single_writer g;
   let n = g.next in
   g.next <- n + 1;
   n

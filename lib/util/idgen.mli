@@ -1,7 +1,13 @@
 (** Fresh-identifier generation.
 
     Identifiers are short prefixed strings ("sub-00000017") so they remain
-    greppable in logs and deterministic across runs. *)
+    greppable in logs and deterministic across runs.
+
+    {b Single-writer rule.}  Like {!Clock}, a generator is owned by the
+    first domain that calls [fresh] / [fresh_int]; a later call from a
+    different domain raises [Failure].  Sharded workloads must give each
+    shard its own generator (uniqueness across shards then comes from a
+    per-shard prefix or disjoint namespaces, not from sharing). *)
 
 type t
 

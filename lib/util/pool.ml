@@ -1,0 +1,144 @@
+(* Fixed-size Domain work pool: a shared FIFO task queue drained by
+   [workers] spawned domains, with mutex/condition futures.  Parallelism
+   affects host wall-clock only; result order (and thus everything the
+   simulation observes) is deterministic by construction. *)
+
+type 'a state =
+  | Pending
+  | Value of 'a
+  | Raised of exn * Printexc.raw_backtrace
+
+type 'a future = {
+  fm : Mutex.t;
+  fc : Condition.t;
+  mutable state : 'a state;
+}
+
+type t = {
+  m : Mutex.t;
+  c : Condition.t; (* new task queued, or shutdown *)
+  tasks : (unit -> unit) Queue.t;
+  mutable stop : bool;
+  mutable handles : unit Domain.t list;
+  nworkers : int;
+}
+
+let workers t = t.nworkers
+
+let worker_loop t =
+  let rec loop () =
+    Mutex.lock t.m;
+    let rec next () =
+      match Queue.take_opt t.tasks with
+      | Some task ->
+          Mutex.unlock t.m;
+          task ();
+          loop ()
+      | None ->
+          if t.stop then Mutex.unlock t.m
+          else (
+            Condition.wait t.c t.m;
+            next ())
+    in
+    next ()
+  in
+  loop ()
+
+let create ?workers () =
+  let nworkers =
+    match workers with
+    | Some n ->
+        if n < 0 then invalid_arg "Pool.create: negative worker count";
+        n
+    | None -> max 1 (Domain.recommended_domain_count () - 1)
+  in
+  let t =
+    {
+      m = Mutex.create ();
+      c = Condition.create ();
+      tasks = Queue.create ();
+      stop = false;
+      handles = [];
+      nworkers;
+    }
+  in
+  t.handles <- List.init nworkers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let resolve fut result =
+  Mutex.lock fut.fm;
+  fut.state <- result;
+  Condition.broadcast fut.fc;
+  Mutex.unlock fut.fm
+
+let run_into fut f () =
+  let result =
+    match f () with
+    | v -> Value v
+    | exception exn -> Raised (exn, Printexc.get_raw_backtrace ())
+  in
+  resolve fut result
+
+let async t f =
+  let fut = { fm = Mutex.create (); fc = Condition.create (); state = Pending } in
+  if t.nworkers = 0 then run_into fut f ()
+  else begin
+    Mutex.lock t.m;
+    if t.stop then (
+      Mutex.unlock t.m;
+      invalid_arg "Pool.async: pool is shut down");
+    Queue.push (run_into fut f) t.tasks;
+    Condition.signal t.c;
+    Mutex.unlock t.m
+  end;
+  fut
+
+let await fut =
+  Mutex.lock fut.fm;
+  let rec wait () =
+    match fut.state with
+    | Pending ->
+        Condition.wait fut.fc fut.fm;
+        wait ()
+    | (Value _ | Raised _) as r ->
+        Mutex.unlock fut.fm;
+        r
+  in
+  match wait () with
+  | Value v -> v
+  | Raised (exn, bt) -> Printexc.raise_with_backtrace exn bt
+  | Pending -> assert false
+
+let map_array t f arr =
+  if t.nworkers = 0 then Array.map f arr
+  else begin
+    let futures = Array.map (fun x -> async t (fun () -> f x)) arr in
+    (* settle every future before re-raising, so one failure cannot leave
+       stray tasks mutating shared state after we return *)
+    Array.iter (fun fut -> try ignore (await fut) with _ -> ()) futures;
+    Array.map await futures
+  end
+
+let map_list t f l = Array.to_list (map_array t f (Array.of_list l))
+
+let chunks ~items ~chunks =
+  if items < 0 || chunks < 0 then invalid_arg "Pool.chunks: negative argument";
+  let n = min items chunks in
+  Array.init n (fun i ->
+      (* first [items mod n] chunks get the extra item *)
+      let base = items / n and extra = items mod n in
+      let off = (i * base) + min i extra in
+      let len = base + if i < extra then 1 else 0 in
+      (off, len))
+
+let shutdown t =
+  Mutex.lock t.m;
+  t.stop <- true;
+  Condition.broadcast t.c;
+  Mutex.unlock t.m;
+  List.iter Domain.join t.handles;
+  t.handles <- []
+
+let with_pool ?workers f =
+  let t = create ?workers () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

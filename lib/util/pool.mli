@@ -1,0 +1,57 @@
+(** Fixed-size OCaml 5 Domain work pool.
+
+    A pool owns [workers] spawned domains that drain a shared task
+    queue.  Results come back through futures; [map_array] / [map_list]
+    fan a function out over the pool and merge results in *input index
+    order*, so a pooled map is observably identical to [Array.map] /
+    [List.map] apart from host wall-clock time.
+
+    A pool with [workers = 0] executes everything inline in the calling
+    domain — callers can thread an optional pool through without
+    branching.
+
+    Discipline: futures must be awaited from the domain that created
+    them (in this codebase, the machine's main domain).  Never [await]
+    from inside a pooled task — with every worker blocked on a future
+    the queue would never drain. *)
+
+type t
+
+val create : ?workers:int -> unit -> t
+(** [create ~workers ()] spawns exactly [workers] domains (default:
+    [Domain.recommended_domain_count () - 1], at least 1).
+    [workers = 0] gives an inline pool that never spawns. *)
+
+val workers : t -> int
+(** Number of worker domains ([0] for an inline pool). *)
+
+type 'a future
+
+val async : t -> (unit -> 'a) -> 'a future
+(** Submit a task.  On an inline pool the task runs immediately. *)
+
+val await : 'a future -> 'a
+(** Block until the task completes.  Re-raises (with backtrace) any
+    exception the task raised. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map] with deterministic, index-ordered results.
+    Exceptions from tasks re-raise in index order (the lowest-index
+    failing task wins), after all tasks have finished. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+
+val chunks : items:int -> chunks:int -> (int * int) array
+(** [chunks ~items ~chunks] splits [0..items-1] into at most [chunks]
+    contiguous [(offset, length)] ranges whose lengths differ by at
+    most one, in offset order, covering every item exactly once.
+    Returns fewer ranges when [items < chunks]; empty when
+    [items = 0]. *)
+
+val shutdown : t -> unit
+(** Finish queued tasks, stop and join all workers.  Idempotent.
+    Using the pool after shutdown raises [Invalid_argument]. *)
+
+val with_pool : ?workers:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] with a fresh pool and always shuts it
+    down, even if [f] raises. *)

@@ -22,6 +22,10 @@ let split g =
   let seed = next64 g in
   { state = seed }
 
+let split_n g n =
+  if n < 0 then invalid_arg "Prng.split_n: negative count";
+  List.init n (fun _ -> split g)
+
 let int g bound =
   if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
   let mask = Int64.of_int max_int in

@@ -19,6 +19,12 @@ val split : t -> t
 (** [split g] advances [g] and returns a new generator whose stream is
     statistically independent from the remainder of [g]'s stream. *)
 
+val split_n : t -> int -> t list
+(** [split_n g k] draws [k] independent generators from [g] (in order),
+    e.g. one per workload shard.  Each shard then owns its generator
+    exclusively — [t] is mutable and must not be shared across
+    domains. *)
+
 val next64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -378,3 +378,172 @@ let compare_e1 ~old_report (current : Experiments.e1_result) =
           old_stages
       in
       if regressions = [] then Ok (List.length old_stages) else Error regressions
+
+(* ---------- parallel-scale artifact ---------- *)
+
+let scale_schema_id = "rgpdos-bench-parallel-scale/1"
+
+type scale_row = {
+  domains : int;
+  sim_critical_ns : int;
+  sim_total_ns : int;
+  kops_per_sim_s : float;
+  wall_s : float;
+  speedup : float;
+}
+
+let speedup_bar = 2.5
+
+let scale_row_of_report ~baseline (r : Shard_bench.report) =
+  {
+    domains = r.Shard_bench.shards;
+    sim_critical_ns = r.Shard_bench.sim_critical_ns;
+    sim_total_ns = r.Shard_bench.sim_total_ns;
+    kops_per_sim_s = r.Shard_bench.kops_per_sim_s;
+    wall_s = r.Shard_bench.wall_seconds;
+    speedup = Shard_bench.speedup ~baseline r;
+  }
+
+let make_scale ~role ~subjects ~total_ops ~rows ~e1_seq ~e1_par ~e1_cores () =
+  let exec r = stage_of r "ded_execute" in
+  Json.Obj
+    [
+      ("schema", Json.Str scale_schema_id);
+      ("role", Json.Str role);
+      ("subjects", Json.Num (float_of_int subjects));
+      ("total_ops", Json.Num (float_of_int total_ops));
+      ( "scale",
+        Json.List
+          (List.map
+             (fun row ->
+               Json.Obj
+                 [
+                   ("domains", Json.Num (float_of_int row.domains));
+                   ( "sim_critical_ns",
+                     Json.Num (float_of_int row.sim_critical_ns) );
+                   ("sim_total_ns", Json.Num (float_of_int row.sim_total_ns));
+                   ("kops_per_sim_s", Json.Num row.kops_per_sim_s);
+                   ("wall_s", Json.Num row.wall_s);
+                   ("speedup", Json.Num row.speedup);
+                 ])
+             rows) );
+      ( "e1_ded_execute",
+        Json.Obj
+          [
+            ( "subjects",
+              Json.Num (float_of_int e1_par.Experiments.e1_subjects) );
+            ("cores", Json.Num (float_of_int e1_cores));
+            ("sequential_ns", Json.Num (float_of_int (exec e1_seq)));
+            ("parallel_ns", Json.Num (float_of_int (exec e1_par)));
+            ( "reduction_pct",
+              Json.Num
+                (pct_reduction
+                   ~before:(float_of_int (exec e1_seq))
+                   ~after:(float_of_int (exec e1_par))) );
+          ] );
+    ]
+
+let scale_speedup_at v domains =
+  match Option.bind (Json.member "scale" v) Json.to_list with
+  | None -> None
+  | Some rows ->
+      List.find_map
+        (fun row ->
+          match
+            ( Option.bind (Json.member "domains" row) Json.to_float,
+              Option.bind (Json.member "speedup" row) Json.to_float )
+          with
+          | Some d, Some s when int_of_float d = domains -> Some s
+          | _ -> None)
+        rows
+
+let validate_scale v =
+  let* schema =
+    require "missing schema key"
+      (Option.bind (Json.member "schema" v) Json.to_str)
+  in
+  if schema <> scale_schema_id then Error ("unexpected schema id " ^ schema)
+  else
+    let* rows =
+      require "missing scale section"
+        (Option.bind (Json.member "scale" v) Json.to_list)
+    in
+    if rows = [] then Error "scale: empty"
+    else
+      let* () =
+        List.fold_left
+          (fun acc row ->
+            let* () = acc in
+            let* d =
+              require "scale row: missing domains"
+                (Option.bind (Json.member "domains" row) Json.to_float)
+            in
+            let* c =
+              require "scale row: missing sim_critical_ns"
+                (Option.bind (Json.member "sim_critical_ns" row) Json.to_float)
+            in
+            if d < 1.0 || c <= 0.0 then
+              Error "scale row: non-positive domains or sim_critical_ns"
+            else Ok ())
+          (Ok ()) rows
+      in
+      let* s4 =
+        require "scale: no 4-domain row" (scale_speedup_at v 4)
+      in
+      if s4 < speedup_bar then
+        Error
+          (Printf.sprintf "4-domain speedup %.2fx below the %.1fx bar" s4
+             speedup_bar)
+      else
+        let* e1 =
+          require "missing e1_ded_execute section"
+            (Json.member "e1_ded_execute" v)
+        in
+        let* reduction =
+          require "e1_ded_execute: missing reduction_pct"
+            (Option.bind (Json.member "reduction_pct" e1) Json.to_float)
+        in
+        if reduction <= 0.0 then
+          Error
+            (Printf.sprintf
+               "parallel ded_execute shows no reduction (%.1f%%)" reduction)
+        else Ok ()
+
+(* ---------- sibling-artifact regression gates (bench --compare) ---------- *)
+
+let compare_vectored ~old_report ~subjects ~merge_ratio =
+  (* the merge ratio grows with the dataset (a bigger table is a longer
+     contiguous extent), so the gate compares blocks-per-seek *per
+     subject* — scale-invariant between a --quick CI run and the
+     full-scale committed artifact *)
+  let field name =
+    Option.bind (Json.member "vectored" old_report) (fun v ->
+        Option.bind (Json.member name v) Json.to_float)
+  in
+  match (field "merge_ratio", field "subjects") with
+  | None, _ -> Error "old vectored report has no vectored.merge_ratio"
+  | _, (None | Some 0.) -> Error "old vectored report has no vectored.subjects"
+  | Some old_ratio, Some old_subjects ->
+      let old_norm = old_ratio /. old_subjects in
+      let current_norm = merge_ratio /. float_of_int (max subjects 1) in
+      let floor = old_norm *. (1.0 -. (regression_threshold_pct /. 100.0)) in
+      if current_norm < floor then
+        Error
+          (Printf.sprintf
+             "merge ratio regressed: %.4f -> %.4f blocks/seek per subject \
+              (floor %.4f = committed -%.0f%%)"
+             old_norm current_norm floor regression_threshold_pct)
+      else Ok old_ratio
+
+let compare_scale ~old_report ~speedup4:current =
+  match scale_speedup_at old_report 4 with
+  | None -> Error "old scale report has no 4-domain row"
+  | Some old_speedup ->
+      let floor = old_speedup *. (1.0 -. (regression_threshold_pct /. 100.0)) in
+      if current < floor then
+        Error
+          (Printf.sprintf
+             "4-domain speedup regressed: %.2fx -> %.2fx (floor %.2fx = \
+              committed -%.0f%%)"
+             old_speedup current floor regression_threshold_pct)
+      else Ok old_speedup

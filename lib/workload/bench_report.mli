@@ -76,3 +76,61 @@ val compare_e1 :
 (** Compare a fresh E1 run against the [e1] section of a previously
     committed report, per-subject.  [Ok n] reports how many stages were
     checked; [Error lines] lists every regressed stage. *)
+
+(** {1 Parallel-scale artifact ([BENCH_parallel_scale.json])} *)
+
+val scale_schema_id : string
+
+type scale_row = {
+  domains : int;
+  sim_critical_ns : int;
+  sim_total_ns : int;
+  kops_per_sim_s : float;
+  wall_s : float;
+  speedup : float;  (** vs the 1-domain row of the same sweep *)
+}
+
+val speedup_bar : float
+(** Acceptance bar for the 4-domain speedup (2.5x). *)
+
+val scale_row_of_report :
+  baseline:Shard_bench.report -> Shard_bench.report -> scale_row
+(** Project a sharded run into an artifact row, computing [speedup]
+    against [baseline] (normally the 1-shard run of the same sweep). *)
+
+val make_scale :
+  role:string ->
+  subjects:int ->
+  total_ops:int ->
+  rows:scale_row list ->
+  e1_seq:Experiments.e1_result ->
+  e1_par:Experiments.e1_result ->
+  e1_cores:int ->
+  unit ->
+  Json.t
+(** The committed evidence for the multicore layer: the 1->2->4->8-domain
+    speedup curve of the processor-role GDPRBench mix, plus the E1
+    [ded_execute] before ([e1_seq], [~cores:1]) / after ([e1_par],
+    [e1_cores] cores) pair. *)
+
+val validate_scale : Json.t -> (unit, string) result
+(** Shape check plus the acceptance bars: a 4-domain row with speedup >=
+    {!speedup_bar}, and a positive parallel [ded_execute] reduction. *)
+
+val scale_speedup_at : Json.t -> int -> float option
+(** The [speedup] of the row with the given domain count, if present. *)
+
+val compare_vectored :
+  old_report:Json.t -> subjects:int -> merge_ratio:float ->
+  (float, string) result
+(** Gate a freshly measured merge ratio against the committed
+    [BENCH_vectored_io.json]: fails on a > {!regression_threshold_pct}%%
+    drop.  Both sides are normalised to blocks-per-seek {i per subject}
+    (the ratio scales with the dataset), so a [--quick] run gates
+    honestly against the full-scale artifact.  [Ok] returns the
+    committed (un-normalised) ratio. *)
+
+val compare_scale :
+  old_report:Json.t -> speedup4:float -> (float, string) result
+(** Gate a freshly measured 4-domain speedup against the committed
+    [BENCH_parallel_scale.json], same threshold. *)

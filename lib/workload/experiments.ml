@@ -45,7 +45,11 @@ let counting_reader _ctx inputs =
 
 let register_reader m ~name ~purpose ~touches =
   let spec =
-    match Machine.make_processing m ~name ~purpose ~touches counting_reader with
+    match
+      (* counting is record-wise decomposable: shard counts sum *)
+      Machine.make_processing m ~name ~purpose ~touches
+        ~shard_reduce:Processing.reduce_int_sum counting_reader
+    with
     | Ok s -> s
     | Error e -> failwith ("experiments: " ^ e)
   in
@@ -76,7 +80,7 @@ type e1_result = {
   e1_device : (string * int) list;
 }
 
-let e1_ded_stages ?(subjects = 2_000) ?(vectored = true) () =
+let e1_ded_stages ?(subjects = 2_000) ?(vectored = true) ?cores () =
   let m = boot_sized ~vectored ~seed:101L ~n:subjects () in
   let prng = Prng.create ~seed:102L () in
   collect_population m (Population.generate prng ~n:subjects);
@@ -86,7 +90,7 @@ let e1_ded_stages ?(subjects = 2_000) ?(vectored = true) () =
      so reads/merged_runs reflect the invoke alone *)
   Block_device.reset_stats (Machine.pd_device m);
   match
-    Machine.invoke m ~name:"e1_reader"
+    Machine.invoke m ?cores ~name:"e1_reader"
       ~target:(Ded.All_of_type Population.type_name) ()
   with
   | Error e -> failwith ("e1: " ^ e)
@@ -725,7 +729,7 @@ type e9_row = {
   e9_pd_on_general : bool;
 }
 
-let e9_one_config ~rgpd_mcpu ~general_mcpu ~jobs =
+let e9_one_config ?(cores = 1) ~rgpd_mcpu ~general_mcpu ~jobs () =
   let clock = Clock.create () in
   let resources = Resource.create ~cpu_millis:8_000 ~mem_pages:100_000 in
   let claim owner cpu =
@@ -734,14 +738,16 @@ let e9_one_config ~rgpd_mcpu ~general_mcpu ~jobs =
   let general =
     Subkernel.make ~id:"general" ~kind:Subkernel.General_purpose
       ~partition:(claim "general" general_mcpu) ~policy:Syscall.Policy.allow_all
+      ~cores ()
   in
   let rgpd =
     Subkernel.make ~id:"rgpdos" ~kind:Subkernel.Rgpd
       ~partition:(claim "rgpdos" rgpd_mcpu) ~policy:Syscall.Policy.builtin_policy
+      ~cores ()
   in
   let io =
     Subkernel.make ~id:"io-pd" ~kind:(Subkernel.Io_driver "nvme0")
-      ~partition:(claim "io-pd" 500) ~policy:Syscall.Policy.allow_all
+      ~partition:(claim "io-pd" 500) ~policy:Syscall.Policy.allow_all ()
   in
   let sched = Scheduler.create ~clock ~kernels:[ general; rgpd; io ] in
   let pd_jobs = jobs / 2 and npd_jobs = jobs - (jobs / 2) in
@@ -774,7 +780,9 @@ let e9_one_config ~rgpd_mcpu ~general_mcpu ~jobs =
   Scheduler.run_until_idle sched ();
   let busy = Scheduler.kernel_busy_time sched in
   {
-    e9_config = Printf.sprintf "rgpd=%dmcpu general=%dmcpu" rgpd_mcpu general_mcpu;
+    e9_config =
+      Printf.sprintf "rgpd=%dmcpu general=%dmcpu cores=%d" rgpd_mcpu
+        general_mcpu cores;
     e9_pd_jobs = pd_jobs;
     e9_npd_jobs = npd_jobs;
     e9_makespan_ms = float_of_int (Clock.now clock - t0) /. 1e6;
@@ -785,9 +793,13 @@ let e9_one_config ~rgpd_mcpu ~general_mcpu ~jobs =
 
 let e9_kernels ?(jobs = 100) () =
   [
-    e9_one_config ~rgpd_mcpu:1_500 ~general_mcpu:6_000 ~jobs;
-    e9_one_config ~rgpd_mcpu:3_750 ~general_mcpu:3_750 ~jobs;
-    e9_one_config ~rgpd_mcpu:6_000 ~general_mcpu:1_500 ~jobs;
+    e9_one_config ~rgpd_mcpu:1_500 ~general_mcpu:6_000 ~jobs ();
+    e9_one_config ~rgpd_mcpu:3_750 ~general_mcpu:3_750 ~jobs ();
+    e9_one_config ~rgpd_mcpu:6_000 ~general_mcpu:1_500 ~jobs ();
+    (* the same balanced split under multicore: busy time is invariant,
+       the makespan shrinks by the critical-path ratio *)
+    e9_one_config ~cores:2 ~rgpd_mcpu:3_750 ~general_mcpu:3_750 ~jobs ();
+    e9_one_config ~cores:4 ~rgpd_mcpu:3_750 ~general_mcpu:3_750 ~jobs ();
   ]
 
 let render_e9 rows =
@@ -994,7 +1006,8 @@ let a2_placement ?(subjects = 1_000) ?(cpu_costs_ns = [ 1_000; 10_000; 50_000 ])
             match
               Machine.make_processing m ~name:"a2_reader" ~purpose:"service"
                 ~touches:[ (Population.type_name, [ "name" ]) ]
-                ~cpu_cost_per_record:cpu_cost counting_reader
+                ~cpu_cost_per_record:cpu_cost
+                ~shard_reduce:Processing.reduce_int_sum counting_reader
             with
             | Ok s -> s
             | Error e -> failwith ("a2: " ^ e)

@@ -18,10 +18,14 @@ type e1_result = {
           the population load): reads, merged_runs, bytes_read, ... *)
 }
 
-val e1_ded_stages : ?subjects:int -> ?vectored:bool -> unit -> e1_result
+val e1_ded_stages :
+  ?subjects:int -> ?vectored:bool -> ?cores:int -> unit -> e1_result
 (** [?vectored:false] reruns the same pipeline with the device's scalar
     cost model (one seek per block) — the before/after pair behind
-    [BENCH_vectored_io.json]. *)
+    [BENCH_vectored_io.json].  [?cores] bounds the parallel [ded_execute]
+    fan-out ([~cores:1] is the sequential before-run of the
+    [BENCH_parallel_scale.json] pair; the default is the Host core
+    count). *)
 
 val render_e1 : e1_result -> string
 

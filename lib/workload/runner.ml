@@ -47,7 +47,7 @@ let reader_touches = function
 let counting_reader _ctx inputs =
   Ok (Processing.value_output (Value.VInt (List.length inputs)))
 
-let machine_backend ~seed ~population =
+let machine_backend_full ?pool ~seed ~population () =
   let config = device_config ~population in
   let machine =
     Machine.boot ~seed ~pd_device:config
@@ -64,7 +64,8 @@ let machine_backend ~seed ~population =
             ~name:("wl_" ^ purpose)
             ~purpose
             ~touches:(reader_touches purpose)
-            counting_reader
+              (* counting is record-wise decomposable: shard counts sum *)
+            ~shard_reduce:Processing.reduce_int_sum counting_reader
         with
         | Ok s -> s
         | Error e -> failwith ("machine backend: " ^ e)
@@ -96,7 +97,7 @@ let machine_backend ~seed ~population =
     | Gdprbench.Op_insert p -> collect_person p
     | Gdprbench.Op_purpose_query purpose -> (
         match
-          Machine.invoke machine ~name:("wl_" ^ purpose)
+          Machine.invoke machine ?pool ~name:("wl_" ^ purpose)
             ~target:(Ded.All_of_type Population.type_name) ()
         with
         | Ok _ -> Done
@@ -106,7 +107,7 @@ let machine_backend ~seed ~population =
         | None | Some [] -> Done (* nothing to read *)
         | Some refs -> (
             match
-              Machine.invoke machine ~name:"wl_service"
+              Machine.invoke machine ?pool ~name:"wl_service"
                 ~target:(Ded.Pd_refs refs) ()
             with
             | Ok _ -> Done
@@ -132,11 +133,15 @@ let machine_backend ~seed ~population =
         | Ok () -> Done
         | Error _ -> Failed)
   in
-  {
-    name = "rgpdos";
-    exec;
-    simulated_now = (fun () -> Clock.now (Machine.clock machine));
-  }
+  ( {
+      name = "rgpdos";
+      exec;
+      simulated_now = (fun () -> Clock.now (Machine.clock machine));
+    },
+    machine )
+
+let machine_backend ~seed ~population =
+  fst (machine_backend_full ~seed ~population ())
 
 (* ------------------------------------------------------------------ *)
 (* baseline backends                                                  *)

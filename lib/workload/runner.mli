@@ -20,7 +20,20 @@ val backend_name : backend -> string
 val machine_backend :
   seed:int64 -> population:Population.person list -> backend
 (** Boots a machine, loads {!Population.type_declaration}, registers one
-    reader processing per purpose, and collects the population. *)
+    reader processing per purpose (shardable — counting readers declare
+    [reduce_int_sum]), and collects the population. *)
+
+val machine_backend_full :
+  ?pool:Rgpdos_util.Pool.t ->
+  seed:int64 ->
+  population:Population.person list ->
+  unit ->
+  backend * Rgpdos.Machine.t
+(** Like {!machine_backend} but also returns the booted machine, so
+    callers (the sharded driver, tests) can reach its audit chain and
+    clock.  [?pool] runs shardable DED executions on real domains; it
+    must {i not} be the pool the backend itself runs on (never await
+    inside a pooled task). *)
 
 val baseline_backend :
   seed:int64 ->

@@ -1,0 +1,170 @@
+module Prng = Rgpdos_util.Prng
+module Pool = Rgpdos_util.Pool
+module Fnv = Rgpdos_util.Fnv
+module Sha256 = Rgpdos_crypto.Sha256
+module Audit_log = Rgpdos_audit.Audit_log
+module Machine = Rgpdos.Machine
+
+type shard_outcome = {
+  shard : int;
+  subjects : int;
+  ops : int;
+  errors : int;
+  unsupported : int;
+  sim_ns : int;
+  audit_entries : int;
+  audit_ok : bool;
+  audit_head : string;
+}
+
+type report = {
+  role : string;
+  shards : int;
+  subjects : int;
+  total_ops : int;
+  errors : int;
+  unsupported : int;
+  sim_critical_ns : int;
+  sim_total_ns : int;
+  kops_per_sim_s : float;
+  wall_seconds : float;
+  cross_link : string;
+  audit_ok : bool;
+  per_shard : shard_outcome list;
+}
+
+let spawn_overhead_ns = Rgpdos_ded.Ded.cost_spawn_per_shard
+
+let partition ~shards population =
+  if shards < 1 then invalid_arg "Shard_bench.partition: shards must be >= 1";
+  let buckets = Array.make shards [] in
+  List.iter
+    (fun (p : Population.person) ->
+      let i = Fnv.hash64 p.Population.subject_id mod shards in
+      buckets.(i) <- p :: buckets.(i))
+    population;
+  Array.map List.rev buckets
+
+let empty_outcome shard =
+  {
+    shard;
+    subjects = 0;
+    ops = 0;
+    errors = 0;
+    unsupported = 0;
+    sim_ns = 0;
+    audit_entries = 0;
+    audit_ok = true;
+    audit_head = "genesis";
+  }
+
+(* One shard, start to finish, inside a single domain: boot a private
+   machine over the shard's population, run the shard's slice of the op
+   stream from the shard's own PRNG, verify the shard's audit chain.
+   Nothing here touches state owned by another shard. *)
+let run_shard ~role ~seed ~prng ~population ~ops shard =
+  if population = [] then empty_outcome shard
+  else begin
+    let shard_seed = Int64.add seed (Int64.of_int (shard + 1)) in
+    let backend, machine =
+      Runner.machine_backend_full ~seed:shard_seed ~population ()
+    in
+    let op_stream = Gdprbench.generate prng ~role ~population ~n:ops in
+    let result = Runner.run backend op_stream in
+    let audit = Machine.audit machine in
+    let audit_ok = Audit_log.verify audit = Ok () in
+    let audit_head =
+      match List.rev (Audit_log.entries audit) with
+      | last :: _ -> last.Audit_log.hash
+      | [] -> "genesis"
+    in
+    {
+      shard;
+      subjects = List.length population;
+      ops = result.Runner.total_ops;
+      errors = result.Runner.errors;
+      unsupported = result.Runner.unsupported;
+      sim_ns = result.Runner.total_simulated_ns;
+      audit_entries = Audit_log.length audit;
+      audit_ok;
+      audit_head;
+    }
+  end
+
+let cross_link_of outcomes =
+  Sha256.hexdigest
+    (String.concat "|" (List.map (fun o -> o.audit_head) outcomes))
+
+let run ?pool ?(seed = 0x5DEC0DEL) ~role ~subjects ~total_ops ~shards () =
+  if shards < 1 then invalid_arg "Shard_bench.run: shards must be >= 1";
+  if total_ops < 0 then invalid_arg "Shard_bench.run: negative total_ops";
+  let wall0 = Unix.gettimeofday () in
+  let master = Prng.create ~seed () in
+  let population = Population.generate master ~n:subjects in
+  let parts = partition ~shards population in
+  (* one independent stream per shard, drawn in shard order *)
+  let streams = Array.of_list (Prng.split_n master shards) in
+  let ops_of i = (total_ops / shards) + if i < total_ops mod shards then 1 else 0 in
+  let task i () =
+    run_shard ~role ~seed ~prng:streams.(i) ~population:parts.(i)
+      ~ops:(ops_of i) i
+  in
+  let outcomes =
+    let indices = Array.init shards Fun.id in
+    match pool with
+    | Some p -> Pool.map_array p (fun i -> task i ()) indices
+    | None -> Array.map (fun i -> task i ()) indices
+  in
+  let outcomes = Array.to_list outcomes in
+  let sum f = List.fold_left (fun acc o -> acc + f o) 0 outcomes in
+  let sim_total_ns = sum (fun o -> o.sim_ns) in
+  let slowest = List.fold_left (fun acc o -> max acc o.sim_ns) 0 outcomes in
+  let sim_critical_ns = slowest + (spawn_overhead_ns * shards) in
+  let total_ops' = sum (fun o -> o.ops) in
+  let unsupported = sum (fun o -> o.unsupported) in
+  let supported = total_ops' - unsupported in
+  let kops_per_sim_s =
+    if sim_critical_ns = 0 then 0.0
+    else
+      float_of_int supported
+      /. (float_of_int sim_critical_ns /. 1e9)
+      /. 1e3
+  in
+  {
+    role = Gdprbench.role_to_string role;
+    shards;
+    subjects;
+    total_ops = total_ops';
+    errors = sum (fun o -> o.errors);
+    unsupported;
+    sim_critical_ns;
+    sim_total_ns;
+    kops_per_sim_s;
+    wall_seconds = Unix.gettimeofday () -. wall0;
+    cross_link = cross_link_of outcomes;
+    audit_ok = List.for_all (fun (o : shard_outcome) -> o.audit_ok) outcomes;
+    per_shard = outcomes;
+  }
+
+let speedup ~baseline r =
+  if r.sim_critical_ns = 0 then 0.0
+  else float_of_int baseline.sim_critical_ns /. float_of_int r.sim_critical_ns
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "@[<v 2>%s x%d shards: %d ops over %d subjects, %.2f sim-ms critical \
+     (%.2f sim-ms aggregate), %.1f kops/sim-s, audit %s@,%a@]"
+    r.role r.shards r.total_ops r.subjects
+    (float_of_int r.sim_critical_ns /. 1e6)
+    (float_of_int r.sim_total_ns /. 1e6)
+    r.kops_per_sim_s
+    (if r.audit_ok then "ok" else "BROKEN")
+    (Format.pp_print_list (fun fmt o ->
+         Format.fprintf fmt
+           "shard %d: %d subjects, %d ops, %d errors, %.2f sim-ms, %d audit \
+            entries (%s)"
+           o.shard o.subjects o.ops o.errors
+           (float_of_int o.sim_ns /. 1e6)
+           o.audit_entries
+           (if o.audit_ok then "verified" else "BROKEN")))
+    r.per_shard

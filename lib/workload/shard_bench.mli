@@ -1,0 +1,80 @@
+(** Sharded GDPRBench throughput driver.
+
+    Partitions the synthetic population across [K] independent machine
+    shards by subject hash (FNV-1a over the subject id), gives every
+    shard its own split PRNG stream, virtual clock, DBFS and audit
+    chain, and runs the role's op mix on each shard — on real domains
+    when a {!Rgpdos_util.Pool.t} is supplied, inline otherwise.  Either
+    way the report is byte-identical except for host [wall_seconds]:
+    shards share no mutable state, so parallelism is unobservable in
+    simulated time, outcomes and audit verdicts.
+
+    Throughput is reported against the {b critical path}: the slowest
+    shard's simulated time plus a per-shard spawn overhead, which is
+    what a machine running the shards on [K] cores would take. *)
+
+type shard_outcome = {
+  shard : int;
+  subjects : int;          (** population resident on this shard *)
+  ops : int;               (** ops issued to this shard *)
+  errors : int;
+  unsupported : int;
+  sim_ns : int;            (** simulated time this shard ran for *)
+  audit_entries : int;
+  audit_ok : bool;         (** this shard's chain verifies *)
+  audit_head : string;     (** hex digest of the chain head ("genesis" if empty) *)
+}
+
+type report = {
+  role : string;
+  shards : int;
+  subjects : int;
+  total_ops : int;
+  errors : int;
+  unsupported : int;
+  sim_critical_ns : int;
+      (** max shard [sim_ns] + {!spawn_overhead_ns} per shard — the
+          virtual wall-clock of a K-core run *)
+  sim_total_ns : int;  (** sum of shard [sim_ns] — aggregate core-time *)
+  kops_per_sim_s : float;
+      (** supported ops per simulated second of critical path, in
+          thousands *)
+  wall_seconds : float;  (** host wall-clock for the whole fan-out *)
+  cross_link : string;
+      (** SHA-256 over every verified shard head, in shard order — one
+          digest binding the per-shard chains into a single auditable
+          unit *)
+  audit_ok : bool;  (** every shard chain verified *)
+  per_shard : shard_outcome list;  (** in shard order *)
+}
+
+val spawn_overhead_ns : int
+(** Simulated cost charged per shard spawned (matches the DED's
+    per-shard spawn overhead). *)
+
+val partition :
+  shards:int -> Population.person list -> Population.person list array
+(** Deterministic subject-hash partition; order within a shard follows
+    the input order. *)
+
+val run :
+  ?pool:Rgpdos_util.Pool.t ->
+  ?seed:int64 ->
+  role:Gdprbench.role ->
+  subjects:int ->
+  total_ops:int ->
+  shards:int ->
+  unit ->
+  report
+(** Generate a [subjects]-person population from [seed], partition it
+    into [shards], and run [total_ops] (split evenly, earlier shards get
+    the remainder) of [role]'s mix.  A shard the hash left empty (only
+    plausible for tiny populations) runs nothing and contributes an
+    empty outcome.
+    @raise Invalid_argument if [shards < 1] or [total_ops < 0]. *)
+
+val speedup : baseline:report -> report -> float
+(** [baseline.sim_critical_ns / r.sim_critical_ns] — how much faster the
+    sharded run completes than the baseline (normally 1-shard) run. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -128,19 +128,31 @@ let test_e8_shape () =
 
 let test_e9_shape () =
   let rows = E.e9_kernels ~jobs:20 () in
-  check_int "three configs" 3 (List.length rows);
+  check_int "three splits + two multicore configs" 5 (List.length rows);
   List.iter
     (fun r ->
       check_bool "separation invariant" false r.E.e9_pd_on_general;
       check_bool "both kernels worked" true
         (r.E.e9_general_busy_ms > 0.0 && r.E.e9_rgpd_busy_ms > 0.0))
     rows;
-  (* giving rgpdOS more CPU shrinks its busy (wall) time *)
   (match rows with
-  | [ small; _; big ] ->
+  | [ small; balanced; big; cores2; cores4 ] ->
+      (* giving rgpdOS more CPU shrinks its busy (wall) time *)
       check_bool "bigger rgpd partition => less rgpd wall time" true
-        (big.E.e9_rgpd_busy_ms < small.E.e9_rgpd_busy_ms)
-  | _ -> Alcotest.fail "expected three rows");
+        (big.E.e9_rgpd_busy_ms < small.E.e9_rgpd_busy_ms);
+      (* multicore: busy time (aggregate core-time) is invariant, the
+         makespan shrinks with the per-round critical path *)
+      List.iter
+        (fun mc ->
+          check_bool "busy invariant under cores" true
+            (mc.E.e9_rgpd_busy_ms = balanced.E.e9_rgpd_busy_ms
+            && mc.E.e9_general_busy_ms = balanced.E.e9_general_busy_ms))
+        [ cores2; cores4 ];
+      check_bool "2 cores shrink makespan" true
+        (cores2.E.e9_makespan_ms < balanced.E.e9_makespan_ms);
+      check_bool "4 cores shrink it further" true
+        (cores4.E.e9_makespan_ms < cores2.E.e9_makespan_ms)
+  | _ -> Alcotest.fail "expected five rows");
   ignore (E.render_e9 rows)
 
 let test_e11_shape () =

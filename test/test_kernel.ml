@@ -148,15 +148,15 @@ let make_kernels () =
   in
   let general =
     Subkernel.make ~id:"general" ~kind:Subkernel.General_purpose
-      ~partition:(claim "general" 4000) ~policy:Syscall.Policy.allow_all
+      ~partition:(claim "general" 4000) ~policy:Syscall.Policy.allow_all ()
   in
   let rgpd =
     Subkernel.make ~id:"rgpdos" ~kind:Subkernel.Rgpd
-      ~partition:(claim "rgpdos" 2000) ~policy:Syscall.Policy.builtin_policy
+      ~partition:(claim "rgpdos" 2000) ~policy:Syscall.Policy.builtin_policy ()
   in
   let io =
     Subkernel.make ~id:"io-pd" ~kind:(Subkernel.Io_driver "nvme0")
-      ~partition:(claim "io-pd" 1000) ~policy:Syscall.Policy.allow_all
+      ~partition:(claim "io-pd" 1000) ~policy:Syscall.Policy.allow_all ()
   in
   (general, rgpd, io)
 
@@ -262,11 +262,11 @@ let test_bigger_partition_finishes_faster () =
   in
   let big =
     Subkernel.make ~id:"big" ~kind:Subkernel.Rgpd ~partition:(claim "big" 4000)
-      ~policy:Syscall.Policy.allow_all
+      ~policy:Syscall.Policy.allow_all ()
   in
   let small =
     Subkernel.make ~id:"small" ~kind:Subkernel.General_purpose
-      ~partition:(claim "small" 1000) ~policy:Syscall.Policy.allow_all
+      ~partition:(claim "small" 1000) ~policy:Syscall.Policy.allow_all ()
   in
   let clock = Clock.create () in
   let sched = Scheduler.create ~clock ~kernels:[ big; small ] in
@@ -293,11 +293,11 @@ let prop_scheduler_conserves_work =
       in
       let general =
         Subkernel.make ~id:"general" ~kind:Subkernel.General_purpose
-          ~partition:(claim "general" 2000) ~policy:Syscall.Policy.allow_all
+          ~partition:(claim "general" 2000) ~policy:Syscall.Policy.allow_all ()
       in
       let rgpd =
         Subkernel.make ~id:"rgpdos" ~kind:Subkernel.Rgpd
-          ~partition:(claim "rgpdos" 4000) ~policy:Syscall.Policy.allow_all
+          ~partition:(claim "rgpdos" 4000) ~policy:Syscall.Policy.allow_all ()
       in
       let clock = Clock.create () in
       let sched = Scheduler.create ~clock ~kernels:[ general; rgpd ] in
