@@ -29,12 +29,20 @@
 
      dune exec bench/main.exe -- scale --scale-json BENCH_parallel_scale.json
 
+   The [index] section sweeps Dbfs.select selectivity (0.1%/1%/10%/100%)
+   and population size, full scan vs index pushdown, plus the
+   full-vs-incremental TTL sweep pair; [--index-json PATH] writes the
+   artifact; the committed BENCH_index_select.json is produced by
+
+     dune exec bench/main.exe -- index --index-json BENCH_index_select.json
+
    [--compare OLD.json] reruns E1 and exits non-zero when any stage's
    per-subject simulated time regressed past the gate in Bench_report
    (CI runs this against the committed BENCH_hotpath.json).  When
-   BENCH_vectored_io.json / BENCH_parallel_scale.json sit next to
-   OLD.json, the merge ratio and the 4-domain speedup are gated the same
-   way (>25% regression fails).
+   BENCH_vectored_io.json / BENCH_parallel_scale.json /
+   BENCH_index_select.json sit next to OLD.json, the merge ratio, the
+   4-domain speedup and the 1%-selectivity pushdown speedup are gated
+   the same way (>25% regression fails).
 *)
 
 open Bechamel
@@ -227,6 +235,7 @@ let () =
   in
   let vec_json_path, args = extract_flag "--vec-json" [] args in
   let scale_json_path, args = extract_flag "--scale-json" [] args in
+  let index_json_path, args = extract_flag "--index-json" [] args in
   let compare_path, args = extract_flag "--compare" [] args in
   let wanted = List.filter (fun a -> a <> "--quick") args in
   let enabled name = wanted = [] || List.mem name wanted in
@@ -242,6 +251,10 @@ let () =
     failwith
       "--scale-json needs the scale section; run e.g. \
        bench/main.exe -- scale --scale-json BENCH_parallel_scale.json";
+  if index_json_path <> None && not (enabled "index") then
+    failwith
+      "--index-json needs the index section; run e.g. \
+       bench/main.exe -- index --index-json BENCH_index_select.json";
   let d full small = if quick then small else full in
 
   (* host wall-clock per section, for the JSON report *)
@@ -254,6 +267,22 @@ let () =
   let e1_result = ref None in
   let e4_result = ref None in
   let scale_speedup4 = ref None in
+  let index_speedup1pct = ref None in
+  (* the 1%-selectivity pushdown speedup at the smallest population >=
+     2000 — the configuration the index artifact gates on (present at
+     both quick and full scale) *)
+  let speedup_1pct_of rows =
+    List.fold_left
+      (fun best (row : E.eidx_select_row) ->
+        if row.E.eidx_selectivity_pct = 1.0 && row.E.eidx_population >= 2_000
+        then
+          match best with
+          | Some (bp, _) when bp <= row.E.eidx_population -> best
+          | _ -> Some (row.E.eidx_population, row.E.eidx_speedup)
+        else best)
+      None rows
+    |> Option.map snd
+  in
 
   if enabled "fig1" then
     section "FIG1 — GDPR penalty statistics (paper Figure 1)"
@@ -449,6 +478,29 @@ let () =
         Printf.printf "\nwrote %s\n" path
   end;
 
+  if enabled "index" then begin
+    let module BR = Rgpdos_workload.Bench_report in
+    let result, wall_ms =
+      timed (fun () ->
+          E.e_index
+            ~sizes:(d [ 500; 2_000; 8_000 ] [ 500; 2_000 ])
+            ~ttl_sizes:(d [ 500; 2_000; 4_000 ] [ 200; 500 ])
+            ())
+    in
+    index_speedup1pct := speedup_1pct_of result.E.eidx_select;
+    let report = BR.make_index ~result ~wall_ms in
+    (match BR.validate_index report with
+    | Ok () -> ()
+    | Error e -> failwith ("index-select report failed self-validation: " ^ e));
+    section "INDEX — secondary-index pushdown vs full-type scans"
+      (E.render_e_index result);
+    match index_json_path with
+    | None -> ()
+    | Some path ->
+        BR.write_file path report;
+        Printf.printf "\nwrote %s\n" path
+  end;
+
   (match compare_path with
   | None -> ()
   | Some path ->
@@ -491,7 +543,7 @@ let () =
           | Error line ->
               Printf.eprintf "\ncompare: %s\n" line;
               exit 1));
-      match BR.read_file (sibling "BENCH_parallel_scale.json") with
+      (match BR.read_file (sibling "BENCH_parallel_scale.json") with
       | None -> ()
       | Some old_scale -> (
           let speedup4 =
@@ -516,6 +568,28 @@ let () =
               Printf.printf
                 "compare: 4-domain speedup %.2fx vs committed %.2fx — ok\n"
                 speedup4 committed
+          | Error line ->
+              Printf.eprintf "\ncompare: %s\n" line;
+              exit 1));
+      match BR.read_file (sibling "BENCH_index_select.json") with
+      | None -> ()
+      | Some old_index -> (
+          let speedup1pct =
+            match !index_speedup1pct with
+            | Some s -> s
+            | None -> (
+                (* index section did not run: measure the gated
+                   configuration alone *)
+                match speedup_1pct_of (E.e_index_select ~sizes:[ 2_000 ] ()) with
+                | Some s -> s
+                | None -> failwith "--compare: e_index_select has no 1% row")
+          in
+          match BR.compare_index ~old_report:old_index ~speedup1pct with
+          | Ok committed ->
+              Printf.printf
+                "compare: 1%%-selectivity pushdown %.1fx vs committed %.1fx \
+                 — ok\n"
+                speedup1pct committed
           | Error line ->
               Printf.eprintf "\ncompare: %s\n" line;
               exit 1));

@@ -56,7 +56,9 @@ type t = {
   high_start : int; (* first block of the sensitive region *)
   tables : (string, table) Hashtbl.t;
   entries : (string, entry) Hashtbl.t;
-  subject_tree : (string, string list ref) Hashtbl.t; (* subject -> pd_ids, reversed *)
+  index : Index.t;
+      (* secondary indexes: per-field postings, subject -> pd_ids (the old
+         in-memory subject_tree, now persisted), TTL expiry queue *)
   free : bool array;
   mutable next_pd : int;
   mutable hook : (actor:string -> op:string -> bool) option;
@@ -331,7 +333,64 @@ let invalidate_caches t pd_id =
   Hashtbl.remove t.membrane_cache pd_id;
   Hashtbl.remove t.record_cache pd_id
 
-let apply_op t op =
+(* Index write-through rides the same funnel.  Live call sites hand the
+   decoded values down as a hint (they just validated and encoded them),
+   so index maintenance costs no extra device traffic; journal replay has
+   no hint and re-reads the payload blocks instead.  A replayed op whose
+   blocks have since been zeroed or reused simply fails to decode and is
+   skipped: removal never needs the payload (it goes through the
+   [Index.pd_keys] source of truth by pd_id), and the LAST op for any pd
+   always has valid in-place blocks — ordered journaling wrote them
+   before the record committed and nothing freed them since — so the
+   final index state is exact.  Index values themselves never enter the
+   journal: the ring stays free of PD bytes. *)
+type hint = { h_record : Record.t option; h_membrane : Membrane.t option }
+
+let no_hint = { h_record = None; h_membrane = None }
+
+let indexed_fields_of t type_name =
+  match Hashtbl.find_opt t.tables type_name with
+  | Some tbl -> tbl.schema.Schema.indexed_fields
+  | None -> []
+
+let decode_record_at t blocks size =
+  match Record.decode (read_payload t blocks size) with
+  | Ok r -> Some r
+  | Error _ -> None
+
+let decode_membrane_at t blocks size =
+  match Membrane.decode (read_payload t blocks size) with
+  | Ok m -> Some m
+  | Error _ -> None
+
+let expiry_instant m =
+  match m.Membrane.ttl with
+  | None -> None
+  | Some ttl -> Some (m.Membrane.created_at + ttl)
+
+let index_put_record t ~pd_id ~type_name ~hint ~blocks ~size =
+  let indexed = indexed_fields_of t type_name in
+  if indexed <> [] then
+    let record =
+      match hint.h_record with
+      | Some r -> Some r
+      | None -> decode_record_at t blocks size
+    in
+    match record with
+    | Some record -> Index.add_entry t.index ~pd_id ~type_name ~indexed record
+    | None -> ()
+
+let index_put_membrane t ~pd_id ~hint ~blocks ~size =
+  let membrane =
+    match hint.h_membrane with
+    | Some m -> Some m
+    | None -> decode_membrane_at t blocks size
+  in
+  match membrane with
+  | Some m -> Index.set_expiry t.index ~pd_id (expiry_instant m)
+  | None -> ()
+
+let apply_op ?(hint = no_hint) t op =
   (match op with
   | J_create_type _ -> ()
   | J_insert { pd_id; _ }
@@ -366,9 +425,11 @@ let apply_op t op =
       (match Hashtbl.find_opt t.tables e.type_name with
       | Some table -> table.pds_rev <- e.pd_id :: table.pds_rev
       | None -> failwith "DBFS: insert into unknown table during apply");
-      (match Hashtbl.find_opt t.subject_tree e.subject with
-      | Some ids -> ids := e.pd_id :: !ids
-      | None -> Hashtbl.replace t.subject_tree e.subject (ref [ e.pd_id ]));
+      Index.add_subject t.index ~subject:e.subject ~pd_id:e.pd_id;
+      index_put_record t ~pd_id:e.pd_id ~type_name:e.type_name ~hint
+        ~blocks:e.record_blocks ~size:e.record_size;
+      index_put_membrane t ~pd_id:e.pd_id ~hint ~blocks:e.membrane_blocks
+        ~size:e.membrane_size;
       (* keep pd counter ahead of any replayed id *)
       (match int_of_string_opt (String.sub e.pd_id 3 (String.length e.pd_id - 3)) with
       | Some n when n >= t.next_pd -> t.next_pd <- n + 1
@@ -378,13 +439,16 @@ let apply_op t op =
       mark_free t entry.record_blocks;
       mark_used t blocks;
       entry.record_blocks <- blocks;
-      entry.record_size <- size
+      entry.record_size <- size;
+      index_put_record t ~pd_id ~type_name:entry.type_name ~hint ~blocks ~size
   | J_update_membrane { pd_id; blocks; size } ->
       let entry = Hashtbl.find t.entries pd_id in
       mark_free t entry.membrane_blocks;
       mark_used t blocks;
       entry.membrane_blocks <- blocks;
-      entry.membrane_size <- size
+      entry.membrane_size <- size;
+      (* consent flips and TTL changes land here: re-key the expiry queue *)
+      index_put_membrane t ~pd_id ~hint ~blocks ~size
   | J_delete pd_id ->
       let entry = Hashtbl.find t.entries pd_id in
       mark_free t entry.record_blocks;
@@ -393,16 +457,20 @@ let apply_op t op =
       (match Hashtbl.find_opt t.tables entry.type_name with
       | Some table -> table.pds_rev <- List.filter (( <> ) pd_id) table.pds_rev
       | None -> ());
-      (match Hashtbl.find_opt t.subject_tree entry.subject with
-      | Some ids -> ids := List.filter (( <> ) pd_id) !ids
-      | None -> ())
+      Index.remove_entry t.index ~pd_id;
+      Index.remove_subject t.index ~subject:entry.subject ~pd_id;
+      Index.clear_expiry t.index ~pd_id
   | J_erase { pd_id; blocks; size } ->
       let entry = Hashtbl.find t.entries pd_id in
       mark_free t entry.record_blocks;
       mark_used t blocks;
       entry.record_blocks <- blocks;
       entry.record_size <- size;
-      entry.erased <- true
+      entry.erased <- true;
+      (* sealed payload is not PD: no field keys, no expiry; the subject
+         link stays (erasure seals the pd, it does not unlink it) *)
+      Index.remove_entry t.index ~pd_id;
+      Index.clear_expiry t.index ~pd_id
 
 (* ------------------------------------------------------------------ *)
 (* metadata checkpoint                                                *)
@@ -455,14 +523,9 @@ let encode_meta t =
     tables;
   let entries = Hashtbl.fold (fun _ e acc -> e :: acc) t.entries [] in
   Codec.Writer.list w (fun e -> encode_entry w e) entries;
-  let subjects =
-    Hashtbl.fold (fun s ids acc -> (s, !ids) :: acc) t.subject_tree []
-  in
-  Codec.Writer.list w
-    (fun (s, ids) ->
-      Codec.Writer.string w s;
-      Codec.Writer.list w (Codec.Writer.string w) ids)
-    subjects;
+  (* secondary indexes: derivation roots only (pd_keys, subject lists,
+     expiry queue) — probe structures are rebuilt on mount *)
+  Index.encode_into w t.index;
   let free_bits =
     String.init (Array.length t.free) (fun i -> if t.free.(i) then '1' else '0')
   in
@@ -507,18 +570,23 @@ let checkpoint t =
   write_meta t;
   Journal_ring.mark_checkpointed t.ring
 
-let log_and_apply t op =
+let log_and_apply ?hint t op =
   Journal_ring.append t.ring ~on_overflow:(fun () -> checkpoint t) (encode_op op);
-  apply_op t op
+  apply_op ?hint t op
 
 (* ------------------------------------------------------------------ *)
 (* construction                                                       *)
 
 let format dev ~journal_blocks =
   let cfg = Block_device.config dev in
-  let meta_blocks = meta_blocks_default in
-  let data_start = 1 + journal_blocks + meta_blocks in
   let block_count = cfg.Block_device.block_count in
+  (* The metadata region now also persists the secondary indexes, whose
+     size grows with the population; scale the region with the device
+     (1/16th) instead of a fixed 128 blocks so large-population
+     checkpoints cannot overflow it.  [mount] reads the figure from the
+     superblock, so the layout stays self-describing. *)
+  let meta_blocks = max meta_blocks_default (block_count / 16) in
+  let data_start = 1 + journal_blocks + meta_blocks in
   if data_start >= block_count then invalid_arg "Dbfs.format: device too small";
   let w = Codec.Writer.create () in
   Codec.Writer.string w superblock_magic;
@@ -536,7 +604,7 @@ let format dev ~journal_blocks =
       high_start = compute_high_start ~data_start ~block_count;
       tables = Hashtbl.create 8;
       entries = Hashtbl.create 256;
-      subject_tree = Hashtbl.create 64;
+      index = Index.create ();
       free = Array.make (block_count - data_start) true;
       next_pd = 0;
       hook = None;
@@ -582,18 +650,13 @@ let mount dev =
                     Ok { schema; pds_rev })
               in
               let* entries = Codec.Reader.list r decode_entry in
-              let* subjects =
-                Codec.Reader.list r (fun r ->
-                    let* s = Codec.Reader.string r in
-                    let* ids = Codec.Reader.list r Codec.Reader.string in
-                    Ok (s, ids))
-              in
+              let* index = Index.decode_from r in
               let* free_bits = Codec.Reader.string r in
-              Ok (next_pd, jhead, jseq, tables, entries, subjects, free_bits)
+              Ok (next_pd, jhead, jseq, tables, entries, index, free_bits)
           in
           match parse with
           | Error e -> Error e
-          | Ok (next_pd, jhead, jseq, tables, entries, subjects, free_bits) ->
+          | Ok (next_pd, jhead, jseq, tables, entries, index, free_bits) ->
               let cfg = Block_device.config dev in
               let block_count = cfg.Block_device.block_count in
               let data_start = 1 + journal_blocks + meta_blocks in
@@ -610,7 +673,7 @@ let mount dev =
                   high_start = compute_high_start ~data_start ~block_count;
                   tables = Hashtbl.create 8;
                   entries = Hashtbl.create 256;
-                  subject_tree = Hashtbl.create 64;
+                  index;
                   free =
                     Array.init (String.length free_bits) (fun i ->
                         free_bits.[i] = '1');
@@ -625,9 +688,6 @@ let mount dev =
                 (fun tbl -> Hashtbl.replace t.tables tbl.schema.Schema.name tbl)
                 tables;
               List.iter (fun e -> Hashtbl.replace t.entries e.pd_id e) entries;
-              List.iter
-                (fun (s, ids) -> Hashtbl.replace t.subject_tree s (ref ids))
-                subjects;
               Journal_ring.replay t.ring (fun payload ->
                   match decode_op payload with
                   | Ok op -> apply_op t op
@@ -725,6 +785,7 @@ let insert t ~actor ~subject ~type_name ~record ~membrane_of =
                     write_payload t membrane_bytes membrane_blocks;
                     t.next_pd <- t.next_pd + 1;
                     log_and_apply t
+                      ~hint:{ h_record = Some record; h_membrane = Some membrane }
                       (J_insert
                          {
                            pd_id;
@@ -906,6 +967,7 @@ let update_record t ~actor pd_id record =
             | Some blocks ->
                 write_payload t bytes blocks;
                 log_and_apply t
+                  ~hint:{ no_hint with h_record = Some record }
                   (J_update_record { pd_id; blocks; size = String.length bytes });
                 (* zeroing deallocation: no stale PD on the medium *)
                 zero_and_free t old_blocks;
@@ -929,6 +991,7 @@ let update_membrane t ~actor pd_id membrane =
     | Some blocks ->
         write_payload t bytes blocks;
         log_and_apply t
+          ~hint:{ no_hint with h_membrane = Some membrane }
           (J_update_membrane { pd_id; blocks; size = String.length bytes });
         zero_and_free t old_blocks;
         Stats.Counter.incr t.counters "membrane_updates";
@@ -1015,16 +1078,112 @@ let list_pds t ~actor type_name =
 
 let pds_of_subject t ~actor subject =
   let** () = guard t ~actor ~op:"read" in
-  match Hashtbl.find_opt t.subject_tree subject with
-  | None -> Ok []
-  | Some ids -> Ok (List.rev !ids)
+  Ok (Index.subject_pds t.index subject)
 
 let subjects t ~actor =
   let** () = guard t ~actor ~op:"read" in
-  Ok
-    (Hashtbl.fold (fun s ids acc -> if !ids = [] then acc else s :: acc)
-       t.subject_tree []
-    |> List.sort compare)
+  Ok (Index.subject_list t.index)
+
+(* ---------- predicate pushdown (Dbfs.select) ----------
+
+   Plan the predicate against the type's secondary indexes, probe for a
+   candidate set, batch-load only the candidates and run the original
+   predicate as a residual filter.  Exact plans skip the record loads
+   entirely.  Probe charging follows the warm==cold rule: the probe
+   structures notionally live in the metadata region, so every probe
+   charges a vectored read of as many metadata blocks as its byte
+   footprint covers — the in-memory acceleration is host-side only and
+   never changes a simulated figure. *)
+
+module SS = Set.Make (String)
+
+let charge_index_read t bytes =
+  let bs = block_size t in
+  let nblocks = min t.meta_blocks (max 1 (((bytes - 1) / bs) + 1)) in
+  Block_device.charge_read_vec t.dev
+    (List.init nblocks (fun i -> t.meta_start + i))
+
+let run_probe t ~type_name probe =
+  let rec go = function
+    | Plan.Atom (Plan.Aeq (field, v)) ->
+        let ids, bytes = Index.probe_eq t.index ~type_name ~field v in
+        (SS.of_list ids, bytes)
+    | Plan.Atom (Plan.Alt (field, v)) ->
+        let ids, bytes = Index.probe_range t.index ~type_name ~field ~op:`Lt v in
+        (SS.of_list ids, bytes)
+    | Plan.Atom (Plan.Agt (field, v)) ->
+        let ids, bytes = Index.probe_range t.index ~type_name ~field ~op:`Gt v in
+        (SS.of_list ids, bytes)
+    | Plan.Inter (x, y) ->
+        let sx, bx = go x in
+        let sy, by = go y in
+        (SS.inter sx sy, bx + by)
+    | Plan.Union (x, y) ->
+        let sx, bx = go x in
+        let sy, by = go y in
+        (SS.union sx sy, bx + by)
+  in
+  go probe
+
+let select t ~actor ?(use_indexes = true) type_name pred =
+  let** () = guard t ~actor ~op:"read" in
+  match Hashtbl.find_opt t.tables type_name with
+  | None -> Error (Unknown_type type_name)
+  | Some tbl -> (
+      Stats.Counter.incr t.counters "selects";
+      let live pd =
+        match Hashtbl.find_opt t.entries pd with
+        | Some e -> not e.erased
+        | None -> false
+      in
+      let all_live () = List.filter live (List.rev tbl.pds_rev) in
+      let residual pd_ids =
+        (* one batched vectored load, then the full predicate *)
+        let** records = get_records t ~actor pd_ids in
+        Ok
+          (List.filter_map
+             (fun (pd, r) ->
+               match r with
+               | Some r when Query.eval pred r -> Some pd
+               | _ -> None)
+             records)
+      in
+      let plan =
+        if use_indexes then
+          Plan.compile pred
+            ~indexed:(fun f -> List.mem f tbl.schema.Schema.indexed_fields)
+        else
+          Plan.Full_scan
+            { trivial = (match pred with Query.True -> true | _ -> false) }
+      in
+      match plan with
+      | Plan.Full_scan { trivial = true } -> Ok (all_live ())
+      | Plan.Full_scan { trivial = false } -> residual (all_live ())
+      | Plan.Indexed { probe; exact } ->
+          Stats.Counter.incr t.counters "index_probes";
+          let cand, bytes = run_probe t ~type_name probe in
+          charge_index_read t bytes;
+          (* back to insertion order — probe sets are unordered *)
+          let cand_list = List.filter (fun pd -> SS.mem pd cand) (all_live ()) in
+          if exact then Ok cand_list else residual cand_list)
+
+let plan_for t ~actor type_name pred =
+  let** () = guard t ~actor ~op:"read" in
+  match Hashtbl.find_opt t.tables type_name with
+  | None -> Error (Unknown_type type_name)
+  | Some tbl ->
+      Ok
+        (Plan.compile pred
+           ~indexed:(fun f -> List.mem f tbl.schema.Schema.indexed_fields))
+
+let expired_pds t ~actor ~now =
+  let** () = guard t ~actor ~op:"read" in
+  Stats.Counter.incr t.counters "index_probes";
+  let ids = Index.expired t.index ~now in
+  charge_index_read t (32 + (16 * List.length ids));
+  Ok ids
+
+let expiry_queue_size t = Index.expiry_size t.index
 
 let pd_count t = Hashtbl.length t.entries
 
@@ -1057,8 +1216,7 @@ let describe_trees t ~actor =
   in
   Buffer.add_string buf "subject tree (one inode subtree per data subject)\n";
   let subjects =
-    Hashtbl.fold (fun s ids acc -> (s, List.rev !ids) :: acc) t.subject_tree []
-    |> List.sort compare
+    List.map (fun s -> (s, Index.subject_pds t.index s)) (Index.subject_list t.index)
   in
   List.iter
     (fun (subject, ids) ->
@@ -1187,6 +1345,93 @@ let fsck t =
                 note "table %s lists pd %s of type %s" name pd_id e.type_name)
         tbl.pds_rev)
     t.tables;
+  (* secondary indexes <-> entries, both directions *)
+  Index.fold_pd_keys t.index
+    (fun pd_id (type_name, kvs) () ->
+      match Hashtbl.find_opt t.entries pd_id with
+      | None -> note "index keys unknown pd %s" pd_id
+      | Some e ->
+          if e.erased then note "index keys erased pd %s" pd_id;
+          if e.type_name <> type_name then
+            note "index keys pd %s under type %s (entry says %s)" pd_id
+              type_name e.type_name;
+          (* every claimed key must be posted, and must match the record *)
+          let record = decode_record_at t e.record_blocks e.record_size in
+          List.iter
+            (fun (field, v) ->
+              if
+                not
+                  (List.mem pd_id
+                     (Index.eq_postings t.index ~type_name ~field v))
+              then
+                note "index: pd %s missing from posting list of %s.%s" pd_id
+                  type_name field;
+              match record with
+              | None -> note "index: pd %s record undecodable" pd_id
+              | Some r -> (
+                  match List.assoc_opt field r with
+                  | Some v' when Value.equal v v' -> ()
+                  | _ ->
+                      note "index: stale key %s.%s for pd %s" type_name field
+                        pd_id))
+            kvs)
+    ();
+  Hashtbl.iter
+    (fun pd_id e ->
+      (* live pd of an indexed type must be keyed *)
+      (if not e.erased then
+         let indexed = indexed_fields_of t e.type_name in
+         if indexed <> [] && Index.pd_key t.index pd_id = None then
+           note "index: live pd %s of indexed type %s has no keys" pd_id
+             e.type_name);
+      (* subject index must link every pd (erased included) *)
+      if not (List.mem pd_id (Index.subject_pds t.index e.subject)) then
+        note "index: pd %s missing from subject %s" pd_id e.subject;
+      (* expiry queue agrees with the membrane *)
+      let expected =
+        if e.erased then None
+        else
+          match decode_membrane_at t e.membrane_blocks e.membrane_size with
+          | None -> None
+          | Some m -> expiry_instant m
+      in
+      match (expected, Index.expiry_of t.index pd_id) with
+      | None, Some ns -> note "index: pd %s spuriously queued to expire at %d" pd_id ns
+      | Some ns, None -> note "index: pd %s missing from expiry queue (due %d)" pd_id ns
+      | Some a, Some b when a <> b ->
+          note "index: pd %s queued at %d, membrane says %d" pd_id b a
+      | _ -> ())
+    t.entries;
   match !problems with [] -> Ok () | ps -> Error (List.rev ps)
+
+(* ------------------------------------------------------------------ *)
+(* index introspection (tests)                                        *)
+
+let index_dump t = Index.dump t.index
+
+(* From-scratch reference rebuild: re-derive every index fact from the
+   live entries and their on-device payloads, dump canonically.  The
+   crash-consistency tests compare this against [index_dump] after a
+   remount. *)
+let rebuilt_index_dump t =
+  let idx = Index.create () in
+  Hashtbl.iter
+    (fun pd_id e ->
+      Index.add_subject idx ~subject:e.subject ~pd_id;
+      if not e.erased then begin
+        let indexed = indexed_fields_of t e.type_name in
+        (if indexed <> [] then
+           match decode_record_at t e.record_blocks e.record_size with
+           | Some record ->
+               Index.add_entry idx ~pd_id ~type_name:e.type_name ~indexed record
+           | None -> ());
+        match decode_membrane_at t e.membrane_blocks e.membrane_size with
+        | Some m -> Index.set_expiry idx ~pd_id (expiry_instant m)
+        | None -> ()
+      end)
+    t.entries;
+  Index.dump idx
+
+let unsafe_tamper_index t pd_id = Index.unsafe_drop_posting t.index ~pd_id
 
 let stats t = t.counters

@@ -188,8 +188,50 @@ val list_pds : t -> actor:string -> string -> (string list, error) result
 (** All pd_ids of a type, in insertion order. *)
 
 val pds_of_subject : t -> actor:string -> string -> (string list, error) result
+(** The subject's pd_ids in insertion order (oldest first) — backed by the
+    persisted subject index, so exports and right-of-access output are
+    deterministic and stable across remount. *)
+
 val subjects : t -> actor:string -> (string list, error) result
 val pd_count : t -> int
+
+val select :
+  t ->
+  actor:string ->
+  ?use_indexes:bool ->
+  string ->
+  Query.t ->
+  (string list, error) result
+(** [select t ~actor type_name pred]: the pd_ids of the type's live
+    (non-erased) entries whose record satisfies [pred], in insertion
+    order.  The predicate is pushed down into storage: a {!Plan.compile}d
+    probe over the type's secondary indexes yields a candidate superset
+    (Eq → hash-posting probe, Lt/Gt → ordered-index range scan, And →
+    posting intersection, Or → union), one batched vectored load fetches
+    only the candidates, and the original predicate runs as a residual
+    filter — skipped entirely when the plan is exact.  [Not], [Contains]
+    and unindexed atoms degrade soundly to today's full scan.
+
+    Guaranteed equivalent to filtering {!list_pds} through {!get_records}
+    + [Query.eval] (the qcheck planner-equivalence property).  Index
+    probes charge simulated metadata-region reads proportional to the
+    postings touched — warm and cold runs cost the same, like every other
+    DBFS read path.  [?use_indexes:false] forces the full-scan path (for
+    measurement; results are identical). *)
+
+val plan_for :
+  t -> actor:string -> string -> Query.t -> (Plan.t, error) result
+(** The plan {!select} would run — introspection for tests and debug. *)
+
+val expired_pds : t -> actor:string -> now:int -> (string list, error) result
+(** Live pds whose membrane expiry instant ([created_at + ttl]) is
+    [<= now], in expiry order — a non-destructive peek at the TTL expiry
+    min-queue, charged as an index read.  Entries leave the queue when
+    their pd is deleted, erased or re-membraned, so a sweeper that pops
+    and erases pays O(expired), not O(population). *)
+
+val expiry_queue_size : t -> int
+(** How many pds currently carry a TTL (queue population). *)
 
 val entry_info :
   t -> actor:string -> string -> (string * string * bool, error) result
@@ -213,8 +255,28 @@ val checkpoint : t -> unit
 val crash_and_remount : t -> (t, string) result
 
 val fsck : t -> (unit, string list) result
-(** Invariant check, including the membrane invariant: every stored entry's
-    membrane must decode and match the entry identity. *)
+(** Invariant check, including the membrane invariant (every stored
+    entry's membrane must decode and match the entry identity) and
+    index ↔ entry agreement in both directions: every index key names a
+    live pd and matches its on-device record, every posting list contains
+    its keyed pds, every live pd of an indexed type is keyed, the subject
+    index links every entry, and the expiry queue agrees with each
+    membrane's [created_at + ttl]. *)
+
+val index_dump : t -> string
+(** Canonical rendering of the secondary indexes (sorted, iteration-order
+    independent) — crash-consistency tests compare this across remounts. *)
+
+val rebuilt_index_dump : t -> string
+(** What {!index_dump} would print for a from-scratch index rebuilt off
+    the live entries and their on-device payloads — the reference for
+    crash-consistency tests. *)
+
+val unsafe_tamper_index : t -> string -> bool
+(** Test hook: corrupt the index in place by dropping the pd from the
+    posting list of its first indexed field (leaving the index's own
+    bookkeeping claiming it is posted) — the kind of damage {!fsck} must
+    flag.  Returns [false] when the pd carries no indexed fields. *)
 
 val stats : t -> Rgpdos_util.Stats.Counter.t
 (** Operation counters ("inserts", "membrane_reads", "record_reads",

@@ -1,0 +1,409 @@
+(* Persistent secondary indexes.
+
+   Three index families, all maintained write-through by DBFS and
+   persisted in the metadata region at checkpoint time:
+
+   - per (type, indexed field): a hash posting-list index (equality
+     probes) and an ordered value map (range probes);
+   - a subject -> pd_ids index (right-of-access / erasure paths);
+   - a TTL expiry min-queue keyed on membrane expiry instant
+     (created_at + ttl), driving the incremental storage-limitation
+     sweeper.
+
+   The source of truth for the field indexes is [pd_keys]: pd_id ->
+   (type, indexed field values at last write).  Removal always goes
+   through [pd_keys] — never through re-decoding payload bytes — so
+   index maintenance stays correct during journal replay even when the
+   device blocks behind an old operation have since been zeroed or
+   reused (the final op for a pd always wins).  Only [pd_keys], the
+   subject lists and the expiry queue are serialized; the hash postings
+   and ordered maps are derivable and rebuilt on decode. *)
+
+module Codec = Rgpdos_util.Codec
+
+open Rgpdos_util.Codec
+
+(* Total order over values, compatible with [Query.numeric_cmp] on the
+   numeric fragment: whenever [numeric_cmp a b = Some c] with [c <> 0],
+   [VKey.compare a b] has the same sign.  Cross-type numeric ties
+   (VInt 5 vs VFloat 5.0) break by constructor so the map keeps them as
+   distinct keys — range probes re-filter with [numeric_cmp], equality
+   probes use the hash postings, so the tie-break is never observable. *)
+module VKey = struct
+  type t = Value.t
+
+  let rank = function
+    | Value.VString _ -> 0
+    | Value.VBool _ -> 1
+    | Value.VInt _ -> 2
+    | Value.VFloat _ -> 3
+
+  let compare a b =
+    match (a, b) with
+    | Value.VInt x, Value.VInt y -> compare x y
+    | Value.VFloat x, Value.VFloat y -> compare x y
+    | Value.VInt x, Value.VFloat y ->
+        let c = compare (float_of_int x) y in
+        if c <> 0 then c else -1
+    | Value.VFloat x, Value.VInt y ->
+        let c = compare x (float_of_int y) in
+        if c <> 0 then c else 1
+    | Value.VString x, Value.VString y -> String.compare x y
+    | Value.VBool x, Value.VBool y -> compare x y
+    | a, b -> compare (rank a) (rank b)
+end
+
+module VMap = Map.Make (VKey)
+module IMap = Map.Make (Int)
+
+type t = {
+  eq : (string, string list ref) Hashtbl.t;
+      (* "<ty>\x00<field>\x00<canonical value>" -> pd_ids, newest first *)
+  ord : (string, string list ref VMap.t ref) Hashtbl.t;
+      (* "<ty>\x00<field>" -> value -> pd_ids, newest first *)
+  pd_keys : (string, string * (string * Value.t) list) Hashtbl.t;
+      (* pd_id -> (type, indexed field values) — removal source of truth *)
+  subjects : (string, string list ref) Hashtbl.t;
+      (* subject -> pd_ids, newest first; keeps erased pds like the old
+         subject_tree did (erasure seals, it does not unlink) *)
+  mutable expiry : string list ref IMap.t; (* expiry ns -> pds, newest first *)
+  expiry_of : (string, int) Hashtbl.t;
+}
+
+let create () =
+  {
+    eq = Hashtbl.create 64;
+    ord = Hashtbl.create 16;
+    pd_keys = Hashtbl.create 64;
+    subjects = Hashtbl.create 64;
+    expiry = IMap.empty;
+    expiry_of = Hashtbl.create 64;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* canonical hash keys                                                *)
+
+(* Must identify exactly the [Value.equal] equivalence classes: floats
+   compare with [Float.equal] (nan = nan, -0. = 0.), everything else is
+   structural and type-strict. *)
+let canonical = function
+  | Value.VString s -> "s:" ^ s
+  | Value.VInt i -> "i:" ^ string_of_int i
+  | Value.VBool b -> "b:" ^ string_of_bool b
+  | Value.VFloat f ->
+      if Float.is_nan f then "f:nan"
+      else if f = 0.0 then "f:0" (* -0. = 0. under Float.equal *)
+      else Printf.sprintf "f:%h" f
+
+let eq_key ~type_name ~field v =
+  String.concat "\x00" [ type_name; field; canonical v ]
+
+let ord_key ~type_name ~field = type_name ^ "\x00" ^ field
+
+(* ------------------------------------------------------------------ *)
+(* posting-list helpers                                               *)
+
+let table_add tbl key pd =
+  match Hashtbl.find_opt tbl key with
+  | Some ids -> ids := pd :: !ids
+  | None -> Hashtbl.replace tbl key (ref [ pd ])
+
+let table_remove tbl key pd =
+  match Hashtbl.find_opt tbl key with
+  | None -> ()
+  | Some ids -> (
+      ids := List.filter (fun p -> p <> pd) !ids;
+      match !ids with [] -> Hashtbl.remove tbl key | _ -> ())
+
+let ord_add t ~type_name ~field v pd =
+  let okey = ord_key ~type_name ~field in
+  let m =
+    match Hashtbl.find_opt t.ord okey with
+    | Some m -> m
+    | None ->
+        let m = ref VMap.empty in
+        Hashtbl.replace t.ord okey m;
+        m
+  in
+  match VMap.find_opt v !m with
+  | Some ids -> ids := pd :: !ids
+  | None -> m := VMap.add v (ref [ pd ]) !m
+
+let ord_remove t ~type_name ~field v pd =
+  let okey = ord_key ~type_name ~field in
+  match Hashtbl.find_opt t.ord okey with
+  | None -> ()
+  | Some m -> (
+      match VMap.find_opt v !m with
+      | None -> ()
+      | Some ids -> (
+          ids := List.filter (fun p -> p <> pd) !ids;
+          match !ids with [] -> m := VMap.remove v !m | _ -> ()))
+
+(* ------------------------------------------------------------------ *)
+(* field-index maintenance                                            *)
+
+let remove_entry t ~pd_id =
+  match Hashtbl.find_opt t.pd_keys pd_id with
+  | None -> ()
+  | Some (type_name, kvs) ->
+      List.iter
+        (fun (field, v) ->
+          table_remove t.eq (eq_key ~type_name ~field v) pd_id;
+          ord_remove t ~type_name ~field v pd_id)
+        kvs;
+      Hashtbl.remove t.pd_keys pd_id
+
+let add_entry t ~pd_id ~type_name ~indexed record =
+  remove_entry t ~pd_id;
+  let kvs =
+    List.filter (fun (f, _) -> List.mem f indexed) record
+  in
+  Hashtbl.replace t.pd_keys pd_id (type_name, kvs);
+  List.iter
+    (fun (field, v) ->
+      table_add t.eq (eq_key ~type_name ~field v) pd_id;
+      ord_add t ~type_name ~field v pd_id)
+    kvs
+
+(* ------------------------------------------------------------------ *)
+(* subject index                                                      *)
+
+let add_subject t ~subject ~pd_id = table_add t.subjects subject pd_id
+let remove_subject t ~subject ~pd_id = table_remove t.subjects subject pd_id
+
+let subject_pds t subject =
+  match Hashtbl.find_opt t.subjects subject with
+  | None -> []
+  | Some ids -> List.rev !ids (* stored newest-first -> insertion order *)
+
+let subject_list t =
+  Hashtbl.fold (fun s ids acc -> if !ids = [] then acc else s :: acc) t.subjects []
+  |> List.sort String.compare
+
+(* ------------------------------------------------------------------ *)
+(* expiry queue                                                       *)
+
+let clear_expiry t ~pd_id =
+  match Hashtbl.find_opt t.expiry_of pd_id with
+  | None -> ()
+  | Some ns ->
+      Hashtbl.remove t.expiry_of pd_id;
+      (match IMap.find_opt ns t.expiry with
+      | None -> ()
+      | Some ids -> (
+          ids := List.filter (fun p -> p <> pd_id) !ids;
+          match !ids with
+          | [] -> t.expiry <- IMap.remove ns t.expiry
+          | _ -> ()))
+
+let set_expiry t ~pd_id = function
+  | None -> clear_expiry t ~pd_id
+  | Some ns -> (
+      clear_expiry t ~pd_id;
+      Hashtbl.replace t.expiry_of pd_id ns;
+      match IMap.find_opt ns t.expiry with
+      | Some ids -> ids := pd_id :: !ids
+      | None -> t.expiry <- IMap.add ns (ref [ pd_id ]) t.expiry)
+
+let expired t ~now =
+  (* non-destructive: entries leave the queue when their pd is deleted,
+     erased or re-membraned, never as a side effect of looking *)
+  let le, at, _ = IMap.split now t.expiry in
+  let buckets =
+    IMap.fold (fun _ ids acc -> List.rev !ids :: acc) le []
+    |> List.rev
+  in
+  let buckets =
+    match at with None -> buckets | Some ids -> buckets @ [ List.rev !ids ]
+  in
+  List.concat buckets
+
+let expiry_size t = Hashtbl.length t.expiry_of
+
+(* ------------------------------------------------------------------ *)
+(* probes                                                             *)
+
+(* Simulated on-device footprint of a probe: a bucket header plus one
+   fixed-size slot per posting (pd ids are <= 16 bytes).  DBFS turns
+   bytes into device blocks and charges them read — warm == cold. *)
+let header_bytes = 32
+let slot_bytes = 16
+
+let probe_eq t ~type_name ~field v =
+  let ids =
+    match Hashtbl.find_opt t.eq (eq_key ~type_name ~field v) with
+    | None -> []
+    | Some ids -> !ids
+  in
+  (ids, header_bytes + (slot_bytes * List.length ids))
+
+let probe_range t ~type_name ~field ~op v =
+  match Hashtbl.find_opt t.ord (ord_key ~type_name ~field) with
+  | None -> ([], header_bytes)
+  | Some m ->
+      let side, at, other = VMap.split v !m in
+      let part = match op with `Lt -> side | `Gt -> other in
+      ignore at;
+      (* The ordered scan walks the half-open range; [numeric_cmp] is the
+         final word so the probe matches [Query.eval] exactly (non-numeric
+         keys and cross-type ties fall out here). *)
+      let keys = ref 0 and ids = ref [] in
+      VMap.iter
+        (fun v' pds ->
+          incr keys;
+          let keep =
+            match Query.numeric_cmp v' v with
+            | Some c -> ( match op with `Lt -> c < 0 | `Gt -> c > 0)
+            | None -> false
+          in
+          if keep then ids := List.rev_append !pds !ids)
+        part;
+      let bytes =
+        header_bytes + (slot_bytes * !keys) + (slot_bytes * List.length !ids)
+      in
+      (!ids, bytes)
+
+(* ------------------------------------------------------------------ *)
+(* persistence                                                        *)
+
+(* Only the derivation roots are serialized: pd_keys (sorted by pd for a
+   deterministic byte image), the subject lists (raw, order-preserving)
+   and the expiry queue (in key order).  Postings and ordered maps are
+   rebuilt on decode.  Index values thus live in the metadata region
+   only — they never enter the journal. *)
+
+let encode_into w t =
+  let pds =
+    Hashtbl.fold (fun pd v acc -> (pd, v) :: acc) t.pd_keys []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  Codec.Writer.list w
+    (fun (pd, (type_name, kvs)) ->
+      Codec.Writer.string w pd;
+      Codec.Writer.string w type_name;
+      Codec.Writer.list w
+        (fun (f, v) ->
+          Codec.Writer.string w f;
+          Value.encode w v)
+        kvs)
+    pds;
+  let subjects =
+    Hashtbl.fold (fun s ids acc -> (s, !ids) :: acc) t.subjects []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  Codec.Writer.list w
+    (fun (s, ids) ->
+      Codec.Writer.string w s;
+      Codec.Writer.list w (Codec.Writer.string w) ids)
+    subjects;
+  let expiry =
+    IMap.fold (fun ns ids acc -> (ns, !ids) :: acc) t.expiry [] |> List.rev
+  in
+  Codec.Writer.list w
+    (fun (ns, ids) ->
+      Codec.Writer.int w ns;
+      Codec.Writer.list w (Codec.Writer.string w) ids)
+    expiry
+
+let decode_from r =
+  let t = create () in
+  let* pds =
+    Codec.Reader.list r (fun r ->
+        let* pd = Codec.Reader.string r in
+        let* type_name = Codec.Reader.string r in
+        let* kvs =
+          Codec.Reader.list r (fun r ->
+              let* f = Codec.Reader.string r in
+              let* v = Value.decode r in
+              Ok (f, v))
+        in
+        Ok (pd, type_name, kvs))
+  in
+  List.iter
+    (fun (pd_id, type_name, kvs) ->
+      Hashtbl.replace t.pd_keys pd_id (type_name, kvs);
+      List.iter
+        (fun (field, v) ->
+          table_add t.eq (eq_key ~type_name ~field v) pd_id;
+          ord_add t ~type_name ~field v pd_id)
+        kvs)
+    pds;
+  let* subjects =
+    Codec.Reader.list r (fun r ->
+        let* s = Codec.Reader.string r in
+        let* ids = Codec.Reader.list r Codec.Reader.string in
+        Ok (s, ids))
+  in
+  List.iter (fun (s, ids) -> Hashtbl.replace t.subjects s (ref ids)) subjects;
+  let* expiry =
+    Codec.Reader.list r (fun r ->
+        let* ns = Codec.Reader.int r in
+        let* ids = Codec.Reader.list r Codec.Reader.string in
+        Ok (ns, ids))
+  in
+  List.iter
+    (fun (ns, ids) ->
+      t.expiry <- IMap.add ns (ref ids) t.expiry;
+      List.iter (fun pd -> Hashtbl.replace t.expiry_of pd ns) ids)
+    expiry;
+  Ok t
+
+(* ------------------------------------------------------------------ *)
+(* introspection (tests, fsck)                                        *)
+
+(* Canonical rendering, independent of hashtable iteration order and of
+   posting-list internal order — two indexes holding the same facts dump
+   to the same string. *)
+let dump t =
+  let b = Buffer.create 256 in
+  let sorted_tbl tbl =
+    Hashtbl.fold (fun k ids acc -> (k, List.sort String.compare !ids) :: acc) tbl []
+    |> List.sort compare
+  in
+  Buffer.add_string b "eq:\n";
+  List.iter
+    (fun (k, ids) ->
+      Buffer.add_string b
+        (Printf.sprintf "  %s -> %s\n"
+           (String.concat "/" (String.split_on_char '\x00' k))
+           (String.concat "," ids)))
+    (sorted_tbl t.eq);
+  Buffer.add_string b "subjects:\n";
+  List.iter
+    (fun s ->
+      Buffer.add_string b
+        (Printf.sprintf "  %s -> %s\n" s
+           (String.concat "," (List.sort String.compare (subject_pds t s)))))
+    (subject_list t);
+  Buffer.add_string b "expiry:\n";
+  IMap.iter
+    (fun ns ids ->
+      Buffer.add_string b
+        (Printf.sprintf "  %d -> %s\n" ns
+           (String.concat "," (List.sort String.compare !ids))))
+    t.expiry;
+  Buffer.contents b
+
+(* fsck support: every indexed fact both ways *)
+let fold_pd_keys t f acc =
+  Hashtbl.fold (fun pd v acc -> f pd v acc) t.pd_keys acc
+
+let pd_key t pd_id = Hashtbl.find_opt t.pd_keys pd_id
+let expiry_of t pd_id = Hashtbl.find_opt t.expiry_of pd_id
+
+let eq_postings t ~type_name ~field v =
+  match Hashtbl.find_opt t.eq (eq_key ~type_name ~field v) with
+  | None -> []
+  | Some ids -> !ids
+
+(* test hook: damage one posting list in place (see Dbfs.unsafe_tamper_index) *)
+let unsafe_drop_posting t ~pd_id =
+  match Hashtbl.find_opt t.pd_keys pd_id with
+  | None -> false
+  | Some (type_name, kvs) -> (
+      match kvs with
+      | [] -> false
+      | (field, v) :: _ ->
+          table_remove t.eq (eq_key ~type_name ~field v) pd_id;
+          true)

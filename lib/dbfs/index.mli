@@ -1,0 +1,96 @@
+(** Persistent secondary indexes for DBFS.
+
+    Three families, maintained write-through by DBFS on every
+    insert/update/delete/erase/consent flip and persisted with the rest
+    of the metadata at checkpoint:
+
+    - per (type, indexed field): hash posting lists for equality probes
+      and an ordered value map for [Lt]/[Gt] range probes;
+    - the subject → pd_ids index backing [Dbfs.pds_of_subject];
+    - a TTL expiry min-queue (expiry instant → pd_ids) backing the
+      incremental storage-limitation sweeper.
+
+    The removal source of truth is [pd_keys] (pd → indexed values at
+    last write), so maintenance never re-decodes payload bytes — which
+    keeps replay correct when old blocks have been zeroed or reused.
+    Index values never enter the journal: only the derivation roots are
+    serialized ({!encode_into}) and the probe structures are rebuilt on
+    {!decode_from}. *)
+
+type t
+
+val create : unit -> t
+
+(** {2 Field indexes} *)
+
+val add_entry :
+  t -> pd_id:string -> type_name:string -> indexed:string list ->
+  (string * Value.t) list -> unit
+(** (Re-)index a record: drops any stale keys for [pd_id] first, then
+    posts each indexed field present in the record. *)
+
+val remove_entry : t -> pd_id:string -> unit
+(** Drop every field-index fact for [pd_id] (delete / erase). *)
+
+val probe_eq :
+  t -> type_name:string -> field:string -> Value.t -> string list * int
+(** Candidate pd_ids whose [field] equals the value under [Value.equal]
+    (floats: nan = nan, -0. = 0.), plus the simulated index bytes the
+    probe touched. *)
+
+val probe_range :
+  t -> type_name:string -> field:string -> op:[ `Lt | `Gt ] -> Value.t ->
+  string list * int
+(** Candidate pd_ids under [Query.numeric_cmp] — walks the ordered map
+    on the probe side of the split and re-filters each distinct value
+    with [numeric_cmp], so results match [Query.eval] exactly. *)
+
+(** {2 Subject index} *)
+
+val add_subject : t -> subject:string -> pd_id:string -> unit
+val remove_subject : t -> subject:string -> pd_id:string -> unit
+
+val subject_pds : t -> string -> string list
+(** In insertion order (oldest first) — stable across remount. *)
+
+val subject_list : t -> string list
+(** Sorted; subjects whose list became empty are skipped. *)
+
+(** {2 Expiry queue} *)
+
+val set_expiry : t -> pd_id:string -> int option -> unit
+(** [Some ns]: (re)key the pd at expiry instant [ns]
+    (membrane [created_at + ttl]); [None]: remove it (no TTL). *)
+
+val clear_expiry : t -> pd_id:string -> unit
+
+val expired : t -> now:int -> string list
+(** Non-destructive: pds whose expiry instant is [<= now], in expiry
+    order.  Entries leave the queue when their pd is deleted, erased or
+    re-membraned — never as a side effect of listing. *)
+
+val expiry_size : t -> int
+
+(** {2 Persistence} *)
+
+val encode_into : Rgpdos_util.Codec.Writer.t -> t -> unit
+val decode_from : Rgpdos_util.Codec.Reader.t -> (t, string) result
+
+(** {2 Introspection — fsck and tests} *)
+
+val dump : t -> string
+(** Canonical rendering (sorted, order-independent): two indexes holding
+    the same facts dump identically. *)
+
+val fold_pd_keys :
+  t -> (string -> string * (string * Value.t) list -> 'a -> 'a) -> 'a -> 'a
+
+val pd_key : t -> string -> (string * (string * Value.t) list) option
+val expiry_of : t -> string -> int option
+val eq_postings : t -> type_name:string -> field:string -> Value.t -> string list
+
+val unsafe_drop_posting : t -> pd_id:string -> bool
+(** Test hook: silently drop [pd_id] from the posting list of its first
+    indexed field, leaving [pd_keys] claiming it is indexed — the kind
+    of corruption {!Dbfs.fsck} must flag.  Returns [false] when the pd
+    has no indexed fields. *)

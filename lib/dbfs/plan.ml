@@ -1,0 +1,76 @@
+(* Query planner: compile a [Query.t] into index probes.
+
+   The compiler runs over a three-point abstraction of "what candidate
+   set can the indexes produce for this sub-predicate":
+
+     Universe          — every live pd matches (True)
+     Unknown           — indexes say nothing (Not, Contains, unindexed
+                         field); candidates = all live pds, residual
+                         filter required
+     Node (n, exact)   — probe tree [n] yields a candidate superset;
+                         [exact] when it is exactly the matching set
+
+   And/Or combine pointwise: And narrows (Universe is identity, a Node
+   beside an Unknown survives but loses exactness — the probe is still a
+   sound superset because And can only shrink the matching set), Or
+   widens (Universe absorbs, Unknown poisons — a union that misses one
+   disjunct would drop matches). *)
+
+type atom =
+  | Aeq of string * Value.t
+  | Alt of string * Value.t
+  | Agt of string * Value.t
+
+type node = Atom of atom | Inter of node * node | Union of node * node
+
+type t =
+  | Full_scan of { trivial : bool }
+      (* trivial: predicate is [True] — every live pd matches, no record
+         loads and no residual evaluation needed *)
+  | Indexed of { probe : node; exact : bool }
+
+type approx = Universe | Unknown | Node of node * bool
+
+let compile ~indexed pred =
+  let rec go = function
+    | Query.True -> Universe
+    | Query.Eq (f, v) -> if indexed f then Node (Atom (Aeq (f, v)), true) else Unknown
+    | Query.Lt (f, v) -> if indexed f then Node (Atom (Alt (f, v)), true) else Unknown
+    | Query.Gt (f, v) -> if indexed f then Node (Atom (Agt (f, v)), true) else Unknown
+    | Query.Contains _ -> Unknown
+    | Query.Not _ -> Unknown
+    | Query.And (p, q) -> (
+        match (go p, go q) with
+        | Universe, x | x, Universe -> x
+        | Unknown, Unknown -> Unknown
+        | Node (n, _), Unknown | Unknown, Node (n, _) -> Node (n, false)
+        | Node (n1, e1), Node (n2, e2) -> Node (Inter (n1, n2), e1 && e2))
+    | Query.Or (p, q) -> (
+        match (go p, go q) with
+        | Universe, _ | _, Universe -> Universe
+        | Unknown, _ | _, Unknown -> Unknown
+        | Node (n1, e1), Node (n2, e2) -> Node (Union (n1, n2), e1 && e2))
+  in
+  match go pred with
+  | Universe -> Full_scan { trivial = true }
+  | Unknown -> Full_scan { trivial = false }
+  | Node (probe, exact) -> Indexed { probe; exact }
+
+let pp_atom fmt = function
+  | Aeq (f, v) -> Format.fprintf fmt "eq(%s, %a)" f Value.pp v
+  | Alt (f, v) -> Format.fprintf fmt "lt(%s, %a)" f Value.pp v
+  | Agt (f, v) -> Format.fprintf fmt "gt(%s, %a)" f Value.pp v
+
+let rec pp_node fmt = function
+  | Atom a -> pp_atom fmt a
+  | Inter (x, y) -> Format.fprintf fmt "(%a ∩ %a)" pp_node x pp_node y
+  | Union (x, y) -> Format.fprintf fmt "(%a ∪ %a)" pp_node x pp_node y
+
+let pp fmt = function
+  | Full_scan { trivial = true } -> Format.pp_print_string fmt "full-scan (trivial)"
+  | Full_scan { trivial = false } -> Format.pp_print_string fmt "full-scan"
+  | Indexed { probe; exact } ->
+      Format.fprintf fmt "probe %a%s" pp_node probe
+        (if exact then " (exact)" else " + residual")
+
+let to_string p = Format.asprintf "%a" pp p

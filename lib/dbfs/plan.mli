@@ -1,0 +1,33 @@
+(** Query planner: compile {!Query.t} predicates into index probes.
+
+    [Dbfs.select] runs the plan to obtain candidate pd_ids, batch-loads
+    the candidates' records in one vectored read (unless the plan is
+    exact, in which case no record ever leaves the device), and applies
+    the original predicate as a residual filter. *)
+
+type atom =
+  | Aeq of string * Value.t  (** hash-posting probe *)
+  | Alt of string * Value.t  (** ordered-index range scan, strictly below *)
+  | Agt of string * Value.t  (** ordered-index range scan, strictly above *)
+
+type node = Atom of atom | Inter of node * node | Union of node * node
+
+type t =
+  | Full_scan of { trivial : bool }
+      (** [trivial]: the predicate is [True] — every live pd matches and
+          no records need loading.  Otherwise the indexes say nothing
+          and the residual filter runs over every live record. *)
+  | Indexed of { probe : node; exact : bool }
+      (** Run the probe tree (Eq → hash probe, Lt/Gt → range scan,
+          And → posting intersection, Or → union).  [exact] when the
+          candidate set provably equals the matching set, so the
+          residual evaluation (and its record loads) can be skipped. *)
+
+val compile : indexed:(string -> bool) -> Query.t -> t
+(** [indexed f] answers whether field [f] carries a secondary index for
+    the type being selected.  The compiled plan always yields a sound
+    candidate {i superset}: [Not], [Contains] and unindexed atoms map to
+    full scans (or, under [And], drop exactness rather than candidates). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

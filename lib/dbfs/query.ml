@@ -44,6 +44,11 @@ let rec eval pred record =
   | And (p, q) -> eval p record && eval q record
   | Or (p, q) -> eval p record || eval q record
 
+let rec monotone = function
+  | True | Eq _ | Lt _ | Gt _ | Contains _ -> true
+  | Not _ -> false
+  | And (p, q) | Or (p, q) -> monotone p && monotone q
+
 let fields pred =
   let rec go acc = function
     | True -> acc

@@ -22,9 +22,25 @@ type t =
 val eval : t -> Record.t -> bool
 (** Total: missing fields and type mismatches make the atom false. *)
 
+val numeric_cmp : Value.t -> Value.t -> int option
+(** The comparison [Lt]/[Gt] evaluation uses: exact within ints and
+    within floats, int/float cross-comparisons via float cast, [None] on
+    non-numeric operands.  Exposed so the ordered secondary index can
+    re-filter range probes with exactly the evaluator's semantics. *)
+
 val fields : t -> string list
 (** Field names the predicate touches (duplicates removed) — used by the
     Processing Store to include selection fields in the footprint check. *)
+
+val monotone : t -> bool
+(** [true] when the predicate contains no [Not].  For such predicates,
+    every atom is false on a missing field, so removing fields from a
+    record can only turn the predicate from true to false — i.e.
+    [eval p (project r)] implies [eval p r].  This is the soundness
+    condition for pruning a selection with raw-record index probes before
+    the projected-record residual filter: a monotone predicate that holds
+    on the projection is guaranteed to hold on the raw record, so no
+    candidate the projection would accept is ever dropped. *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

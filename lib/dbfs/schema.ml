@@ -17,13 +17,14 @@ type t = {
   default_ttl : Clock.ns option;
   default_sensitivity : Membrane.sensitivity;
   default_origin : Membrane.origin;
+  indexed_fields : string list;
 }
 
 let has_duplicates names = List.length (List.sort_uniq String.compare names) <> List.length names
 
 let make ~name ~fields ?(views = []) ?(default_consents = []) ?(collection = [])
     ?default_ttl ?(default_sensitivity = Membrane.Low)
-    ?(default_origin = Membrane.Subject) () =
+    ?(default_origin = Membrane.Subject) ?(indexed_fields = []) () =
   if name = "" then Error "schema: empty type name"
   else if fields = [] then Error "schema: a PD type needs at least one field"
   else if has_duplicates (List.map (fun f -> f.fname) fields) then
@@ -32,8 +33,16 @@ let make ~name ~fields ?(views = []) ?(default_consents = []) ?(collection = [])
     Error "schema: duplicate view name"
   else if has_duplicates (List.map fst default_consents) then
     Error "schema: duplicate purpose in default consents"
+  else if has_duplicates indexed_fields then
+    Error "schema: duplicate indexed field"
   else
     let field_set = List.map (fun f -> f.fname) fields in
+    let bad_index =
+      List.find_opt (fun f -> not (List.mem f field_set)) indexed_fields
+    in
+    match bad_index with
+    | Some f -> Error (Printf.sprintf "schema: index on unknown field %s" f)
+    | None -> (
     let bad_view =
       List.find_opt
         (fun v -> List.exists (fun f -> not (List.mem f field_set)) v.vfields)
@@ -65,7 +74,8 @@ let make ~name ~fields ?(views = []) ?(default_consents = []) ?(collection = [])
                 default_ttl;
                 default_sensitivity;
                 default_origin;
-              })
+                indexed_fields;
+              }))
 
 let field_names s = List.map (fun f -> f.fname) s.fields
 
@@ -168,6 +178,7 @@ let encode s =
   | Membrane.Third_party op ->
       Codec.Writer.string w "third_party";
       Codec.Writer.string w op);
+  Codec.Writer.list w (Codec.Writer.string w) s.indexed_fields;
   Codec.Writer.contents w
 
 let decode raw =
@@ -227,6 +238,7 @@ let decode raw =
           Ok (Membrane.Third_party op)
       | other -> Error ("unknown origin " ^ other)
     in
+    let* indexed_fields = Codec.Reader.list r Codec.Reader.string in
     let* () = Codec.Reader.expect_end r in
     Ok
       {
@@ -238,6 +250,7 @@ let decode raw =
         default_ttl;
         default_sensitivity;
         default_origin;
+        indexed_fields;
       }
 
 let pp fmt s =

@@ -21,6 +21,10 @@ type t = {
   default_ttl : Rgpdos_util.Clock.ns option;
   default_sensitivity : Rgpdos_membrane.Membrane.sensitivity;
   default_origin : Rgpdos_membrane.Membrane.origin;
+  indexed_fields : string list;
+      (** Fields DBFS maintains persistent secondary indexes for: a hash
+          posting-list index (equality probes) and an ordered index (range
+          probes) per field.  See {!Index}. *)
 }
 
 val make :
@@ -32,11 +36,13 @@ val make :
   ?default_ttl:Rgpdos_util.Clock.ns ->
   ?default_sensitivity:Rgpdos_membrane.Membrane.sensitivity ->
   ?default_origin:Rgpdos_membrane.Membrane.origin ->
+  ?indexed_fields:string list ->
   unit ->
   (t, string) result
 (** Validates the declaration: non-empty name and fields, unique field and
     view names, every view field exists, every [View v] consent names a
-    declared view. *)
+    declared view, every indexed field names a declared field (no
+    duplicates). *)
 
 val field_names : t -> string list
 val find_field : t -> string -> field option

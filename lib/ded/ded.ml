@@ -136,8 +136,18 @@ let execute t ?(fetch_mode = Two_phase) ?(location = Host) ?cores ?pool
             Clock.advance t.clock cost_type2req;
             match target with
             | Pd_refs refs -> Ok refs
-            | All_of_type ty | Selection (ty, _) ->
-                lift (Dbfs.list_pds t.dbfs ~actor ty))
+            | All_of_type ty -> lift (Dbfs.list_pds t.dbfs ~actor ty)
+            | Selection (ty, pred) when Query.monotone pred ->
+                (* Predicate pushdown: let DBFS prune the selection with
+                   its secondary indexes.  Sound only for Not-free
+                   predicates — stage 5 re-evaluates on the PROJECTED
+                   record (fail closed), and for a monotone predicate
+                   raw-record truth is implied by projected-record truth,
+                   so index pruning on raw records never drops a pd the
+                   residual filter would keep.  A [Not] breaks that
+                   implication, so those selections keep the full scan. *)
+                lift (Dbfs.select t.dbfs ~actor ty pred)
+            | Selection (ty, _) -> lift (Dbfs.list_pds t.dbfs ~actor ty))
       in
       (* 2. ded_load_membrane — under Single_phase (the ablation mode) the
          record is fetched together with its membrane, before the filter

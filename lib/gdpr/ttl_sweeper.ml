@@ -13,48 +13,90 @@ type report = {
 
 let actor = "ded" (* the sweeper is an rgpdOS built-in and runs as the DED *)
 
-let sweep ~dbfs ~audit ~now ~mode () =
-  let all_pds =
-    match Dbfs.list_types dbfs ~actor with
-    | Error _ -> []
-    | Ok types ->
-        List.concat_map
-          (fun ty ->
-            match Dbfs.list_pds dbfs ~actor ty with Ok ids -> ids | Error _ -> [])
-          types
-  in
-  let scanned = ref 0 and expired = ref 0 and removed = ref 0 in
+(* Check-and-remove one expired candidate.  The membrane read double-checks
+   [Membrane.expired] even on the incremental path: the expiry queue is an
+   index, the membrane stays the authority. *)
+let remove_one ~dbfs ~audit ~now ~mode ~expired ~removed ~errors pd_id =
+  match Dbfs.get_membrane dbfs ~actor pd_id with
+  | Error e -> errors := (pd_id, Dbfs.error_to_string e) :: !errors
+  | Ok m ->
+      if Membrane.expired m ~now then begin
+        incr expired;
+        let result =
+          match mode with
+          | Physical_delete -> Dbfs.delete dbfs ~actor pd_id
+          | Crypto_erase seal -> Dbfs.erase_with dbfs ~actor pd_id ~seal
+        in
+        match result with
+        | Ok () ->
+            incr removed;
+            let mode_str =
+              match mode with
+              | Physical_delete -> "physical"
+              | Crypto_erase _ -> "crypto"
+            in
+            ignore
+              (Audit_log.append audit ~now ~actor
+                 (Audit_log.Erased { pd_id; mode = mode_str }))
+        | Error e -> errors := (pd_id, Dbfs.error_to_string e) :: !errors
+      end
+
+let sweep ~dbfs ~audit ~now ~mode ?(incremental = true) () =
+  let expired = ref 0 and removed = ref 0 in
   let errors = ref [] in
-  List.iter
-    (fun pd_id ->
-      match Dbfs.entry_info dbfs ~actor pd_id with
-      | Error _ -> ()
-      | Ok (_, _, true) -> () (* already erased *)
-      | Ok (_, _, false) -> (
-          incr scanned;
-          match Dbfs.get_membrane dbfs ~actor pd_id with
-          | Error e -> errors := (pd_id, Dbfs.error_to_string e) :: !errors
-          | Ok m ->
-              if Membrane.expired m ~now then begin
-                incr expired;
-                let result =
-                  match mode with
-                  | Physical_delete -> Dbfs.delete dbfs ~actor pd_id
-                  | Crypto_erase seal -> Dbfs.erase_with dbfs ~actor pd_id ~seal
-                in
-                match result with
-                | Ok () ->
-                    incr removed;
-                    let mode_str =
-                      match mode with
-                      | Physical_delete -> "physical"
-                      | Crypto_erase _ -> "crypto"
-                    in
-                    ignore
-                      (Audit_log.append audit ~now ~actor
-                         (Audit_log.Erased { pd_id; mode = mode_str }))
-                | Error e ->
-                    errors := (pd_id, Dbfs.error_to_string e) :: !errors
-              end))
-    all_pds;
-  { scanned = !scanned; expired = !expired; removed = !removed; errors = !errors }
+  if incremental then begin
+    (* O(expired): pop only the due entries off the TTL expiry queue.
+       Removal (delete/erase) clears each pd's queue entry as part of the
+       journalled op; a pd whose removal fails stays queued and is
+       retried on the next sweep. *)
+    let due =
+      match Dbfs.expired_pds dbfs ~actor ~now with
+      | Ok ids -> ids
+      | Error _ -> []
+    in
+    let scanned = ref 0 in
+    List.iter
+      (fun pd_id ->
+        match Dbfs.entry_info dbfs ~actor pd_id with
+        | Error _ | Ok (_, _, true) -> ()
+        | Ok (_, _, false) ->
+            incr scanned;
+            remove_one ~dbfs ~audit ~now ~mode ~expired ~removed ~errors pd_id)
+      due;
+    {
+      scanned = !scanned;
+      expired = !expired;
+      removed = !removed;
+      errors = !errors;
+    }
+  end
+  else begin
+    (* legacy full scan: every non-erased membrane, O(population) *)
+    let all_pds =
+      match Dbfs.list_types dbfs ~actor with
+      | Error _ -> []
+      | Ok types ->
+          List.concat_map
+            (fun ty ->
+              match Dbfs.list_pds dbfs ~actor ty with
+              | Ok ids -> ids
+              | Error _ -> [])
+            types
+    in
+    let scanned = ref 0 in
+    List.iter
+      (fun pd_id ->
+        match Dbfs.entry_info dbfs ~actor pd_id with
+        | Error _ -> ()
+        | Ok (_, _, true) -> () (* already erased *)
+        | Ok (_, _, false) ->
+            incr scanned;
+            remove_one ~dbfs ~audit ~now ~mode ~expired ~removed ~errors pd_id)
+      all_pds;
+    {
+      scanned = !scanned;
+      expired = !expired;
+      removed = !removed;
+      errors = !errors;
+    }
+  end

@@ -22,8 +22,18 @@ val sweep :
   audit:Rgpdos_audit.Audit_log.t ->
   now:Rgpdos_util.Clock.ns ->
   mode:mode ->
+  ?incremental:bool ->
   unit ->
   report
-(** Scans every non-erased PD entry (membranes only, data blocks untouched
-    for non-expired PD) and removes the expired ones, logging each removal
-    in the audit chain. *)
+(** Removes expired PD, logging each removal in the audit chain.
+
+    [incremental] (the default) pops only the due entries off DBFS's TTL
+    expiry min-queue ({!Rgpdos_dbfs.Dbfs.expired_pds}), so a sweep costs
+    O(expired) rather than O(population); [report.scanned] counts the
+    queue candidates.  The membrane remains the authority — each
+    candidate's membrane is re-checked with [Membrane.expired] before
+    removal, and a pd whose removal fails stays queued for the next
+    sweep.
+
+    [~incremental:false] preserves the legacy full scan over every
+    non-erased membrane (measurement baseline; identical outcome). *)

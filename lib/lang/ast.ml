@@ -38,6 +38,7 @@ type type_decl = {
   t_origin : string option;
   t_age : int option;
   t_sensitivity : string option;
+  t_indexed : string list;
 }
 
 type purpose_decl = {
@@ -101,10 +102,10 @@ let to_schema d =
   in
   Schema.make ~name:d.t_name ~fields ~views ~default_consents
     ~collection:d.t_collection ?default_ttl:d.t_age ~default_sensitivity
-    ~default_origin ()
+    ~default_origin ~indexed_fields:d.t_indexed ()
 
 let pp_type_decl fmt d =
-  Format.fprintf fmt "@[<v 2>type %s {@,fields { %s }@,%a%a}@]" d.t_name
+  Format.fprintf fmt "@[<v 2>type %s {@,fields { %s }@,%a%a%a}@]" d.t_name
     (String.concat ", "
        (List.map (fun (f, ty) -> Printf.sprintf "%s: %s" f ty) d.t_fields))
     (Format.pp_print_list (fun fmt (v, fs) ->
@@ -124,6 +125,11 @@ let pp_type_decl fmt d =
                       | C_view v -> v))
                   consents)))
     d.t_consents
+    (fun fmt -> function
+      | [] -> ()
+      | indexed ->
+          Format.fprintf fmt "index { %s };@," (String.concat ", " indexed))
+    d.t_indexed
 
 let pp_purpose_decl fmt d =
   Format.fprintf fmt

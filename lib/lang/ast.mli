@@ -30,6 +30,7 @@ type type_decl = {
   t_origin : string option;  (** "subject" | "sysadmin" | "third_party" *)
   t_age : int option;        (** TTL in nanoseconds *)
   t_sensitivity : string option;
+  t_indexed : string list;   (** fields carrying secondary indexes *)
 }
 
 type purpose_decl = {

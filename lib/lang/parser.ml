@@ -110,6 +110,7 @@ let parse_type_decl st =
   let origin = ref None in
   let age = ref None in
   let sensitivity = ref None in
+  let indexed = ref None in
   let once name slot v =
     match !slot with
     | Some _ -> fail_at (peek st) "duplicate %s clause in type declaration" name
@@ -173,10 +174,15 @@ let parse_type_decl st =
         once "sensitivity" sensitivity (ident st);
         optional_semi st;
         items ()
+    | IDENT "index" ->
+        ignore (next st);
+        once "index" indexed (braced_list st ident);
+        optional_semi st;
+        items ()
     | other ->
         fail_at t
           "expected fields, view, consent, collection, origin, age, \
-           sensitivity or '}', found %a"
+           sensitivity, index or '}', found %a"
           pp_token other
   in
   items ();
@@ -192,6 +198,7 @@ let parse_type_decl st =
         t_origin = !origin;
         t_age = !age;
         t_sensitivity = !sensitivity;
+        t_indexed = Option.value ~default:[] !indexed;
       }
 
 (* ------------------------------------------------------------------ *)

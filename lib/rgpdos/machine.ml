@@ -428,13 +428,14 @@ let lift_restriction t ~subject = set_restriction t ~subject false
 (* ------------------------------------------------------------------ *)
 (* operations                                                         *)
 
-let sweep_ttl t ?mode () =
+let sweep_ttl t ?mode ?incremental () =
   let mode =
     match mode with
     | Some m -> m
     | None -> Ttl_sweeper.Crypto_erase (Authority.sealer t.authority ~prng:t.prng)
   in
-  Ttl_sweeper.sweep ~dbfs:t.dbfs ~audit:t.audit ~now:(Clock.now t.clock) ~mode ()
+  Ttl_sweeper.sweep ~dbfs:t.dbfs ~audit:t.audit ~now:(Clock.now t.clock) ~mode
+    ?incremental ()
 
 let compliance_evidence t ?(forensic_probes = []) () =
   let now = Clock.now t.clock in

@@ -180,9 +180,16 @@ val lift_restriction : t -> subject:string -> (int, string) result
 (** {1 Operations} *)
 
 val sweep_ttl :
-  t -> ?mode:Rgpdos_gdpr.Ttl_sweeper.mode -> unit -> Rgpdos_gdpr.Ttl_sweeper.report
+  t ->
+  ?mode:Rgpdos_gdpr.Ttl_sweeper.mode ->
+  ?incremental:bool ->
+  unit ->
+  Rgpdos_gdpr.Ttl_sweeper.report
 (** Storage-limitation sweep; default mode crypto-erasure under the
-    machine's authority. *)
+    machine's authority.  Incremental by default: only the entries due in
+    DBFS's TTL expiry queue are visited, so the sweep costs O(expired)
+    rather than O(population) ([?incremental:false] forces the legacy
+    full membrane scan). *)
 
 val compliance_evidence :
   t -> ?forensic_probes:string list -> unit -> Rgpdos_gdpr.Compliance.evidence

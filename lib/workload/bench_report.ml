@@ -535,6 +535,166 @@ let compare_vectored ~old_report ~subjects ~merge_ratio =
              old_norm current_norm floor regression_threshold_pct)
       else Ok old_ratio
 
+(* ---------- index-select artifact ---------- *)
+
+let index_schema_id = "rgpdos-bench-index-select/1"
+
+(* acceptance bars: pushdown must beat the full scan by >= 10x on the 1%
+   Eq probe at 2000+ subjects, and the expiry-queue sweep must beat the
+   full membrane scan by >= 2x at the largest aged population *)
+let index_speedup_bar = 10.0
+
+let ttl_speedup_bar = 2.0
+
+let make_index ~(result : Experiments.eidx_result) ~wall_ms =
+  Json.Obj
+    [
+      ("schema", Json.Str index_schema_id);
+      ( "select",
+        Json.List
+          (List.map
+             (fun (row : Experiments.eidx_select_row) ->
+               Json.Obj
+                 [
+                   ( "population",
+                     Json.Num (float_of_int row.Experiments.eidx_population) );
+                   ("probe", Json.Str row.Experiments.eidx_probe);
+                   ( "selectivity_pct",
+                     Json.Num row.Experiments.eidx_selectivity_pct );
+                   ( "matches",
+                     Json.Num (float_of_int row.Experiments.eidx_matches) );
+                   ( "scan_sim_ns",
+                     Json.Num (float_of_int row.Experiments.eidx_scan_ns) );
+                   ( "index_sim_ns",
+                     Json.Num (float_of_int row.Experiments.eidx_index_ns) );
+                   ("speedup", Json.Num row.Experiments.eidx_speedup);
+                 ])
+             result.Experiments.eidx_select) );
+      ( "ttl",
+        Json.List
+          (List.map
+             (fun (row : Experiments.eidx_ttl_row) ->
+               Json.Obj
+                 [
+                   ( "population",
+                     Json.Num (float_of_int row.Experiments.eidx_ttl_population)
+                   );
+                   ( "expired",
+                     Json.Num (float_of_int row.Experiments.eidx_ttl_expired) );
+                   ( "full_sim_ns",
+                     Json.Num (float_of_int row.Experiments.eidx_ttl_full_ns) );
+                   ( "incremental_sim_ns",
+                     Json.Num (float_of_int row.Experiments.eidx_ttl_incr_ns) );
+                   ("speedup", Json.Num row.Experiments.eidx_ttl_speedup);
+                 ])
+             result.Experiments.eidx_ttl) );
+      ("wall_ms", Json.Num wall_ms);
+    ]
+
+(* the gated select row: the 1%-selectivity Eq probe at the smallest
+   population >= 2000 — the headline configuration both the quick smoke
+   run and the full-scale committed artifact include, so the gate
+   compares like against like (the speedup itself grows with the
+   population: scan cost is O(n), probe cost is O(matches)) *)
+let index_gate_row v =
+  match Option.bind (Json.member "select" v) Json.to_list with
+  | None -> None
+  | Some rows ->
+      List.fold_left
+        (fun best row ->
+          match
+            ( Option.bind (Json.member "selectivity_pct" row) Json.to_float,
+              Option.bind (Json.member "population" row) Json.to_float,
+              Option.bind (Json.member "speedup" row) Json.to_float )
+          with
+          | Some sel, Some pop, Some speedup
+            when sel = 1.0 && pop >= 2_000.0 -> (
+              match best with
+              | Some (bp, _) when bp <= pop -> best
+              | _ -> Some (pop, speedup))
+          | _ -> best)
+        None rows
+
+let index_ttl_gate_row v =
+  match Option.bind (Json.member "ttl" v) Json.to_list with
+  | None -> None
+  | Some rows ->
+      List.fold_left
+        (fun best row ->
+          match
+            ( Option.bind (Json.member "population" row) Json.to_float,
+              Option.bind (Json.member "speedup" row) Json.to_float )
+          with
+          | Some pop, Some speedup -> (
+              match best with
+              | Some (bp, _) when bp >= pop -> best
+              | _ -> Some (pop, speedup))
+          | _ -> best)
+        None rows
+
+let validate_index v =
+  let* schema =
+    require "missing schema key"
+      (Option.bind (Json.member "schema" v) Json.to_str)
+  in
+  if schema <> index_schema_id then Error ("unexpected schema id " ^ schema)
+  else
+    let* rows =
+      require "missing select section"
+        (Option.bind (Json.member "select" v) Json.to_list)
+    in
+    if rows = [] then Error "select: empty"
+    else
+      let* () =
+        List.fold_left
+          (fun acc row ->
+            let* () = acc in
+            let* scan =
+              require "select row: missing scan_sim_ns"
+                (Option.bind (Json.member "scan_sim_ns" row) Json.to_float)
+            in
+            let* index =
+              require "select row: missing index_sim_ns"
+                (Option.bind (Json.member "index_sim_ns" row) Json.to_float)
+            in
+            if scan < 0.0 || index < 0.0 then
+              Error "select row: negative simulated time"
+            else Ok ())
+          (Ok ()) rows
+      in
+      let* _, speedup =
+        require "select: no 1%-selectivity row at population >= 2000"
+          (index_gate_row v)
+      in
+      if speedup < index_speedup_bar then
+        Error
+          (Printf.sprintf
+             "1%%-selectivity pushdown speedup %.1fx below the %.0fx bar"
+             speedup index_speedup_bar)
+      else
+        let* _, ttl_speedup =
+          require "ttl: empty section" (index_ttl_gate_row v)
+        in
+        if ttl_speedup < ttl_speedup_bar then
+          Error
+            (Printf.sprintf
+               "incremental TTL sweep speedup %.1fx below the %.1fx bar"
+               ttl_speedup ttl_speedup_bar)
+        else Ok ()
+
+let compare_index ~old_report ~speedup1pct:current =
+  match index_gate_row old_report with
+  | None -> Error "old index report has no 1%-selectivity row at >= 2000"
+  | Some (_, old_speedup) ->
+      let floor = old_speedup *. (1.0 -. (regression_threshold_pct /. 100.0)) in
+      if current < floor then
+        Error
+          (Printf.sprintf
+             "1%%-selectivity pushdown speedup regressed: %.1fx -> %.1fx \
+              (floor %.1fx = committed -%.0f%%)"
+             old_speedup current floor regression_threshold_pct)
+      else Ok old_speedup
+
 let compare_scale ~old_report ~speedup4:current =
   match scale_speedup_at old_report 4 with
   | None -> Error "old scale report has no 4-domain row"

@@ -134,3 +134,33 @@ val compare_scale :
   old_report:Json.t -> speedup4:float -> (float, string) result
 (** Gate a freshly measured 4-domain speedup against the committed
     [BENCH_parallel_scale.json], same threshold. *)
+
+(** {1 Index-select artifact ([BENCH_index_select.json])} *)
+
+val index_schema_id : string
+
+val index_speedup_bar : float
+(** Acceptance bar for the 1%%-selectivity Eq probe at 2000+ subjects
+    (10x vs the full scan). *)
+
+val ttl_speedup_bar : float
+(** Acceptance bar for the expiry-queue sweep vs the full membrane scan
+    at the largest aged population (2x). *)
+
+val make_index : result:Experiments.eidx_result -> wall_ms:float -> Json.t
+(** The committed evidence for the secondary-index layer: the selectivity
+    x population sweep of {!Experiments.e_index_select} (full scan vs
+    pushdown, same store, identical results asserted) and the
+    full-vs-incremental TTL sweep pair. *)
+
+val validate_index : Json.t -> (unit, string) result
+(** Shape check plus the acceptance bars: the 1%%-selectivity row at the
+    smallest population >= 2000 (present at both quick and full scale)
+    must show >= {!index_speedup_bar} speedup, and the largest TTL row
+    >= {!ttl_speedup_bar}. *)
+
+val compare_index :
+  old_report:Json.t -> speedup1pct:float -> (float, string) result
+(** Gate a freshly measured 1%%-selectivity pushdown speedup against the
+    committed [BENCH_index_select.json], same
+    {!regression_threshold_pct} threshold. *)

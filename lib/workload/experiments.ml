@@ -4,6 +4,8 @@ module Table = Rgpdos_util.Table
 module Membrane = Rgpdos_membrane.Membrane
 module Value = Rgpdos_dbfs.Value
 module Record = Rgpdos_dbfs.Record
+module Schema = Rgpdos_dbfs.Schema
+module Query = Rgpdos_dbfs.Query
 module Dbfs = Rgpdos_dbfs.Dbfs
 module Block_device = Rgpdos_block.Block_device
 module Journalfs = Rgpdos_journalfs.Journalfs
@@ -1083,3 +1085,221 @@ let render_e10 rows =
              string_of_bool r.e10_tamper_detected;
            ])
          rows)
+
+(* ------------------------------------------------------------------ *)
+(* E-index: secondary-index pushdown vs full-type scans               *)
+
+type eidx_select_row = {
+  eidx_population : int;
+  eidx_probe : string;             (** rendered predicate *)
+  eidx_selectivity_pct : float;    (** designed match fraction, percent *)
+  eidx_matches : int;
+  eidx_scan_ns : int;              (** [~use_indexes:false] *)
+  eidx_index_ns : int;             (** [~use_indexes:true] *)
+  eidx_speedup : float;
+}
+
+type eidx_ttl_row = {
+  eidx_ttl_population : int;
+  eidx_ttl_expired : int;
+  eidx_ttl_full_ns : int;          (** legacy full membrane scan *)
+  eidx_ttl_incr_ns : int;          (** expiry-queue incremental sweep *)
+  eidx_ttl_speedup : float;
+}
+
+type eidx_result = {
+  eidx_select : eidx_select_row list;
+  eidx_ttl : eidx_ttl_row list;
+}
+
+(* A type built for exact selectivities: record i carries i mod 1000,
+   i mod 100 and i mod 10 in three indexed int fields, so an Eq probe on
+   one of them matches 0.1% / 1% / 10% of any population that is a
+   multiple of 1000.  The unindexed payload string keeps the full-scan
+   cost honest (records occupy real blocks). *)
+let eidx_schema () =
+  match
+    Schema.make ~name:"sample"
+      ~fields:
+        [
+          { Schema.fname = "permille"; ftype = Value.TInt; required = true };
+          { Schema.fname = "centile"; ftype = Value.TInt; required = true };
+          { Schema.fname = "decile"; ftype = Value.TInt; required = true };
+          { Schema.fname = "payload"; ftype = Value.TString; required = true };
+        ]
+      ~default_consents:[ ("service", Membrane.All) ]
+      ~collection:[ ("web_form", "sample_form.html") ]
+      ~indexed_fields:[ "permille"; "centile"; "decile" ] ()
+  with
+  | Ok s -> s
+  | Error e -> failwith ("e_index: schema: " ^ e)
+
+let eidx_boot ~n =
+  let clock = Clock.create () in
+  let config =
+    {
+      Block_device.default_config with
+      Block_device.block_count = max 16_384 ((n * 8) + 4_096);
+    }
+  in
+  let dev = Block_device.create ~config ~clock () in
+  let t = Dbfs.format dev ~journal_blocks:256 in
+  let schema = eidx_schema () in
+  (match Dbfs.create_type t ~actor:"ded" schema with
+  | Ok () -> ()
+  | Error e -> failwith ("e_index: " ^ Dbfs.error_to_string e));
+  for i = 0 to n - 1 do
+    let subject = Printf.sprintf "sub-%06d" i in
+    let record =
+      [
+        ("permille", Value.VInt (i mod 1000));
+        ("centile", Value.VInt (i mod 100));
+        ("decile", Value.VInt (i mod 10));
+        ("payload", Value.VString (Printf.sprintf "row %06d padding text" i));
+      ]
+    in
+    match
+      Dbfs.insert t ~actor:"ded" ~subject ~type_name:"sample" ~record
+        ~membrane_of:(fun ~pd_id ->
+          Membrane.make ~pd_id ~type_name:"sample" ~subject_id:subject
+            ~origin:schema.Schema.default_origin
+            ~consents:schema.Schema.default_consents
+            ~created_at:(Clock.now clock)
+            ~sensitivity:schema.Schema.default_sensitivity
+            ~collection:schema.Schema.collection ())
+    with
+    | Ok _ -> ()
+    | Error e -> failwith ("e_index: insert: " ^ Dbfs.error_to_string e)
+  done;
+  (t, clock)
+
+let eidx_probes =
+  [
+    (0.1, Query.Eq ("permille", Value.VInt 7));
+    (1.0, Query.Eq ("centile", Value.VInt 7));
+    (10.0, Query.Eq ("decile", Value.VInt 7));
+    (100.0, Query.True);
+  ]
+
+let e_index_select ?(sizes = [ 500; 2_000; 8_000 ]) () =
+  List.concat_map
+    (fun n ->
+      let t, clock = eidx_boot ~n in
+      List.map
+        (fun (sel_pct, pred) ->
+          let run ~use_indexes =
+            let t0 = Clock.now clock in
+            match Dbfs.select t ~actor:"ded" ~use_indexes "sample" pred with
+            | Ok ids -> (ids, Clock.now clock - t0)
+            | Error e -> failwith ("e_index: " ^ Dbfs.error_to_string e)
+          in
+          let scan_ids, scan_ns = run ~use_indexes:false in
+          let index_ids, index_ns = run ~use_indexes:true in
+          if scan_ids <> index_ids then
+            failwith
+              ("e_index: pushdown result mismatch on " ^ Query.to_string pred);
+          {
+            eidx_population = n;
+            eidx_probe = Query.to_string pred;
+            eidx_selectivity_pct = sel_pct;
+            eidx_matches = List.length index_ids;
+            eidx_scan_ns = scan_ns;
+            eidx_index_ns = index_ns;
+            eidx_speedup =
+              (* a trivial probe (True) is free on both paths *)
+              (if scan_ns = 0 && index_ns = 0 then 1.0
+               else float_of_int scan_ns /. float_of_int (max 1 index_ns));
+          })
+        eidx_probes)
+    sizes
+
+(* Same aged-population shape as E5, but the sweep is timed twice from
+   identical boots: once forced through the legacy full membrane scan,
+   once through the TTL expiry queue.  The expired cohort is held at a
+   fixed [expired] count while the population grows, so the queue path's
+   O(expired) cost stays flat and the measured speedup widens with
+   O(population) — the scaling claim itself. *)
+let e_index_ttl ?(sizes = [ 500; 2_000; 4_000 ]) ?(expired = 25) () =
+  let boot_aged ~n =
+    let m = boot_sized ~seed:1201L ~n:(n * 2) () in
+    let prng = Prng.create ~seed:1202L () in
+    let n_old = max 1 (min expired n) in
+    let old_people = Population.generate prng ~n:n_old in
+    collect_population m old_people;
+    Clock.advance (Machine.clock m) ((2 * Clock.year) + Clock.day);
+    let fresh_people =
+      List.map
+        (fun (p : Population.person) ->
+          { p with Population.subject_id = "fresh-" ^ p.Population.subject_id })
+        (Population.generate prng ~n:(n - n_old))
+    in
+    collect_population m fresh_people;
+    m
+  in
+  List.map
+    (fun n ->
+      let time_sweep ~incremental =
+        let m = boot_aged ~n in
+        let clock = Machine.clock m in
+        let t0 = Clock.now clock in
+        let report = Machine.sweep_ttl m ~incremental () in
+        (report, Clock.now clock - t0)
+      in
+      let full_report, full_ns = time_sweep ~incremental:false in
+      let incr_report, incr_ns = time_sweep ~incremental:true in
+      if full_report.Ttl_sweeper.removed <> incr_report.Ttl_sweeper.removed
+      then failwith "e_index: incremental sweep removed a different set";
+      {
+        eidx_ttl_population = n;
+        eidx_ttl_expired = incr_report.Ttl_sweeper.expired;
+        eidx_ttl_full_ns = full_ns;
+        eidx_ttl_incr_ns = incr_ns;
+        eidx_ttl_speedup = float_of_int full_ns /. float_of_int (max 1 incr_ns);
+      })
+    sizes
+
+let e_index ?sizes ?ttl_sizes () =
+  {
+    eidx_select = e_index_select ?sizes ();
+    eidx_ttl = e_index_ttl ?sizes:ttl_sizes ();
+  }
+
+let render_e_index r =
+  "E-index: predicate pushdown vs full-type scan (Dbfs.select)\n"
+  ^ Table.render
+      ~align:
+        [
+          Table.Right; Table.Left; Table.Right; Table.Right; Table.Right;
+          Table.Right; Table.Right;
+        ]
+      ~header:
+        [
+          "population"; "probe"; "sel %"; "matches"; "scan sim us";
+          "index sim us"; "speedup";
+        ]
+      (List.map
+         (fun row ->
+           [
+             string_of_int row.eidx_population; row.eidx_probe;
+             fmt_f row.eidx_selectivity_pct; string_of_int row.eidx_matches;
+             fmt_f (float_of_int row.eidx_scan_ns /. 1e3);
+             fmt_f (float_of_int row.eidx_index_ns /. 1e3);
+             fmt_f row.eidx_speedup ^ "x";
+           ])
+         r.eidx_select)
+  ^ "\nE-index: TTL sweep, full membrane scan vs expiry queue\n"
+  ^ Table.render
+      ~align:
+        [ Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
+      ~header:
+        [ "population"; "expired"; "full sim us"; "incr sim us"; "speedup" ]
+      (List.map
+         (fun row ->
+           [
+             string_of_int row.eidx_ttl_population;
+             string_of_int row.eidx_ttl_expired;
+             fmt_f (float_of_int row.eidx_ttl_full_ns /. 1e3);
+             fmt_f (float_of_int row.eidx_ttl_incr_ns /. 1e3);
+             fmt_f row.eidx_ttl_speedup ^ "x";
+           ])
+         r.eidx_ttl)

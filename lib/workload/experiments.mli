@@ -219,3 +219,46 @@ type e10_row = {
 
 val e10_audit : ?sizes:int list -> unit -> e10_row list
 val render_e10 : e10_row list -> string
+
+(** {1 E-index — secondary-index pushdown vs full-type scans} *)
+
+type eidx_select_row = {
+  eidx_population : int;
+  eidx_probe : string;             (** rendered predicate *)
+  eidx_selectivity_pct : float;    (** designed match fraction, percent *)
+  eidx_matches : int;
+  eidx_scan_ns : int;              (** simulated ns, [~use_indexes:false] *)
+  eidx_index_ns : int;             (** simulated ns, [~use_indexes:true] *)
+  eidx_speedup : float;
+}
+
+type eidx_ttl_row = {
+  eidx_ttl_population : int;
+  eidx_ttl_expired : int;
+  eidx_ttl_full_ns : int;          (** legacy full membrane scan *)
+  eidx_ttl_incr_ns : int;          (** expiry-queue incremental sweep *)
+  eidx_ttl_speedup : float;
+}
+
+type eidx_result = {
+  eidx_select : eidx_select_row list;
+  eidx_ttl : eidx_ttl_row list;
+}
+
+val e_index_select : ?sizes:int list -> unit -> eidx_select_row list
+(** Selectivity sweep over a type with three indexed int fields designed
+    so an Eq probe matches exactly 0.1% / 1% / 10% of the population
+    (plus [True] at 100%).  Each probe runs {!Dbfs.select} twice on the
+    same store — full scan ([~use_indexes:false]) vs index pushdown —
+    and asserts both return identical pd_ids. *)
+
+val e_index_ttl :
+  ?sizes:int list -> ?expired:int -> unit -> eidx_ttl_row list
+(** E5's aged population, swept twice from identical boots: the legacy
+    full membrane scan vs the TTL expiry queue.  The expired cohort is a
+    fixed count across population sizes, so the incremental sweep's
+    O(expired) cost stays flat while the full scan grows
+    O(population). *)
+
+val e_index : ?sizes:int list -> ?ttl_sizes:int list -> unit -> eidx_result
+val render_e_index : eidx_result -> string

@@ -32,6 +32,7 @@ type person {
   collection {
     web_form: signup_form.html
   };
+  index { email, year_of_birth };
   origin: subject;
   age: 2Y;
   sensitivity: medium;
