@@ -36,13 +36,24 @@
 
      dune exec bench/main.exe -- index --index-json BENCH_index_select.json
 
+   The [fault] section runs the deterministic fault-injection campaign
+   (crash after every device write of the scripted GDPR workload, plus
+   the named bit-rot / transient / torn-write / degraded-mode
+   scenarios); [--fault-json PATH] writes the verdict artifact; the
+   committed BENCH_fault_campaign.json is produced by
+
+     dune exec bench/main.exe -- fault --fault-json BENCH_fault_campaign.json
+
    [--compare OLD.json] reruns E1 and exits non-zero when any stage's
    per-subject simulated time regressed past the gate in Bench_report
    (CI runs this against the committed BENCH_hotpath.json).  When
    BENCH_vectored_io.json / BENCH_parallel_scale.json /
    BENCH_index_select.json sit next to OLD.json, the merge ratio, the
    4-domain speedup and the 1%-selectivity pushdown speedup are gated
-   the same way (>25% regression fails).
+   the same way (>25% regression fails).  When BENCH_fault_campaign.json
+   sits there too, a fresh (smoke-sized) campaign must hold every
+   invariant at every crash point — the robustness gate is absolute
+   (pass rate == 100%), not a regression margin.
 *)
 
 open Bechamel
@@ -236,6 +247,7 @@ let () =
   let vec_json_path, args = extract_flag "--vec-json" [] args in
   let scale_json_path, args = extract_flag "--scale-json" [] args in
   let index_json_path, args = extract_flag "--index-json" [] args in
+  let fault_json_path, args = extract_flag "--fault-json" [] args in
   let compare_path, args = extract_flag "--compare" [] args in
   let wanted = List.filter (fun a -> a <> "--quick") args in
   let enabled name = wanted = [] || List.mem name wanted in
@@ -255,6 +267,10 @@ let () =
     failwith
       "--index-json needs the index section; run e.g. \
        bench/main.exe -- index --index-json BENCH_index_select.json";
+  if fault_json_path <> None && not (enabled "fault") then
+    failwith
+      "--fault-json needs the fault section; run e.g. \
+       bench/main.exe -- fault --fault-json BENCH_fault_campaign.json";
   let d full small = if quick then small else full in
 
   (* host wall-clock per section, for the JSON report *)
@@ -268,6 +284,7 @@ let () =
   let e4_result = ref None in
   let scale_speedup4 = ref None in
   let index_speedup1pct = ref None in
+  let fault_pass_rate = ref None in
   (* the 1%-selectivity pushdown speedup at the smallest population >=
      2000 — the configuration the index artifact gates on (present at
      both quick and full scale) *)
@@ -501,6 +518,30 @@ let () =
         Printf.printf "\nwrote %s\n" path
   end;
 
+  if enabled "fault" then begin
+    let module FC = Rgpdos_workload.Fault_campaign in
+    let module BR = Rgpdos_workload.Bench_report in
+    (* the campaign is deterministic and the workload writes well under
+       the 200-point smoke cap, so quick and full runs enumerate the
+       same exhaustive crash-point space unless the workload grows *)
+    let result, wall_ms =
+      timed (fun () ->
+          if quick then FC.run ~max_points:200 () else FC.run ())
+    in
+    fault_pass_rate := Some (FC.pass_rate_pct result);
+    let report = BR.make_fault ~result ~wall_ms () in
+    (match BR.validate_fault report with
+    | Ok () -> ()
+    | Error e -> failwith ("fault-campaign report failed self-validation: " ^ e));
+    section "FAULT — deterministic crash/fault-injection campaign"
+      (FC.render result);
+    match fault_json_path with
+    | None -> ()
+    | Some path ->
+        BR.write_file path report;
+        Printf.printf "\nwrote %s\n" path
+  end;
+
   (match compare_path with
   | None -> ()
   | Some path ->
@@ -571,7 +612,7 @@ let () =
           | Error line ->
               Printf.eprintf "\ncompare: %s\n" line;
               exit 1));
-      match BR.read_file (sibling "BENCH_index_select.json") with
+      (match BR.read_file (sibling "BENCH_index_select.json") with
       | None -> ()
       | Some old_index -> (
           let speedup1pct =
@@ -590,6 +631,28 @@ let () =
                 "compare: 1%%-selectivity pushdown %.1fx vs committed %.1fx \
                  — ok\n"
                 speedup1pct committed
+          | Error line ->
+              Printf.eprintf "\ncompare: %s\n" line;
+              exit 1));
+      match BR.read_file (sibling "BENCH_fault_campaign.json") with
+      | None -> ()
+      | Some old_fault -> (
+          let module FC = Rgpdos_workload.Fault_campaign in
+          let pass_rate_pct =
+            match !fault_pass_rate with
+            | Some r -> r
+            | None ->
+                (* fault section did not run: rerun the campaign at the
+                   smoke cap — it is deterministic, so this is the same
+                   verdict set CI committed *)
+                FC.pass_rate_pct (FC.run ~max_points:200 ())
+          in
+          match BR.compare_fault ~old_report:old_fault ~pass_rate_pct with
+          | Ok committed ->
+              Printf.printf
+                "compare: fault-campaign invariant pass rate %.1f%% vs \
+                 committed %.1f%% — ok\n"
+                pass_rate_pct committed
           | Error line ->
               Printf.eprintf "\ncompare: %s\n" line;
               exit 1));

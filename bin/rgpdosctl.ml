@@ -3,6 +3,7 @@
    Subcommands:
      parse FILE        check a declaration file and print what it defines
      demo              run an end-to-end scenario on a fresh machine
+     fsck              populate a DBFS, optionally damage it, check/repair
      fig1              print the paper's Figure 1 statistics
      experiment ID     run one experiment (e1..e10) at bench scale
      articles          print the GDPR article -> rgpdOS mechanism table *)
@@ -140,6 +141,183 @@ let demo_cmd =
     Term.(const demo_run $ subjects $ seed $ where)
 
 (* ------------------------------------------------------------------ *)
+(* fsck                                                               *)
+
+module Dbfs = Rgpdos_dbfs.Dbfs
+module Block_device = Rgpdos_block.Block_device
+module Population = Rgpdos_workload.Population
+
+let fsck_boot subjects seed =
+  let prng = Rgpdos_util.Prng.create ~seed:(Int64.of_int seed) () in
+  let people = Population.generate prng ~n:subjects in
+  let m = Machine.boot ~seed:(Int64.of_int seed) () in
+  (match Machine.load_declarations m Population.type_declaration with
+  | Ok _ -> ()
+  | Error e ->
+      Printf.eprintf "declarations: %s\n" e;
+      exit 2);
+  List.iter
+    (fun (p : Population.person) ->
+      match
+        Machine.collect m ~type_name:"person" ~subject:p.Population.subject_id
+          ~interface:"web_form" ~record:(Population.record_of p)
+          ~consents:p.Population.consent_profile ()
+      with
+      | Ok _ -> ()
+      | Error e ->
+          Printf.eprintf "collect: %s\n" e;
+          exit 2)
+    people;
+  (m, people)
+
+(* Build the store the check runs against, per the requested damage mode:
+   a cold remount (caches dropped, so extent checksums are re-verified)
+   with optionally one bit of a record extent flipped, the secondary
+   index tampered, or the device image captured mid-erasure as a crash
+   would leave it. *)
+let fsck_store damage subjects seed =
+  let m, people = fsck_boot subjects seed in
+  let store = Machine.dbfs m in
+  let first_pd () =
+    match
+      Dbfs.pds_of_subject store ~actor:"ded"
+        (List.hd people).Population.subject_id
+    with
+    | Ok (pd :: _) -> pd
+    | _ ->
+        Printf.eprintf "no pd to damage\n";
+        exit 2
+  in
+  let remount () =
+    match Dbfs.crash_and_remount store with
+    | Ok s -> s
+    | Error e ->
+        Printf.eprintf "remount: %s\n" e;
+        exit 2
+  in
+  match damage with
+  | "none" -> remount ()
+  | "bit-rot" ->
+      let pd = first_pd () in
+      let rec_blocks =
+        match Dbfs.entry_blocks store ~actor:"ded" pd with
+        | Ok (rb, _) -> rb
+        | Error e ->
+            Printf.eprintf "entry_blocks: %s\n" (Dbfs.error_to_string e);
+            exit 2
+      in
+      let cold = remount () in
+      Block_device.unsafe_flip (Dbfs.device cold)
+        ~block:(List.hd rec_blocks) ~byte:10 ~bit:3;
+      cold
+  | "index" ->
+      if not (Dbfs.unsafe_tamper_index store (first_pd ())) then begin
+        Printf.eprintf "pd has no indexed field to tamper\n";
+        exit 2
+      end;
+      store
+  | "crash" ->
+      let dev = Machine.pd_device m in
+      let plan = Block_device.Fault_plan.create () in
+      Block_device.Fault_plan.crash_after_writes plan 1;
+      Block_device.set_fault_plan dev (Some plan);
+      ignore
+        (Machine.right_to_erasure m
+           ~subject:(List.hd people).Population.subject_id);
+      Block_device.set_fault_plan dev None;
+      let image =
+        match Block_device.crash_image dev with
+        | Some i -> i
+        | None ->
+            Printf.eprintf "crash point never fired\n";
+            exit 2
+      in
+      let clock = Rgpdos_util.Clock.create () in
+      let rdev =
+        Block_device.create ~config:(Block_device.config dev) ~clock ()
+      in
+      Block_device.restore rdev image;
+      (match Dbfs.mount rdev with
+      | Ok s -> s
+      | Error e ->
+          Printf.eprintf "mount: %s\n" e;
+          exit 2)
+  | other ->
+      Printf.eprintf
+        "unknown --damage %s (expected none, bit-rot, index, crash)\n" other;
+      exit 2
+
+let fsck_run repair subjects seed damage =
+  let store = fsck_store damage subjects seed in
+  (match Dbfs.replay_report store with
+  | Some s ->
+      Printf.printf "journal replay: %d record(s), stop=%s\n"
+        s.Rgpdos_block.Journal_ring.records_replayed
+        (Rgpdos_block.Journal_ring.stop_reason_to_string
+           s.Rgpdos_block.Journal_ring.stop_reason)
+  | None -> ());
+  if not repair then
+    match Dbfs.fsck store with
+    | Ok () ->
+        Printf.printf "fsck: clean (%d pd)\n" (Dbfs.pd_count store);
+        0
+    | Error problems ->
+        Printf.printf "fsck: %d problem(s) found:\n" (List.length problems);
+        List.iter (fun p -> Printf.printf "  %s\n" p) problems;
+        Printf.printf "run with --repair to self-heal\n";
+        1
+  else begin
+    let rep = Dbfs.fsck_repair store in
+    Printf.printf "fsck --repair:\n";
+    Printf.printf "  problems found:    %d\n" (List.length rep.Dbfs.rr_problems);
+    List.iter (fun p -> Printf.printf "    %s\n" p) rep.Dbfs.rr_problems;
+    Printf.printf "  repair actions:    %d\n" (List.length rep.Dbfs.rr_actions);
+    List.iter (fun a -> Printf.printf "    %s\n" a) rep.Dbfs.rr_actions;
+    Printf.printf "  quarantined pds:   %d\n"
+      (List.length rep.Dbfs.rr_quarantined);
+    List.iter
+      (fun (pd, reason) -> Printf.printf "    %s: %s\n" pd reason)
+      rep.Dbfs.rr_quarantined;
+    Printf.printf "  scrubbed blocks:   %d\n" rep.Dbfs.rr_scrubbed_blocks;
+    (match rep.Dbfs.rr_journal_truncated with
+    | Some reason -> Printf.printf "  journal truncated: %s\n" reason
+    | None -> ());
+    if rep.Dbfs.rr_clean then begin
+      Printf.printf "store is clean (%d pd live)\n" (Dbfs.pd_count store);
+      0
+    end
+    else begin
+      Printf.printf "UNRECOVERABLE: post-repair check still failing\n";
+      1
+    end
+  end
+
+let fsck_cmd =
+  let repair =
+    Arg.(value & flag
+         & info [ "repair" ]
+             ~doc:"Self-heal: quarantine unrecoverable pds, rebuild the \
+                   secondary indexes, scrub free blocks, truncate a damaged \
+                   journal.")
+  in
+  let subjects =
+    Arg.(value & opt int 20 & info [ "subjects"; "n" ] ~doc:"Population size.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let damage =
+    Arg.(value & opt string "none"
+         & info [ "damage" ] ~docv:"KIND"
+             ~doc:"Damage to inject before checking: none, bit-rot (flip a \
+                   bit in a record extent), index (drop a posting), crash \
+                   (power loss mid-erasure).")
+  in
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:"Check (or self-heal with --repair) a populated DBFS; exits \
+             non-zero on unrecoverable damage")
+    Term.(const fsck_run $ repair $ subjects $ seed $ damage)
+
+(* ------------------------------------------------------------------ *)
 (* fig1 / experiments / articles                                      *)
 
 let fig1_cmd =
@@ -222,4 +400,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ parse_cmd; demo_cmd; fig1_cmd; experiment_cmd; articles_cmd ]))
+          [ parse_cmd; demo_cmd; fsck_cmd; fig1_cmd; experiment_cmd; articles_cmd ]))

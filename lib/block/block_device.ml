@@ -1,5 +1,6 @@
 module Clock = Rgpdos_util.Clock
 module Stats = Rgpdos_util.Stats
+module Prng = Rgpdos_util.Prng
 
 type config = {
   block_size : int;
@@ -20,13 +21,89 @@ let default_config =
     vectored = true;
   }
 
+(* ---------- fault plan ----------
+
+   A fault plan is a deterministic schedule keyed on the device's write-op
+   ordinal (scalar [write] and vectored [write_vec] each count as one op,
+   numbered from 1 as of plan installation).  Campaign harnesses install a
+   plan, run a scripted workload, and every write becomes an enumerable
+   fault/crash point; the same seed and workload replay the exact same
+   schedule. *)
+
+module Fault_plan = struct
+  type action =
+    | Fail_write of { transient : bool }
+        (** the op charges the device but persists nothing and raises
+            [Faulted]; [transient = false] additionally marks the first
+            target block permanently bad *)
+    | Torn_write of { keep_runs : int }
+        (** a vectored write persists only its first [keep_runs] contiguous
+            runs before raising [Faulted] (a scalar write is one run) *)
+    | Bit_flip of { block : int; byte : int; bit : int }
+        (** the op succeeds normally, then one bit of the named block is
+            silently flipped (medium bit rot) *)
+
+  type t = {
+    mutable entries : (int * action) list;  (* (nth write op, action) *)
+    mutable crash_after : int option;
+    mutable seen : int;  (* write ops observed since installation *)
+  }
+
+  let create () = { entries = []; crash_after = None; seen = 0 }
+
+  let on_write plan ~nth action =
+    if nth <= 0 then invalid_arg "Fault_plan.on_write: nth must be positive";
+    plan.entries <- (nth, action) :: plan.entries
+
+  let crash_after_writes plan n =
+    if n <= 0 then invalid_arg "Fault_plan.crash_after_writes: n must be positive";
+    plan.crash_after <- Some n
+
+  let writes_seen plan = plan.seen
+
+  let action_for plan nth =
+    match List.assoc_opt nth plan.entries with
+    | Some _ as a ->
+        (* one-shot: an op's scheduled fault fires once *)
+        plan.entries <- List.filter (fun (k, _) -> k <> nth) plan.entries;
+        a
+    | None -> None
+
+  (* Draw [faults] scheduled faults over the first [writes] write ops from a
+     seeded PRNG.  Same seed => same schedule, the campaign determinism
+     rule. *)
+  let random ~prng ~writes ~faults ~block_count () =
+    if writes <= 0 then invalid_arg "Fault_plan.random: writes must be positive";
+    let plan = create () in
+    for _ = 1 to faults do
+      let nth = Prng.int_in prng 1 writes in
+      let action =
+        match Prng.int prng 3 with
+        | 0 -> Fail_write { transient = Prng.bool prng }
+        | 1 -> Torn_write { keep_runs = Prng.int prng 3 }
+        | _ ->
+            Bit_flip
+              {
+                block = Prng.int prng block_count;
+                byte = Prng.int prng 64;
+                bit = Prng.int prng 8;
+              }
+      in
+      on_write plan ~nth action
+    done;
+    plan
+end
+
 type t = {
   cfg : config;
   clock : Clock.t;
   blocks : string array; (* "" means never written / trimmed *)
   faults : (int, unit) Hashtbl.t;
+  transients : (int, int) Hashtbl.t; (* block -> remaining transient failures *)
   counters : Stats.Counter.t;
   mutable used : int;
+  mutable plan : Fault_plan.t option;
+  mutable crash_image : string array option;
 }
 
 exception Out_of_range of int
@@ -40,8 +117,11 @@ let create ?(config = default_config) ~clock () =
     clock;
     blocks = Array.make config.block_count "";
     faults = Hashtbl.create 4;
+    transients = Hashtbl.create 4;
     counters = Stats.Counter.create ();
     used = 0;
+    plan = None;
+    crash_image = None;
   }
 
 let config dev = dev.cfg
@@ -50,6 +130,12 @@ let clock dev = dev.clock
 
 let check dev i =
   if i < 0 || i >= dev.cfg.block_count then raise (Out_of_range i);
+  (match Hashtbl.find_opt dev.transients i with
+  | Some n ->
+      if n <= 1 then Hashtbl.remove dev.transients i
+      else Hashtbl.replace dev.transients i (n - 1);
+      raise (Faulted i)
+  | None -> ());
   if Hashtbl.mem dev.faults i then raise (Faulted i)
 
 let charge dev base nbytes =
@@ -158,20 +244,100 @@ let store dev i data =
     (if len = dev.cfg.block_size then data
      else data ^ String.make (dev.cfg.block_size - len) '\000')
 
+(* ---------- write-path fault machinery ---------- *)
+
+(* Count this write op against the installed plan (if any) and return the
+   fault action scheduled for it. *)
+let note_write_op dev =
+  Stats.Counter.incr dev.counters "write_ops";
+  match dev.plan with
+  | None -> None
+  | Some p ->
+      p.Fault_plan.seen <- p.Fault_plan.seen + 1;
+      Fault_plan.action_for p p.Fault_plan.seen
+
+(* After a write op's persistence (including a torn prefix), capture the
+   device image if this op is the plan's crash point.  The image is exactly
+   "power lost after write op n": everything the op persisted, nothing the
+   caller did afterwards. *)
+let maybe_capture_crash dev =
+  match dev.plan with
+  | Some { Fault_plan.crash_after = Some n; seen; _ }
+    when seen = n && dev.crash_image = None ->
+      dev.crash_image <- Some (Array.copy dev.blocks)
+  | _ -> ()
+
+(* Silent medium corruption: flip one bit in place, without charging the
+   clock or touching counters (the device does not know its bits rotted). *)
+let flip_bit_raw dev ~block ~byte ~bit =
+  if block >= 0 && block < dev.cfg.block_count && byte >= 0
+     && byte < dev.cfg.block_size
+  then begin
+    let b = dev.blocks.(block) in
+    let b = if b = "" then String.make dev.cfg.block_size '\000' else b in
+    let by = Bytes.of_string b in
+    let c = Char.code (Bytes.get by byte) in
+    Bytes.set by byte (Char.chr (c lxor (1 lsl (bit land 7))));
+    if dev.blocks.(block) = "" then dev.used <- dev.used + 1;
+    dev.blocks.(block) <- Bytes.unsafe_to_string by
+  end
+
+(* Canonicalise a vectored write: one pair per index ("later pairs win"),
+   in ascending index order.  Deduplication happens BEFORE any charging or
+   run-merging so the cost accounting matches the documented model — a
+   request naming the same block twice seeks and transfers it once. *)
+let dedup_writes writes =
+  let last = Hashtbl.create 16 in
+  List.iter (fun (i, data) -> Hashtbl.replace last i data) writes;
+  let sorted = sorted_unique (List.map fst writes) in
+  List.map (fun i -> (i, Hashtbl.find last i)) sorted
+
 (* [write_vec dev writes] stores every [(index, data)] pair in one
    request: one [write_latency] seek per contiguous run.  Later pairs win
-   on duplicate indices.  Seek accounting uses the deduplicated index
-   set; bytes are charged per block written. *)
+   on duplicate indices, resolved before cost accounting: seeks and bytes
+   are charged over the deduplicated index set only. *)
 let write_vec dev writes =
-  let sorted = sorted_unique (List.map fst writes) in
-  List.iter (check dev) sorted;
-  charge_vec dev dev.cfg.write_latency sorted;
-  Stats.Counter.incr dev.counters "vec_writes";
-  Stats.Counter.incr dev.counters ~by:(List.length sorted) "writes";
-  Stats.Counter.incr dev.counters
-    ~by:(dev.cfg.block_size * List.length sorted)
-    "bytes_written";
-  List.iter (fun (i, data) -> store dev i data) writes
+  match dedup_writes writes with
+  | [] -> ()
+  | writes ->
+      let sorted = List.map fst writes in
+      List.iter (check dev) sorted;
+      charge_vec dev dev.cfg.write_latency sorted;
+      Stats.Counter.incr dev.counters "vec_writes";
+      Stats.Counter.incr dev.counters ~by:(List.length sorted) "writes";
+      Stats.Counter.incr dev.counters
+        ~by:(dev.cfg.block_size * List.length sorted)
+        "bytes_written";
+      let first = List.hd sorted in
+      (match note_write_op dev with
+      | None ->
+          List.iter (fun (i, data) -> store dev i data) writes;
+          maybe_capture_crash dev
+      | Some (Fault_plan.Fail_write { transient }) ->
+          if not transient then Hashtbl.replace dev.faults first ();
+          maybe_capture_crash dev;
+          raise (Faulted first)
+      | Some (Fault_plan.Torn_write { keep_runs }) ->
+          let rs =
+            if dev.cfg.vectored then runs sorted
+            else List.map (fun i -> (i, 1)) sorted
+          in
+          let kept = List.filteri (fun k _ -> k < keep_runs) rs in
+          let in_kept i =
+            List.exists (fun (s, l) -> i >= s && i < s + l) kept
+          in
+          List.iter (fun (i, data) -> if in_kept i then store dev i data) writes;
+          maybe_capture_crash dev;
+          let bad =
+            match List.filteri (fun k _ -> k >= keep_runs) rs with
+            | (s, _) :: _ -> s
+            | [] -> first
+          in
+          raise (Faulted bad)
+      | Some (Fault_plan.Bit_flip { block; byte; bit }) ->
+          List.iter (fun (i, data) -> store dev i data) writes;
+          flip_bit_raw dev ~block ~byte ~bit;
+          maybe_capture_crash dev)
 
 let write dev i data =
   check dev i;
@@ -181,10 +347,24 @@ let write dev i data =
   charge dev dev.cfg.write_latency dev.cfg.block_size;
   Stats.Counter.incr dev.counters "writes";
   Stats.Counter.incr dev.counters ~by:dev.cfg.block_size "bytes_written";
-  if dev.blocks.(i) = "" then dev.used <- dev.used + 1;
-  dev.blocks.(i) <-
-    (if len = dev.cfg.block_size then data
-     else data ^ String.make (dev.cfg.block_size - len) '\000')
+  match note_write_op dev with
+  | None ->
+      store dev i data;
+      maybe_capture_crash dev
+  | Some (Fault_plan.Fail_write { transient }) ->
+      if not transient then Hashtbl.replace dev.faults i ();
+      maybe_capture_crash dev;
+      raise (Faulted i)
+  | Some (Fault_plan.Torn_write { keep_runs }) ->
+      (* a scalar write is one run: keep_runs >= 1 persists it but the
+         acknowledgement is lost; keep_runs = 0 persists nothing *)
+      if keep_runs >= 1 then store dev i data;
+      maybe_capture_crash dev;
+      raise (Faulted i)
+  | Some (Fault_plan.Bit_flip { block; byte; bit }) ->
+      store dev i data;
+      flip_bit_raw dev ~block ~byte ~bit;
+      maybe_capture_crash dev
 
 let trim dev i =
   check dev i;
@@ -196,7 +376,28 @@ let inject_fault dev i =
   if i < 0 || i >= dev.cfg.block_count then raise (Out_of_range i);
   Hashtbl.replace dev.faults i ()
 
-let clear_fault dev i = Hashtbl.remove dev.faults i
+let clear_fault dev i =
+  Hashtbl.remove dev.faults i;
+  Hashtbl.remove dev.transients i
+
+let inject_transient_fault dev i ~count =
+  if i < 0 || i >= dev.cfg.block_count then raise (Out_of_range i);
+  if count <= 0 then invalid_arg "inject_transient_fault: count must be positive";
+  Hashtbl.replace dev.transients i count
+
+let set_fault_plan dev plan = dev.plan <- plan
+
+let fault_plan dev = dev.plan
+
+let crash_image dev = dev.crash_image
+
+let clear_crash_image dev = dev.crash_image <- None
+
+let unsafe_flip dev ~block ~byte ~bit =
+  if block < 0 || block >= dev.cfg.block_count then raise (Out_of_range block);
+  flip_bit_raw dev ~block ~byte ~bit
+
+let is_written dev i = i >= 0 && i < dev.cfg.block_count && dev.blocks.(i) <> ""
 
 let snapshot dev = Array.copy dev.blocks
 

@@ -69,7 +69,9 @@ val write_vec : t -> (int * string) list -> unit
 (** [write_vec dev writes] stores every [(index, data)] pair in one
     vectored request, charging one [write_latency] seek per contiguous
     run of distinct indices plus the per-byte cost.  Later pairs win on
-    duplicate indices.  Data constraints are as for {!write}. *)
+    duplicate indices, and duplicates are resolved {i before} cost
+    accounting: a request naming the same block twice seeks and transfers
+    it once.  Data constraints are as for {!write}. *)
 
 val write : t -> int -> string -> unit
 (** [write dev i data] stores [data] as block [i].  [data] shorter than
@@ -84,6 +86,89 @@ val inject_fault : t -> int -> unit
 (** Subsequent accesses to the block raise {!Faulted}. *)
 
 val clear_fault : t -> int -> unit
+(** Clears both permanent and transient faults on the block. *)
+
+val inject_transient_fault : t -> int -> count:int -> unit
+(** The next [count] accesses touching the block raise {!Faulted}, then the
+    block recovers on its own — the model for a transient device error that
+    a bounded retry loop is expected to ride out. *)
+
+(** {1 Programmable fault plans}
+
+    A fault plan is a deterministic schedule keyed on the device's write-op
+    ordinal: scalar {!write} and vectored {!write_vec} each count as one
+    write op, numbered from 1 as of plan installation.  A campaign harness
+    installs a plan, runs a scripted workload, and every write op becomes an
+    enumerable fault or crash point.  Determinism rule: the same seed and
+    the same workload replay the exact same schedule and produce the same
+    verdicts. *)
+
+module Fault_plan : sig
+  type action =
+    | Fail_write of { transient : bool }
+        (** the op charges the device but persists nothing and raises
+            {!Faulted}; with [transient = false] the first target block is
+            additionally marked permanently bad *)
+    | Torn_write of { keep_runs : int }
+        (** a vectored write persists only its first [keep_runs] contiguous
+            runs, then raises {!Faulted}; a scalar write counts as one run
+            (so [keep_runs = 0] persists nothing and [>= 1] persists the
+            block but loses the acknowledgement) *)
+    | Bit_flip of { block : int; byte : int; bit : int }
+        (** the op succeeds normally, then one bit of the named block is
+            silently flipped — medium bit rot, visible only to checksums *)
+
+  type t
+
+  val create : unit -> t
+  (** Empty plan: no faults, no crash trigger.  Installing an empty plan is
+      how a reference run counts its write ops ({!writes_seen}). *)
+
+  val on_write : t -> nth:int -> action -> unit
+  (** Schedule [action] to fire on the [nth] write op (1-based, counted
+      from plan installation).  Each scheduled fault fires exactly once. *)
+
+  val crash_after_writes : t -> int -> unit
+  (** Snapshot the device image immediately after the [n]th write op's
+      persistence completes (including a torn prefix), modelling power loss
+      at that instant; retrieve it with {!crash_image}. *)
+
+  val writes_seen : t -> int
+  (** Write ops observed by the device since the plan was installed. *)
+
+  val random :
+    prng:Rgpdos_util.Prng.t ->
+    writes:int ->
+    faults:int ->
+    block_count:int ->
+    unit ->
+    t
+  (** [faults] actions drawn from a seeded PRNG over the first [writes]
+      write ops (uniform mix of transient/permanent failures, torn writes
+      and bit flips). *)
+end
+
+val set_fault_plan : t -> Fault_plan.t option -> unit
+(** Install (or with [None] remove) the device's fault plan. *)
+
+val fault_plan : t -> Fault_plan.t option
+
+val crash_image : t -> string array option
+(** The snapshot captured by the plan's [crash_after_writes] trigger, once
+    the trigger has fired; [restore] it into a fresh device to model
+    remounting after the crash. *)
+
+val clear_crash_image : t -> unit
+
+val unsafe_flip : t -> block:int -> byte:int -> bit:int -> unit
+(** Flip one bit of a block in place without charging the clock or touching
+    counters — the direct bit-rot test hook ({!Fault_plan.Bit_flip} is the
+    scheduled form).  Out-of-range [byte] offsets are ignored. *)
+
+val is_written : t -> int -> bool
+(** Whether the block currently holds bytes (written and not trimmed).
+    Free introspection for repair tools choosing scrub candidates; reading
+    the block's contents still charges normally. *)
 
 val snapshot : t -> string array
 (** Copy of all written blocks (unwritten slots are [""]), for crash tests:
@@ -96,7 +181,9 @@ val stats : t -> Rgpdos_util.Stats.Counter.t
     plus vectored-IO observability: "vec_reads" / "vec_writes" (vectored
     requests issued) and "merged_runs" (contiguous runs charged across
     all vectored requests).  "reads"/"writes"/bytes stay per-block, so
-    the merge ratio is [reads / merged_runs]. *)
+    the merge ratio is [reads / merged_runs].  "write_ops" counts write
+    requests (scalar or vectored) — the ordinal space fault plans schedule
+    against. *)
 
 val reset_stats : t -> unit
 

@@ -90,38 +90,64 @@ let append ring ~on_overflow payload =
   ring.jseq <- ring.jseq + 1;
   ring.live_records <- ring.live_records + 1
 
+type stop_reason = Clean | Torn_frame | Seq_gap | Bad_checksum
+
+let stop_reason_to_string = function
+  | Clean -> "clean"
+  | Torn_frame -> "torn_frame"
+  | Seq_gap -> "seq_gap"
+  | Bad_checksum -> "bad_checksum"
+
+type replay_summary = { records_replayed : int; stop_reason : stop_reason }
+
 let replay ring f =
   let mlen = String.length record_magic in
-  let continue = ref true in
-  while !continue do
+  let replayed = ref 0 in
+  let stop = ref None in
+  let finish reason = stop := Some reason in
+  while !stop = None do
     let header = ring_read ring ring.jhead (mlen + 8 + 4) in
-    if String.sub header 0 mlen <> record_magic then continue := false
+    if String.sub header 0 mlen <> record_magic then
+      (* never-written tail reads as zeros: that is the clean end of the
+         journal; any other garbage under the magic is a torn frame *)
+      finish
+        (if String.for_all (fun c -> c = '\000') (String.sub header 0 mlen)
+         then Clean
+         else Torn_frame)
     else begin
       let r = Codec.Reader.create (String.sub header mlen (8 + 4)) in
       match Codec.Reader.int r with
-      | Error _ -> continue := false
-      | Ok seq when seq <> ring.jseq -> continue := false
+      | Error _ -> finish Torn_frame
+      | Ok seq when seq < ring.jseq ->
+          (* well-formed record from a previous lap: stale, clean end *)
+          finish Clean
+      | Ok seq when seq > ring.jseq -> finish Seq_gap
       | Ok seq ->
           let lenfield = String.sub header (mlen + 8) 4 in
           let plen = ref 0 in
           String.iter (fun c -> plen := (!plen lsl 8) lor Char.code c) lenfield;
-          if !plen < 0 || !plen > capacity ring then continue := false
+          if !plen < 0 || !plen > capacity ring then finish Torn_frame
           else begin
             let total = mlen + 8 + 4 + !plen + 16 in
             let frame = ring_read ring ring.jhead total in
             let body = String.sub frame mlen (8 + 4 + !plen) in
             let sum = String.sub frame (mlen + 8 + 4 + !plen) 16 in
-            if sum <> checksum body then continue := false
+            if sum <> checksum body then finish Bad_checksum
             else begin
               let payload = String.sub frame (mlen + 8 + 4) !plen in
               f payload;
               ring.jhead <- ring.jhead + total;
               ring.jseq <- seq + 1;
-              ring.live_records <- ring.live_records + 1
+              ring.live_records <- ring.live_records + 1;
+              incr replayed
             end
           end
     end
-  done
+  done;
+  {
+    records_replayed = !replayed;
+    stop_reason = (match !stop with Some r -> r | None -> Clean);
+  }
 
 let head ring = ring.jhead
 

@@ -31,10 +31,22 @@ val append : t -> on_overflow:(unit -> unit) -> string -> unit
     append raises [Failure].
     @raise Failure if a single record exceeds the ring capacity. *)
 
-val replay : t -> (string -> unit) -> unit
+type stop_reason =
+  | Clean  (** zeroed or stale (previous-lap) bytes: the journal's end *)
+  | Torn_frame  (** partial header/garbage magic or an impossible length *)
+  | Seq_gap  (** well-formed record whose sequence skips ahead *)
+  | Bad_checksum  (** framed record whose FNV checksum does not match *)
+
+val stop_reason_to_string : stop_reason -> string
+
+type replay_summary = { records_replayed : int; stop_reason : stop_reason }
+
+val replay : t -> (string -> unit) -> replay_summary
 (** Parse records from the current head, calling the function on each
-    payload and advancing head/seq.  Stops at the first invalid frame
-    (torn write, old data, sequence gap). *)
+    payload and advancing head/seq.  Stops at the first invalid frame and
+    reports how many records were applied and why parsing ended — [Clean]
+    is the ordinary end of the journal, the other reasons say what kind of
+    damage cut replay short.  Never raises on frame damage. *)
 
 val mark_checkpointed : t -> unit
 (** Move the tail to the head: all current records become dead. *)

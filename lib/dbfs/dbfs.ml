@@ -1,5 +1,6 @@
 module Block_device = Rgpdos_block.Block_device
 module Journal_ring = Rgpdos_block.Journal_ring
+module Clock = Rgpdos_util.Clock
 module Codec = Rgpdos_util.Codec
 module Fnv = Rgpdos_util.Fnv
 module Stats = Rgpdos_util.Stats
@@ -17,6 +18,8 @@ type error =
   | No_space
   | Access_denied of string
   | Corrupt of string
+  | Device_fault of string
+  | Degraded of string
 
 let pp_error fmt = function
   | Unknown_type n -> Format.fprintf fmt "unknown PD type: %s" n
@@ -28,10 +31,15 @@ let pp_error fmt = function
   | No_space -> Format.fprintf fmt "no space left in DBFS"
   | Access_denied m -> Format.fprintf fmt "access denied: %s" m
   | Corrupt m -> Format.fprintf fmt "DBFS corruption: %s" m
+  | Device_fault m -> Format.fprintf fmt "device fault: %s" m
+  | Degraded m -> Format.fprintf fmt "DBFS degraded (read-only): %s" m
 
 let error_to_string e = Format.asprintf "%a" pp_error e
 
-(* A PD entry: the pair of inodes (record + membrane) in the subject tree. *)
+(* A PD entry: the pair of inodes (record + membrane) in the subject tree.
+   [record_sum]/[membrane_sum] are FNV-64 checksums of the extent payload
+   bytes (for an erased entry, of the sealed envelope), verified whenever
+   the extent is read off the device. *)
 type entry = {
   pd_id : string;
   type_name : string;
@@ -39,8 +47,10 @@ type entry = {
   high : bool; (* allocated in the sensitive region *)
   mutable record_blocks : int list;
   mutable record_size : int;
+  mutable record_sum : string;
   mutable membrane_blocks : int list;
   mutable membrane_size : int;
+  mutable membrane_sum : string;
   mutable erased : bool;
 }
 
@@ -56,12 +66,20 @@ type t = {
   high_start : int; (* first block of the sensitive region *)
   tables : (string, table) Hashtbl.t;
   entries : (string, entry) Hashtbl.t;
-  index : Index.t;
+  mutable index : Index.t;
       (* secondary indexes: per-field postings, subject -> pd_ids (the old
-         in-memory subject_tree, now persisted), TTL expiry queue *)
+         in-memory subject_tree, now persisted), TTL expiry queue; mutable
+         so [fsck ~repair] can swap in a from-scratch rebuild *)
   free : bool array;
   mutable next_pd : int;
   mutable hook : (actor:string -> op:string -> bool) option;
+  mutable degraded : string option;
+      (* Some reason => explicit degraded read-only mode: every mutation
+         returns [Error (Degraded _)], reads are still served *)
+  mutable replay : Journal_ring.replay_summary option;
+      (* mount-time journal replay summary; None on a fresh format *)
+  mutable replay_warning : string option;
+      (* first journal record that framed correctly but failed to apply *)
   counters : Stats.Counter.t;
   (* Decoded read caches, keyed by pd_id.  Coherence rule: ANY mutation of
      an entry (membrane update, record update, erasure, delete — including
@@ -93,6 +111,59 @@ let guard t ~actor ~op =
       end
 
 let ( let** ) r f = match r with Error e -> Error e | Ok v -> f v
+
+(* ------------------------------------------------------------------ *)
+(* fault handling                                                     *)
+
+(* Transient device faults get a bounded retry with exponential backoff
+   charged to the virtual clock; a fault that survives every retry
+   propagates as [Block_device.Faulted] to the API boundary, where write
+   paths flip the store into degraded read-only mode and read paths report
+   [Device_fault]. *)
+let retry_limit = 3
+
+let retry_backoff_ns = 50_000 (* 50us, doubling per attempt *)
+
+let retrying t f =
+  let rec go attempt =
+    try f ()
+    with Block_device.Faulted _ when attempt < retry_limit ->
+      Stats.Counter.incr t.counters "fault_retries";
+      Clock.advance (Block_device.clock t.dev) (retry_backoff_ns lsl attempt);
+      go (attempt + 1)
+  in
+  go 0
+
+let check_degraded t =
+  match t.degraded with Some reason -> Error (Degraded reason) | None -> Ok ()
+
+let enter_degraded t reason =
+  if t.degraded = None then begin
+    t.degraded <- Some reason;
+    Stats.Counter.incr t.counters "degraded_entries"
+  end;
+  Error (Degraded reason)
+
+(* API-boundary wrappers: convert an exhausted-retries device fault into a
+   typed error instead of an exception.  A mutation that hits one leaves
+   the store in degraded read-only mode — its in-place writes may be
+   partial, and refusing further writes until [fsck ~repair] has run is
+   the only honest state. *)
+let protect_write t thunk =
+  try thunk ()
+  with Block_device.Faulted b ->
+    enter_degraded t (Printf.sprintf "unrecoverable device fault on block %d" b)
+
+let protect_read thunk =
+  try thunk ()
+  with Block_device.Faulted b ->
+    Error (Device_fault (Printf.sprintf "block %d failed after retries" b))
+
+(* Simulated cost of verifying an extent checksum on read, charged on
+   cache hits and misses alike so the warm==cold invariant holds (~64
+   bytes hashed per ns; well under 1% of the block transfer cost). *)
+let charge_checksum t size =
+  Clock.advance (Block_device.clock t.dev) (max 1 (size / 64))
 
 (* ------------------------------------------------------------------ *)
 (* geometry & allocation                                              *)
@@ -189,8 +260,9 @@ let zero_and_free t blocks =
   (match blocks with
   | [] -> ()
   | _ ->
-      Block_device.write_vec t.dev
-        (List.map (fun b -> (b, String.make bs '\000')) blocks));
+      retrying t (fun () ->
+          Block_device.write_vec t.dev
+            (List.map (fun b -> (b, String.make bs '\000')) blocks)));
   List.iter (fun b -> t.free.(b - t.data_start) <- true) blocks
 
 let write_payload t payload blocks =
@@ -198,22 +270,24 @@ let write_payload t payload blocks =
   match blocks with
   | [] -> ()
   | _ ->
-      Block_device.write_vec t.dev
-        (List.mapi
-           (fun i b ->
-             ( b,
-               String.sub payload (i * bs)
-                 (min bs (String.length payload - (i * bs))) ))
-           blocks)
+      retrying t (fun () ->
+          Block_device.write_vec t.dev
+            (List.mapi
+               (fun i b ->
+                 ( b,
+                   String.sub payload (i * bs)
+                     (min bs (String.length payload - (i * bs))) ))
+               blocks))
 
 let read_payload t blocks size =
-  let got = Block_device.read_vec t.dev blocks in
+  let got = retrying t (fun () -> Block_device.read_vec t.dev blocks) in
   let buf = Buffer.create size in
   List.iter (fun b -> Buffer.add_string buf (List.assoc b got)) blocks;
   Buffer.sub buf 0 size
 
 (* cache hit: simulated cost of the vectored read we did not perform *)
-let charge_payload_read t blocks = Block_device.charge_read_vec t.dev blocks
+let charge_payload_read t blocks =
+  retrying t (fun () -> Block_device.charge_read_vec t.dev blocks)
 
 (* ------------------------------------------------------------------ *)
 (* journal ops (metadata only: no PD bytes ever enter the ring)       *)
@@ -227,13 +301,25 @@ type op =
       high : bool;
       record_blocks : int list;
       record_size : int;
+      record_sum : string;
       membrane_blocks : int list;
       membrane_size : int;
+      membrane_sum : string;
     }
-  | J_update_record of { pd_id : string; blocks : int list; size : int }
-  | J_update_membrane of { pd_id : string; blocks : int list; size : int }
+  | J_update_record of {
+      pd_id : string;
+      blocks : int list;
+      size : int;
+      sum : string;
+    }
+  | J_update_membrane of {
+      pd_id : string;
+      blocks : int list;
+      size : int;
+      sum : string;
+    }
   | J_delete of string
-  | J_erase of { pd_id : string; blocks : int list; size : int }
+  | J_erase of { pd_id : string; blocks : int list; size : int; sum : string }
 
 let encode_op op =
   let w = Codec.Writer.create () in
@@ -249,26 +335,31 @@ let encode_op op =
       Codec.Writer.bool w e.high;
       Codec.Writer.list w (Codec.Writer.int w) e.record_blocks;
       Codec.Writer.int w e.record_size;
+      Codec.Writer.string w e.record_sum;
       Codec.Writer.list w (Codec.Writer.int w) e.membrane_blocks;
-      Codec.Writer.int w e.membrane_size
-  | J_update_record { pd_id; blocks; size } ->
+      Codec.Writer.int w e.membrane_size;
+      Codec.Writer.string w e.membrane_sum
+  | J_update_record { pd_id; blocks; size; sum } ->
       Codec.Writer.string w "urec";
       Codec.Writer.string w pd_id;
       Codec.Writer.list w (Codec.Writer.int w) blocks;
-      Codec.Writer.int w size
-  | J_update_membrane { pd_id; blocks; size } ->
+      Codec.Writer.int w size;
+      Codec.Writer.string w sum
+  | J_update_membrane { pd_id; blocks; size; sum } ->
       Codec.Writer.string w "umbr";
       Codec.Writer.string w pd_id;
       Codec.Writer.list w (Codec.Writer.int w) blocks;
-      Codec.Writer.int w size
+      Codec.Writer.int w size;
+      Codec.Writer.string w sum
   | J_delete pd_id ->
       Codec.Writer.string w "del";
       Codec.Writer.string w pd_id
-  | J_erase { pd_id; blocks; size } ->
+  | J_erase { pd_id; blocks; size; sum } ->
       Codec.Writer.string w "ers";
       Codec.Writer.string w pd_id;
       Codec.Writer.list w (Codec.Writer.int w) blocks;
-      Codec.Writer.int w size);
+      Codec.Writer.int w size;
+      Codec.Writer.string w sum);
   Codec.Writer.contents w
 
 let decode_op s =
@@ -285,8 +376,10 @@ let decode_op s =
       let* high = Codec.Reader.bool r in
       let* record_blocks = Codec.Reader.list r Codec.Reader.int in
       let* record_size = Codec.Reader.int r in
+      let* record_sum = Codec.Reader.string r in
       let* membrane_blocks = Codec.Reader.list r Codec.Reader.int in
       let* membrane_size = Codec.Reader.int r in
+      let* membrane_sum = Codec.Reader.string r in
       Ok
         (J_insert
            {
@@ -296,19 +389,23 @@ let decode_op s =
              high;
              record_blocks;
              record_size;
+             record_sum;
              membrane_blocks;
              membrane_size;
+             membrane_sum;
            })
   | "urec" ->
       let* pd_id = Codec.Reader.string r in
       let* blocks = Codec.Reader.list r Codec.Reader.int in
       let* size = Codec.Reader.int r in
-      Ok (J_update_record { pd_id; blocks; size })
+      let* sum = Codec.Reader.string r in
+      Ok (J_update_record { pd_id; blocks; size; sum })
   | "umbr" ->
       let* pd_id = Codec.Reader.string r in
       let* blocks = Codec.Reader.list r Codec.Reader.int in
       let* size = Codec.Reader.int r in
-      Ok (J_update_membrane { pd_id; blocks; size })
+      let* sum = Codec.Reader.string r in
+      Ok (J_update_membrane { pd_id; blocks; size; sum })
   | "del" ->
       let* pd_id = Codec.Reader.string r in
       Ok (J_delete pd_id)
@@ -316,7 +413,8 @@ let decode_op s =
       let* pd_id = Codec.Reader.string r in
       let* blocks = Codec.Reader.list r Codec.Reader.int in
       let* size = Codec.Reader.int r in
-      Ok (J_erase { pd_id; blocks; size })
+      let* sum = Codec.Reader.string r in
+      Ok (J_erase { pd_id; blocks; size; sum })
   | other -> Error ("unknown DBFS journal op " ^ other)
 
 (* Apply an op to the in-memory trees and the free map.  Data blocks are
@@ -353,13 +451,22 @@ let indexed_fields_of t type_name =
   | Some tbl -> tbl.schema.Schema.indexed_fields
   | None -> []
 
+(* Best-effort decode helpers (index maintenance, fsck): an extent that
+   cannot be read even after retries yields [None] rather than raising —
+   the callers treat it the same as an undecodable payload. *)
 let decode_record_at t blocks size =
-  match Record.decode (read_payload t blocks size) with
+  match
+    try Record.decode (read_payload t blocks size)
+    with Block_device.Faulted b -> Error (Printf.sprintf "block %d faulted" b)
+  with
   | Ok r -> Some r
   | Error _ -> None
 
 let decode_membrane_at t blocks size =
-  match Membrane.decode (read_payload t blocks size) with
+  match
+    try Membrane.decode (read_payload t blocks size)
+    with Block_device.Faulted b -> Error (Printf.sprintf "block %d faulted" b)
+  with
   | Ok m -> Some m
   | Error _ -> None
 
@@ -390,7 +497,18 @@ let index_put_membrane t ~pd_id ~hint ~blocks ~size =
   | Some m -> Index.set_expiry t.index ~pd_id (expiry_instant m)
   | None -> ()
 
-let apply_op ?(hint = no_hint) t op =
+(* [freed_acc], passed by mount-time replay, collects every block an op
+   frees.  Live mutators zero old blocks AFTER the journal record commits,
+   so a crash in that window leaves plaintext on blocks the replayed
+   metadata considers free; replay zeroes whichever of them are still free
+   once the whole journal is applied (blocks reused by a later op keep
+   their new owner's in-place data). *)
+let apply_op ?(hint = no_hint) ?freed_acc t op =
+  let note_freed blocks =
+    match freed_acc with
+    | Some acc -> acc := List.rev_append blocks !acc
+    | None -> ()
+  in
   (match op with
   | J_create_type _ -> ()
   | J_insert { pd_id; _ }
@@ -414,8 +532,10 @@ let apply_op ?(hint = no_hint) t op =
           high = e.high;
           record_blocks = e.record_blocks;
           record_size = e.record_size;
+          record_sum = e.record_sum;
           membrane_blocks = e.membrane_blocks;
           membrane_size = e.membrane_size;
+          membrane_sum = e.membrane_sum;
           erased = false;
         }
       in
@@ -434,23 +554,29 @@ let apply_op ?(hint = no_hint) t op =
       (match int_of_string_opt (String.sub e.pd_id 3 (String.length e.pd_id - 3)) with
       | Some n when n >= t.next_pd -> t.next_pd <- n + 1
       | _ -> ())
-  | J_update_record { pd_id; blocks; size } ->
+  | J_update_record { pd_id; blocks; size; sum } ->
       let entry = Hashtbl.find t.entries pd_id in
+      note_freed entry.record_blocks;
       mark_free t entry.record_blocks;
       mark_used t blocks;
       entry.record_blocks <- blocks;
       entry.record_size <- size;
+      entry.record_sum <- sum;
       index_put_record t ~pd_id ~type_name:entry.type_name ~hint ~blocks ~size
-  | J_update_membrane { pd_id; blocks; size } ->
+  | J_update_membrane { pd_id; blocks; size; sum } ->
       let entry = Hashtbl.find t.entries pd_id in
+      note_freed entry.membrane_blocks;
       mark_free t entry.membrane_blocks;
       mark_used t blocks;
       entry.membrane_blocks <- blocks;
       entry.membrane_size <- size;
+      entry.membrane_sum <- sum;
       (* consent flips and TTL changes land here: re-key the expiry queue *)
       index_put_membrane t ~pd_id ~hint ~blocks ~size
   | J_delete pd_id ->
       let entry = Hashtbl.find t.entries pd_id in
+      note_freed entry.record_blocks;
+      note_freed entry.membrane_blocks;
       mark_free t entry.record_blocks;
       mark_free t entry.membrane_blocks;
       Hashtbl.remove t.entries pd_id;
@@ -460,12 +586,14 @@ let apply_op ?(hint = no_hint) t op =
       Index.remove_entry t.index ~pd_id;
       Index.remove_subject t.index ~subject:entry.subject ~pd_id;
       Index.clear_expiry t.index ~pd_id
-  | J_erase { pd_id; blocks; size } ->
+  | J_erase { pd_id; blocks; size; sum } ->
       let entry = Hashtbl.find t.entries pd_id in
+      note_freed entry.record_blocks;
       mark_free t entry.record_blocks;
       mark_used t blocks;
       entry.record_blocks <- blocks;
       entry.record_size <- size;
+      entry.record_sum <- sum;
       entry.erased <- true;
       (* sealed payload is not PD: no field keys, no expiry; the subject
          link stays (erasure seals the pd, it does not unlink it) *)
@@ -482,8 +610,10 @@ let encode_entry w e =
   Codec.Writer.bool w e.high;
   Codec.Writer.list w (Codec.Writer.int w) e.record_blocks;
   Codec.Writer.int w e.record_size;
+  Codec.Writer.string w e.record_sum;
   Codec.Writer.list w (Codec.Writer.int w) e.membrane_blocks;
   Codec.Writer.int w e.membrane_size;
+  Codec.Writer.string w e.membrane_sum;
   Codec.Writer.bool w e.erased
 
 let decode_entry r =
@@ -493,8 +623,10 @@ let decode_entry r =
   let* high = Codec.Reader.bool r in
   let* record_blocks = Codec.Reader.list r Codec.Reader.int in
   let* record_size = Codec.Reader.int r in
+  let* record_sum = Codec.Reader.string r in
   let* membrane_blocks = Codec.Reader.list r Codec.Reader.int in
   let* membrane_size = Codec.Reader.int r in
+  let* membrane_sum = Codec.Reader.string r in
   let* erased = Codec.Reader.bool r in
   Ok
     {
@@ -504,8 +636,10 @@ let decode_entry r =
       high;
       record_blocks;
       record_size;
+      record_sum;
       membrane_blocks;
       membrane_size;
+      membrane_sum;
       erased;
     }
 
@@ -543,12 +677,12 @@ let write_meta t =
   if String.length framed > t.meta_blocks * bs then
     failwith "Dbfs: metadata region overflow";
   let nblocks = ((String.length framed - 1) / bs) + 1 in
-  Block_device.write_vec t.dev
-    (List.init nblocks (fun i ->
-         ( t.meta_start + i,
-           String.sub framed (i * bs)
-             (min bs (String.length framed - (i * bs))) )));
-  ()
+  retrying t (fun () ->
+      Block_device.write_vec t.dev
+        (List.init nblocks (fun i ->
+             ( t.meta_start + i,
+               String.sub framed (i * bs)
+                 (min bs (String.length framed - (i * bs))) ))))
 
 let read_meta dev ~meta_start ~meta_blocks =
   let got =
@@ -571,7 +705,10 @@ let checkpoint t =
   Journal_ring.mark_checkpointed t.ring
 
 let log_and_apply ?hint t op =
-  Journal_ring.append t.ring ~on_overflow:(fun () -> checkpoint t) (encode_op op);
+  retrying t (fun () ->
+      Journal_ring.append t.ring
+        ~on_overflow:(fun () -> checkpoint t)
+        (encode_op op));
   apply_op ?hint t op
 
 (* ------------------------------------------------------------------ *)
@@ -608,6 +745,9 @@ let format dev ~journal_blocks =
       free = Array.make (block_count - data_start) true;
       next_pd = 0;
       hook = None;
+      degraded = None;
+      replay = None;
+      replay_warning = None;
       counters = Stats.Counter.create ();
       membrane_cache = Hashtbl.create 256;
       record_cache = Hashtbl.create 256;
@@ -679,6 +819,9 @@ let mount dev =
                         free_bits.[i] = '1');
                   next_pd;
                   hook = None;
+                  degraded = None;
+                  replay = None;
+                  replay_warning = None;
                   counters = Stats.Counter.create ();
                   membrane_cache = Hashtbl.create 256;
                   record_cache = Hashtbl.create 256;
@@ -688,10 +831,52 @@ let mount dev =
                 (fun tbl -> Hashtbl.replace t.tables tbl.schema.Schema.name tbl)
                 tables;
               List.iter (fun e -> Hashtbl.replace t.entries e.pd_id e) entries;
-              Journal_ring.replay t.ring (fun payload ->
-                  match decode_op payload with
-                  | Ok op -> apply_op t op
-                  | Error e -> failwith ("Dbfs: corrupt journal op: " ^ e));
+              (* exn-free replay: a record that frames correctly but fails
+                 to decode or apply stops further application and flips the
+                 store into degraded read-only mode instead of failing the
+                 mount *)
+              let freed = ref [] in
+              let summary =
+                Journal_ring.replay t.ring (fun payload ->
+                    if t.replay_warning = None then
+                      match decode_op payload with
+                      | Ok op -> (
+                          try apply_op t ~freed_acc:freed op with
+                          | Failure m -> t.replay_warning <- Some m
+                          | Not_found ->
+                              t.replay_warning <-
+                                Some "journal op references an unknown pd")
+                      | Error e ->
+                          t.replay_warning <-
+                            Some ("corrupt journal op: " ^ e))
+              in
+              t.replay <- Some summary;
+              (match t.replay_warning with
+              | Some m ->
+                  t.degraded <- Some ("journal replay: " ^ m);
+                  Stats.Counter.incr t.counters "degraded_entries"
+              | None -> ());
+              (* close the commit->zero crash window: any block a replayed
+                 op freed and nothing later reused must not keep its old
+                 plaintext *)
+              let bs = block_size t in
+              let leftover =
+                List.sort_uniq compare !freed
+                |> List.filter (fun b ->
+                       t.free.(b - t.data_start)
+                       && Block_device.is_written t.dev b)
+              in
+              (match leftover with
+              | [] -> ()
+              | _ ->
+                  Stats.Counter.incr t.counters
+                    ~by:(List.length leftover)
+                    "replay_zeroed_blocks";
+                  retrying t (fun () ->
+                      Block_device.write_vec t.dev
+                        (List.map
+                           (fun b -> (b, String.make bs '\000'))
+                           leftover)));
               Ok t))
 
 let device t = t.dev
@@ -718,13 +903,14 @@ let set_access_hook t hook = t.hook <- Some hook
 
 let create_type t ~actor schema =
   let** () = guard t ~actor ~op:"create_type" in
+  let** () = check_degraded t in
   let name = schema.Schema.name in
   if Hashtbl.mem t.tables name then Error (Type_exists name)
-  else begin
-    Stats.Counter.incr t.counters "create_type";
-    log_and_apply t (J_create_type (Schema.encode schema));
-    Ok ()
-  end
+  else
+    protect_write t (fun () ->
+        Stats.Counter.incr t.counters "create_type";
+        log_and_apply t (J_create_type (Schema.encode schema));
+        Ok ())
 
 let schema t ~actor name =
   let** () = guard t ~actor ~op:"read" in
@@ -751,6 +937,7 @@ let entry_blocks t ~actor pd_id =
 
 let insert t ~actor ~subject ~type_name ~record ~membrane_of =
   let** () = guard t ~actor ~op:"write" in
+  let** () = check_degraded t in
   match Hashtbl.find_opt t.tables type_name with
   | None -> Error (Unknown_type type_name)
   | Some tbl -> (
@@ -780,29 +967,41 @@ let insert t ~actor ~subject ~type_name ~record ~membrane_of =
                     mark_free t record_blocks;
                     Error No_space
                 | Some membrane_blocks ->
-                    (* ordered mode: data in place first, then the journal *)
-                    write_payload t record_bytes record_blocks;
-                    write_payload t membrane_bytes membrane_blocks;
-                    t.next_pd <- t.next_pd + 1;
-                    log_and_apply t
-                      ~hint:{ h_record = Some record; h_membrane = Some membrane }
-                      (J_insert
-                         {
-                           pd_id;
-                           type_name;
-                           subject;
-                           high;
-                           record_blocks;
-                           record_size = String.length record_bytes;
-                           membrane_blocks;
-                           membrane_size = String.length membrane_bytes;
-                         });
-                    Stats.Counter.incr t.counters "inserts";
-                    (* write-through: the values just validated and encoded
-                       are exactly what a subsequent read would decode *)
-                    Hashtbl.replace t.membrane_cache pd_id membrane;
-                    Hashtbl.replace t.record_cache pd_id record;
-                    Ok pd_id)))
+                    protect_write t (fun () ->
+                        (* ordered mode: data in place first, then journal *)
+                        write_payload t record_bytes record_blocks;
+                        write_payload t membrane_bytes membrane_blocks;
+                        t.next_pd <- t.next_pd + 1;
+                        log_and_apply t
+                          ~hint:
+                            { h_record = Some record; h_membrane = Some membrane }
+                          (J_insert
+                             {
+                               pd_id;
+                               type_name;
+                               subject;
+                               high;
+                               record_blocks;
+                               record_size = String.length record_bytes;
+                               record_sum = Fnv.hash64_hex record_bytes;
+                               membrane_blocks;
+                               membrane_size = String.length membrane_bytes;
+                               membrane_sum = Fnv.hash64_hex membrane_bytes;
+                             });
+                        Stats.Counter.incr t.counters "inserts";
+                        (* write-through: the values just validated and
+                           encoded are exactly what a read would decode *)
+                        Hashtbl.replace t.membrane_cache pd_id membrane;
+                        Hashtbl.replace t.record_cache pd_id record;
+                        Ok pd_id))))
+
+(* Verify an extent's checksum against the raw bytes just read.  An empty
+   stored sum means "no checksum recorded" (never the case for entries
+   written by this code, but kept permissive). *)
+let verify_sum ~what ~pd_id ~stored raw =
+  if stored <> "" && Fnv.hash64_hex raw <> stored then
+    Error (Corrupt (what ^ " of " ^ pd_id ^ ": extent checksum mismatch"))
+  else Ok raw
 
 let get_membrane t ~actor pd_id =
   let** () = guard t ~actor ~op:"read" in
@@ -811,17 +1010,23 @@ let get_membrane t ~actor pd_id =
   match Hashtbl.find_opt t.membrane_cache pd_id with
   | Some m ->
       Stats.Counter.incr t.counters "cache_hits";
-      charge_payload_read t e.membrane_blocks;
-      Ok m
-  | None -> (
+      protect_read (fun () ->
+          charge_payload_read t e.membrane_blocks;
+          charge_checksum t e.membrane_size;
+          Ok m)
+  | None ->
       Stats.Counter.incr t.counters "cache_misses";
-      match
-        Membrane.decode (read_payload t e.membrane_blocks e.membrane_size)
-      with
-      | Ok m ->
-          Hashtbl.replace t.membrane_cache pd_id m;
-          Ok m
-      | Error msg -> Error (Corrupt ("membrane of " ^ pd_id ^ ": " ^ msg)))
+      protect_read (fun () ->
+          let raw = read_payload t e.membrane_blocks e.membrane_size in
+          charge_checksum t e.membrane_size;
+          let** raw =
+            verify_sum ~what:"membrane" ~pd_id ~stored:e.membrane_sum raw
+          in
+          match Membrane.decode raw with
+          | Ok m ->
+              Hashtbl.replace t.membrane_cache pd_id m;
+              Ok m
+          | Error msg -> Error (Corrupt ("membrane of " ^ pd_id ^ ": " ^ msg)))
 
 let get_record t ~actor pd_id =
   let** () = guard t ~actor ~op:"read" in
@@ -832,15 +1037,23 @@ let get_record t ~actor pd_id =
     match Hashtbl.find_opt t.record_cache pd_id with
     | Some r ->
         Stats.Counter.incr t.counters "cache_hits";
-        charge_payload_read t e.record_blocks;
-        Ok r
-    | None -> (
+        protect_read (fun () ->
+            charge_payload_read t e.record_blocks;
+            charge_checksum t e.record_size;
+            Ok r)
+    | None ->
         Stats.Counter.incr t.counters "cache_misses";
-        match Record.decode (read_payload t e.record_blocks e.record_size) with
-        | Ok r ->
-            Hashtbl.replace t.record_cache pd_id r;
-            Ok r
-        | Error msg -> Error (Corrupt ("record of " ^ pd_id ^ ": " ^ msg)))
+        protect_read (fun () ->
+            let raw = read_payload t e.record_blocks e.record_size in
+            charge_checksum t e.record_size;
+            let** raw =
+              verify_sum ~what:"record" ~pd_id ~stored:e.record_sum raw
+            in
+            match Record.decode raw with
+            | Ok r ->
+                Hashtbl.replace t.record_cache pd_id r;
+                Ok r
+            | Error msg -> Error (Corrupt ("record of " ^ pd_id ^ ": " ^ msg)))
   end
 
 (* ---------- batched reads (the DED's vectored load path) ----------
@@ -866,13 +1079,13 @@ let resolve_entries t pd_ids =
    is cached.  Returns an index->contents lookup. *)
 let batch_read t ~any_miss blocks =
   if any_miss then begin
-    let got = Block_device.read_vec t.dev blocks in
+    let got = retrying t (fun () -> Block_device.read_vec t.dev blocks) in
     let h = Hashtbl.create (max 16 (2 * List.length got)) in
     List.iter (fun (i, s) -> Hashtbl.replace h i s) got;
     h
   end
   else begin
-    Block_device.charge_read_vec t.dev blocks;
+    retrying t (fun () -> Block_device.charge_read_vec t.dev blocks);
     Hashtbl.create 1
   end
 
@@ -888,27 +1101,32 @@ let get_membranes t ~actor pd_ids =
   let any_miss =
     List.exists (fun e -> not (Hashtbl.mem t.membrane_cache e.pd_id)) entries
   in
-  let h = batch_read t ~any_miss blocks in
-  let rec go acc = function
-    | [] -> Ok (List.rev acc)
-    | e :: rest -> (
-        Stats.Counter.incr t.counters "membrane_reads";
-        match Hashtbl.find_opt t.membrane_cache e.pd_id with
-        | Some m ->
-            Stats.Counter.incr t.counters "cache_hits";
-            go ((e.pd_id, m) :: acc) rest
-        | None -> (
-            Stats.Counter.incr t.counters "cache_misses";
-            match
-              Membrane.decode (assemble h e.membrane_blocks e.membrane_size)
-            with
-            | Ok m ->
-                Hashtbl.replace t.membrane_cache e.pd_id m;
+  protect_read (fun () ->
+      let h = batch_read t ~any_miss blocks in
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | e :: rest -> (
+            Stats.Counter.incr t.counters "membrane_reads";
+            charge_checksum t e.membrane_size;
+            match Hashtbl.find_opt t.membrane_cache e.pd_id with
+            | Some m ->
+                Stats.Counter.incr t.counters "cache_hits";
                 go ((e.pd_id, m) :: acc) rest
-            | Error msg ->
-                Error (Corrupt ("membrane of " ^ e.pd_id ^ ": " ^ msg))))
-  in
-  go [] entries
+            | None -> (
+                Stats.Counter.incr t.counters "cache_misses";
+                let raw = assemble h e.membrane_blocks e.membrane_size in
+                let** raw =
+                  verify_sum ~what:"membrane" ~pd_id:e.pd_id
+                    ~stored:e.membrane_sum raw
+                in
+                match Membrane.decode raw with
+                | Ok m ->
+                    Hashtbl.replace t.membrane_cache e.pd_id m;
+                    go ((e.pd_id, m) :: acc) rest
+                | Error msg ->
+                    Error (Corrupt ("membrane of " ^ e.pd_id ^ ": " ^ msg))))
+      in
+      go [] entries)
 
 (* Erased pds yield [None] (their sealed payload is not PD and is not
    read), matching the DED's skip-erased semantics without forcing every
@@ -921,33 +1139,39 @@ let get_records t ~actor pd_ids =
   let any_miss =
     List.exists (fun e -> not (Hashtbl.mem t.record_cache e.pd_id)) live
   in
-  let h = batch_read t ~any_miss blocks in
-  let rec go acc = function
-    | [] -> Ok (List.rev acc)
-    | e :: rest ->
-        if e.erased then go ((e.pd_id, None) :: acc) rest
-        else begin
-          Stats.Counter.incr t.counters "record_reads";
-          match Hashtbl.find_opt t.record_cache e.pd_id with
-          | Some r ->
-              Stats.Counter.incr t.counters "cache_hits";
-              go ((e.pd_id, Some r) :: acc) rest
-          | None -> (
-              Stats.Counter.incr t.counters "cache_misses";
-              match
-                Record.decode (assemble h e.record_blocks e.record_size)
-              with
-              | Ok r ->
-                  Hashtbl.replace t.record_cache e.pd_id r;
+  protect_read (fun () ->
+      let h = batch_read t ~any_miss blocks in
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | e :: rest ->
+            if e.erased then go ((e.pd_id, None) :: acc) rest
+            else begin
+              Stats.Counter.incr t.counters "record_reads";
+              charge_checksum t e.record_size;
+              match Hashtbl.find_opt t.record_cache e.pd_id with
+              | Some r ->
+                  Stats.Counter.incr t.counters "cache_hits";
                   go ((e.pd_id, Some r) :: acc) rest
-              | Error msg ->
-                  Error (Corrupt ("record of " ^ e.pd_id ^ ": " ^ msg)))
-        end
-  in
-  go [] entries
+              | None -> (
+                  Stats.Counter.incr t.counters "cache_misses";
+                  let raw = assemble h e.record_blocks e.record_size in
+                  let** raw =
+                    verify_sum ~what:"record" ~pd_id:e.pd_id
+                      ~stored:e.record_sum raw
+                  in
+                  match Record.decode raw with
+                  | Ok r ->
+                      Hashtbl.replace t.record_cache e.pd_id r;
+                      go ((e.pd_id, Some r) :: acc) rest
+                  | Error msg ->
+                      Error (Corrupt ("record of " ^ e.pd_id ^ ": " ^ msg)))
+            end
+      in
+      go [] entries)
 
 let update_record t ~actor pd_id record =
   let** () = guard t ~actor ~op:"write" in
+  let** () = check_degraded t in
   let** e = find_entry t pd_id in
   if e.erased then Error (Erased pd_id)
   else
@@ -965,17 +1189,25 @@ let update_record t ~actor pd_id record =
             with
             | None -> Error No_space
             | Some blocks ->
-                write_payload t bytes blocks;
-                log_and_apply t
-                  ~hint:{ no_hint with h_record = Some record }
-                  (J_update_record { pd_id; blocks; size = String.length bytes });
-                (* zeroing deallocation: no stale PD on the medium *)
-                zero_and_free t old_blocks;
-                Stats.Counter.incr t.counters "record_updates";
-                Ok ()))
+                protect_write t (fun () ->
+                    write_payload t bytes blocks;
+                    log_and_apply t
+                      ~hint:{ no_hint with h_record = Some record }
+                      (J_update_record
+                         {
+                           pd_id;
+                           blocks;
+                           size = String.length bytes;
+                           sum = Fnv.hash64_hex bytes;
+                         });
+                    (* zeroing deallocation: no stale PD on the medium *)
+                    zero_and_free t old_blocks;
+                    Stats.Counter.incr t.counters "record_updates";
+                    Ok ())))
 
 let update_membrane t ~actor pd_id membrane =
   let** () = guard t ~actor ~op:"write" in
+  let** () = check_degraded t in
   let** e = find_entry t pd_id in
   if membrane.Membrane.pd_id <> pd_id then
     Error (Membrane_mismatch "membrane wraps a different pd_id")
@@ -989,16 +1221,24 @@ let update_membrane t ~actor pd_id membrane =
     match alloc_membrane_blocks t (blocks_needed t (String.length bytes)) with
     | None -> Error No_space
     | Some blocks ->
-        write_payload t bytes blocks;
-        log_and_apply t
-          ~hint:{ no_hint with h_membrane = Some membrane }
-          (J_update_membrane { pd_id; blocks; size = String.length bytes });
-        zero_and_free t old_blocks;
-        Stats.Counter.incr t.counters "membrane_updates";
-        Ok ()
+        protect_write t (fun () ->
+            write_payload t bytes blocks;
+            log_and_apply t
+              ~hint:{ no_hint with h_membrane = Some membrane }
+              (J_update_membrane
+                 {
+                   pd_id;
+                   blocks;
+                   size = String.length bytes;
+                   sum = Fnv.hash64_hex bytes;
+                 });
+            zero_and_free t old_blocks;
+            Stats.Counter.incr t.counters "membrane_updates";
+            Ok ())
 
 let update_membranes_by_lineage t ~actor ~lineage f =
   let** () = guard t ~actor ~op:"write" in
+  let** () = check_degraded t in
   let ids =
     Hashtbl.fold (fun pd_id _ acc -> pd_id :: acc) t.entries []
     |> List.sort compare
@@ -1018,6 +1258,7 @@ let update_membranes_by_lineage t ~actor ~lineage f =
 
 let copy_pd t ~actor pd_id =
   let** () = guard t ~actor ~op:"write" in
+  let** () = check_degraded t in
   let** e = find_entry t pd_id in
   if e.erased then Error (Erased pd_id)
   else
@@ -1028,21 +1269,25 @@ let copy_pd t ~actor pd_id =
 
 let delete t ~actor pd_id =
   let** () = guard t ~actor ~op:"delete" in
+  let** () = check_degraded t in
   let** e = find_entry t pd_id in
   let record_blocks = e.record_blocks in
   let membrane_blocks = e.membrane_blocks in
-  log_and_apply t (J_delete pd_id);
-  (* physical zeroing after the metadata commit, as one vectored write *)
-  let bs = block_size t in
-  Block_device.write_vec t.dev
-    (List.map
-       (fun b -> (b, String.make bs '\000'))
-       (record_blocks @ membrane_blocks));
-  Stats.Counter.incr t.counters "deletes";
-  Ok ()
+  protect_write t (fun () ->
+      log_and_apply t (J_delete pd_id);
+      (* physical zeroing after the metadata commit, as one vectored write *)
+      let bs = block_size t in
+      retrying t (fun () ->
+          Block_device.write_vec t.dev
+            (List.map
+               (fun b -> (b, String.make bs '\000'))
+               (record_blocks @ membrane_blocks)));
+      Stats.Counter.incr t.counters "deletes";
+      Ok ())
 
 let erase_with t ~actor pd_id ~seal =
   let** () = guard t ~actor ~op:"erase" in
+  let** () = check_degraded t in
   let** e = find_entry t pd_id in
   if e.erased then Error (Erased pd_id)
   else
@@ -1055,17 +1300,29 @@ let erase_with t ~actor pd_id ~seal =
     with
     | None -> Error No_space
     | Some blocks ->
-        write_payload t sealed blocks;
-        log_and_apply t (J_erase { pd_id; blocks; size = String.length sealed });
-        zero_and_free t old_blocks;
-        Stats.Counter.incr t.counters "erasures";
-        Ok ()
+        protect_write t (fun () ->
+            write_payload t sealed blocks;
+            log_and_apply t
+              (J_erase
+                 {
+                   pd_id;
+                   blocks;
+                   size = String.length sealed;
+                   sum = Fnv.hash64_hex sealed;
+                 });
+            zero_and_free t old_blocks;
+            Stats.Counter.incr t.counters "erasures";
+            Ok ())
 
 let erased_payload t ~actor pd_id =
   let** () = guard t ~actor ~op:"read" in
   let** e = find_entry t pd_id in
   if not e.erased then Error (Invalid_record (pd_id ^ " is not erased"))
-  else Ok (read_payload t e.record_blocks e.record_size)
+  else
+    protect_read (fun () ->
+        let raw = read_payload t e.record_blocks e.record_size in
+        charge_checksum t e.record_size;
+        verify_sum ~what:"sealed payload" ~pd_id ~stored:e.record_sum raw)
 
 (* ------------------------------------------------------------------ *)
 (* queries                                                            *)
@@ -1280,23 +1537,47 @@ let describe_trees t ~actor =
 
 let crash_and_remount t = mount t.dev
 
-let fsck t =
+(* Extent read that reports an exhausted-retries device fault as [None]
+   instead of raising — fsck must keep scanning past a dead block. *)
+let try_read_extent t blocks size =
+  try Some (read_payload t blocks size) with Block_device.Faulted _ -> None
+
+let sum_matches stored raw = stored = "" || Fnv.hash64_hex raw = stored
+
+(* The check pass: every invariant violation as a message, no mutation.
+   [fsck ?repair] wraps this. *)
+let fsck_check t =
   let problems = ref [] in
   let note fmt = Format.kasprintf (fun s -> problems := s :: !problems) fmt in
-  (* membrane invariant: every entry's membrane decodes and matches *)
+  (* extent integrity + membrane invariant: every entry's extents are
+     readable, their checksums match, and the membrane wraps this pd *)
   Hashtbl.iter
     (fun pd_id e ->
-      match Membrane.decode (read_payload t e.membrane_blocks e.membrane_size) with
-      | Error msg -> note "entry %s: undecodable membrane (%s)" pd_id msg
-      | Ok m ->
-          if m.Membrane.pd_id <> pd_id then
-            note "entry %s: membrane wraps %s" pd_id m.Membrane.pd_id;
-          if m.Membrane.type_name <> e.type_name then
-            note "entry %s: membrane type %s <> %s" pd_id m.Membrane.type_name
-              e.type_name;
-          if m.Membrane.subject_id <> e.subject then
-            note "entry %s: membrane subject %s <> %s" pd_id
-              m.Membrane.subject_id e.subject)
+      (match try_read_extent t e.membrane_blocks e.membrane_size with
+      | None -> note "entry %s: membrane extent unreadable (device fault)" pd_id
+      | Some raw when not (sum_matches e.membrane_sum raw) ->
+          note "entry %s: membrane extent checksum mismatch" pd_id
+      | Some raw -> (
+          match Membrane.decode raw with
+          | Error msg -> note "entry %s: undecodable membrane (%s)" pd_id msg
+          | Ok m ->
+              if m.Membrane.pd_id <> pd_id then
+                note "entry %s: membrane wraps %s" pd_id m.Membrane.pd_id;
+              if m.Membrane.type_name <> e.type_name then
+                note "entry %s: membrane type %s <> %s" pd_id
+                  m.Membrane.type_name e.type_name;
+              if m.Membrane.subject_id <> e.subject then
+                note "entry %s: membrane subject %s <> %s" pd_id
+                  m.Membrane.subject_id e.subject));
+      match try_read_extent t e.record_blocks e.record_size with
+      | None -> note "entry %s: record extent unreadable (device fault)" pd_id
+      | Some raw when not (sum_matches e.record_sum raw) ->
+          note "entry %s: record extent checksum mismatch" pd_id
+      | Some raw ->
+          if not e.erased then (
+            match Record.decode raw with
+            | Error msg -> note "entry %s: undecodable record (%s)" pd_id msg
+            | Ok _ -> ()))
     t.entries;
   (* block ownership: unique, allocated, correct zone *)
   let owners = Hashtbl.create 64 in
@@ -1402,18 +1683,18 @@ let fsck t =
           note "index: pd %s queued at %d, membrane says %d" pd_id b a
       | _ -> ())
     t.entries;
-  match !problems with [] -> Ok () | ps -> Error (List.rev ps)
+  (* allocation leaks: a data block marked in-use must have an owner *)
+  Array.iteri
+    (fun i is_free ->
+      if (not is_free) && not (Hashtbl.mem owners (t.data_start + i)) then
+        note "allocated block %d owned by no entry" (t.data_start + i))
+    t.free;
+  List.rev !problems
 
-(* ------------------------------------------------------------------ *)
-(* index introspection (tests)                                        *)
-
-let index_dump t = Index.dump t.index
-
-(* From-scratch reference rebuild: re-derive every index fact from the
-   live entries and their on-device payloads, dump canonically.  The
-   crash-consistency tests compare this against [index_dump] after a
-   remount. *)
-let rebuilt_index_dump t =
+(* From-scratch index rebuild over the (surviving) entries — the repair
+   path swaps this in wholesale, which heals any in-memory or persisted
+   index damage in one move. *)
+let rebuild_index t =
   let idx = Index.create () in
   Hashtbl.iter
     (fun pd_id e ->
@@ -1430,7 +1711,183 @@ let rebuilt_index_dump t =
         | None -> ()
       end)
     t.entries;
-  Index.dump idx
+  idx
+
+type repair_report = {
+  rr_problems : string list;
+  rr_actions : string list;
+  rr_quarantined : (string * string) list;
+  rr_scrubbed_blocks : int;
+  rr_journal_truncated : string option;
+  rr_clean : bool;
+}
+
+(* An entry is unrecoverable when either extent is unreadable, fails its
+   checksum, or no longer decodes.  [None] means the entry is healthy. *)
+let entry_damage t e =
+  match try_read_extent t e.membrane_blocks e.membrane_size with
+  | None -> Some "membrane extent unreadable"
+  | Some raw when not (sum_matches e.membrane_sum raw) ->
+      Some "membrane extent checksum mismatch"
+  | Some raw -> (
+      match Membrane.decode raw with
+      | Error _ -> Some "membrane undecodable"
+      | Ok _ -> (
+          match try_read_extent t e.record_blocks e.record_size with
+          | None -> Some "record extent unreadable"
+          | Some raw when not (sum_matches e.record_sum raw) ->
+              Some "record extent checksum mismatch"
+          | Some raw ->
+              if not e.erased then (
+                match Record.decode raw with
+                | Error _ -> Some "record undecodable"
+                | Ok _ -> None)
+              else None))
+
+let fsck_repair t =
+  let problems = fsck_check t in
+  let actions = ref [] in
+  let act fmt = Format.kasprintf (fun s -> actions := s :: !actions) fmt in
+  let device_faults = ref false in
+  let bs = block_size t in
+  let zero_block b =
+    try
+      retrying t (fun () ->
+          Block_device.write_vec t.dev [ (b, String.make bs '\000') ]);
+      true
+    with Block_device.Faulted _ ->
+      device_faults := true;
+      false
+  in
+  (* 1. quarantine entries whose payloads cannot be trusted: remove them
+     from the trees and report them — repair never invents data *)
+  let damaged =
+    Hashtbl.fold
+      (fun _ e acc ->
+        match entry_damage t e with
+        | Some reason -> (e, reason) :: acc
+        | None -> acc)
+      t.entries []
+    |> List.sort (fun (a, _) (b, _) -> compare a.pd_id b.pd_id)
+  in
+  let quarantined =
+    List.map
+      (fun (e, reason) ->
+        Hashtbl.remove t.entries e.pd_id;
+        (match Hashtbl.find_opt t.tables e.type_name with
+        | Some tbl ->
+            tbl.pds_rev <- List.filter (( <> ) e.pd_id) tbl.pds_rev
+        | None -> ());
+        invalidate_caches t e.pd_id;
+        (* the extents may hold damaged PD plaintext: zero best-effort,
+           then release the blocks *)
+        List.iter
+          (fun b -> ignore (zero_block b))
+          (e.record_blocks @ e.membrane_blocks);
+        mark_free t e.record_blocks;
+        mark_free t e.membrane_blocks;
+        act "quarantined %s (%s)" e.pd_id reason;
+        (e.pd_id, reason))
+      damaged
+  in
+  (* 2. rebuild every secondary index from the surviving records *)
+  t.index <- rebuild_index t;
+  act "rebuilt secondary indexes from %d surviving entries"
+    (Hashtbl.length t.entries);
+  (* 3. release allocated blocks no surviving entry owns *)
+  let owned = Hashtbl.create 256 in
+  Hashtbl.iter
+    (fun _ e ->
+      List.iter
+        (fun b -> Hashtbl.replace owned b ())
+        (e.record_blocks @ e.membrane_blocks))
+    t.entries;
+  let leaked = ref 0 in
+  Array.iteri
+    (fun i is_free ->
+      let b = t.data_start + i in
+      if (not is_free) && not (Hashtbl.mem owned b) then begin
+        t.free.(i) <- true;
+        incr leaked
+      end)
+    t.free;
+  if !leaked > 0 then act "released %d leaked block(s)" !leaked;
+  (* 4. scrub free space: a free block must hold no bytes at all *)
+  let scrubbed = ref 0 in
+  Array.iteri
+    (fun i is_free ->
+      let b = t.data_start + i in
+      if is_free && Block_device.is_written t.dev b then
+        if zero_block b then incr scrubbed)
+    t.free;
+  if !scrubbed > 0 then act "scrubbed %d free block(s)" !scrubbed;
+  (* 5. truncate the journal at the damage point: checkpoint the repaired
+     metadata (making every journal record dead) and scrub the ring *)
+  let journal_truncated =
+    let damage =
+      match (t.replay, t.replay_warning) with
+      | _, Some w -> Some ("undecodable record (" ^ w ^ ")")
+      | Some { stop_reason; _ }, None when stop_reason <> Journal_ring.Clean ->
+          Some (Journal_ring.stop_reason_to_string stop_reason)
+      | _ -> None
+    in
+    (try
+       checkpoint t;
+       Journal_ring.scrub t.ring
+     with Block_device.Faulted _ -> device_faults := true);
+    match damage with
+    | Some reason ->
+        act "journal truncated at first bad frame (%s)" reason;
+        Some reason
+    | None -> None
+  in
+  t.replay_warning <- None;
+  Hashtbl.reset t.membrane_cache;
+  Hashtbl.reset t.record_cache;
+  (* 6. verify; leave degraded mode only on a clean bill of health *)
+  let recheck = fsck_check t in
+  let clean = recheck = [] && not !device_faults in
+  if clean then begin
+    if t.degraded <> None then act "left degraded read-only mode";
+    t.degraded <- None
+  end
+  else if t.degraded = None then
+    t.degraded <-
+      Some
+        (if !device_faults then "device faults during repair"
+         else "fsck still reports problems after repair");
+  {
+    rr_problems = problems;
+    rr_actions = List.rev !actions;
+    rr_quarantined = quarantined;
+    rr_scrubbed_blocks = !scrubbed;
+    rr_journal_truncated = journal_truncated;
+    rr_clean = clean;
+  }
+
+let fsck ?(repair = false) t =
+  if not repair then
+    match fsck_check t with [] -> Ok () | ps -> Error ps
+  else
+    let r = fsck_repair t in
+    if r.rr_clean then Ok () else Error (r.rr_problems @ r.rr_actions)
+
+let replay_report t = t.replay
+
+let replay_warning t = t.replay_warning
+
+let degraded t = t.degraded
+
+(* ------------------------------------------------------------------ *)
+(* index introspection (tests)                                        *)
+
+let index_dump t = Index.dump t.index
+
+(* From-scratch reference rebuild: re-derive every index fact from the
+   live entries and their on-device payloads, dump canonically.  The
+   crash-consistency tests compare this against [index_dump] after a
+   remount. *)
+let rebuilt_index_dump t = Index.dump (rebuild_index t)
 
 let unsafe_tamper_index t pd_id = Index.unsafe_drop_posting t.index ~pd_id
 

@@ -45,6 +45,11 @@ type error =
   | No_space
   | Access_denied of string
   | Corrupt of string
+  | Device_fault of string
+      (** a read path exhausted its retries against a faulted block *)
+  | Degraded of string
+      (** the store is in degraded read-only mode; mutations are refused
+          until [fsck ~repair:true] clears it *)
 
 val pp_error : Format.formatter -> error -> unit
 val error_to_string : error -> string
@@ -54,7 +59,14 @@ val format :
 (** Write a fresh DBFS on the device. *)
 
 val mount : Rgpdos_block.Block_device.t -> (t, string) result
-(** Load the last checkpoint and replay the metadata journal. *)
+(** Load the last checkpoint and replay the metadata journal.  Replay is
+    exception-free: it stops at the first damaged frame (see
+    {!replay_report}); a frame that decodes but cannot be applied flips
+    the store into degraded read-only mode instead of failing the mount.
+    Blocks freed by replayed operations that are still free once the
+    whole journal is applied are re-zeroed, closing the
+    commit-then-crash window in which stale PD plaintext could survive
+    on the medium. *)
 
 val device : t -> Rgpdos_block.Block_device.t
 
@@ -254,14 +266,51 @@ val describe_trees : t -> actor:string -> (string, error) result
 val checkpoint : t -> unit
 val crash_and_remount : t -> (t, string) result
 
-val fsck : t -> (unit, string list) result
+val fsck : ?repair:bool -> t -> (unit, string list) result
 (** Invariant check, including the membrane invariant (every stored
-    entry's membrane must decode and match the entry identity) and
-    index ↔ entry agreement in both directions: every index key names a
-    live pd and matches its on-device record, every posting list contains
-    its keyed pds, every live pd of an indexed type is keyed, the subject
-    index links every entry, and the expiry queue agrees with each
-    membrane's [created_at + ttl]. *)
+    entry's membrane must decode and match the entry identity), per-extent
+    checksums (every record and membrane extent must read back with its
+    stored FNV-64 sum), and index ↔ entry agreement in both directions:
+    every index key names a live pd and matches its on-device record,
+    every posting list contains its keyed pds, every live pd of an
+    indexed type is keyed, the subject index links every entry, and the
+    expiry queue agrees with each membrane's [created_at + ttl].
+
+    With [~repair:true] the check is followed by {!fsck_repair};
+    [Ok ()] then means the repaired store passes a re-check. *)
+
+type repair_report = {
+  rr_problems : string list;  (** what the initial check found *)
+  rr_actions : string list;   (** repair actions taken, in order *)
+  rr_quarantined : (string * string) list;
+      (** unrecoverable pds removed from the store: [(pd_id, reason)] *)
+  rr_scrubbed_blocks : int;   (** free blocks found non-zero and zeroed *)
+  rr_journal_truncated : string option;
+      (** why the journal was cut short, when replay stopped on damage *)
+  rr_clean : bool;            (** post-repair re-check passed *)
+}
+
+val fsck_repair : t -> repair_report
+(** Self-healing pass: quarantine entries whose extents are unreadable,
+    fail their checksum, or no longer decode (reported, never silently
+    dropped); rebuild every secondary index from the surviving records;
+    release leaked blocks; zero any free block still holding bytes;
+    truncate the journal at the first bad frame (checkpoint + scrub);
+    and leave degraded read-only mode iff the re-check comes back clean.
+    Repair never invents data — a quarantined pd is data loss and is
+    reported as such. *)
+
+val replay_report : t -> Rgpdos_block.Journal_ring.replay_summary option
+(** The mount-time journal replay summary ([None] on a fresh format). *)
+
+val replay_warning : t -> string option
+(** Set when a well-framed journal record failed to decode or apply
+    during mount; the store is then degraded. *)
+
+val degraded : t -> string option
+(** [Some reason] when the store is in degraded read-only mode: every
+    mutation returns [Error (Degraded _)] while reads (including
+    right-of-access exports) are still served. *)
 
 val index_dump : t -> string
 (** Canonical rendering of the secondary indexes (sorted, iteration-order

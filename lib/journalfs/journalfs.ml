@@ -63,6 +63,10 @@ type t = {
   inodes : (int, inode) Hashtbl.t;
   free : bool array; (* true = data block free; indexed from data_start *)
   mutable next_inode : int;
+  mutable replay : Journal_ring.replay_summary option;
+      (* mount-time journal replay summary; None on a freshly formatted fs *)
+  mutable replay_warning : string option;
+      (* decode error of the first corrupt (framed-but-unparseable) op *)
 }
 
 let root_ino = 0
@@ -430,6 +434,8 @@ let format dev ~journal_blocks =
       inodes = Hashtbl.create 64;
       free = Array.make (cfg.Block_device.block_count - data_start) true;
       next_inode = root_ino + 1;
+      replay = None;
+      replay_warning = None;
     }
   in
   Hashtbl.replace fs.inodes root_ino (new_dir_inode 0);
@@ -475,16 +481,30 @@ let mount dev =
                     Array.init (String.length free_bits) (fun i ->
                         free_bits.[i] = '1');
                   next_inode;
+                  replay = None;
+                  replay_warning = None;
                 }
               in
               List.iter (fun (k, v) -> Hashtbl.replace fs.inodes k v) inode_list;
-              Journal_ring.replay fs.ring (fun payload ->
-                  match decode_op payload with
-                  | Ok op -> apply_op fs op
-                  | Error e -> failwith ("Journalfs: corrupt journal op: " ^ e));
+              (* exn-free replay: a framed-but-undecodable op stops further
+                 application and is reported, it does not fail the mount *)
+              let summary =
+                Journal_ring.replay fs.ring (fun payload ->
+                    if fs.replay_warning = None then
+                      match decode_op payload with
+                      | Ok op -> apply_op fs op
+                      | Error e ->
+                          fs.replay_warning <-
+                            Some ("Journalfs: corrupt journal op: " ^ e))
+              in
+              fs.replay <- Some summary;
               Ok fs))
 
 let device fs = fs.dev
+
+let replay_report fs = fs.replay
+
+let replay_warning fs = fs.replay_warning
 
 (* ------------------------------------------------------------------ *)
 (* public namespace operations                                        *)

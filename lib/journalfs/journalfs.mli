@@ -46,9 +46,19 @@ val format : Rgpdos_block.Block_device.t -> journal_blocks:int -> t
 
 val mount : Rgpdos_block.Block_device.t -> (t, string) result
 (** Mount an existing filesystem: load the last metadata checkpoint and
-    replay any journal records written after it (crash recovery). *)
+    replay any journal records written after it (crash recovery).  Journal
+    damage does not fail the mount: replay stops at the first bad frame and
+    the outcome is reported by {!replay_report}/{!replay_warning}. *)
 
 val device : t -> Rgpdos_block.Block_device.t
+
+val replay_report : t -> Rgpdos_block.Journal_ring.replay_summary option
+(** The mount-time journal replay summary — how many records were applied
+    and why replay stopped.  [None] on a freshly formatted filesystem. *)
+
+val replay_warning : t -> string option
+(** Set when a correctly framed journal record failed to decode as an
+    operation during mount-time replay (application stopped there). *)
 
 (** {1 Namespace operations} *)
 

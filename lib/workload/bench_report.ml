@@ -707,3 +707,122 @@ let compare_scale ~old_report ~speedup4:current =
               committed -%.0f%%)"
              old_speedup current floor regression_threshold_pct)
       else Ok old_speedup
+
+(* ---------- fault-campaign artifact ---------- *)
+
+let fault_schema_id = "rgpdos-fault-campaign/1"
+
+(* the robustness artifact's bar is absolute, not a regression threshold:
+   every invariant must hold at every crash point and every scenario must
+   pass *)
+let fault_pass_bar = 100.0
+
+let make_fault ~(result : Fault_campaign.result) ?wall_ms () =
+  Fault_campaign.to_json ?wall_ms result
+
+let validate_fault v =
+  let* schema =
+    require "missing schema key"
+      (Option.bind (Json.member "schema" v) Json.to_str)
+  in
+  if schema <> fault_schema_id then Error ("unexpected schema id " ^ schema)
+  else
+    let* total =
+      require "missing total_writes"
+        (Option.bind (Json.member "total_writes" v) Json.to_float)
+    in
+    let* points =
+      require "missing points section"
+        (Option.bind (Json.member "points" v) Json.to_list)
+    in
+    let* sampled =
+      require "missing sampled flag"
+        (match Json.member "sampled" v with
+        | Some (Json.Bool b) -> Some b
+        | _ -> None)
+    in
+    if total <= 0.0 then Error "total_writes must be positive"
+    else if points = [] then Error "points: empty"
+    else
+      let* ordinals =
+        List.fold_left
+          (fun acc row ->
+            let* acc = acc in
+            let* w =
+              require "point: missing write ordinal"
+                (Option.bind (Json.member "write" row) Json.to_float)
+            in
+            let* () =
+              List.fold_left
+                (fun acc key ->
+                  let* () = acc in
+                  match Json.member key row with
+                  | Some (Json.Bool _) -> Ok ()
+                  | _ -> Error ("point: missing " ^ key))
+                (Ok ())
+                [ "residue_free"; "audit_ok"; "fsck_clean" ]
+            in
+            Ok (int_of_float w :: acc))
+          (Ok []) points
+      in
+      let* () =
+        if sampled then Ok ()
+        else
+          (* exhaustive claim: every write ordinal 1..total crashed once *)
+          let expected = List.init (int_of_float total) (fun i -> i + 1) in
+          if List.sort_uniq compare ordinals = expected then Ok ()
+          else
+            Error
+              (Printf.sprintf
+                 "campaign claims exhaustive but covers %d of %.0f crash \
+                  points"
+                 (List.length (List.sort_uniq compare ordinals))
+                 total)
+      in
+      let* rate =
+        require "missing pass_rate_pct"
+          (Option.bind (Json.member "pass_rate_pct" v) Json.to_float)
+      in
+      if rate < fault_pass_bar then
+        Error
+          (Printf.sprintf "invariant pass rate %.1f%% below the %.0f%% bar"
+             rate fault_pass_bar)
+      else
+        let* scenarios =
+          require "missing scenarios section"
+            (Option.bind (Json.member "scenarios" v) Json.to_list)
+        in
+        if scenarios = [] then Error "scenarios: empty"
+        else
+          List.fold_left
+            (fun acc row ->
+              let* () = acc in
+              let name =
+                match Option.bind (Json.member "name" row) Json.to_str with
+                | Some n -> n
+                | None -> "?"
+              in
+              match Json.member "pass" row with
+              | Some (Json.Bool true) -> Ok ()
+              | Some (Json.Bool false) ->
+                  Error ("scenario failed: " ^ name)
+              | _ -> Error ("scenario " ^ name ^ ": missing pass flag")
+            )
+            (Ok ()) scenarios
+
+let compare_fault ~old_report ~pass_rate_pct:current =
+  match Option.bind (Json.member "pass_rate_pct" old_report) Json.to_float with
+  | None -> Error "old fault report has no pass_rate_pct"
+  | Some old_rate ->
+      if old_rate < fault_pass_bar then
+        Error
+          (Printf.sprintf
+             "committed fault campaign pass rate %.1f%% is below 100%%"
+             old_rate)
+      else if current < fault_pass_bar then
+        Error
+          (Printf.sprintf
+             "fault campaign invariant pass rate dropped to %.1f%% (bar: \
+              every invariant at every crash point)"
+             current)
+      else Ok old_rate

@@ -164,3 +164,29 @@ val compare_index :
 (** Gate a freshly measured 1%%-selectivity pushdown speedup against the
     committed [BENCH_index_select.json], same
     {!regression_threshold_pct} threshold. *)
+
+(** {1 Fault-campaign artifact ([BENCH_fault_campaign.json])} *)
+
+val fault_schema_id : string
+
+val fault_pass_bar : float
+(** 100.0 — the robustness gate is absolute: all three invariants must
+    hold at every enumerated crash point (no regression margin). *)
+
+val make_fault :
+  result:Fault_campaign.result -> ?wall_ms:float -> unit -> Json.t
+(** The committed robustness evidence: one verdict row per crash point of
+    the scripted GDPR workload plus the named fault scenarios
+    ({!Fault_campaign.to_json}). *)
+
+val validate_fault : Json.t -> (unit, string) result
+(** Shape check plus the acceptance bars: when the campaign claims to be
+    exhaustive ([sampled = false]) every write ordinal [1..total_writes]
+    must appear among the points, the invariant pass rate must be
+    {!fault_pass_bar}, and every scenario must pass. *)
+
+val compare_fault :
+  old_report:Json.t -> pass_rate_pct:float -> (float, string) result
+(** Gate a freshly run campaign against the committed
+    [BENCH_fault_campaign.json]: both must sit at a 100%% invariant pass
+    rate. *)

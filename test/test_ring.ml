@@ -37,8 +37,10 @@ let test_append_replay_roundtrip () =
   (* replay from a fresh attach at position 0 *)
   let reader = Ring.attach dev ~start_block:2 ~num_blocks:8 ~head:0 ~seq:0 in
   let seen = ref [] in
-  Ring.replay reader (fun p -> seen := p :: !seen);
-  Alcotest.(check (list string)) "replayed in order" payloads (List.rev !seen)
+  let summary = Ring.replay reader (fun p -> seen := p :: !seen) in
+  Alcotest.(check (list string)) "replayed in order" payloads (List.rev !seen);
+  check_int "summary counts records" 4 summary.Ring.records_replayed;
+  check_bool "clean stop" true (summary.Ring.stop_reason = Ring.Clean)
 
 let test_replay_from_checkpoint_position () =
   let ring, dev = make_ring () in
@@ -48,9 +50,10 @@ let test_replay_from_checkpoint_position () =
   Ring.append ring ~on_overflow:no_overflow "after-2";
   let reader = Ring.attach dev ~start_block:2 ~num_blocks:8 ~head ~seq in
   let seen = ref [] in
-  Ring.replay reader (fun p -> seen := p :: !seen);
+  let summary = Ring.replay reader (fun p -> seen := p :: !seen) in
   Alcotest.(check (list string)) "only post-checkpoint records"
-    [ "after-1"; "after-2" ] (List.rev !seen)
+    [ "after-1"; "after-2" ] (List.rev !seen);
+  check_int "summary counts records" 2 summary.Ring.records_replayed
 
 let test_overflow_triggers_checkpoint_callback () =
   let ring, _ = make_ring ~num_blocks:2 () in
@@ -81,14 +84,20 @@ let test_overflow_handler_must_checkpoint () =
 
 let test_replay_stops_at_garbage () =
   let ring, dev = make_ring () in
-  Ring.append ring ~on_overflow:no_overflow "good-1";
-  Ring.append ring ~on_overflow:no_overflow "good-2";
-  (* clobber bytes just past the second record *)
+  (* enough records that some land in device block 4 (ring bytes 256+) *)
+  for i = 1 to 10 do
+    Ring.append ring ~on_overflow:no_overflow (Printf.sprintf "good-%02d" i)
+  done;
+  (* clobber a block in the middle of the appended records *)
   Block_device.write dev 4 (String.make 128 'Z');
   let reader = Ring.attach dev ~start_block:2 ~num_blocks:8 ~head:0 ~seq:0 in
   let seen = ref 0 in
-  Ring.replay reader (fun _ -> incr seen);
-  check_bool "stops without crashing" true (!seen <= 2)
+  let summary = Ring.replay reader (fun _ -> incr seen) in
+  check_bool "stops without crashing" true (!seen < 10);
+  check_int "summary agrees with callback count" !seen
+    summary.Ring.records_replayed;
+  check_bool "damage reported, not clean" true
+    (summary.Ring.stop_reason <> Ring.Clean)
 
 let test_scrub_zeroes_dead_blocks () =
   let ring, dev = make_ring () in
@@ -110,8 +119,10 @@ let test_scrub_preserves_live_records () =
   (* and it still replays from the checkpoint position *)
   let reader = Ring.attach dev ~start_block:2 ~num_blocks:8 ~head ~seq in
   let seen = ref [] in
-  Ring.replay reader (fun p -> seen := p :: !seen);
-  Alcotest.(check (list string)) "live replays" [ "LIVE-RECORD" ] !seen
+  let summary = Ring.replay reader (fun p -> seen := p :: !seen) in
+  Alcotest.(check (list string)) "live replays" [ "LIVE-RECORD" ] !seen;
+  check_bool "clean stop after scrub" true
+    (summary.Ring.stop_reason = Ring.Clean)
 
 let prop_roundtrip_arbitrary_payloads =
   QCheck.Test.make ~name:"ring roundtrips arbitrary payload lists" ~count:100
@@ -121,8 +132,10 @@ let prop_roundtrip_arbitrary_payloads =
       List.iter (Ring.append ring ~on_overflow:(fun () -> assert false)) payloads;
       let reader = Ring.attach dev ~start_block:2 ~num_blocks:32 ~head:0 ~seq:0 in
       let seen = ref [] in
-      Ring.replay reader (fun p -> seen := p :: !seen);
-      List.rev !seen = payloads)
+      let summary = Ring.replay reader (fun p -> seen := p :: !seen) in
+      List.rev !seen = payloads
+      && summary.Ring.records_replayed = List.length payloads
+      && summary.Ring.stop_reason = Ring.Clean)
 
 let prop_wraparound_preserves_tail =
   (* fill the ring several times over with checkpoints; the records since
@@ -142,7 +155,9 @@ let prop_wraparound_preserves_tail =
       let head, seq = !last_ckpt in
       let reader = Ring.attach dev ~start_block:2 ~num_blocks:3 ~head ~seq in
       let seen = ref [] in
-      Ring.replay reader (fun p -> seen := p :: !seen);
+      let (_ : Ring.replay_summary) =
+        Ring.replay reader (fun p -> seen := p :: !seen)
+      in
       (* the replayed list must be a contiguous suffix ending at record n *)
       match !seen with
       | [] -> fst (Ring.live ring) = 0
