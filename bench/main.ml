@@ -36,6 +36,14 @@
 
      dune exec bench/main.exe -- index --index-json BENCH_index_select.json
 
+   The [mount] section measures clean-mount device reads and resident
+   cache entries against population (10^3 → 10^6 at full scale) plus the
+   Zipf-skewed Art.15/17 + DED-select workload under a fixed cache-entry
+   budget; [--mount-json PATH] writes the artifact; the committed
+   BENCH_mount_scale.json is produced by
+
+     dune exec bench/main.exe -- mount --mount-json BENCH_mount_scale.json
+
    The [fault] section runs the deterministic fault-injection campaign
    (crash after every device write of the scripted GDPR workload, plus
    the named bit-rot / transient / torn-write / degraded-mode
@@ -48,9 +56,10 @@
    per-subject simulated time regressed past the gate in Bench_report
    (CI runs this against the committed BENCH_hotpath.json).  When
    BENCH_vectored_io.json / BENCH_parallel_scale.json /
-   BENCH_index_select.json sit next to OLD.json, the merge ratio, the
-   4-domain speedup and the 1%-selectivity pushdown speedup are gated
-   the same way (>25% regression fails).  When BENCH_fault_campaign.json
+   BENCH_index_select.json / BENCH_mount_scale.json sit next to
+   OLD.json, the merge ratio, the 4-domain speedup, the 1%-selectivity
+   pushdown speedup and the clean-mount read ratio are gated the same
+   way (>25% regression fails).  When BENCH_fault_campaign.json
    sits there too, a fresh (smoke-sized) campaign must hold every
    invariant at every crash point — the robustness gate is absolute
    (pass rate == 100%), not a regression margin.
@@ -247,6 +256,7 @@ let () =
   let vec_json_path, args = extract_flag "--vec-json" [] args in
   let scale_json_path, args = extract_flag "--scale-json" [] args in
   let index_json_path, args = extract_flag "--index-json" [] args in
+  let mount_json_path, args = extract_flag "--mount-json" [] args in
   let fault_json_path, args = extract_flag "--fault-json" [] args in
   let compare_path, args = extract_flag "--compare" [] args in
   let wanted = List.filter (fun a -> a <> "--quick") args in
@@ -267,6 +277,10 @@ let () =
     failwith
       "--index-json needs the index section; run e.g. \
        bench/main.exe -- index --index-json BENCH_index_select.json";
+  if mount_json_path <> None && not (enabled "mount") then
+    failwith
+      "--mount-json needs the mount section; run e.g. \
+       bench/main.exe -- mount --mount-json BENCH_mount_scale.json";
   if fault_json_path <> None && not (enabled "fault") then
     failwith
       "--fault-json needs the fault section; run e.g. \
@@ -284,6 +298,7 @@ let () =
   let e4_result = ref None in
   let scale_speedup4 = ref None in
   let index_speedup1pct = ref None in
+  let mount_read_ratio = ref None in
   let fault_pass_rate = ref None in
   (* the 1%-selectivity pushdown speedup at the smallest population >=
      2000 — the configuration the index artifact gates on (present at
@@ -518,6 +533,29 @@ let () =
         Printf.printf "\nwrote %s\n" path
   end;
 
+  if enabled "mount" then begin
+    let module MB = Rgpdos_workload.Mount_bench in
+    let module BR = Rgpdos_workload.Bench_report in
+    let result, wall_ms =
+      timed (fun () ->
+          MB.run
+            ~sizes:(d [ 1_000; 10_000; 100_000; 1_000_000 ] [ 1_000; 4_000; 10_000 ])
+            ~ops:(d 20_000 1_000) ~budget:(d 4_096 512) ())
+    in
+    mount_read_ratio := Some (MB.read_ratio result);
+    let report = BR.make_mount ~result ~wall_ms in
+    (match BR.validate_mount report with
+    | Ok () -> ()
+    | Error e -> failwith ("mount-scale report failed self-validation: " ^ e));
+    section "MOUNT — paged-index mount scaling + bounded-cache Zipf workload"
+      (MB.render result);
+    match mount_json_path with
+    | None -> ()
+    | Some path ->
+        BR.write_file path report;
+        Printf.printf "\nwrote %s\n" path
+  end;
+
   if enabled "fault" then begin
     let module FC = Rgpdos_workload.Fault_campaign in
     let module BR = Rgpdos_workload.Bench_report in
@@ -631,6 +669,27 @@ let () =
                 "compare: 1%%-selectivity pushdown %.1fx vs committed %.1fx \
                  — ok\n"
                 speedup1pct committed
+          | Error line ->
+              Printf.eprintf "\ncompare: %s\n" line;
+              exit 1));
+      (match BR.read_file (sibling "BENCH_mount_scale.json") with
+      | None -> ()
+      | Some old_mount -> (
+          let module MB = Rgpdos_workload.Mount_bench in
+          let read_ratio_max =
+            match !mount_read_ratio with
+            | Some r -> r
+            | None ->
+                (* mount section did not run: measure a small sweep *)
+                MB.read_ratio
+                  (MB.run ~sizes:[ 1_000; 4_000 ] ~ops:200 ~budget:256 ())
+          in
+          match BR.compare_mount ~old_report:old_mount ~read_ratio_max with
+          | Ok committed ->
+              Printf.printf
+                "compare: clean-mount read ratio %.2fx vs committed %.2fx — \
+                 ok\n"
+                read_ratio_max committed
           | Error line ->
               Printf.eprintf "\ncompare: %s\n" line;
               exit 1));

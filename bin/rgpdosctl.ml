@@ -4,6 +4,7 @@
      parse FILE        check a declaration file and print what it defines
      demo              run an end-to-end scenario on a fresh machine
      fsck              populate a DBFS, optionally damage it, check/repair
+     stats             run a scripted workload, print cache/index/device counters
      fig1              print the paper's Figure 1 statistics
      experiment ID     run one experiment (e1..e10) at bench scale
      articles          print the GDPR article -> rgpdOS mechanism table *)
@@ -216,6 +217,20 @@ let fsck_store damage subjects seed =
         exit 2
       end;
       store
+  | "index-page" ->
+      (* the paged index trees exist on the device only after a
+         checkpoint; enumerate a node page while the store is warm, then
+         remount cold (empty page cache) and flip one bit inside the
+         page's framed payload so the next read must fail its checksum *)
+      Dbfs.checkpoint store;
+      (match Dbfs.index_page_blocks store with
+      | [] ->
+          Printf.eprintf "no index node pages after checkpoint\n";
+          exit 2
+      | (block, _) :: _ ->
+          let cold = remount () in
+          Block_device.unsafe_flip (Dbfs.device cold) ~block ~byte:8 ~bit:3;
+          cold)
   | "crash" ->
       let dev = Machine.pd_device m in
       let plan = Block_device.Fault_plan.create () in
@@ -244,7 +259,9 @@ let fsck_store damage subjects seed =
           exit 2)
   | other ->
       Printf.eprintf
-        "unknown --damage %s (expected none, bit-rot, index, crash)\n" other;
+        "unknown --damage %s (expected none, bit-rot, index, index-page, \
+         crash)\n"
+        other;
       exit 2
 
 let fsck_run repair subjects seed damage =
@@ -308,14 +325,108 @@ let fsck_cmd =
     Arg.(value & opt string "none"
          & info [ "damage" ] ~docv:"KIND"
              ~doc:"Damage to inject before checking: none, bit-rot (flip a \
-                   bit in a record extent), index (drop a posting), crash \
-                   (power loss mid-erasure).")
+                   bit in a record extent), index (drop a posting), \
+                   index-page (flip a bit in an on-device index node page \
+                   after a cold remount), crash (power loss mid-erasure).")
   in
   Cmd.v
     (Cmd.info "fsck"
        ~doc:"Check (or self-heal with --repair) a populated DBFS; exits \
              non-zero on unrecoverable damage")
     Term.(const fsck_run $ repair $ subjects $ seed $ damage)
+
+(* ------------------------------------------------------------------ *)
+(* stats                                                              *)
+
+(* Populate, checkpoint, remount cold (paged trees on device, caches
+   empty), then run a Zipf-skewed read workload under the requested
+   cache budget and print the observability counters: cache
+   hits/misses/evictions, index node-page reads, and the device's own
+   read/write/seek statistics. *)
+let stats_run subjects seed budget ops =
+  let m, people = fsck_boot subjects seed in
+  let store0 = Machine.dbfs m in
+  Dbfs.checkpoint store0;
+  match Dbfs.crash_and_remount store0 with
+  | Error e ->
+      Printf.eprintf "remount: %s\n" e;
+      2
+  | Ok store ->
+      Dbfs.set_cache_budget store budget;
+      let dev = Dbfs.device store in
+      Block_device.reset_stats dev;
+      Rgpdos_util.Stats.Counter.reset (Dbfs.stats store);
+      let pop = Array.of_list people in
+      let zipf =
+        Rgpdos_util.Prng.Zipf.create ~n:(Array.length pop) ~theta:0.99
+      in
+      let prng = Rgpdos_util.Prng.create ~seed:(Int64.of_int (seed + 1)) () in
+      let failed = ref 0 in
+      let note = function Ok _ -> () | Error _ -> incr failed in
+      for _ = 1 to ops do
+        let p = pop.(Rgpdos_util.Prng.Zipf.sample zipf prng) in
+        match Rgpdos_util.Prng.int prng 3 with
+        | 0 ->
+            note (Dbfs.export_subject store ~actor:"ded" p.Population.subject_id)
+        | 1 ->
+            note
+              (Dbfs.select store ~actor:"ded" "person"
+                 (Rgpdos_dbfs.Query.Eq
+                    ("email", Value.VString p.Population.email)))
+        | _ ->
+            note (Dbfs.pds_of_subject store ~actor:"ded" p.Population.subject_id)
+      done;
+      (* snapshot the counters before anything else reads pages —
+         enumerating the node pages below walks the trees *)
+      let dbfs_counters =
+        List.sort compare (Rgpdos_util.Stats.Counter.to_list (Dbfs.stats store))
+      in
+      let dev_counters =
+        List.sort compare
+          (Rgpdos_util.Stats.Counter.to_list (Block_device.stats dev))
+      in
+      let resident = Dbfs.cache_resident store in
+      let get k =
+        match List.assoc_opt k dbfs_counters with Some v -> v | None -> 0
+      in
+      let hits = get "page_hits" and misses = get "page_misses" in
+      Printf.printf
+        "workload: %d ops over %d subjects (Zipf theta=0.99), %d failed\n"
+        ops subjects !failed;
+      Printf.printf "cache: budget %d entries, resident %d\n"
+        (Dbfs.cache_budget store) resident;
+      Printf.printf "  page hits        %8d\n" hits;
+      Printf.printf "  page misses      %8d\n" misses;
+      Printf.printf "  hit rate         %8.1f%%\n"
+        (if hits + misses = 0 then 0.0
+         else 100.0 *. float_of_int hits /. float_of_int (hits + misses));
+      Printf.printf "  evictions        %8d\n" (get "cache_evictions");
+      Printf.printf "index: node-page reads %d (%d node pages on device)\n"
+        (get "index_page_reads")
+        (List.length (Dbfs.index_page_blocks store));
+      Printf.printf "dbfs counters:\n";
+      List.iter (fun (k, v) -> Printf.printf "  %-22s %10d\n" k v) dbfs_counters;
+      Printf.printf "device counters:\n";
+      List.iter (fun (k, v) -> Printf.printf "  %-22s %10d\n" k v) dev_counters;
+      0
+
+let stats_cmd =
+  let subjects =
+    Arg.(value & opt int 500 & info [ "subjects"; "n" ] ~doc:"Population size.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let budget =
+    Arg.(value & opt int 256
+         & info [ "budget" ] ~doc:"Cache budget in resident entries.")
+  in
+  let ops =
+    Arg.(value & opt int 2_000 & info [ "ops" ] ~doc:"Workload operations.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Run a Zipf-skewed workload against a cold-remounted store and \
+             print the cache, index and device counters")
+    Term.(const stats_run $ subjects $ seed $ budget $ ops)
 
 (* ------------------------------------------------------------------ *)
 (* fig1 / experiments / articles                                      *)
@@ -400,4 +511,7 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ parse_cmd; demo_cmd; fsck_cmd; fig1_cmd; experiment_cmd; articles_cmd ]))
+          [
+            parse_cmd; demo_cmd; fsck_cmd; stats_cmd; fig1_cmd; experiment_cmd;
+            articles_cmd;
+          ]))

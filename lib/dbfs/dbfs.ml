@@ -54,7 +54,27 @@ type entry = {
   mutable erased : bool;
 }
 
-type table = { schema : Schema.t; mutable pds_rev : string list }
+type table = { schema : Schema.t }
+
+(* One bounded LRU holds every decoded-object class: raw index/entry node
+   pages ("p:<block>"), membranes ("m:<pd>") and records ("r:<pd>").  A
+   single entry budget therefore bounds resident memory across all three,
+   and they compete under one eviction policy.  The cache bounds host
+   memory only — hits charge the identical simulated device cost as
+   misses (warm == cold), so eviction is invisible to every stage_ns
+   figure and shows up only in the hit/miss/eviction counters. *)
+type cached =
+  | C_page of string
+  | C_membrane of Membrane.t
+  | C_record of Record.t
+
+(* The data-region allocation bitmap is hydrated on demand: a clean mount
+   does not read it (keeping mount O(1)); the first allocation, free or
+   fsck pulls it off the device.  [bm_present = false] means the store
+   has never checkpointed a bitmap — every data block is free. *)
+type free_state =
+  | F_unloaded
+  | F_loaded of bool array
 
 type t = {
   dev : Block_device.t;
@@ -62,38 +82,48 @@ type t = {
   journal_blocks : int;
   meta_start : int;
   meta_blocks : int;
+  bitmap_blocks : int; (* capacity of the bitmap region *)
+  heap_cap : int; (* blocks per metadata heap half *)
   data_start : int;
   high_start : int; (* first block of the sensitive region *)
   tables : (string, table) Hashtbl.t;
   entries : (string, entry) Hashtbl.t;
+      (* dirty overlay over the checkpointed entries tree: every entry
+         mutated (or inserted) since the last checkpoint.  Shadows the
+         base; [deleted] tombstones suppress base entries. *)
+  deleted : (string, unit) Hashtbl.t;
+  mutable entries_base : Pagestore.root;
+  mutable entry_count : int;
   mutable index : Index.t;
-      (* secondary indexes: per-field postings, subject -> pd_ids (the old
-         in-memory subject_tree, now persisted), TTL expiry queue; mutable
-         so [fsck ~repair] can swap in a from-scratch rebuild *)
-  free : bool array;
+      (* secondary indexes: per-field postings, subject -> pd_ids, TTL
+         expiry queue; paged on the device since PR 6, with an in-memory
+         overlay.  Mutable so [fsck ~repair] can swap in a rebuild. *)
+  mutable index_roots : Index.roots;
+  mutable free_state : free_state;
+  mutable bm_present : bool;
+  mutable bm_bytes : int;
+  hints : int array;
+      (* per-zone allocation cursors, in free-array coordinates: every
+         slot below [hints.(z)] inside zone [z] is allocated.  Keeps
+         first-fit amortized O(1) over append-heavy workloads while
+         returning bit-identical placements (frees move the hint back). *)
+  mutable active_half : int; (* heap half holding the live trees *)
+  mutable heap_used : int; (* blocks consumed in the active half *)
+  mutable root_seq : int;
   mutable next_pd : int;
   mutable hook : (actor:string -> op:string -> bool) option;
   mutable degraded : string option;
-      (* Some reason => explicit degraded read-only mode: every mutation
-         returns [Error (Degraded _)], reads are still served *)
   mutable replay : Journal_ring.replay_summary option;
-      (* mount-time journal replay summary; None on a fresh format *)
   mutable replay_warning : string option;
-      (* first journal record that framed correctly but failed to apply *)
   counters : Stats.Counter.t;
-  (* Decoded read caches, keyed by pd_id.  Coherence rule: ANY mutation of
-     an entry (membrane update, record update, erasure, delete — including
-     journal replay) invalidates its cached value; the only population
-     points are [insert] (write-through) and a read miss.  Cache hits still
-     charge the full simulated device-read cost (Block_device.charge_read),
-     so the experiments' stage_ns accounting is unchanged — the cache only
-     removes host-side block reassembly and decoding. *)
-  membrane_cache : (string, Membrane.t) Hashtbl.t;
-  record_cache : (string, Record.t) Hashtbl.t;
+  cache : cached Cache.t;
 }
 
 let superblock_magic = "RGPDBFS1"
+let root_magic = "RGPDROOT"
 let meta_blocks_default = 128
+let root_slot_blocks = 8
+let default_cache_budget = 65536
 
 (* ------------------------------------------------------------------ *)
 (* guard                                                              *)
@@ -115,11 +145,6 @@ let ( let** ) r f = match r with Error e -> Error e | Ok v -> f v
 (* ------------------------------------------------------------------ *)
 (* fault handling                                                     *)
 
-(* Transient device faults get a bounded retry with exponential backoff
-   charged to the virtual clock; a fault that survives every retry
-   propagates as [Block_device.Faulted] to the API boundary, where write
-   paths flip the store into degraded read-only mode and read paths report
-   [Device_fault]. *)
 let retry_limit = 3
 
 let retry_backoff_ns = 50_000 (* 50us, doubling per attempt *)
@@ -144,11 +169,6 @@ let enter_degraded t reason =
   end;
   Error (Degraded reason)
 
-(* API-boundary wrappers: convert an exhausted-retries device fault into a
-   typed error instead of an exception.  A mutation that hits one leaves
-   the store in degraded read-only mode — its in-place writes may be
-   partial, and refusing further writes until [fsck ~repair] has run is
-   the only honest state. *)
 let protect_write t thunk =
   try thunk ()
   with Block_device.Faulted b ->
@@ -159,14 +179,21 @@ let protect_read thunk =
   with Block_device.Faulted b ->
     Error (Device_fault (Printf.sprintf "block %d failed after retries" b))
 
-(* Simulated cost of verifying an extent checksum on read, charged on
-   cache hits and misses alike so the warm==cold invariant holds (~64
-   bytes hashed per ns; well under 1% of the block transfer cost). *)
+(* Read paths that may also descend on-device metadata trees: a page that
+   fails its checksum surfaces as [Corrupt] rather than an exception. *)
+let protect_pages thunk =
+  try thunk () with
+  | Block_device.Faulted b ->
+      Error (Device_fault (Printf.sprintf "block %d failed after retries" b))
+  | Pagestore.Corrupt_page b ->
+      Error
+        (Corrupt (Printf.sprintf "metadata page at block %d fails its checksum" b))
+
 let charge_checksum t size =
   Clock.advance (Block_device.clock t.dev) (max 1 (size / 64))
 
 (* ------------------------------------------------------------------ *)
-(* geometry & allocation                                              *)
+(* geometry                                                           *)
 
 let block_size t = (Block_device.config t.dev).Block_device.block_size
 
@@ -174,22 +201,14 @@ let total_blocks t = (Block_device.config t.dev).Block_device.block_count
 
 let blocks_needed t len = if len = 0 then 0 else ((len - 1) / block_size t) + 1
 
-(* Data-region layout.  Membranes and records get disjoint zones so a
-   whole-selection batch read of one kind covers (mostly) contiguous
-   blocks: with the old interleaved allocation (record, membrane, record,
-   membrane, ...) a membranes-only request had stride-2 block numbers and
-   the vectored path could never merge anything.
+(* Data-region layout (unchanged since the zoned-allocation PR):
 
    [data_start, rec_start)   membrane zone (one per entry, any sensitivity)
    [rec_start,  high_start)  ordinary records
-   [high_start, block_count) High-sensitivity records (stored apart, §3(1))
-
-   The split is a pure function of the device geometry, so [mount] can
-   recompute it without any metadata format change. *)
+   [high_start, block_count) High-sensitivity records (stored apart, §3(1)) *)
 let compute_rec_start ~data_start ~block_count =
   data_start + ((block_count - data_start) / 4)
 
-(* Sensitive region: the top quarter of the record zone. *)
 let compute_high_start ~data_start ~block_count =
   let rec_start = compute_rec_start ~data_start ~block_count in
   rec_start + ((block_count - rec_start) * 3 / 4)
@@ -197,7 +216,55 @@ let compute_high_start ~data_start ~block_count =
 let rec_start t =
   compute_rec_start ~data_start:t.data_start ~block_count:(total_blocks t)
 
+(* Metadata region layout.  The region holds, in order: two root slots
+   (A/B, written alternately so a torn root write can never lose both),
+   the allocation bitmap, and two tree heap halves.  Each checkpoint
+   bulk-writes the entries + index trees into the half the previous
+   checkpoint did NOT use, then commits by writing the next root slot;
+   the old half is zeroed only after the commit. *)
+let bitmap_blocks_for ~block_count ~block_size =
+  ((block_count + 7) / 8 + block_size - 1) / block_size
+
+let heap_cap_for ~meta_blocks ~bitmap_blocks =
+  (meta_blocks - (2 * root_slot_blocks) - bitmap_blocks) / 2
+
+let root_slot_start t slot = t.meta_start + (slot * root_slot_blocks)
+let bitmap_start t = t.meta_start + (2 * root_slot_blocks)
+
+let heap_start t half =
+  t.meta_start + (2 * root_slot_blocks) + t.bitmap_blocks + (half * t.heap_cap)
+
+(* ------------------------------------------------------------------ *)
+(* free map (lazy-hydrated allocation bitmap)                         *)
+
+let free_map t =
+  match t.free_state with
+  | F_loaded a -> a
+  | F_unloaded ->
+      let n = total_blocks t - t.data_start in
+      let a =
+        if not t.bm_present then Array.make n true
+        else begin
+          let bs = block_size t in
+          let nblocks = ((t.bm_bytes - 1) / bs) + 1 in
+          let blocks = List.init nblocks (fun i -> bitmap_start t + i) in
+          let got = retrying t (fun () -> Block_device.read_vec t.dev blocks) in
+          let buf = Buffer.create (nblocks * bs) in
+          List.iter (fun b -> Buffer.add_string buf (List.assoc b got)) blocks;
+          let raw = Buffer.contents buf in
+          Array.init n (fun i ->
+              Char.code raw.[i lsr 3] land (1 lsl (i land 7)) <> 0)
+        end
+      in
+      t.free_state <- F_loaded a;
+      a
+
 type zone = Z_membrane | Z_record of bool (* high? *)
+
+let zone_idx = function
+  | Z_membrane -> 0
+  | Z_record false -> 1
+  | Z_record true -> 2
 
 (* Zone bounds in free-array coordinates (offset by data_start). *)
 let zone_bounds t = function
@@ -205,51 +272,81 @@ let zone_bounds t = function
   | Z_record false -> (rec_start t - t.data_start, t.high_start - t.data_start)
   | Z_record true -> (t.high_start - t.data_start, total_blocks t - t.data_start)
 
-(* First-fit contiguous extent of [n] free slots inside [lo, hi). *)
-let find_extent t ~lo ~hi n =
-  let result = ref None in
-  let start = ref (-1) in
-  let i = ref lo in
-  while !result = None && !i < hi do
-    if t.free.(!i) then begin
-      if !start < 0 then start := !i;
-      if !i - !start + 1 >= n then result := Some !start
-    end
-    else start := -1;
-    incr i
-  done;
-  !result
+let zone_of_slot t i =
+  if i < rec_start t - t.data_start then 0
+  else if i < t.high_start - t.data_start then 1
+  else 2
+
+let mark_used t blocks =
+  let free = free_map t in
+  List.iter (fun b -> free.(b - t.data_start) <- false) blocks
+
+let mark_free t blocks =
+  let free = free_map t in
+  List.iter
+    (fun b ->
+      let i = b - t.data_start in
+      free.(i) <- true;
+      let z = zone_of_slot t i in
+      if i < t.hints.(z) then t.hints.(z) <- i)
+    blocks
 
 (* Extent allocation: contiguous first-fit, falling back to scattered
    per-block first-fit when the zone is too fragmented to hold a single
-   run.  Either way, failure rolls back every block taken. *)
+   run.  Either way, failure rolls back every block taken.  The per-zone
+   hint (every slot below it is allocated) lets the scan skip the densely
+   packed prefix without changing which blocks first-fit would pick. *)
 let alloc_zone t zone n =
   if n = 0 then Some []
-  else
+  else begin
+    let free = free_map t in
     let lo, hi = zone_bounds t zone in
-    match find_extent t ~lo ~hi n with
+    let z = zone_idx zone in
+    let start_at = max lo t.hints.(z) in
+    let result = ref None in
+    let start = ref (-1) in
+    let first_free = ref (-1) in
+    let i = ref start_at in
+    while !result = None && !i < hi do
+      if free.(!i) then begin
+        if !first_free < 0 then first_free := !i;
+        if !start < 0 then start := !i;
+        if !i - !start + 1 >= n then result := Some !start
+      end
+      else start := -1;
+      incr i
+    done;
+    match !result with
     | Some s ->
         for j = s to s + n - 1 do
-          t.free.(j) <- false
+          free.(j) <- false
         done;
+        (* the scan proved [start_at, first_free) is full; if the run began
+           there too, everything below s + n is now allocated *)
+        t.hints.(z) <- (if !first_free = s then s + n else !first_free);
         Some (List.init n (fun j -> t.data_start + s + j))
     | None ->
         let out = ref [] in
         let found = ref 0 in
-        let i = ref lo in
-        while !found < n && !i < hi do
-          if t.free.(!i) then begin
-            t.free.(!i) <- false;
-            out := (t.data_start + !i) :: !out;
+        let j = ref start_at in
+        while !found < n && !j < hi do
+          if free.(!j) then begin
+            free.(!j) <- false;
+            out := (t.data_start + !j) :: !out;
             incr found
           end;
-          incr i
+          incr j
         done;
         if !found < n then begin
-          List.iter (fun b -> t.free.(b - t.data_start) <- true) !out;
+          List.iter (fun b -> free.(b - t.data_start) <- true) !out;
           None
         end
-        else Some (List.rev !out)
+        else begin
+          (* every free slot below !j was just consumed *)
+          t.hints.(z) <- !j;
+          Some (List.rev !out)
+        end
+  end
 
 let alloc_record_blocks t ~high n = alloc_zone t (Z_record high) n
 
@@ -263,7 +360,7 @@ let zero_and_free t blocks =
       retrying t (fun () ->
           Block_device.write_vec t.dev
             (List.map (fun b -> (b, String.make bs '\000')) blocks)));
-  List.iter (fun b -> t.free.(b - t.data_start) <- true) blocks
+  mark_free t blocks
 
 let write_payload t payload blocks =
   let bs = block_size t in
@@ -288,6 +385,83 @@ let read_payload t blocks size =
 (* cache hit: simulated cost of the vectored read we did not perform *)
 let charge_payload_read t blocks =
   retrying t (fun () -> Block_device.charge_read_vec t.dev blocks)
+
+(* ------------------------------------------------------------------ *)
+(* shared LRU cache plumbing                                          *)
+
+let cache_put t key v =
+  let evicted = Cache.put t.cache key v in
+  if evicted > 0 then Stats.Counter.incr t.counters ~by:evicted "cache_evictions"
+
+let cache_find_membrane t pd_id =
+  match Cache.find t.cache ("m:" ^ pd_id) with
+  | Some (C_membrane m) -> Some m
+  | _ -> None
+
+let cache_find_record t pd_id =
+  match Cache.find t.cache ("r:" ^ pd_id) with
+  | Some (C_record r) -> Some r
+  | _ -> None
+
+let cache_mem_membrane t pd_id = Cache.mem t.cache ("m:" ^ pd_id)
+let cache_mem_record t pd_id = Cache.mem t.cache ("r:" ^ pd_id)
+let cache_put_membrane t pd_id m = cache_put t ("m:" ^ pd_id) (C_membrane m)
+let cache_put_record t pd_id r = cache_put t ("r:" ^ pd_id) (C_record r)
+
+(* Every path that changes an entry funnels through [apply_op], so this is
+   the single invalidation point of the cache coherence rule. *)
+let invalidate_caches t pd_id =
+  Cache.remove t.cache ("m:" ^ pd_id);
+  Cache.remove t.cache ("r:" ^ pd_id)
+
+(* ------------------------------------------------------------------ *)
+(* paged metadata I/O                                                 *)
+
+(* The [Pagestore.io] DBFS hands to its trees.  Node pages are cached in
+   the shared LRU under "p:<first block>"; a hit skips the host-side
+   device read but charges the identical vectored-read cost, so warm and
+   cold probes cost the same simulated time. *)
+let page_io t =
+  {
+    Pagestore.page_size = block_size t;
+    read_page =
+      (fun first n ->
+        Stats.Counter.incr t.counters "index_page_reads";
+        let blocks = List.init n (fun i -> first + i) in
+        let key = "p:" ^ string_of_int first in
+        match Cache.find t.cache key with
+        | Some (C_page raw) ->
+            Stats.Counter.incr t.counters "page_hits";
+            retrying t (fun () -> Block_device.charge_read_vec t.dev blocks);
+            raw
+        | _ ->
+            Stats.Counter.incr t.counters "page_misses";
+            let got =
+              retrying t (fun () -> Block_device.read_vec t.dev blocks)
+            in
+            let buf = Buffer.create (n * block_size t) in
+            List.iter (fun b -> Buffer.add_string buf (List.assoc b got)) blocks;
+            let raw = Buffer.contents buf in
+            cache_put t key (C_page raw);
+            raw);
+    write_blocks =
+      (fun ws -> retrying t (fun () -> Block_device.write_vec t.dev ws));
+    alloc = (fun _ -> failwith "Dbfs: metadata page allocation outside checkpoint");
+  }
+
+(* Checkpoint-time io: same read/write path plus a bump allocator over the
+   target heap half. *)
+let ckpt_io t ~half used =
+  let io = page_io t in
+  {
+    io with
+    Pagestore.alloc =
+      (fun n ->
+        if !used + n > t.heap_cap then failwith "Dbfs: metadata heap overflow";
+        let b = heap_start t half + !used in
+        used := !used + n;
+        b);
+  }
 
 (* ------------------------------------------------------------------ *)
 (* journal ops (metadata only: no PD bytes ever enter the ring)       *)
@@ -417,31 +591,146 @@ let decode_op s =
       Ok (J_erase { pd_id; blocks; size; sum })
   | other -> Error ("unknown DBFS journal op " ^ other)
 
-(* Apply an op to the in-memory trees and the free map.  Data blocks are
-   NOT touched here: in ordered-mode journaling they were written in place
-   before the record committed. *)
-let mark_used t blocks = List.iter (fun b -> t.free.(b - t.data_start) <- false) blocks
+(* ------------------------------------------------------------------ *)
+(* entry codec + paged entry access                                   *)
 
-let mark_free t blocks = List.iter (fun b -> t.free.(b - t.data_start) <- true) blocks
+let encode_entry w e =
+  Codec.Writer.string w e.pd_id;
+  Codec.Writer.string w e.type_name;
+  Codec.Writer.string w e.subject;
+  Codec.Writer.bool w e.high;
+  Codec.Writer.list w (Codec.Writer.int w) e.record_blocks;
+  Codec.Writer.int w e.record_size;
+  Codec.Writer.string w e.record_sum;
+  Codec.Writer.list w (Codec.Writer.int w) e.membrane_blocks;
+  Codec.Writer.int w e.membrane_size;
+  Codec.Writer.string w e.membrane_sum;
+  Codec.Writer.bool w e.erased
 
-(* Every path that changes an entry funnels through here (live ops via
-   log_and_apply, recovery via journal replay), so this is the single
-   invalidation point of the coherence rule above. *)
-let invalidate_caches t pd_id =
-  Hashtbl.remove t.membrane_cache pd_id;
-  Hashtbl.remove t.record_cache pd_id
+let decode_entry r =
+  let* pd_id = Codec.Reader.string r in
+  let* type_name = Codec.Reader.string r in
+  let* subject = Codec.Reader.string r in
+  let* high = Codec.Reader.bool r in
+  let* record_blocks = Codec.Reader.list r Codec.Reader.int in
+  let* record_size = Codec.Reader.int r in
+  let* record_sum = Codec.Reader.string r in
+  let* membrane_blocks = Codec.Reader.list r Codec.Reader.int in
+  let* membrane_size = Codec.Reader.int r in
+  let* membrane_sum = Codec.Reader.string r in
+  let* erased = Codec.Reader.bool r in
+  Ok
+    {
+      pd_id;
+      type_name;
+      subject;
+      high;
+      record_blocks;
+      record_size;
+      record_sum;
+      membrane_blocks;
+      membrane_size;
+      membrane_sum;
+      erased;
+    }
 
-(* Index write-through rides the same funnel.  Live call sites hand the
-   decoded values down as a hint (they just validated and encoded them),
-   so index maintenance costs no extra device traffic; journal replay has
-   no hint and re-reads the payload blocks instead.  A replayed op whose
-   blocks have since been zeroed or reused simply fails to decode and is
-   skipped: removal never needs the payload (it goes through the
-   [Index.pd_keys] source of truth by pd_id), and the LAST op for any pd
-   always has valid in-place blocks — ordered journaling wrote them
-   before the record committed and nothing freed them since — so the
-   final index state is exact.  Index values themselves never enter the
-   journal: the ring stays free of PD bytes. *)
+let decode_entry_raw raw = decode_entry (Codec.Reader.create raw)
+
+(* Entry lookup: overlay first, then tombstones, then the checkpointed
+   entries tree (O(height) cached page reads).  The returned entry is NOT
+   installed in the overlay — reads never dirty it. *)
+let find_entry t pd_id =
+  match Hashtbl.find_opt t.entries pd_id with
+  | Some e -> Ok e
+  | None -> (
+      if Hashtbl.mem t.deleted pd_id || Pagestore.is_empty t.entries_base then
+        Error (Unknown_pd pd_id)
+      else
+        match Pagestore.lookup (page_io t) t.entries_base pd_id with
+        | None -> Error (Unknown_pd pd_id)
+        | Some raw -> (
+            match decode_entry_raw raw with
+            | Ok e -> Ok e
+            | Error m -> Error (Corrupt ("entry " ^ pd_id ^ ": " ^ m)))
+        | exception Block_device.Faulted b ->
+            Error
+              (Device_fault (Printf.sprintf "block %d failed after retries" b))
+        | exception Pagestore.Corrupt_page b ->
+            Error
+              (Corrupt
+                 (Printf.sprintf "entries tree page %d fails its checksum" b)))
+
+(* Mutation-side lookup: pull the entry into the overlay so in-place field
+   updates are remembered until the next checkpoint.  Raises [Not_found]
+   for an unknown pd — journal replay turns that into a replay warning,
+   exactly as the pre-paging code did. *)
+let touch_entry t pd_id =
+  match Hashtbl.find_opt t.entries pd_id with
+  | Some e -> e
+  | None -> (
+      if Hashtbl.mem t.deleted pd_id || Pagestore.is_empty t.entries_base then
+        raise Not_found
+      else
+        match Pagestore.lookup (page_io t) t.entries_base pd_id with
+        | None -> raise Not_found
+        | Some raw -> (
+            match decode_entry_raw raw with
+            | Ok e ->
+                Hashtbl.replace t.entries pd_id e;
+                e
+            | Error _ -> raise Not_found))
+
+(* Merged iteration in pd order (pd ids are zero-padded and monotone, so
+   pd order IS insertion order): streams the base tree, shadowing by the
+   overlay and suppressing tombstones.  With [on_corrupt], unreadable
+   base pages are reported and skipped instead of raising. *)
+let iter_entries ?on_corrupt t f =
+  let mem =
+    Hashtbl.fold (fun _ e acc -> e :: acc) t.entries []
+    |> List.sort (fun a b -> String.compare a.pd_id b.pd_id)
+  in
+  let rem = ref mem in
+  let emit_below k =
+    let continue_ = ref true in
+    while !continue_ do
+      match !rem with
+      | e :: rest
+        when match k with
+             | None -> true
+             | Some k -> String.compare e.pd_id k < 0 ->
+          rem := rest;
+          f e
+      | _ -> continue_ := false
+    done
+  in
+  if not (Pagestore.is_empty t.entries_base) then
+    Pagestore.iter_from ?on_corrupt (page_io t) t.entries_base ~lo:""
+      (fun k raw ->
+        emit_below (Some k);
+        (match !rem with
+        | e :: rest when e.pd_id = k ->
+            rem := rest;
+            f e
+        | _ ->
+            if not (Hashtbl.mem t.deleted k) then (
+              match decode_entry_raw raw with
+              | Ok e -> f e
+              | Error _ -> (
+                  match on_corrupt with
+                  | Some g -> g (-1)
+                  | None ->
+                      failwith ("Dbfs: undecodable entry " ^ k ^ " in tree"))));
+        true);
+  emit_below None
+
+let collect_entries ?on_corrupt t =
+  let acc = ref [] in
+  iter_entries ?on_corrupt t (fun e -> acc := e :: !acc);
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* index write-through                                                *)
+
 type hint = { h_record : Record.t option; h_membrane : Membrane.t option }
 
 let no_hint = { h_record = None; h_membrane = None }
@@ -501,8 +790,7 @@ let index_put_membrane t ~pd_id ~hint ~blocks ~size =
    frees.  Live mutators zero old blocks AFTER the journal record commits,
    so a crash in that window leaves plaintext on blocks the replayed
    metadata considers free; replay zeroes whichever of them are still free
-   once the whole journal is applied (blocks reused by a later op keep
-   their new owner's in-place data). *)
+   once the whole journal is applied. *)
 let apply_op ?(hint = no_hint) ?freed_acc t op =
   let note_freed blocks =
     match freed_acc with
@@ -521,8 +809,7 @@ let apply_op ?(hint = no_hint) ?freed_acc t op =
   | J_create_type schema_bytes -> (
       match Schema.decode schema_bytes with
       | Error e -> failwith ("DBFS: corrupt schema in journal: " ^ e)
-      | Ok schema ->
-          Hashtbl.replace t.tables schema.Schema.name { schema; pds_rev = [] })
+      | Ok schema -> Hashtbl.replace t.tables schema.Schema.name { schema })
   | J_insert e ->
       let entry =
         {
@@ -539,23 +826,26 @@ let apply_op ?(hint = no_hint) ?freed_acc t op =
           erased = false;
         }
       in
+      if not (Hashtbl.mem t.tables e.type_name) then
+        failwith "DBFS: insert into unknown table during apply";
       Hashtbl.replace t.entries e.pd_id entry;
+      Hashtbl.remove t.deleted e.pd_id;
+      t.entry_count <- t.entry_count + 1;
       mark_used t e.record_blocks;
       mark_used t e.membrane_blocks;
-      (match Hashtbl.find_opt t.tables e.type_name with
-      | Some table -> table.pds_rev <- e.pd_id :: table.pds_rev
-      | None -> failwith "DBFS: insert into unknown table during apply");
       Index.add_subject t.index ~subject:e.subject ~pd_id:e.pd_id;
       index_put_record t ~pd_id:e.pd_id ~type_name:e.type_name ~hint
         ~blocks:e.record_blocks ~size:e.record_size;
       index_put_membrane t ~pd_id:e.pd_id ~hint ~blocks:e.membrane_blocks
         ~size:e.membrane_size;
       (* keep pd counter ahead of any replayed id *)
-      (match int_of_string_opt (String.sub e.pd_id 3 (String.length e.pd_id - 3)) with
+      (match
+         int_of_string_opt (String.sub e.pd_id 3 (String.length e.pd_id - 3))
+       with
       | Some n when n >= t.next_pd -> t.next_pd <- n + 1
       | _ -> ())
   | J_update_record { pd_id; blocks; size; sum } ->
-      let entry = Hashtbl.find t.entries pd_id in
+      let entry = touch_entry t pd_id in
       note_freed entry.record_blocks;
       mark_free t entry.record_blocks;
       mark_used t blocks;
@@ -564,7 +854,7 @@ let apply_op ?(hint = no_hint) ?freed_acc t op =
       entry.record_sum <- sum;
       index_put_record t ~pd_id ~type_name:entry.type_name ~hint ~blocks ~size
   | J_update_membrane { pd_id; blocks; size; sum } ->
-      let entry = Hashtbl.find t.entries pd_id in
+      let entry = touch_entry t pd_id in
       note_freed entry.membrane_blocks;
       mark_free t entry.membrane_blocks;
       mark_used t blocks;
@@ -574,20 +864,19 @@ let apply_op ?(hint = no_hint) ?freed_acc t op =
       (* consent flips and TTL changes land here: re-key the expiry queue *)
       index_put_membrane t ~pd_id ~hint ~blocks ~size
   | J_delete pd_id ->
-      let entry = Hashtbl.find t.entries pd_id in
+      let entry = touch_entry t pd_id in
       note_freed entry.record_blocks;
       note_freed entry.membrane_blocks;
       mark_free t entry.record_blocks;
       mark_free t entry.membrane_blocks;
       Hashtbl.remove t.entries pd_id;
-      (match Hashtbl.find_opt t.tables entry.type_name with
-      | Some table -> table.pds_rev <- List.filter (( <> ) pd_id) table.pds_rev
-      | None -> ());
+      Hashtbl.replace t.deleted pd_id ();
+      t.entry_count <- t.entry_count - 1;
       Index.remove_entry t.index ~pd_id;
       Index.remove_subject t.index ~subject:entry.subject ~pd_id;
       Index.clear_expiry t.index ~pd_id
   | J_erase { pd_id; blocks; size; sum } ->
-      let entry = Hashtbl.find t.entries pd_id in
+      let entry = touch_entry t pd_id in
       note_freed entry.record_blocks;
       mark_free t entry.record_blocks;
       mark_used t blocks;
@@ -601,108 +890,214 @@ let apply_op ?(hint = no_hint) ?freed_acc t op =
       Index.clear_expiry t.index ~pd_id
 
 (* ------------------------------------------------------------------ *)
-(* metadata checkpoint                                                *)
+(* root slots                                                         *)
 
-let encode_entry w e =
-  Codec.Writer.string w e.pd_id;
-  Codec.Writer.string w e.type_name;
-  Codec.Writer.string w e.subject;
-  Codec.Writer.bool w e.high;
-  Codec.Writer.list w (Codec.Writer.int w) e.record_blocks;
-  Codec.Writer.int w e.record_size;
-  Codec.Writer.string w e.record_sum;
-  Codec.Writer.list w (Codec.Writer.int w) e.membrane_blocks;
-  Codec.Writer.int w e.membrane_size;
-  Codec.Writer.string w e.membrane_sum;
-  Codec.Writer.bool w e.erased
+(* The root slot is the whole of the mount-time state: tree roots, journal
+   position, schemas and a few counters.  Everything population-sized
+   (entries, index facts, the bitmap) lives behind the roots and is read
+   on demand — which is what makes a clean mount O(1) device reads. *)
 
-let decode_entry r =
-  let* pd_id = Codec.Reader.string r in
-  let* type_name = Codec.Reader.string r in
-  let* subject = Codec.Reader.string r in
-  let* high = Codec.Reader.bool r in
-  let* record_blocks = Codec.Reader.list r Codec.Reader.int in
-  let* record_size = Codec.Reader.int r in
-  let* record_sum = Codec.Reader.string r in
-  let* membrane_blocks = Codec.Reader.list r Codec.Reader.int in
-  let* membrane_size = Codec.Reader.int r in
-  let* membrane_sum = Codec.Reader.string r in
-  let* erased = Codec.Reader.bool r in
-  Ok
-    {
-      pd_id;
-      type_name;
-      subject;
-      high;
-      record_blocks;
-      record_size;
-      record_sum;
-      membrane_blocks;
-      membrane_size;
-      membrane_sum;
-      erased;
-    }
-
-let encode_meta t =
+let encode_root_payload t ~seq =
   let w = Codec.Writer.create () in
-  Codec.Writer.string w superblock_magic;
+  Codec.Writer.string w root_magic;
+  Codec.Writer.int w seq;
   Codec.Writer.int w t.next_pd;
   Codec.Writer.int w (Journal_ring.head t.ring);
   Codec.Writer.int w (Journal_ring.seq t.ring);
-  let tables = Hashtbl.fold (fun _ tbl acc -> tbl :: acc) t.tables [] in
-  Codec.Writer.list w
-    (fun tbl ->
-      Codec.Writer.string w (Schema.encode tbl.schema);
-      Codec.Writer.list w (Codec.Writer.string w) tbl.pds_rev)
-    tables;
-  let entries = Hashtbl.fold (fun _ e acc -> e :: acc) t.entries [] in
-  Codec.Writer.list w (fun e -> encode_entry w e) entries;
-  (* secondary indexes: derivation roots only (pd_keys, subject lists,
-     expiry queue) — probe structures are rebuilt on mount *)
-  Index.encode_into w t.index;
-  let free_bits =
-    String.init (Array.length t.free) (fun i -> if t.free.(i) then '1' else '0')
+  let schemas =
+    Hashtbl.fold (fun name tbl acc -> (name, Schema.encode tbl.schema) :: acc)
+      t.tables []
+    |> List.sort compare
   in
-  Codec.Writer.string w free_bits;
+  Codec.Writer.list w (fun (_, enc) -> Codec.Writer.string w enc) schemas;
+  Codec.Writer.int w t.active_half;
+  Codec.Writer.int w t.heap_used;
+  Codec.Writer.int w t.entry_count;
+  Pagestore.encode_root w t.entries_base;
+  Index.encode_roots w t.index_roots;
+  Codec.Writer.bool w t.bm_present;
+  Codec.Writer.int w t.bm_bytes;
   Codec.Writer.contents w
 
-let write_meta t =
+type root_state = {
+  rs_seq : int;
+  rs_next_pd : int;
+  rs_jhead : int;
+  rs_jseq : int;
+  rs_schemas : Schema.t list;
+  rs_active_half : int;
+  rs_heap_used : int;
+  rs_entry_count : int;
+  rs_entries_base : Pagestore.root;
+  rs_index_roots : Index.roots;
+  rs_bm_present : bool;
+  rs_bm_bytes : int;
+}
+
+let decode_root_payload payload =
+  let r = Codec.Reader.create payload in
+  let* magic = Codec.Reader.string r in
+  if magic <> root_magic then Error "bad DBFS root magic"
+  else
+    let* rs_seq = Codec.Reader.int r in
+    let* rs_next_pd = Codec.Reader.int r in
+    let* rs_jhead = Codec.Reader.int r in
+    let* rs_jseq = Codec.Reader.int r in
+    let* rs_schemas =
+      Codec.Reader.list r (fun r ->
+          let* enc = Codec.Reader.string r in
+          Schema.decode enc)
+    in
+    let* rs_active_half = Codec.Reader.int r in
+    let* rs_heap_used = Codec.Reader.int r in
+    let* rs_entry_count = Codec.Reader.int r in
+    let* rs_entries_base = Pagestore.decode_root r in
+    let* rs_index_roots = Index.decode_roots r in
+    let* rs_bm_present = Codec.Reader.bool r in
+    let* rs_bm_bytes = Codec.Reader.int r in
+    Ok
+      {
+        rs_seq;
+        rs_next_pd;
+        rs_jhead;
+        rs_jseq;
+        rs_schemas;
+        rs_active_half;
+        rs_heap_used;
+        rs_entry_count;
+        rs_entries_base;
+        rs_index_roots;
+        rs_bm_present;
+        rs_bm_bytes;
+      }
+
+(* A torn or unwritten slot reads as garbage/zeros and simply fails to
+   parse or checksum; mount falls back to the other slot. *)
+let read_root_slot dev ~start ~block_size:bs =
+  match
+    Block_device.read_vec dev (List.init root_slot_blocks (fun i -> start + i))
+  with
+  | exception Block_device.Faulted _ -> None
+  | got -> (
+      let buf = Buffer.create (root_slot_blocks * bs) in
+      List.iter
+        (fun i -> Buffer.add_string buf (List.assoc i got))
+        (List.init root_slot_blocks (fun i -> start + i));
+      let raw = Buffer.contents buf in
+      let parse =
+        let r = Codec.Reader.create raw in
+        let* payload = Codec.Reader.string r in
+        if String.length raw < 4 + String.length payload + 16 then
+          Error "truncated DBFS root slot"
+        else if
+          String.sub raw (4 + String.length payload) 16
+          <> Fnv.hash64_hex payload
+        then Error "DBFS root checksum mismatch"
+        else decode_root_payload payload
+      in
+      match parse with Ok rs -> Some rs | Error _ -> None)
+
+(* Write the next root: slot alternates with the sequence number, so the
+   previous root survives a torn write of this one.  This is the single
+   commit point of a checkpoint. *)
+let commit_root t =
   let bs = block_size t in
-  let payload = encode_meta t in
+  let seq = t.root_seq + 1 in
+  let payload = encode_root_payload t ~seq in
   let framed =
     let w = Codec.Writer.create () in
     Codec.Writer.string w payload;
     Codec.Writer.contents w ^ Fnv.hash64_hex payload
   in
-  if String.length framed > t.meta_blocks * bs then
-    failwith "Dbfs: metadata region overflow";
+  if String.length framed > root_slot_blocks * bs then
+    failwith "Dbfs: root slot overflow";
   let nblocks = ((String.length framed - 1) / bs) + 1 in
+  let start = root_slot_start t (seq land 1) in
   retrying t (fun () ->
       Block_device.write_vec t.dev
         (List.init nblocks (fun i ->
-             ( t.meta_start + i,
+             ( start + i,
                String.sub framed (i * bs)
-                 (min bs (String.length framed - (i * bs))) ))))
+                 (min bs (String.length framed - (i * bs))) ))));
+  t.root_seq <- seq
 
-let read_meta dev ~meta_start ~meta_blocks =
-  let got =
-    Block_device.read_vec dev (List.init meta_blocks (fun i -> meta_start + i))
-  in
-  let buf = Buffer.create 4096 in
-  List.iter (fun (_, s) -> Buffer.add_string buf s) got;
-  let raw = Buffer.contents buf in
-  let r = Codec.Reader.create raw in
-  let* payload = Codec.Reader.string r in
-  if String.length raw < 4 + String.length payload + 16 then
-    Error "truncated DBFS metadata"
-  else
-    let stored = String.sub raw (4 + String.length payload) 16 in
-    if stored <> Fnv.hash64_hex payload then Error "DBFS metadata checksum mismatch"
-    else Ok payload
+(* ------------------------------------------------------------------ *)
+(* checkpoint                                                         *)
 
+(* Checkpoint ordering rule (see DESIGN.md):
+
+     1. bulk-write every tree into the inactive heap half;
+     2. serialize the allocation bitmap (when hydrated);
+     3. write the next root slot   <- the commit point;
+     4. retire the journal prefix;
+     5. zero the old heap half;
+     6. drop cached node pages of the retired trees.
+
+   The root is journalled (written) only after every node it references
+   persists, so a crash at any step leaves either the old root (with the
+   old half intact and the journal still replayable) or the new root
+   (with the new half complete) — never a root pointing at missing
+   pages. *)
 let checkpoint t =
-  write_meta t;
-  Journal_ring.mark_checkpointed t.ring
+  let target = 1 - t.active_half in
+  let used = ref 0 in
+  let io = ckpt_io t ~half:target used in
+  let items = ref [] in
+  iter_entries t (fun e ->
+      let w = Codec.Writer.create () in
+      encode_entry w e;
+      items := (e.pd_id, Codec.Writer.contents w) :: !items);
+  let entries_root = Pagestore.write_tree io (List.rev !items) in
+  let iroots = Index.checkpoint t.index ~io in
+  (match t.free_state with
+  | F_unloaded -> () (* no allocation since mount: device bitmap is current *)
+  | F_loaded free ->
+      let n = Array.length free in
+      let bytes = Bytes.make ((n + 7) / 8) '\000' in
+      Array.iteri
+        (fun i is_free ->
+          if is_free then
+            Bytes.set bytes (i lsr 3)
+              (Char.chr
+                 (Char.code (Bytes.get bytes (i lsr 3)) lor (1 lsl (i land 7)))))
+        free;
+      let raw = Bytes.unsafe_to_string bytes in
+      let bs = block_size t in
+      let nblocks = ((String.length raw - 1) / bs) + 1 in
+      retrying t (fun () ->
+          Block_device.write_vec t.dev
+            (List.init nblocks (fun i ->
+                 ( bitmap_start t + i,
+                   String.sub raw (i * bs)
+                     (min bs (String.length raw - (i * bs))) ))));
+      t.bm_present <- true;
+      t.bm_bytes <- String.length raw);
+  let old_half = t.active_half in
+  let old_used = t.heap_used in
+  t.entries_base <- entries_root;
+  t.index_roots <- iroots;
+  t.active_half <- target;
+  t.heap_used <- !used;
+  commit_root t;
+  Journal_ring.mark_checkpointed t.ring;
+  (* deallocation hygiene: the retired half held index facts (subjects,
+     field values) — zero whatever was actually written there *)
+  let bs = block_size t in
+  let stale =
+    List.init old_used (fun i -> heap_start t old_half + i)
+    |> List.filter (Block_device.is_written t.dev)
+  in
+  (match stale with
+  | [] -> ()
+  | _ ->
+      retrying t (fun () ->
+          Block_device.write_vec t.dev
+            (List.map (fun b -> (b, String.make bs '\000')) stale)));
+  (* eviction-coherence: cached node pages name heap blocks the next
+     checkpoint will reuse — drop them at the generation boundary *)
+  Cache.remove_where t.cache (fun k -> String.length k > 2 && k.[0] = 'p');
+  Hashtbl.reset t.entries;
+  Hashtbl.reset t.deleted
 
 let log_and_apply ?hint t op =
   retrying t (fun () ->
@@ -717,14 +1112,18 @@ let log_and_apply ?hint t op =
 let format dev ~journal_blocks =
   let cfg = Block_device.config dev in
   let block_count = cfg.Block_device.block_count in
-  (* The metadata region now also persists the secondary indexes, whose
-     size grows with the population; scale the region with the device
-     (1/16th) instead of a fixed 128 blocks so large-population
-     checkpoints cannot overflow it.  [mount] reads the figure from the
-     superblock, so the layout stays self-describing. *)
-  let meta_blocks = max meta_blocks_default (block_count / 16) in
+  let bs = cfg.Block_device.block_size in
+  (* The metadata region holds the root slots, the allocation bitmap and
+     two tree-heap halves; a checkpoint rewrites one whole half, so the
+     region scales with the device (1/4) rather than the old flat 1/16.
+     [mount] reads the figure from the superblock, so the layout stays
+     self-describing. *)
+  let meta_blocks = max meta_blocks_default (block_count / 4) in
   let data_start = 1 + journal_blocks + meta_blocks in
   if data_start >= block_count then invalid_arg "Dbfs.format: device too small";
+  let bitmap_blocks = bitmap_blocks_for ~block_count ~block_size:bs in
+  let heap_cap = heap_cap_for ~meta_blocks ~bitmap_blocks in
+  if heap_cap < 1 then invalid_arg "Dbfs.format: device too small";
   let w = Codec.Writer.create () in
   Codec.Writer.string w superblock_magic;
   Codec.Writer.int w journal_blocks;
@@ -737,23 +1136,34 @@ let format dev ~journal_blocks =
       journal_blocks;
       meta_start = 1 + journal_blocks;
       meta_blocks;
+      bitmap_blocks;
+      heap_cap;
       data_start;
       high_start = compute_high_start ~data_start ~block_count;
       tables = Hashtbl.create 8;
       entries = Hashtbl.create 256;
+      deleted = Hashtbl.create 64;
+      entries_base = Pagestore.empty_root;
+      entry_count = 0;
       index = Index.create ();
-      free = Array.make (block_count - data_start) true;
+      index_roots = Index.empty_roots;
+      free_state = F_loaded (Array.make (block_count - data_start) true);
+      bm_present = false;
+      bm_bytes = 0;
+      hints = [| 0; 0; 0 |];
+      active_half = 0;
+      heap_used = 0;
+      root_seq = 0;
       next_pd = 0;
       hook = None;
       degraded = None;
       replay = None;
       replay_warning = None;
       counters = Stats.Counter.create ();
-      membrane_cache = Hashtbl.create 256;
-      record_cache = Hashtbl.create 256;
+      cache = Cache.create ~budget:default_cache_budget;
     }
   in
-  write_meta t;
+  commit_root t;
   t
 
 let mount dev =
@@ -770,103 +1180,108 @@ let mount dev =
   match parse_super with
   | Error e -> Error e
   | Ok (journal_blocks, meta_blocks) -> (
+      let cfg = Block_device.config dev in
+      let block_count = cfg.Block_device.block_count in
+      let bs = cfg.Block_device.block_size in
       let meta_start = 1 + journal_blocks in
-      match read_meta dev ~meta_start ~meta_blocks with
-      | Error e -> Error e
-      | Ok payload -> (
-          let r = Codec.Reader.create payload in
-          let parse =
-            let* magic = Codec.Reader.string r in
-            if magic <> superblock_magic then Error "bad DBFS metadata magic"
-            else
-              let* next_pd = Codec.Reader.int r in
-              let* jhead = Codec.Reader.int r in
-              let* jseq = Codec.Reader.int r in
-              let* tables =
-                Codec.Reader.list r (fun r ->
-                    let* schema_bytes = Codec.Reader.string r in
-                    let* schema = Schema.decode schema_bytes in
-                    let* pds_rev = Codec.Reader.list r Codec.Reader.string in
-                    Ok { schema; pds_rev })
-              in
-              let* entries = Codec.Reader.list r decode_entry in
-              let* index = Index.decode_from r in
-              let* free_bits = Codec.Reader.string r in
-              Ok (next_pd, jhead, jseq, tables, entries, index, free_bits)
+      let slot_a = read_root_slot dev ~start:meta_start ~block_size:bs in
+      let slot_b =
+        read_root_slot dev ~start:(meta_start + root_slot_blocks) ~block_size:bs
+      in
+      let best =
+        match (slot_a, slot_b) with
+        | None, None -> None
+        | Some a, None -> Some a
+        | None, Some b -> Some b
+        | Some a, Some b -> Some (if a.rs_seq >= b.rs_seq then a else b)
+      in
+      match best with
+      | None -> Error "no valid DBFS root"
+      | Some rs ->
+          let data_start = 1 + journal_blocks + meta_blocks in
+          let t =
+            {
+              dev;
+              ring =
+                Journal_ring.attach dev ~start_block:1
+                  ~num_blocks:journal_blocks ~head:rs.rs_jhead ~seq:rs.rs_jseq;
+              journal_blocks;
+              meta_start;
+              meta_blocks;
+              bitmap_blocks = bitmap_blocks_for ~block_count ~block_size:bs;
+              heap_cap =
+                heap_cap_for ~meta_blocks
+                  ~bitmap_blocks:(bitmap_blocks_for ~block_count ~block_size:bs);
+              data_start;
+              high_start = compute_high_start ~data_start ~block_count;
+              tables = Hashtbl.create 8;
+              entries = Hashtbl.create 256;
+              deleted = Hashtbl.create 64;
+              entries_base = rs.rs_entries_base;
+              entry_count = rs.rs_entry_count;
+              index = Index.create ();
+              index_roots = rs.rs_index_roots;
+              free_state = F_unloaded;
+              bm_present = rs.rs_bm_present;
+              bm_bytes = rs.rs_bm_bytes;
+              hints = [| 0; 0; 0 |];
+              active_half = rs.rs_active_half;
+              heap_used = rs.rs_heap_used;
+              root_seq = rs.rs_seq;
+              next_pd = rs.rs_next_pd;
+              hook = None;
+              degraded = None;
+              replay = None;
+              replay_warning = None;
+              counters = Stats.Counter.create ();
+              cache = Cache.create ~budget:default_cache_budget;
+            }
           in
-          match parse with
-          | Error e -> Error e
-          | Ok (next_pd, jhead, jseq, tables, entries, index, free_bits) ->
-              let cfg = Block_device.config dev in
-              let block_count = cfg.Block_device.block_count in
-              let data_start = 1 + journal_blocks + meta_blocks in
-              let t =
-                {
-                  dev;
-                  ring =
-                    Journal_ring.attach dev ~start_block:1
-                      ~num_blocks:journal_blocks ~head:jhead ~seq:jseq;
-                  journal_blocks;
-                  meta_start;
-                  meta_blocks;
-                  data_start;
-                  high_start = compute_high_start ~data_start ~block_count;
-                  tables = Hashtbl.create 8;
-                  entries = Hashtbl.create 256;
-                  index;
-                  free =
-                    Array.init (String.length free_bits) (fun i ->
-                        free_bits.[i] = '1');
-                  next_pd;
-                  hook = None;
-                  degraded = None;
-                  replay = None;
-                  replay_warning = None;
-                  counters = Stats.Counter.create ();
-                  membrane_cache = Hashtbl.create 256;
-                  record_cache = Hashtbl.create 256;
-                }
-              in
-              List.iter
-                (fun tbl -> Hashtbl.replace t.tables tbl.schema.Schema.name tbl)
-                tables;
-              List.iter (fun e -> Hashtbl.replace t.entries e.pd_id e) entries;
-              (* exn-free replay: a record that frames correctly but fails
-                 to decode or apply stops further application and flips the
-                 store into degraded read-only mode instead of failing the
-                 mount *)
-              let freed = ref [] in
-              let summary =
-                Journal_ring.replay t.ring (fun payload ->
-                    if t.replay_warning = None then
-                      match decode_op payload with
-                      | Ok op -> (
-                          try apply_op t ~freed_acc:freed op with
-                          | Failure m -> t.replay_warning <- Some m
-                          | Not_found ->
-                              t.replay_warning <-
-                                Some "journal op references an unknown pd")
-                      | Error e ->
+          (* attaching reads no pages — a clean mount touches only the
+             superblock, the two root slots and the journal probe *)
+          t.index <- Index.attach ~io:(page_io t) rs.rs_index_roots;
+          List.iter
+            (fun schema ->
+              Hashtbl.replace t.tables schema.Schema.name { schema })
+            rs.rs_schemas;
+          (* exn-free replay: a record that frames correctly but fails to
+             decode or apply stops further application and flips the store
+             into degraded read-only mode instead of failing the mount *)
+          let freed = ref [] in
+          let summary =
+            Journal_ring.replay t.ring (fun payload ->
+                if t.replay_warning = None then
+                  match decode_op payload with
+                  | Ok op -> (
+                      try apply_op t ~freed_acc:freed op with
+                      | Failure m -> t.replay_warning <- Some m
+                      | Not_found ->
                           t.replay_warning <-
-                            Some ("corrupt journal op: " ^ e))
-              in
-              t.replay <- Some summary;
-              (match t.replay_warning with
-              | Some m ->
-                  t.degraded <- Some ("journal replay: " ^ m);
-                  Stats.Counter.incr t.counters "degraded_entries"
-              | None -> ());
-              (* close the commit->zero crash window: any block a replayed
-                 op freed and nothing later reused must not keep its old
-                 plaintext *)
-              let bs = block_size t in
+                            Some "journal op references an unknown pd")
+                  | Error e ->
+                      t.replay_warning <- Some ("corrupt journal op: " ^ e))
+          in
+          t.replay <- Some summary;
+          (match t.replay_warning with
+          | Some m ->
+              t.degraded <- Some ("journal replay: " ^ m);
+              Stats.Counter.incr t.counters "degraded_entries"
+          | None -> ());
+          (* close the commit->zero crash window: any block a replayed op
+             freed and nothing later reused must not keep its old
+             plaintext.  A clean mount has no replayed ops and skips this
+             (and the bitmap hydration it would force) entirely. *)
+          (match !freed with
+          | [] -> ()
+          | freed_blocks ->
+              let free = free_map t in
               let leftover =
-                List.sort_uniq compare !freed
+                List.sort_uniq compare freed_blocks
                 |> List.filter (fun b ->
-                       t.free.(b - t.data_start)
+                       free.(b - t.data_start)
                        && Block_device.is_written t.dev b)
               in
-              (match leftover with
+              match leftover with
               | [] -> ()
               | _ ->
                   Stats.Counter.incr t.counters
@@ -877,7 +1292,7 @@ let mount dev =
                         (List.map
                            (fun b -> (b, String.make bs '\000'))
                            leftover)));
-              Ok t))
+          Ok t)
 
 let device t = t.dev
 
@@ -924,11 +1339,6 @@ let list_types t ~actor =
 
 (* ------------------------------------------------------------------ *)
 (* PD entries                                                         *)
-
-let find_entry t pd_id =
-  match Hashtbl.find_opt t.entries pd_id with
-  | Some e -> Ok e
-  | None -> Error (Unknown_pd pd_id)
 
 let entry_blocks t ~actor pd_id =
   let** () = guard t ~actor ~op:"read" in
@@ -991,8 +1401,8 @@ let insert t ~actor ~subject ~type_name ~record ~membrane_of =
                         Stats.Counter.incr t.counters "inserts";
                         (* write-through: the values just validated and
                            encoded are exactly what a read would decode *)
-                        Hashtbl.replace t.membrane_cache pd_id membrane;
-                        Hashtbl.replace t.record_cache pd_id record;
+                        cache_put_membrane t pd_id membrane;
+                        cache_put_record t pd_id record;
                         Ok pd_id))))
 
 (* Verify an extent's checksum against the raw bytes just read.  An empty
@@ -1007,7 +1417,7 @@ let get_membrane t ~actor pd_id =
   let** () = guard t ~actor ~op:"read" in
   let** e = find_entry t pd_id in
   Stats.Counter.incr t.counters "membrane_reads";
-  match Hashtbl.find_opt t.membrane_cache pd_id with
+  match cache_find_membrane t pd_id with
   | Some m ->
       Stats.Counter.incr t.counters "cache_hits";
       protect_read (fun () ->
@@ -1024,7 +1434,7 @@ let get_membrane t ~actor pd_id =
           in
           match Membrane.decode raw with
           | Ok m ->
-              Hashtbl.replace t.membrane_cache pd_id m;
+              cache_put_membrane t pd_id m;
               Ok m
           | Error msg -> Error (Corrupt ("membrane of " ^ pd_id ^ ": " ^ msg)))
 
@@ -1034,7 +1444,7 @@ let get_record t ~actor pd_id =
   if e.erased then Error (Erased pd_id)
   else begin
     Stats.Counter.incr t.counters "record_reads";
-    match Hashtbl.find_opt t.record_cache pd_id with
+    match cache_find_record t pd_id with
     | Some r ->
         Stats.Counter.incr t.counters "cache_hits";
         protect_read (fun () ->
@@ -1051,7 +1461,7 @@ let get_record t ~actor pd_id =
             in
             match Record.decode raw with
             | Ok r ->
-                Hashtbl.replace t.record_cache pd_id r;
+                cache_put_record t pd_id r;
                 Ok r
             | Error msg -> Error (Corrupt ("record of " ^ pd_id ^ ": " ^ msg)))
   end
@@ -1099,7 +1509,7 @@ let get_membranes t ~actor pd_ids =
   let** entries = resolve_entries t pd_ids in
   let blocks = List.concat_map (fun e -> e.membrane_blocks) entries in
   let any_miss =
-    List.exists (fun e -> not (Hashtbl.mem t.membrane_cache e.pd_id)) entries
+    List.exists (fun e -> not (cache_mem_membrane t e.pd_id)) entries
   in
   protect_read (fun () ->
       let h = batch_read t ~any_miss blocks in
@@ -1108,7 +1518,7 @@ let get_membranes t ~actor pd_ids =
         | e :: rest -> (
             Stats.Counter.incr t.counters "membrane_reads";
             charge_checksum t e.membrane_size;
-            match Hashtbl.find_opt t.membrane_cache e.pd_id with
+            match cache_find_membrane t e.pd_id with
             | Some m ->
                 Stats.Counter.incr t.counters "cache_hits";
                 go ((e.pd_id, m) :: acc) rest
@@ -1121,7 +1531,7 @@ let get_membranes t ~actor pd_ids =
                 in
                 match Membrane.decode raw with
                 | Ok m ->
-                    Hashtbl.replace t.membrane_cache e.pd_id m;
+                    cache_put_membrane t e.pd_id m;
                     go ((e.pd_id, m) :: acc) rest
                 | Error msg ->
                     Error (Corrupt ("membrane of " ^ e.pd_id ^ ": " ^ msg))))
@@ -1137,7 +1547,7 @@ let get_records t ~actor pd_ids =
   let live = List.filter (fun e -> not e.erased) entries in
   let blocks = List.concat_map (fun e -> e.record_blocks) live in
   let any_miss =
-    List.exists (fun e -> not (Hashtbl.mem t.record_cache e.pd_id)) live
+    List.exists (fun e -> not (cache_mem_record t e.pd_id)) live
   in
   protect_read (fun () ->
       let h = batch_read t ~any_miss blocks in
@@ -1148,7 +1558,7 @@ let get_records t ~actor pd_ids =
             else begin
               Stats.Counter.incr t.counters "record_reads";
               charge_checksum t e.record_size;
-              match Hashtbl.find_opt t.record_cache e.pd_id with
+              match cache_find_record t e.pd_id with
               | Some r ->
                   Stats.Counter.incr t.counters "cache_hits";
                   go ((e.pd_id, Some r) :: acc) rest
@@ -1161,7 +1571,7 @@ let get_records t ~actor pd_ids =
                   in
                   match Record.decode raw with
                   | Ok r ->
-                      Hashtbl.replace t.record_cache e.pd_id r;
+                      cache_put_record t e.pd_id r;
                       go ((e.pd_id, Some r) :: acc) rest
                   | Error msg ->
                       Error (Corrupt ("record of " ^ e.pd_id ^ ": " ^ msg)))
@@ -1239,9 +1649,9 @@ let update_membrane t ~actor pd_id membrane =
 let update_membranes_by_lineage t ~actor ~lineage f =
   let** () = guard t ~actor ~op:"write" in
   let** () = check_degraded t in
-  let ids =
-    Hashtbl.fold (fun pd_id _ acc -> pd_id :: acc) t.entries []
-    |> List.sort compare
+  let** ids =
+    protect_pages (fun () ->
+        Ok (List.map (fun e -> e.pd_id) (collect_entries t)))
   in
   (* one batched membrane load to find the lineage, then point updates *)
   let** membranes = get_membranes t ~actor ids in
@@ -1331,26 +1741,31 @@ let list_pds t ~actor type_name =
   let** () = guard t ~actor ~op:"read" in
   match Hashtbl.find_opt t.tables type_name with
   | None -> Error (Unknown_type type_name)
-  | Some tbl -> Ok (List.rev tbl.pds_rev)
+  | Some _ ->
+      protect_pages (fun () ->
+          let acc = ref [] in
+          iter_entries t (fun e ->
+              if e.type_name = type_name then acc := e.pd_id :: !acc);
+          Ok (List.rev !acc))
 
 let pds_of_subject t ~actor subject =
   let** () = guard t ~actor ~op:"read" in
-  Ok (Index.subject_pds t.index subject)
+  protect_pages (fun () -> Ok (Index.subject_pds t.index subject))
 
 let subjects t ~actor =
   let** () = guard t ~actor ~op:"read" in
-  Ok (Index.subject_list t.index)
+  protect_pages (fun () -> Ok (Index.subject_list t.index))
 
 (* ---------- predicate pushdown (Dbfs.select) ----------
 
    Plan the predicate against the type's secondary indexes, probe for a
    candidate set, batch-load only the candidates and run the original
    predicate as a residual filter.  Exact plans skip the record loads
-   entirely.  Probe charging follows the warm==cold rule: the probe
-   structures notionally live in the metadata region, so every probe
-   charges a vectored read of as many metadata blocks as its byte
-   footprint covers — the in-memory acceleration is host-side only and
-   never changes a simulated figure. *)
+   entirely.  Probe charging follows the warm==cold rule: base index
+   pages charge their own vectored node reads through [page_io] whether
+   cached or not, and overlay facts charge a synthetic metadata read of
+   their byte footprint — the in-memory acceleration is host-side only
+   and never changes a simulated figure. *)
 
 module SS = Set.Make (String)
 
@@ -1386,43 +1801,55 @@ let select t ~actor ?(use_indexes = true) type_name pred =
   let** () = guard t ~actor ~op:"read" in
   match Hashtbl.find_opt t.tables type_name with
   | None -> Error (Unknown_type type_name)
-  | Some tbl -> (
+  | Some tbl ->
       Stats.Counter.incr t.counters "selects";
-      let live pd =
-        match Hashtbl.find_opt t.entries pd with
-        | Some e -> not e.erased
-        | None -> false
-      in
-      let all_live () = List.filter live (List.rev tbl.pds_rev) in
-      let residual pd_ids =
-        (* one batched vectored load, then the full predicate *)
-        let** records = get_records t ~actor pd_ids in
-        Ok
-          (List.filter_map
-             (fun (pd, r) ->
-               match r with
-               | Some r when Query.eval pred r -> Some pd
-               | _ -> None)
-             records)
-      in
-      let plan =
-        if use_indexes then
-          Plan.compile pred
-            ~indexed:(fun f -> List.mem f tbl.schema.Schema.indexed_fields)
-        else
-          Plan.Full_scan
-            { trivial = (match pred with Query.True -> true | _ -> false) }
-      in
-      match plan with
-      | Plan.Full_scan { trivial = true } -> Ok (all_live ())
-      | Plan.Full_scan { trivial = false } -> residual (all_live ())
-      | Plan.Indexed { probe; exact } ->
-          Stats.Counter.incr t.counters "index_probes";
-          let cand, bytes = run_probe t ~type_name probe in
-          charge_index_read t bytes;
-          (* back to insertion order — probe sets are unordered *)
-          let cand_list = List.filter (fun pd -> SS.mem pd cand) (all_live ()) in
-          if exact then Ok cand_list else residual cand_list)
+      protect_pages (fun () ->
+          (* full scans stream the merged entry sequence; indexed probes
+             never touch it — candidate sets are filtered with point
+             entry lookups, keeping an indexed select sublinear in the
+             population *)
+          let all_live () =
+            let acc = ref [] in
+            iter_entries t (fun e ->
+                if e.type_name = type_name && not e.erased then
+                  acc := e.pd_id :: !acc);
+            List.rev !acc
+          in
+          let live_typed pd =
+            match find_entry t pd with
+            | Ok e -> e.type_name = type_name && not e.erased
+            | Error _ -> false
+          in
+          let residual pd_ids =
+            (* one batched vectored load, then the full predicate *)
+            let** records = get_records t ~actor pd_ids in
+            Ok
+              (List.filter_map
+                 (fun (pd, r) ->
+                   match r with
+                   | Some r when Query.eval pred r -> Some pd
+                   | _ -> None)
+                 records)
+          in
+          let plan =
+            if use_indexes then
+              Plan.compile pred
+                ~indexed:(fun f -> List.mem f tbl.schema.Schema.indexed_fields)
+            else
+              Plan.Full_scan
+                { trivial = (match pred with Query.True -> true | _ -> false) }
+          in
+          match plan with
+          | Plan.Full_scan { trivial = true } -> Ok (all_live ())
+          | Plan.Full_scan { trivial = false } -> residual (all_live ())
+          | Plan.Indexed { probe; exact } ->
+              Stats.Counter.incr t.counters "index_probes";
+              let cand, bytes = run_probe t ~type_name probe in
+              charge_index_read t bytes;
+              (* probe sets are unordered; sorted pd ids ARE insertion
+                 order (ids are zero-padded and monotone) *)
+              let cand_list = List.filter live_typed (SS.elements cand) in
+              if exact then Ok cand_list else residual cand_list)
 
 let plan_for t ~actor type_name pred =
   let** () = guard t ~actor ~op:"read" in
@@ -1436,13 +1863,14 @@ let plan_for t ~actor type_name pred =
 let expired_pds t ~actor ~now =
   let** () = guard t ~actor ~op:"read" in
   Stats.Counter.incr t.counters "index_probes";
-  let ids = Index.expired t.index ~now in
-  charge_index_read t (32 + (16 * List.length ids));
-  Ok ids
+  protect_pages (fun () ->
+      let ids = Index.expired t.index ~now in
+      charge_index_read t (32 + (16 * List.length ids));
+      Ok ids)
 
 let expiry_queue_size t = Index.expiry_size t.index
 
-let pd_count t = Hashtbl.length t.entries
+let pd_count t = t.entry_count
 
 let entry_info t ~actor pd_id =
   let** () = guard t ~actor ~op:"read" in
@@ -1467,70 +1895,74 @@ let export_subject t ~actor subject =
 
 let describe_trees t ~actor =
   let** () = guard t ~actor ~op:"read" in
-  let buf = Buffer.create 1024 in
-  let blocks_str blocks =
-    String.concat "," (List.map string_of_int blocks)
-  in
-  Buffer.add_string buf "subject tree (one inode subtree per data subject)\n";
-  let subjects =
-    List.map (fun s -> (s, Index.subject_pds t.index s)) (Index.subject_list t.index)
-  in
-  List.iter
-    (fun (subject, ids) ->
-      if ids <> [] then begin
-        Buffer.add_string buf (Printf.sprintf "  %s\n" subject);
-        List.iter
-          (fun pd_id ->
-            match Hashtbl.find_opt t.entries pd_id with
-            | None -> ()
-            | Some e ->
-                Buffer.add_string buf
-                  (Printf.sprintf
-                     "    %s [%s]%s  record@{%s}  membrane@{%s}\n" pd_id
-                     e.type_name
-                     (if e.erased then " (erased)" else "")
-                     (blocks_str e.record_blocks)
-                     (blocks_str e.membrane_blocks)))
-          ids
-      end)
-    subjects;
-  Buffer.add_string buf "schema tree (database structure + row lists)\n";
-  let tables =
-    Hashtbl.fold (fun name tbl acc -> (name, tbl) :: acc) t.tables []
-    |> List.sort compare
-  in
-  List.iter
-    (fun (name, tbl) ->
-      Buffer.add_string buf
-        (Printf.sprintf "  table %s: %d row(s)\n" name
-           (List.length tbl.pds_rev));
-      List.iter
-        (fun f ->
-          Buffer.add_string buf
-            (Printf.sprintf "    field %s: %s%s\n" f.Schema.fname
-               (Value.ftype_to_string f.Schema.ftype)
-               (if f.Schema.required then "" else " (optional)")))
-        tbl.schema.Schema.fields;
-      let row_subjects =
-        List.rev tbl.pds_rev
-        |> List.filter_map (fun pd_id ->
-               Option.map (fun e -> e.subject) (Hashtbl.find_opt t.entries pd_id))
-        |> List.sort_uniq compare
+  protect_pages (fun () ->
+      let all = collect_entries t in
+      let by_id = Hashtbl.create (max 16 (2 * List.length all)) in
+      List.iter (fun e -> Hashtbl.replace by_id e.pd_id e) all;
+      let buf = Buffer.create 1024 in
+      let blocks_str blocks =
+        String.concat "," (List.map string_of_int blocks)
       in
       Buffer.add_string buf
-        (Printf.sprintf "    subject inodes: %s\n"
-           (String.concat ", " row_subjects)))
-    tables;
-  Buffer.add_string buf
-    "format descriptors (record layout used when returning data to the DED)\n";
-  List.iter
-    (fun (name, tbl) ->
+        "subject tree (one inode subtree per data subject)\n";
+      let subjects =
+        List.map
+          (fun s -> (s, Index.subject_pds t.index s))
+          (Index.subject_list t.index)
+      in
+      List.iter
+        (fun (subject, ids) ->
+          if ids <> [] then begin
+            Buffer.add_string buf (Printf.sprintf "  %s\n" subject);
+            List.iter
+              (fun pd_id ->
+                match Hashtbl.find_opt by_id pd_id with
+                | None -> ()
+                | Some e ->
+                    Buffer.add_string buf
+                      (Printf.sprintf
+                         "    %s [%s]%s  record@{%s}  membrane@{%s}\n" pd_id
+                         e.type_name
+                         (if e.erased then " (erased)" else "")
+                         (blocks_str e.record_blocks)
+                         (blocks_str e.membrane_blocks)))
+              ids
+          end)
+        subjects;
+      Buffer.add_string buf "schema tree (database structure + row lists)\n";
+      let tables =
+        Hashtbl.fold (fun name tbl acc -> (name, tbl) :: acc) t.tables []
+        |> List.sort compare
+      in
+      List.iter
+        (fun (name, tbl) ->
+          let rows = List.filter (fun e -> e.type_name = name) all in
+          Buffer.add_string buf
+            (Printf.sprintf "  table %s: %d row(s)\n" name (List.length rows));
+          List.iter
+            (fun f ->
+              Buffer.add_string buf
+                (Printf.sprintf "    field %s: %s%s\n" f.Schema.fname
+                   (Value.ftype_to_string f.Schema.ftype)
+                   (if f.Schema.required then "" else " (optional)")))
+            tbl.schema.Schema.fields;
+          let row_subjects =
+            List.map (fun e -> e.subject) rows |> List.sort_uniq compare
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "    subject inodes: %s\n"
+               (String.concat ", " row_subjects)))
+        tables;
       Buffer.add_string buf
-        (Printf.sprintf "  %s: REC1 <%s>\n" name
-           (String.concat "|"
-              (List.map (fun f -> f.Schema.fname) tbl.schema.Schema.fields))))
-    tables;
-  Ok (Buffer.contents buf)
+        "format descriptors (record layout used when returning data to the DED)\n";
+      List.iter
+        (fun (name, tbl) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %s: REC1 <%s>\n" name
+               (String.concat "|"
+                  (List.map (fun f -> f.Schema.fname) tbl.schema.Schema.fields))))
+        tables;
+      Ok (Buffer.contents buf))
 
 (* ------------------------------------------------------------------ *)
 (* durability & integrity                                             *)
@@ -1544,15 +1976,35 @@ let try_read_extent t blocks size =
 
 let sum_matches stored raw = stored = "" || Fnv.hash64_hex raw = stored
 
+(* Merged entry collection that survives damaged metadata: unreadable tree
+   pages and device faults become notes instead of exceptions, and the
+   entries gathered before the failure are kept. *)
+let collect_entries_noted t note =
+  let acc = ref [] in
+  (try
+     iter_entries
+       ~on_corrupt:(fun b ->
+         if b >= 0 then note (Printf.sprintf "entries tree page %d unreadable or corrupt" b)
+         else note "entries tree holds an undecodable entry")
+       t
+       (fun e -> acc := e :: !acc)
+   with Block_device.Faulted b ->
+     note (Printf.sprintf "device fault on metadata block %d while scanning entries" b));
+  List.rev !acc
+
 (* The check pass: every invariant violation as a message, no mutation.
    [fsck ?repair] wraps this. *)
 let fsck_check t =
   let problems = ref [] in
   let note fmt = Format.kasprintf (fun s -> problems := s :: !problems) fmt in
+  let all = collect_entries_noted t (fun s -> problems := s :: !problems) in
+  let entries_h = Hashtbl.create (max 16 (2 * List.length all)) in
+  List.iter (fun e -> Hashtbl.replace entries_h e.pd_id e) all;
   (* extent integrity + membrane invariant: every entry's extents are
      readable, their checksums match, and the membrane wraps this pd *)
-  Hashtbl.iter
-    (fun pd_id e ->
+  List.iter
+    (fun e ->
+      let pd_id = e.pd_id in
       (match try_read_extent t e.membrane_blocks e.membrane_size with
       | None -> note "entry %s: membrane extent unreadable (device fault)" pd_id
       | Some raw when not (sum_matches e.membrane_sum raw) ->
@@ -1578,18 +2030,20 @@ let fsck_check t =
             match Record.decode raw with
             | Error msg -> note "entry %s: undecodable record (%s)" pd_id msg
             | Ok _ -> ()))
-    t.entries;
+    all;
   (* block ownership: unique, allocated, correct zone *)
+  let free = free_map t in
   let owners = Hashtbl.create 64 in
   let rs = rec_start t in
   let check_block pd_id b =
-    if t.free.(b - t.data_start) then note "entry %s owns free block %d" pd_id b;
+    if free.(b - t.data_start) then note "entry %s owns free block %d" pd_id b;
     match Hashtbl.find_opt owners b with
     | Some other -> note "block %d owned by %s and %s" b other pd_id
     | None -> Hashtbl.replace owners b pd_id
   in
-  Hashtbl.iter
-    (fun pd_id e ->
+  List.iter
+    (fun e ->
+      let pd_id = e.pd_id in
       List.iter
         (fun b ->
           if b < t.data_start then note "entry %s owns non-data block %d" pd_id b
@@ -1613,82 +2067,108 @@ let fsck_check t =
             check_block pd_id b
           end)
         e.membrane_blocks)
-    t.entries;
-  (* table membership consistent *)
-  Hashtbl.iter
-    (fun name tbl ->
-      List.iter
-        (fun pd_id ->
-          match Hashtbl.find_opt t.entries pd_id with
-          | None -> note "table %s lists unknown pd %s" name pd_id
-          | Some e ->
-              if e.type_name <> name then
-                note "table %s lists pd %s of type %s" name pd_id e.type_name)
-        tbl.pds_rev)
-    t.tables;
+    all;
+  (* schema membership + recorded entry count *)
+  List.iter
+    (fun e ->
+      if not (Hashtbl.mem t.tables e.type_name) then
+        note "entry %s has type %s with no schema" e.pd_id e.type_name)
+    all;
+  if List.length all <> t.entry_count then
+    note "entry count mismatch: %d entries on device, root records %d"
+      (List.length all) t.entry_count;
+  (* metadata tree pages must live inside the metadata heap *)
+  let heap_lo = heap_start t 0 in
+  let heap_hi = heap_start t 0 + (2 * t.heap_cap) in
+  (try
+     let pages =
+       Index.node_pages t.index
+       @
+       if Pagestore.is_empty t.entries_base then []
+       else
+         Pagestore.node_blocks
+           ~on_corrupt:(fun b ->
+             note "entries tree page %d unreadable or corrupt" b)
+           (page_io t) t.entries_base
+     in
+     List.iter
+       (fun (b, n) ->
+         if b < heap_lo || b + n > heap_hi then
+           note "metadata page %d outside the metadata heap" b)
+       pages
+   with
+  | Pagestore.Corrupt_page b -> note "index page %d fails its checksum" b
+  | Block_device.Faulted b -> note "device fault on metadata block %d" b);
   (* secondary indexes <-> entries, both directions *)
-  Index.fold_pd_keys t.index
-    (fun pd_id (type_name, kvs) () ->
-      match Hashtbl.find_opt t.entries pd_id with
-      | None -> note "index keys unknown pd %s" pd_id
-      | Some e ->
-          if e.erased then note "index keys erased pd %s" pd_id;
-          if e.type_name <> type_name then
-            note "index keys pd %s under type %s (entry says %s)" pd_id
-              type_name e.type_name;
-          (* every claimed key must be posted, and must match the record *)
-          let record = decode_record_at t e.record_blocks e.record_size in
-          List.iter
-            (fun (field, v) ->
-              if
-                not
-                  (List.mem pd_id
-                     (Index.eq_postings t.index ~type_name ~field v))
-              then
-                note "index: pd %s missing from posting list of %s.%s" pd_id
-                  type_name field;
-              match record with
-              | None -> note "index: pd %s record undecodable" pd_id
-              | Some r -> (
-                  match List.assoc_opt field r with
-                  | Some v' when Value.equal v v' -> ()
-                  | _ ->
-                      note "index: stale key %s.%s for pd %s" type_name field
-                        pd_id))
-            kvs)
-    ();
-  Hashtbl.iter
-    (fun pd_id e ->
-      (* live pd of an indexed type must be keyed *)
-      (if not e.erased then
-         let indexed = indexed_fields_of t e.type_name in
-         if indexed <> [] && Index.pd_key t.index pd_id = None then
-           note "index: live pd %s of indexed type %s has no keys" pd_id
-             e.type_name);
-      (* subject index must link every pd (erased included) *)
-      if not (List.mem pd_id (Index.subject_pds t.index e.subject)) then
-        note "index: pd %s missing from subject %s" pd_id e.subject;
-      (* expiry queue agrees with the membrane *)
-      let expected =
-        if e.erased then None
-        else
-          match decode_membrane_at t e.membrane_blocks e.membrane_size with
-          | None -> None
-          | Some m -> expiry_instant m
-      in
-      match (expected, Index.expiry_of t.index pd_id) with
-      | None, Some ns -> note "index: pd %s spuriously queued to expire at %d" pd_id ns
-      | Some ns, None -> note "index: pd %s missing from expiry queue (due %d)" pd_id ns
-      | Some a, Some b when a <> b ->
-          note "index: pd %s queued at %d, membrane says %d" pd_id b a
-      | _ -> ())
-    t.entries;
+  (try
+     Index.fold_pd_keys t.index
+       (fun pd_id (type_name, kvs) () ->
+         match Hashtbl.find_opt entries_h pd_id with
+         | None -> note "index keys unknown pd %s" pd_id
+         | Some e ->
+             if e.erased then note "index keys erased pd %s" pd_id;
+             if e.type_name <> type_name then
+               note "index keys pd %s under type %s (entry says %s)" pd_id
+                 type_name e.type_name;
+             (* every claimed key must be posted, and must match the record *)
+             let record = decode_record_at t e.record_blocks e.record_size in
+             List.iter
+               (fun (field, v) ->
+                 if
+                   not
+                     (List.mem pd_id
+                        (Index.eq_postings t.index ~type_name ~field v))
+                 then
+                   note "index: pd %s missing from posting list of %s.%s" pd_id
+                     type_name field;
+                 match record with
+                 | None -> note "index: pd %s record undecodable" pd_id
+                 | Some r -> (
+                     match List.assoc_opt field r with
+                     | Some v' when Value.equal v v' -> ()
+                     | _ ->
+                         note "index: stale key %s.%s for pd %s" type_name field
+                           pd_id))
+               kvs)
+       ();
+     List.iter
+       (fun e ->
+         let pd_id = e.pd_id in
+         (* live pd of an indexed type must be keyed *)
+         (if not e.erased then
+            let indexed = indexed_fields_of t e.type_name in
+            if indexed <> [] && Index.pd_key t.index pd_id = None then
+              note "index: live pd %s of indexed type %s has no keys" pd_id
+                e.type_name);
+         (* subject index must link every pd (erased included) *)
+         if not (List.mem pd_id (Index.subject_pds t.index e.subject)) then
+           note "index: pd %s missing from subject %s" pd_id e.subject;
+         (* expiry queue agrees with the membrane *)
+         let expected =
+           if e.erased then None
+           else
+             match decode_membrane_at t e.membrane_blocks e.membrane_size with
+             | None -> None
+             | Some m -> expiry_instant m
+         in
+         match (expected, Index.expiry_of t.index pd_id) with
+         | None, Some ns ->
+             note "index: pd %s spuriously queued to expire at %d" pd_id ns
+         | Some ns, None ->
+             note "index: pd %s missing from expiry queue (due %d)" pd_id ns
+         | Some a, Some b when a <> b ->
+             note "index: pd %s queued at %d, membrane says %d" pd_id b a
+         | _ -> ())
+       all
+   with
+  | Pagestore.Corrupt_page b -> note "index page %d fails its checksum" b
+  | Block_device.Faulted b -> note "device fault on index block %d" b);
   (* allocation leaks: a data block marked in-use must have an owner *)
   Array.iteri
     (fun i is_free ->
       if (not is_free) && not (Hashtbl.mem owners (t.data_start + i)) then
         note "allocated block %d owned by no entry" (t.data_start + i))
-    t.free;
+    free;
   List.rev !problems
 
 (* From-scratch index rebuild over the (surviving) entries — the repair
@@ -1696,8 +2176,8 @@ let fsck_check t =
    index damage in one move. *)
 let rebuild_index t =
   let idx = Index.create () in
-  Hashtbl.iter
-    (fun pd_id e ->
+  iter_entries t (fun e ->
+      let pd_id = e.pd_id in
       Index.add_subject idx ~subject:e.subject ~pd_id;
       if not e.erased then begin
         let indexed = indexed_fields_of t e.type_name in
@@ -1710,7 +2190,7 @@ let rebuild_index t =
         | Some m -> Index.set_expiry idx ~pd_id (expiry_instant m)
         | None -> ()
       end)
-    t.entries;
+    ;
   idx
 
 type repair_report = {
@@ -1759,25 +2239,26 @@ let fsck_repair t =
       device_faults := true;
       false
   in
+  (* 0. pull every recoverable entry out of the (possibly damaged) paged
+     tree: from here on the repair works against the in-memory overlay
+     and rebuilds the on-device trees wholesale at the end *)
+  let survivors = collect_entries_noted t (fun s -> act "%s" s) in
   (* 1. quarantine entries whose payloads cannot be trusted: remove them
      from the trees and report them — repair never invents data *)
-  let damaged =
-    Hashtbl.fold
-      (fun _ e acc ->
+  let damaged, healthy =
+    List.partition_map
+      (fun e ->
         match entry_damage t e with
-        | Some reason -> (e, reason) :: acc
-        | None -> acc)
-      t.entries []
-    |> List.sort (fun (a, _) (b, _) -> compare a.pd_id b.pd_id)
+        | Some reason -> Left (e, reason)
+        | None -> Right e)
+      survivors
+  in
+  let damaged =
+    List.sort (fun (a, _) (b, _) -> compare a.pd_id b.pd_id) damaged
   in
   let quarantined =
     List.map
       (fun (e, reason) ->
-        Hashtbl.remove t.entries e.pd_id;
-        (match Hashtbl.find_opt t.tables e.type_name with
-        | Some tbl ->
-            tbl.pds_rev <- List.filter (( <> ) e.pd_id) tbl.pds_rev
-        | None -> ());
         invalidate_caches t e.pd_id;
         (* the extents may hold damaged PD plaintext: zero best-effort,
            then release the blocks *)
@@ -1790,10 +2271,18 @@ let fsck_repair t =
         (e.pd_id, reason))
       damaged
   in
+  (* re-base on the surviving entries alone; the checkpoint below writes
+     them back as a fresh tree *)
+  Hashtbl.reset t.entries;
+  Hashtbl.reset t.deleted;
+  List.iter (fun e -> Hashtbl.replace t.entries e.pd_id e) healthy;
+  t.entries_base <- Pagestore.empty_root;
+  t.entry_count <- List.length healthy;
   (* 2. rebuild every secondary index from the surviving records *)
   t.index <- rebuild_index t;
+  t.index_roots <- Index.empty_roots;
   act "rebuilt secondary indexes from %d surviving entries"
-    (Hashtbl.length t.entries);
+    (List.length healthy);
   (* 3. release allocated blocks no surviving entry owns *)
   let owned = Hashtbl.create 256 in
   Hashtbl.iter
@@ -1802,16 +2291,17 @@ let fsck_repair t =
         (fun b -> Hashtbl.replace owned b ())
         (e.record_blocks @ e.membrane_blocks))
     t.entries;
-  let leaked = ref 0 in
+  let free = free_map t in
+  let leaked = ref [] in
   Array.iteri
     (fun i is_free ->
       let b = t.data_start + i in
-      if (not is_free) && not (Hashtbl.mem owned b) then begin
-        t.free.(i) <- true;
-        incr leaked
-      end)
-    t.free;
-  if !leaked > 0 then act "released %d leaked block(s)" !leaked;
+      if (not is_free) && not (Hashtbl.mem owned b) then leaked := b :: !leaked)
+    free;
+  if !leaked <> [] then begin
+    mark_free t !leaked;
+    act "released %d leaked block(s)" (List.length !leaked)
+  end;
   (* 4. scrub free space: a free block must hold no bytes at all *)
   let scrubbed = ref 0 in
   Array.iteri
@@ -1819,7 +2309,7 @@ let fsck_repair t =
       let b = t.data_start + i in
       if is_free && Block_device.is_written t.dev b then
         if zero_block b then incr scrubbed)
-    t.free;
+    free;
   if !scrubbed > 0 then act "scrubbed %d free block(s)" !scrubbed;
   (* 5. truncate the journal at the damage point: checkpoint the repaired
      metadata (making every journal record dead) and scrub the ring *)
@@ -1841,10 +2331,23 @@ let fsck_repair t =
         Some reason
     | None -> None
   in
+  (* 6. the old trees may still hold index facts on damaged or orphaned
+     heap pages the checkpoint did not overwrite: zero every written heap
+     block outside the newly written live range *)
+  let stale_meta = ref 0 in
+  for half = 0 to 1 do
+    for i = 0 to t.heap_cap - 1 do
+      let b = heap_start t half + i in
+      let live = half = t.active_half && i < t.heap_used in
+      if (not live) && Block_device.is_written t.dev b then
+        if zero_block b then incr stale_meta
+    done
+  done;
+  if !stale_meta > 0 then
+    act "scrubbed %d stale metadata heap block(s)" !stale_meta;
   t.replay_warning <- None;
-  Hashtbl.reset t.membrane_cache;
-  Hashtbl.reset t.record_cache;
-  (* 6. verify; leave degraded mode only on a clean bill of health *)
+  Cache.clear t.cache;
+  (* 7. verify; leave degraded mode only on a clean bill of health *)
   let recheck = fsck_check t in
   let clean = recheck = [] && not !device_faults in
   if clean then begin
@@ -1879,7 +2382,18 @@ let replay_warning t = t.replay_warning
 let degraded t = t.degraded
 
 (* ------------------------------------------------------------------ *)
-(* index introspection (tests)                                        *)
+(* cache controls & index introspection (tools, tests)                *)
+
+let set_cache_budget t n =
+  let evicted = Cache.set_budget t.cache n in
+  if evicted > 0 then
+    Stats.Counter.incr t.counters ~by:evicted "cache_evictions"
+
+let cache_resident t = Cache.resident t.cache
+
+let cache_budget t = Cache.budget t.cache
+
+let index_page_blocks t = Index.node_pages t.index
 
 let index_dump t = Index.dump t.index
 

@@ -312,6 +312,24 @@ val degraded : t -> string option
     mutation returns [Error (Degraded _)] while reads (including
     right-of-access exports) are still served. *)
 
+val set_cache_budget : t -> int -> unit
+(** Resize the shared LRU entry budget (clamped to >= 1), evicting down
+    to the new size immediately.  The budget bounds RESIDENT HOST MEMORY
+    only: simulated device costs follow the warm==cold rule, so shrinking
+    the cache changes hit/miss/eviction counters but no [stage_ns]
+    figure. *)
+
+val cache_resident : t -> int
+(** Entries currently resident in the shared LRU (node pages + decoded
+    membranes + decoded records). *)
+
+val cache_budget : t -> int
+
+val index_page_blocks : t -> (int * int) list
+(** Every on-device node page [(first_block, nblocks)] of the checkpointed
+    index trees — fault-injection targets for [fsck --damage index-page].
+    Empty before the first checkpoint. *)
+
 val index_dump : t -> string
 (** Canonical rendering of the secondary indexes (sorted, iteration-order
     independent) — crash-consistency tests compare this across remounts. *)

@@ -1,25 +1,31 @@
-(** Persistent secondary indexes for DBFS.
+(** Paged secondary indexes for DBFS.
 
     Three families, maintained write-through by DBFS on every
-    insert/update/delete/erase/consent flip and persisted with the rest
-    of the metadata at checkpoint:
+    insert/update/delete/erase/consent flip:
 
-    - per (type, indexed field): hash posting lists for equality probes
-      and an ordered value map for [Lt]/[Gt] range probes;
+    - per (type, indexed field): equality and [Lt]/[Gt] range probes;
     - the subject → pd_ids index backing [Dbfs.pds_of_subject];
     - a TTL expiry min-queue (expiry instant → pd_ids) backing the
       incremental storage-limitation sweeper.
 
-    The removal source of truth is [pd_keys] (pd → indexed values at
-    last write), so maintenance never re-decodes payload bytes — which
-    keeps replay correct when old blocks have been zeroed or reused.
-    Index values never enter the journal: only the derivation roots are
-    serialized ({!encode_into}) and the probe structures are rebuilt on
-    {!decode_from}. *)
+    The durable form is a set of bulk-loaded {!Pagestore} B+-trees in the
+    DBFS metadata heap, read on demand node by node — attaching to them
+    ({!attach}) touches no index pages at all.  Mutations go to an
+    in-memory overlay which is authoritative per pd: the first mutation
+    for a pd copies its base facts into the overlay (one [pdinfo] point
+    lookup) and from then on the base keys for that pd are ignored.
+    {!checkpoint} rewrites the trees from the merged view.
+
+    The removal source of truth is the pd → indexed-values map (overlay
+    [pd_keys], base [pdinfo] tree), so maintenance never re-decodes
+    payload bytes — which keeps replay correct when old blocks have been
+    zeroed or reused.  Index values never enter the journal: they live
+    only in the metadata heap pages. *)
 
 type t
 
 val create : unit -> t
+(** Empty index with no on-device base (fresh format / full rebuild). *)
 
 (** {2 Field indexes} *)
 
@@ -36,14 +42,15 @@ val probe_eq :
   t -> type_name:string -> field:string -> Value.t -> string list * int
 (** Candidate pd_ids whose [field] equals the value under [Value.equal]
     (floats: nan = nan, -0. = 0.), plus the simulated index bytes the
-    probe touched. *)
+    overlay side of the probe touched (base pages are charged as node
+    reads by the [Pagestore.io] provider). *)
 
 val probe_range :
   t -> type_name:string -> field:string -> op:[ `Lt | `Gt ] -> Value.t ->
   string list * int
-(** Candidate pd_ids under [Query.numeric_cmp] — walks the ordered map
-    on the probe side of the split and re-filters each distinct value
-    with [numeric_cmp], so results match [Query.eval] exactly. *)
+(** Candidate pd_ids under [Query.numeric_cmp] — walks the ordered
+    structures and re-filters each distinct value with [numeric_cmp], so
+    results match [Query.eval] exactly. *)
 
 (** {2 Subject index} *)
 
@@ -73,14 +80,42 @@ val expiry_size : t -> int
 
 (** {2 Persistence} *)
 
-val encode_into : Rgpdos_util.Codec.Writer.t -> t -> unit
-val decode_from : Rgpdos_util.Codec.Reader.t -> (t, string) result
+type roots = {
+  rt_postings : Pagestore.root;
+  rt_pdinfo : Pagestore.root;
+  rt_subjects : Pagestore.root;
+  rt_expiry : Pagestore.root;
+  rt_expiry_count : int;
+  rt_max_pd : string;  (** largest pd key in the base, [""] when empty *)
+}
+(** Tree roots checkpointed into the DBFS root slot. *)
+
+val empty_roots : roots
+
+val attach : io:Pagestore.io -> roots -> t
+(** Index view over checkpointed trees with an empty overlay.  Reads no
+    pages — this is what makes a clean mount O(1). *)
+
+val checkpoint : t -> io:Pagestore.io -> roots
+(** Bulk-write the merged (base + overlay) view as fresh trees through
+    [io] and re-base the index on them.  The overlay is retained: it
+    stays authoritative for touched pds, whose facts the new base
+    duplicates exactly. *)
+
+val encode_roots : Rgpdos_util.Codec.Writer.t -> roots -> unit
+val decode_roots : Rgpdos_util.Codec.Reader.t -> (roots, string) result
+
+val node_pages : t -> (int * int) list
+(** Every node page [(first_block, nblocks)] of the four base trees —
+    fsck ownership checks and fault injection.  Empty without a base.
+    @raise Pagestore.Corrupt_page on unreadable interior pages. *)
 
 (** {2 Introspection — fsck and tests} *)
 
 val dump : t -> string
-(** Canonical rendering (sorted, order-independent): two indexes holding
-    the same facts dump identically. *)
+(** Canonical rendering of the merged facts (sorted, order-independent):
+    two indexes holding the same facts dump identically, whether the
+    facts live in overlay memory or in base pages. *)
 
 val fold_pd_keys :
   t -> (string -> string * (string * Value.t) list -> 'a -> 'a) -> 'a -> 'a
@@ -91,6 +126,6 @@ val eq_postings : t -> type_name:string -> field:string -> Value.t -> string lis
 
 val unsafe_drop_posting : t -> pd_id:string -> bool
 (** Test hook: silently drop [pd_id] from the posting list of its first
-    indexed field, leaving [pd_keys] claiming it is indexed — the kind
-    of corruption {!Dbfs.fsck} must flag.  Returns [false] when the pd
-    has no indexed fields. *)
+    indexed field, leaving the pd claiming it is indexed — the kind of
+    corruption {!Dbfs.fsck} must flag.  Returns [false] when the pd has
+    no indexed fields. *)

@@ -826,3 +826,142 @@ let compare_fault ~old_report ~pass_rate_pct:current =
               every invariant at every crash point)"
              current)
       else Ok old_rate
+
+(* ---------- mount-scale artifact ---------- *)
+
+let mount_schema_id = "rgpdos-bench-mount-scale/1"
+
+(* acceptance bars: a clean remount's device reads must be
+   population-independent — the largest population reads at most 2x the
+   smallest (the O(1)-recovery claim) — and the Zipf workload's
+   high-water resident cache count must stay inside its budget, with the
+   budget actually binding (evictions happened) so the claim is not
+   vacuous. *)
+let mount_read_ratio_bar = 2.0
+
+let make_mount ~(result : Mount_bench.result) ~wall_ms =
+  let z = result.Mount_bench.mb_zipf in
+  Json.Obj
+    [
+      ("schema", Json.Str mount_schema_id);
+      ( "mount",
+        Json.List
+          (List.map
+             (fun (row : Mount_bench.mount_row) ->
+               Json.Obj
+                 [
+                   ( "subjects",
+                     Json.Num (float_of_int row.Mount_bench.mb_subjects) );
+                   ("build_sim_ms", Json.Num row.Mount_bench.mb_build_sim_ms);
+                   ( "mount_reads",
+                     Json.Num (float_of_int row.Mount_bench.mb_mount_reads) );
+                   ("mount_sim_us", Json.Num row.Mount_bench.mb_mount_sim_us);
+                   ( "resident_after_mount",
+                     Json.Num
+                       (float_of_int row.Mount_bench.mb_resident_after_mount)
+                   );
+                   ( "index_pages",
+                     Json.Num (float_of_int row.Mount_bench.mb_index_pages) );
+                 ])
+             result.Mount_bench.mb_rows) );
+      ("read_ratio_max", Json.Num (Mount_bench.read_ratio result));
+      ( "zipf",
+        Json.Obj
+          [
+            ("subjects", Json.Num (float_of_int z.Mount_bench.zb_subjects));
+            ("ops", Json.Num (float_of_int z.Mount_bench.zb_ops));
+            ("budget", Json.Num (float_of_int z.Mount_bench.zb_budget));
+            ( "resident_max",
+              Json.Num (float_of_int z.Mount_bench.zb_resident_max) );
+            ("hits", Json.Num (float_of_int z.Mount_bench.zb_hits));
+            ("misses", Json.Num (float_of_int z.Mount_bench.zb_misses));
+            ("evictions", Json.Num (float_of_int z.Mount_bench.zb_evictions));
+            ("page_reads", Json.Num (float_of_int z.Mount_bench.zb_page_reads));
+            ("sim_ms", Json.Num z.Mount_bench.zb_sim_ms);
+            ("ops_ok", Json.Bool z.Mount_bench.zb_ops_ok);
+          ] );
+      ("wall_ms", Json.Num wall_ms);
+    ]
+
+let mount_read_ratio_of v =
+  Option.bind (Json.member "read_ratio_max" v) Json.to_float
+
+let validate_mount v =
+  let* schema =
+    require "missing schema key"
+      (Option.bind (Json.member "schema" v) Json.to_str)
+  in
+  if schema <> mount_schema_id then Error ("unexpected schema id " ^ schema)
+  else
+    let* rows =
+      require "missing mount section"
+        (Option.bind (Json.member "mount" v) Json.to_list)
+    in
+    if List.length rows < 2 then
+      Error "mount: need at least two populations to claim O(1) recovery"
+    else
+      let* () =
+        List.fold_left
+          (fun acc row ->
+            let* () = acc in
+            let* n =
+              require "mount row: missing subjects"
+                (Option.bind (Json.member "subjects" row) Json.to_float)
+            in
+            let* reads =
+              require "mount row: missing mount_reads"
+                (Option.bind (Json.member "mount_reads" row) Json.to_float)
+            in
+            if n <= 0.0 || reads <= 0.0 then
+              Error "mount row: non-positive subjects or mount_reads"
+            else Ok ())
+          (Ok ()) rows
+      in
+      let* ratio =
+        require "missing read_ratio_max" (mount_read_ratio_of v)
+      in
+      if ratio > mount_read_ratio_bar then
+        Error
+          (Printf.sprintf
+             "clean-mount reads are population-dependent: max/min ratio \
+              %.2fx exceeds the %.1fx bar"
+             ratio mount_read_ratio_bar)
+      else
+        let* z = require "missing zipf section" (Json.member "zipf" v) in
+        let num name =
+          require ("zipf: missing " ^ name)
+            (Option.bind (Json.member name z) Json.to_float)
+        in
+        let* budget = num "budget" in
+        let* resident_max = num "resident_max" in
+        let* evictions = num "evictions" in
+        let* ops_ok =
+          require "zipf: missing ops_ok"
+            (match Json.member "ops_ok" z with
+            | Some (Json.Bool b) -> Some b
+            | _ -> None)
+        in
+        if resident_max > budget then
+          Error
+            (Printf.sprintf
+               "zipf: resident high-water %.0f exceeds the %.0f-entry budget"
+               resident_max budget)
+        else if evictions <= 0.0 then
+          Error "zipf: no evictions — the cache budget was not binding"
+        else if not ops_ok then Error "zipf: a workload operation failed"
+        else Ok ()
+
+let compare_mount ~old_report ~read_ratio_max:current =
+  match mount_read_ratio_of old_report with
+  | None -> Error "old mount report has no read_ratio_max"
+  | Some old_ratio ->
+      let ceiling =
+        old_ratio *. (1.0 +. (regression_threshold_pct /. 100.0))
+      in
+      if current > ceiling then
+        Error
+          (Printf.sprintf
+             "clean-mount read ratio regressed: %.2fx -> %.2fx (ceiling \
+              %.2fx = committed +%.0f%%)"
+             old_ratio current ceiling regression_threshold_pct)
+      else Ok old_ratio

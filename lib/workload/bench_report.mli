@@ -190,3 +190,29 @@ val compare_fault :
 (** Gate a freshly run campaign against the committed
     [BENCH_fault_campaign.json]: both must sit at a 100%% invariant pass
     rate. *)
+
+(** {1 Mount-scale artifact ([BENCH_mount_scale.json])} *)
+
+val mount_schema_id : string
+
+val mount_read_ratio_bar : float
+(** 2.0 — clean-mount device reads at the largest population must stay
+    within 2x of the smallest (the O(1)-recovery claim). *)
+
+val make_mount : result:Mount_bench.result -> wall_ms:float -> Json.t
+(** The committed evidence for the paged-index layer: one row per
+    population (clean-mount reads, simulated latency, resident cache
+    entries, index node pages) plus the Zipf-budget workload counters
+    ({!Mount_bench.run}). *)
+
+val validate_mount : Json.t -> (unit, string) result
+(** Shape check plus the acceptance bars: at least two populations, the
+    max/min mount-read ratio within {!mount_read_ratio_bar}, the Zipf
+    run's resident high-water within its budget with evictions actually
+    occurring (the budget was binding), and every workload op [Ok]. *)
+
+val compare_mount :
+  old_report:Json.t -> read_ratio_max:float -> (float, string) result
+(** Gate a freshly measured mount-read ratio against the committed
+    [BENCH_mount_scale.json], same {!regression_threshold_pct} threshold
+    (the metric is higher-is-worse, so the gate is a ceiling). *)

@@ -293,6 +293,54 @@ let scenario_index_damage ~seed people =
     (Printf.sprintf "tampered=%b fsck_detects=%b clean=%b rebuilt=%b" tampered
        fsck_detects rep.Dbfs.rr_clean rebuilt)
 
+(* Bit rot in an on-device index node page: after a checkpoint the paged
+   trees are the durable index, so a cold remount must hit the flipped
+   page's checksum, fsck must flag it, and repair must rebuild the trees
+   from the surviving entries — leaving no residue of the damaged page
+   (the stale heap half is zeroed) and the exact same index facts as
+   before the damage. *)
+let scenario_index_page_rot ~seed people =
+  let m = boot ~seed in
+  List.iter (collect_person m) people;
+  let store0 = Machine.dbfs m in
+  Dbfs.checkpoint store0;
+  let before = Dbfs.index_dump store0 in
+  (* enumerate a node page while warm: the cold store must first see the
+     damage through its (empty) page cache, never a stale copy *)
+  let block =
+    match Dbfs.index_page_blocks store0 with
+    | (b, _) :: _ -> b
+    | [] -> fail_step "scenario" "no index node pages after checkpoint"
+  in
+  match Dbfs.crash_and_remount store0 with
+  | Error e -> scenario "index-page-rot" false ("remount failed: " ^ e)
+  | Ok store ->
+      let dev = Dbfs.device store in
+      Block_device.unsafe_flip dev ~block ~byte:8 ~bit:5;
+      let fsck_detects =
+        match Dbfs.fsck store with
+        | Ok () -> false
+        | Error problems ->
+            List.exists
+              (fun p ->
+                (* the paged-tree checksum note, not a derived symptom *)
+                String.length p >= 10 && String.sub p 0 10 = "index page")
+              problems
+      in
+      let rep = Dbfs.fsck_repair store in
+      let rebuilt =
+        Dbfs.index_dump store = before
+        && Dbfs.index_dump store = Dbfs.rebuilt_index_dump store
+      in
+      (* no residue: the damaged page's block was returned to the zeroed
+         stale half by the repair checkpoint *)
+      let bs = (Block_device.config dev).Block_device.block_size in
+      let residue_free = Block_device.read dev block = String.make bs '\000' in
+      scenario "index-page-rot"
+        (fsck_detects && rep.Dbfs.rr_clean && rebuilt && residue_free)
+        (Printf.sprintf "fsck_detects=%b clean=%b rebuilt=%b residue_free=%b"
+           fsck_detects rep.Dbfs.rr_clean rebuilt residue_free)
+
 (* A transient device error on a record block must be ridden out by the
    bounded retry loop, invisibly to the caller. *)
 let scenario_transient_retry ~seed people =
@@ -400,6 +448,7 @@ let scenarios ~seed people =
   [
     scenario_record_bit_rot ~seed people;
     scenario_index_damage ~seed people;
+    scenario_index_page_rot ~seed people;
     scenario_transient_retry ~seed people;
     scenario_torn_write_retry ~seed people;
     scenario_degraded_mode ~seed people;

@@ -20,8 +20,11 @@
 
     Alongside the crash sweep, named fault scenarios exercise the
     self-healing paths directly: record-extent bit rot, secondary-index
-    damage, transient-fault retry, torn-write retry, and degraded
-    read-only mode (mutations refused, right of access still served).
+    damage, bit rot inside an on-device paged index node (cold remount
+    must hit the page checksum, repair must rebuild the trees with no
+    residue of the damaged page), transient-fault retry, torn-write
+    retry, and degraded read-only mode (mutations refused, right of
+    access still served).
 
     Determinism rule: the same seed and the same workload replay the
     exact same schedule and produce the same verdicts — {!to_json}
