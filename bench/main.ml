@@ -52,17 +52,27 @@
 
      dune exec bench/main.exe -- fault --fault-json BENCH_fault_campaign.json
 
-   [--compare OLD.json] reruns E1 and exits non-zero when any stage's
-   per-subject simulated time regressed past the gate in Bench_report
-   (CI runs this against the committed BENCH_hotpath.json).  When
-   BENCH_vectored_io.json / BENCH_parallel_scale.json /
-   BENCH_index_select.json / BENCH_mount_scale.json sit next to
-   OLD.json, the merge ratio, the 4-domain speedup, the 1%-selectivity
-   pushdown speedup and the clean-mount read ratio are gated the same
-   way (>25% regression fails).  When BENCH_fault_campaign.json
-   sits there too, a fresh (smoke-sized) campaign must hold every
-   invariant at every crash point — the robustness gate is absolute
-   (pass rate == 100%), not a regression margin.
+   The [segment] section A/B-runs the identical ingest/churn/GDPR
+   workload against the update-in-place allocator and the log-structured
+   segment store (group commit + compaction + trim) on one build;
+   [--segment-json PATH] writes the artifact; the committed
+   BENCH_segment_io.json is produced by
+
+     dune exec bench/main.exe -- segment --segment-json BENCH_segment_io.json
+
+   [--compare OLD.json] reruns E1 and gates every stage's per-subject
+   simulated time against OLD.json (CI runs this against the committed
+   BENCH_hotpath.json).  When BENCH_vectored_io.json /
+   BENCH_parallel_scale.json / BENCH_index_select.json /
+   BENCH_mount_scale.json / BENCH_segment_io.json sit next to OLD.json,
+   the merge ratio, the 4-domain speedup, the 1%-selectivity pushdown
+   speedup, the clean-mount read ratio and the segmented sustained
+   ingest are gated the same way (>25% regression fails).  When
+   BENCH_fault_campaign.json sits there too, a fresh (smoke-sized)
+   campaign must hold every invariant at every crash point — the
+   robustness gate is absolute (pass rate == 100%), not a regression
+   margin.  Every failing gate is evaluated and printed before the
+   single non-zero exit, so one run reports the full damage.
 *)
 
 open Bechamel
@@ -258,6 +268,7 @@ let () =
   let index_json_path, args = extract_flag "--index-json" [] args in
   let mount_json_path, args = extract_flag "--mount-json" [] args in
   let fault_json_path, args = extract_flag "--fault-json" [] args in
+  let segment_json_path, args = extract_flag "--segment-json" [] args in
   let compare_path, args = extract_flag "--compare" [] args in
   let wanted = List.filter (fun a -> a <> "--quick") args in
   let enabled name = wanted = [] || List.mem name wanted in
@@ -285,6 +296,10 @@ let () =
     failwith
       "--fault-json needs the fault section; run e.g. \
        bench/main.exe -- fault --fault-json BENCH_fault_campaign.json";
+  if segment_json_path <> None && not (enabled "segment") then
+    failwith
+      "--segment-json needs the segment section; run e.g. \
+       bench/main.exe -- segment --segment-json BENCH_segment_io.json";
   let d full small = if quick then small else full in
 
   (* host wall-clock per section, for the JSON report *)
@@ -300,6 +315,7 @@ let () =
   let index_speedup1pct = ref None in
   let mount_read_ratio = ref None in
   let fault_pass_rate = ref None in
+  let segment_ingest = ref None in
   (* the 1%-selectivity pushdown speedup at the smallest population >=
      2000 — the configuration the index artifact gates on (present at
      both quick and full scale) *)
@@ -580,6 +596,27 @@ let () =
         Printf.printf "\nwrote %s\n" path
   end;
 
+  if enabled "segment" then begin
+    let module SG = Rgpdos_workload.Segment_bench in
+    let module BR = Rgpdos_workload.Bench_report in
+    (* both sides run on the virtual clock, so quick and full measure the
+       same deterministic numbers; the >= 10^4-subject claim in the
+       artifact requires the default size either way *)
+    let result, wall_ms = timed (fun () -> SG.run ()) in
+    segment_ingest := Some result.SG.sr_segmented.SG.sg_ingest_mb_s;
+    let report = BR.make_segment ~result ~wall_ms in
+    (match BR.validate_segment report with
+    | Ok () -> ()
+    | Error e -> failwith ("segment-io report failed self-validation: " ^ e));
+    section "SEGMENT — update-in-place vs log-structured segments (A/B)"
+      (SG.render result);
+    match segment_json_path with
+    | None -> ()
+    | Some path ->
+        BR.write_file path report;
+        Printf.printf "\nwrote %s\n" path
+  end;
+
   (match compare_path with
   | None -> ()
   | Some path ->
@@ -589,6 +626,10 @@ let () =
         | Some r -> r
         | None -> failwith ("--compare: cannot parse " ^ path)
       in
+      (* every gate runs and every failure is recorded; CI gets the full
+         list of regressions from one run instead of one per rerun *)
+      let failures = ref [] in
+      let gate lines = failures := !failures @ lines in
       let current =
         match !e1_result with
         | Some (r, _) -> r
@@ -601,9 +642,7 @@ let () =
              %.0f%%\n"
             n path BR.regression_threshold_pct
       | Error lines ->
-          Printf.eprintf "\ncompare: E1 regression vs %s:\n" path;
-          List.iter (fun l -> Printf.eprintf "  %s\n" l) lines;
-          exit 1);
+          gate (List.map (fun l -> "E1: " ^ l) lines));
       (* the artifacts committed next to OLD.json gate their own
          headline numbers the same way *)
       let sibling name = Filename.concat (Filename.dirname path) name in
@@ -619,9 +658,7 @@ let () =
               Printf.printf
                 "compare: E1 merge ratio %.2f vs committed %.2f — ok\n" ratio
                 committed
-          | Error line ->
-              Printf.eprintf "\ncompare: %s\n" line;
-              exit 1));
+          | Error line -> gate [ line ]));
       (match BR.read_file (sibling "BENCH_parallel_scale.json") with
       | None -> ()
       | Some old_scale -> (
@@ -647,9 +684,7 @@ let () =
               Printf.printf
                 "compare: 4-domain speedup %.2fx vs committed %.2fx — ok\n"
                 speedup4 committed
-          | Error line ->
-              Printf.eprintf "\ncompare: %s\n" line;
-              exit 1));
+          | Error line -> gate [ line ]));
       (match BR.read_file (sibling "BENCH_index_select.json") with
       | None -> ()
       | Some old_index -> (
@@ -669,9 +704,7 @@ let () =
                 "compare: 1%%-selectivity pushdown %.1fx vs committed %.1fx \
                  — ok\n"
                 speedup1pct committed
-          | Error line ->
-              Printf.eprintf "\ncompare: %s\n" line;
-              exit 1));
+          | Error line -> gate [ line ]));
       (match BR.read_file (sibling "BENCH_mount_scale.json") with
       | None -> ()
       | Some old_mount -> (
@@ -690,10 +723,8 @@ let () =
                 "compare: clean-mount read ratio %.2fx vs committed %.2fx — \
                  ok\n"
                 read_ratio_max committed
-          | Error line ->
-              Printf.eprintf "\ncompare: %s\n" line;
-              exit 1));
-      match BR.read_file (sibling "BENCH_fault_campaign.json") with
+          | Error line -> gate [ line ]));
+      (match BR.read_file (sibling "BENCH_fault_campaign.json") with
       | None -> ()
       | Some old_fault -> (
           let module FC = Rgpdos_workload.Fault_campaign in
@@ -712,9 +743,34 @@ let () =
                 "compare: fault-campaign invariant pass rate %.1f%% vs \
                  committed %.1f%% — ok\n"
                 pass_rate_pct committed
-          | Error line ->
-              Printf.eprintf "\ncompare: %s\n" line;
-              exit 1));
+          | Error line -> gate [ line ]));
+      (match BR.read_file (sibling "BENCH_segment_io.json") with
+      | None -> ()
+      | Some old_segment -> (
+          let module SG = Rgpdos_workload.Segment_bench in
+          let ingest_mb_s =
+            match !segment_ingest with
+            | Some s -> s
+            | None ->
+                (* segment section did not run: the A/B bench is
+                   virtual-clock deterministic, so rerunning the default
+                   configuration reproduces the committed measurement *)
+                (SG.run ()).SG.sr_segmented.SG.sg_ingest_mb_s
+          in
+          match BR.compare_segment ~old_report:old_segment ~ingest_mb_s with
+          | Ok committed ->
+              Printf.printf
+                "compare: segmented sustained ingest %.2f MB/s vs committed \
+                 %.2f — ok\n"
+                ingest_mb_s committed
+          | Error line -> gate [ line ]));
+      match !failures with
+      | [] -> ()
+      | lines ->
+          Printf.eprintf "\ncompare: %d gate(s) failed vs %s:\n"
+            (List.length lines) path;
+          List.iter (fun l -> Printf.eprintf "  %s\n" l) lines;
+          exit 1);
 
   (match json_path with
   | None -> ()

@@ -378,11 +378,41 @@ let stats_run subjects seed budget ops =
       done;
       (* snapshot the counters before anything else reads pages —
          enumerating the node pages below walks the trees *)
+      (* every observability counter the store can emit is listed by
+         name, so a counter that stayed at zero still prints: absence
+         would be indistinguishable from "this build doesn't have it" *)
+      let dbfs_counter_names =
+        [
+          "page_hits"; "page_misses"; "cache_evictions"; "index_page_reads";
+          "fault_retries"; "committed_batches"; "batched_ops"; "compactions";
+          "compact_relocations"; "compact_verify_failures";
+          "segments_reclaimed"; "segment_trims"; "purge_zeroed_blocks";
+          "backpressure_stalls"; "backpressure_stall_ns";
+        ]
+      in
+      let dev_counter_names =
+        [
+          "reads"; "writes"; "bytes_read"; "bytes_written"; "trims";
+          "vec_reads"; "vec_writes"; "write_ops"; "merged_runs";
+        ]
+      in
+      let with_defaults names present =
+        let extra =
+          List.filter (fun (k, _) -> not (List.mem k names)) present
+        in
+        List.map
+          (fun k ->
+            (k, match List.assoc_opt k present with Some v -> v | None -> 0))
+          names
+        @ extra
+        |> List.sort compare
+      in
       let dbfs_counters =
-        List.sort compare (Rgpdos_util.Stats.Counter.to_list (Dbfs.stats store))
+        with_defaults dbfs_counter_names
+          (Rgpdos_util.Stats.Counter.to_list (Dbfs.stats store))
       in
       let dev_counters =
-        List.sort compare
+        with_defaults dev_counter_names
           (Rgpdos_util.Stats.Counter.to_list (Block_device.stats dev))
       in
       let resident = Dbfs.cache_resident store in

@@ -4,10 +4,20 @@ type t = {
   dev : Block_device.t;
   start_block : int;
   num_blocks : int;
-  mutable jhead : int; (* absolute byte offset of next record *)
+  mutable jhead : int; (* absolute byte offset of next durable record *)
   mutable jtail : int; (* absolute offset of oldest un-checkpointed record *)
-  mutable jseq : int;
+  mutable jseq : int; (* next sequence number to assign (includes pending) *)
   mutable live_records : int;
+  (* Group commit: with [window > 1], framed records are buffered in
+     [pending] (newest first) and written in one vectored flush once the
+     window fills.  [jhead] only ever points at durable bytes; a crash
+     loses the pending tail, which replay rolls back to the durable
+     prefix. *)
+  mutable window : int;
+  mutable pending : string list;
+  mutable pending_bytes : int;
+  mutable batches : int; (* vectored flushes issued *)
+  mutable batched_ops : int; (* records that went through a vectored flush *)
 }
 
 let record_magic = "JR"
@@ -18,7 +28,20 @@ let capacity ring = ring.num_blocks * block_size ring
 
 let create dev ~start_block ~num_blocks =
   if num_blocks <= 0 then invalid_arg "Journal_ring.create: empty ring";
-  { dev; start_block; num_blocks; jhead = 0; jtail = 0; jseq = 0; live_records = 0 }
+  {
+    dev;
+    start_block;
+    num_blocks;
+    jhead = 0;
+    jtail = 0;
+    jseq = 0;
+    live_records = 0;
+    window = 1;
+    pending = [];
+    pending_bytes = 0;
+    batches = 0;
+    batched_ops = 0;
+  }
 
 let attach dev ~start_block ~num_blocks ~head ~seq =
   {
@@ -29,7 +52,18 @@ let attach dev ~start_block ~num_blocks ~head ~seq =
     jtail = head;
     jseq = seq;
     live_records = 0;
+    window = 1;
+    pending = [];
+    pending_bytes = 0;
+    batches = 0;
+    batched_ops = 0;
   }
+
+let set_window ring w = ring.window <- max 1 w
+let window ring = ring.window
+let batches ring = ring.batches
+let batched_ops ring = ring.batched_ops
+let pending_ops ring = List.length ring.pending
 
 let checksum = Rgpdos_util.Fnv.hash64_hex
 
@@ -72,23 +106,85 @@ let ring_read ring abs len =
   done;
   Buffer.contents buf
 
+(* A checkpoint makes every logged op durable through the trees, so any
+   still-pending (buffered, unwritten) records are simply dropped: the
+   root slot records the durable [jhead] and the post-pending [jseq], and
+   stale bytes from a previous lap replay as Clean because their seq is
+   below the attach seq. *)
 let mark_checkpointed ring =
   ring.jtail <- ring.jhead;
-  ring.live_records <- 0
+  ring.live_records <- 0;
+  ring.pending <- [];
+  ring.pending_bytes <- 0
+
+(* Write all pending frames at [jhead] in one vectored device op.  Blocks
+   only partially covered by the new bytes (the head block, the tail
+   block, and wrap boundaries) are read-modify-written; fully covered
+   blocks are built in place. *)
+let flush ring =
+  match ring.pending with
+  | [] -> ()
+  | frames_rev ->
+      let nrec = List.length frames_rev in
+      let data = String.concat "" (List.rev frames_rev) in
+      let bs = block_size ring in
+      let cap = capacity ring in
+      let len = String.length data in
+      let tbl = Hashtbl.create 16 in
+      let order = ref [] in
+      let pos = ref 0 in
+      while !pos < len do
+        let ring_off = (ring.jhead + !pos) mod cap in
+        let blk = ring.start_block + (ring_off / bs) in
+        let off_in_blk = ring_off mod bs in
+        let chunk = min (bs - off_in_blk) (len - !pos) in
+        let buf =
+          match Hashtbl.find_opt tbl blk with
+          | Some b -> b
+          | None ->
+              let b =
+                if off_in_blk = 0 && chunk = bs then Bytes.create bs
+                else Bytes.of_string (Block_device.read ring.dev blk)
+              in
+              Hashtbl.add tbl blk b;
+              order := blk :: !order;
+              b
+        in
+        Bytes.blit_string data !pos buf off_in_blk chunk;
+        pos := !pos + chunk
+      done;
+      let writes =
+        List.rev_map (fun blk -> (blk, Bytes.to_string (Hashtbl.find tbl blk))) !order
+      in
+      Block_device.write_vec ring.dev writes;
+      ring.jhead <- ring.jhead + len;
+      ring.live_records <- ring.live_records + nrec;
+      ring.batches <- ring.batches + 1;
+      ring.batched_ops <- ring.batched_ops + nrec;
+      ring.pending <- [];
+      ring.pending_bytes <- 0
 
 let append ring ~on_overflow payload =
   let framed = frame_record ring.jseq payload in
   let len = String.length framed in
   if len > capacity ring then failwith "Journal_ring: record larger than ring";
-  if ring.jhead + len - ring.jtail > capacity ring then begin
+  if ring.jhead + ring.pending_bytes + len - ring.jtail > capacity ring then begin
     on_overflow ();
-    if ring.jhead + len - ring.jtail > capacity ring then
+    if ring.jhead + ring.pending_bytes + len - ring.jtail > capacity ring then
       failwith "Journal_ring: overflow handler did not checkpoint"
   end;
-  ring_write ring ring.jhead framed;
-  ring.jhead <- ring.jhead + len;
-  ring.jseq <- ring.jseq + 1;
-  ring.live_records <- ring.live_records + 1
+  if ring.window <= 1 then begin
+    ring_write ring ring.jhead framed;
+    ring.jhead <- ring.jhead + len;
+    ring.jseq <- ring.jseq + 1;
+    ring.live_records <- ring.live_records + 1
+  end
+  else begin
+    ring.pending <- framed :: ring.pending;
+    ring.pending_bytes <- ring.pending_bytes + len;
+    ring.jseq <- ring.jseq + 1;
+    if List.length ring.pending >= ring.window then flush ring
+  end
 
 type stop_reason = Clean | Torn_frame | Seq_gap | Bad_checksum
 

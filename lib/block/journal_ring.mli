@@ -28,8 +28,32 @@ val append : t -> on_overflow:(unit -> unit) -> string -> unit
 (** Frame and write a payload at the head.  If the ring would lap
     un-checkpointed records, [on_overflow] is called first; it must
     persist a checkpoint and call {!mark_checkpointed}, otherwise the
-    append raises [Failure].
+    append raises [Failure].  With a group-commit {!set_window} above 1
+    the framed record is buffered instead and written by the next
+    {!flush} (triggered automatically once the window fills).
     @raise Failure if a single record exceeds the ring capacity. *)
+
+val set_window : t -> int -> unit
+(** Group-commit window: [1] (the default) writes every record
+    immediately, exactly like the pre-group-commit ring; [n > 1] buffers
+    up to [n] framed records and commits them in one vectored device
+    write.  A crash before the flush loses the buffered tail — replay
+    rolls back to the durable prefix. *)
+
+val window : t -> int
+
+val flush : t -> unit
+(** Write all buffered records at the head in one vectored device op.
+    No-op when nothing is pending. *)
+
+val pending_ops : t -> int
+(** Buffered records not yet durable. *)
+
+val batches : t -> int
+(** Vectored group-commit flushes issued so far. *)
+
+val batched_ops : t -> int
+(** Records committed through those flushes. *)
 
 type stop_reason =
   | Clean  (** zeroed or stale (previous-lap) bytes: the journal's end *)

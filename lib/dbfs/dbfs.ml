@@ -3,6 +3,7 @@ module Journal_ring = Rgpdos_block.Journal_ring
 module Clock = Rgpdos_util.Clock
 module Codec = Rgpdos_util.Codec
 module Fnv = Rgpdos_util.Fnv
+module Pool = Rgpdos_util.Pool
 module Stats = Rgpdos_util.Stats
 module Membrane = Rgpdos_membrane.Membrane
 
@@ -117,6 +118,15 @@ type t = {
   mutable replay_warning : string option;
   counters : Stats.Counter.t;
   cache : cached Cache.t;
+  (* log-structured mode: payload extents bump-allocate inside per-zone
+     segments; superseded blocks stay dirty until a purge or compaction
+     destroys them (see segstore.ml).  [None] = classic update-in-place
+     first-fit, kept on the same build for A/B comparison. *)
+  segmented : bool;
+  seg_blocks : int;
+  segstore : Segstore.t option;
+  mutable compacting : bool; (* reentrancy guard for the compactor *)
+  mutable pool : Pool.t option; (* optional checksum-verify fan-out *)
 }
 
 let superblock_magic = "RGPDBFS1"
@@ -124,6 +134,23 @@ let root_magic = "RGPDROOT"
 let meta_blocks_default = 128
 let root_slot_blocks = 8
 let default_cache_budget = 65536
+let default_seg_blocks = 64
+
+(* Compaction / backpressure policy (segmented mode only).  All figures
+   are deterministic: the stall is simulated-clock time charged to the op
+   that rode over the threshold, not host sleep. *)
+let compact_liveness_pct = 35.0
+let compact_batch = 8
+let dirty_trigger_pct = 10 (* dirty blocks as % of data region: compact *)
+let backpressure_pct = 25 (* dirty still above this after compacting: stall *)
+let backpressure_stall_ns = 200_000
+
+(* Forward references, wired once the compactor is defined below:
+   [maintain] runs at the end of every mutator (space-driven compaction +
+   backpressure); [space_reclaim] is the allocator's compact-and-retry
+   hook.  Both are no-ops until wired and in update-in-place mode. *)
+let maintain : (t -> unit) ref = ref (fun _ -> ())
+let space_reclaim : (t -> unit) ref = ref (fun _ -> ())
 
 (* ------------------------------------------------------------------ *)
 (* guard                                                              *)
@@ -277,18 +304,60 @@ let zone_of_slot t i =
   else if i < t.high_start - t.data_start then 1
   else 2
 
-let mark_used t blocks =
-  let free = free_map t in
-  List.iter (fun b -> free.(b - t.data_start) <- false) blocks
+(* Rebuild the segment live table from the bitmap on first use after a
+   mount (or an [Segstore.invalidate]).  Forcing [free_map] here is fine:
+   callers only reach this once they are about to allocate or free. *)
+let ensure_seg_hydrated t =
+  match t.segstore with
+  | Some ss when not (Segstore.hydrated ss) ->
+      let free = free_map t in
+      Segstore.hydrate ss
+        ~is_free:(fun b -> free.(b - t.data_start))
+        ~is_written:(fun b -> Block_device.is_written t.dev b)
+  | _ -> ()
 
-let mark_free t blocks =
+(* Bitmap transitions are idempotent (a no-op when the bit already holds
+   the target value) so the segment live table can hang off them as pure
+   write-through: replayed journal ops and live ops drive it through the
+   exact same two functions.  [bytes], when known, is the payload size of
+   the whole extent, attributed per block in extent order. *)
+let extent_byte_at t ~bytes ~idx =
+  match bytes with
+  | None -> block_size t
+  | Some total -> max 0 (min (block_size t) (total - (idx * block_size t)))
+
+let mark_used ?bytes t blocks =
   let free = free_map t in
-  List.iter
-    (fun b ->
+  ensure_seg_hydrated t;
+  List.iteri
+    (fun idx b ->
       let i = b - t.data_start in
-      free.(i) <- true;
-      let z = zone_of_slot t i in
-      if i < t.hints.(z) then t.hints.(z) <- i)
+      if free.(i) then begin
+        free.(i) <- false;
+        match t.segstore with
+        | Some ss ->
+            Segstore.note_alloc ss b ~bytes:(extent_byte_at t ~bytes ~idx)
+        | None -> ()
+      end)
+    blocks
+
+let mark_free ?bytes t blocks =
+  let free = free_map t in
+  ensure_seg_hydrated t;
+  List.iteri
+    (fun idx b ->
+      let i = b - t.data_start in
+      if not free.(i) then begin
+        free.(i) <- true;
+        let z = zone_of_slot t i in
+        if i < t.hints.(z) then t.hints.(z) <- i;
+        match t.segstore with
+        | Some ss ->
+            Segstore.note_free ss b
+              ~bytes:(extent_byte_at t ~bytes ~idx)
+              ~written:(Block_device.is_written t.dev b)
+        | None -> ()
+      end)
     blocks
 
 (* Extent allocation: contiguous first-fit, falling back to scattered
@@ -296,8 +365,24 @@ let mark_free t blocks =
    run.  Either way, failure rolls back every block taken.  The per-zone
    hint (every slot below it is allocated) lets the scan skip the densely
    packed prefix without changing which blocks first-fit would pick. *)
+(* Segmented placement: bump-allocate at the zone's open segment.  The
+   bitmap bits are NOT set here — they are set by [apply_op]'s
+   [mark_used] once the op is journaled, so replay accounts identically.
+   The bump pointer alone prevents double placement in the window
+   between.  On exhaustion, compact once (wired below) and retry. *)
+let alloc_seg t zone n =
+  let ss = Option.get t.segstore in
+  ensure_seg_hydrated t;
+  let cls = zone_idx zone in
+  match Segstore.alloc ss ~cls n with
+  | Some blocks -> Some blocks
+  | None ->
+      !space_reclaim t;
+      Segstore.alloc ss ~cls n
+
 let alloc_zone t zone n =
   if n = 0 then Some []
+  else if t.segmented then alloc_seg t zone n
   else begin
     let free = free_map t in
     let lo, hi = zone_bounds t zone in
@@ -361,6 +446,57 @@ let zero_and_free t blocks =
           Block_device.write_vec t.dev
             (List.map (fun b -> (b, String.make bs '\000')) blocks)));
   mark_free t blocks
+
+(* Destroy every dirty (freed-but-unpurged) block on the store.  A fully
+   dead sealed segment is reclaimed with per-block trims — the simulated
+   erase-block discard: one command latency, zero bytes written, which is
+   exactly the write-amplification win update-in-place cannot have (its
+   scattered extents always share erase blocks with live neighbours).
+   Segments still holding live data get their dead blocks forensically
+   zeroed in one vectored write.
+
+   Ordering rule (flush-before-destroy): the ring is flushed first so no
+   buffered journal record can be rolled back by a crash while the blocks
+   it references are already destroyed. *)
+let purge_dirty t =
+  match t.segstore with
+  | None -> ()
+  | Some ss ->
+      ensure_seg_hydrated t;
+      if Segstore.dirty_blocks ss > 0 then begin
+        retrying t (fun () -> Journal_ring.flush t.ring);
+        let bs = block_size t in
+        let cfg = Block_device.config t.dev in
+        Segstore.iter_segs ss (fun g ->
+            match g.Segstore.g_state with
+            | Segstore.S_sealed when g.Segstore.g_live = 0 ->
+                let n = ref 0 in
+                for b = g.Segstore.g_first to g.Segstore.g_first + g.Segstore.g_nblocks - 1 do
+                  if Block_device.is_written t.dev b then begin
+                    incr n;
+                    Block_device.trim t.dev b
+                  end
+                done;
+                if !n > 0 then begin
+                  (* one discard command per segment *)
+                  Clock.advance (Block_device.clock t.dev) cfg.Block_device.write_latency;
+                  Stats.Counter.incr t.counters "segment_trims"
+                end;
+                Segstore.clear_dirty ss (Segstore.dirty_in ss g);
+                Segstore.reclaim ss g;
+                Stats.Counter.incr t.counters "segments_reclaimed"
+            | _ -> ());
+        (* whatever is still pending lives in segments that keep live
+           data: forensically zero exactly those blocks, once each *)
+        (match Segstore.take_dirty ss with
+        | [] -> ()
+        | dl ->
+            retrying t (fun () ->
+                Block_device.write_vec t.dev
+                  (List.map (fun b -> (b, String.make bs '\000')) dl));
+            Stats.Counter.incr t.counters ~by:(List.length dl)
+              "purge_zeroed_blocks")
+      end
 
 let write_payload t payload blocks =
   let bs = block_size t in
@@ -831,8 +967,8 @@ let apply_op ?(hint = no_hint) ?freed_acc t op =
       Hashtbl.replace t.entries e.pd_id entry;
       Hashtbl.remove t.deleted e.pd_id;
       t.entry_count <- t.entry_count + 1;
-      mark_used t e.record_blocks;
-      mark_used t e.membrane_blocks;
+      mark_used t ~bytes:e.record_size e.record_blocks;
+      mark_used t ~bytes:e.membrane_size e.membrane_blocks;
       Index.add_subject t.index ~subject:e.subject ~pd_id:e.pd_id;
       index_put_record t ~pd_id:e.pd_id ~type_name:e.type_name ~hint
         ~blocks:e.record_blocks ~size:e.record_size;
@@ -847,8 +983,8 @@ let apply_op ?(hint = no_hint) ?freed_acc t op =
   | J_update_record { pd_id; blocks; size; sum } ->
       let entry = touch_entry t pd_id in
       note_freed entry.record_blocks;
-      mark_free t entry.record_blocks;
-      mark_used t blocks;
+      mark_free t ~bytes:entry.record_size entry.record_blocks;
+      mark_used t ~bytes:size blocks;
       entry.record_blocks <- blocks;
       entry.record_size <- size;
       entry.record_sum <- sum;
@@ -856,19 +992,22 @@ let apply_op ?(hint = no_hint) ?freed_acc t op =
   | J_update_membrane { pd_id; blocks; size; sum } ->
       let entry = touch_entry t pd_id in
       note_freed entry.membrane_blocks;
-      mark_free t entry.membrane_blocks;
-      mark_used t blocks;
+      mark_free t ~bytes:entry.membrane_size entry.membrane_blocks;
+      mark_used t ~bytes:size blocks;
       entry.membrane_blocks <- blocks;
       entry.membrane_size <- size;
       entry.membrane_sum <- sum;
-      (* consent flips and TTL changes land here: re-key the expiry queue *)
-      index_put_membrane t ~pd_id ~hint ~blocks ~size
+      (* consent flips and TTL changes land here: re-key the expiry queue.
+         An erased pd keeps its membrane (the subject link) but must never
+         re-enter the expiry queue — its record is already gone. *)
+      if entry.erased then Index.clear_expiry t.index ~pd_id
+      else index_put_membrane t ~pd_id ~hint ~blocks ~size
   | J_delete pd_id ->
       let entry = touch_entry t pd_id in
       note_freed entry.record_blocks;
       note_freed entry.membrane_blocks;
-      mark_free t entry.record_blocks;
-      mark_free t entry.membrane_blocks;
+      mark_free t ~bytes:entry.record_size entry.record_blocks;
+      mark_free t ~bytes:entry.membrane_size entry.membrane_blocks;
       Hashtbl.remove t.entries pd_id;
       Hashtbl.replace t.deleted pd_id ();
       t.entry_count <- t.entry_count - 1;
@@ -878,8 +1017,8 @@ let apply_op ?(hint = no_hint) ?freed_acc t op =
   | J_erase { pd_id; blocks; size; sum } ->
       let entry = touch_entry t pd_id in
       note_freed entry.record_blocks;
-      mark_free t entry.record_blocks;
-      mark_used t blocks;
+      mark_free t ~bytes:entry.record_size entry.record_blocks;
+      mark_used t ~bytes:size blocks;
       entry.record_blocks <- blocks;
       entry.record_size <- size;
       entry.record_sum <- sum;
@@ -1109,7 +1248,19 @@ let log_and_apply ?hint t op =
 (* ------------------------------------------------------------------ *)
 (* construction                                                       *)
 
-let format dev ~journal_blocks =
+(* Segment store covering the three data zones, one class per zone. *)
+let make_segstore ~segmented ~seg_blocks ~data_start ~block_count =
+  if not segmented then None
+  else begin
+    let rs = compute_rec_start ~data_start ~block_count in
+    let hs = compute_high_start ~data_start ~block_count in
+    Some
+      (Segstore.create ~seg_blocks
+         ~zones:[ (data_start, rs); (rs, hs); (hs, block_count) ])
+  end
+
+let format ?(segmented = false) ?(seg_blocks = default_seg_blocks) dev
+    ~journal_blocks =
   let cfg = Block_device.config dev in
   let block_count = cfg.Block_device.block_count in
   let bs = cfg.Block_device.block_size in
@@ -1128,6 +1279,8 @@ let format dev ~journal_blocks =
   Codec.Writer.string w superblock_magic;
   Codec.Writer.int w journal_blocks;
   Codec.Writer.int w meta_blocks;
+  Codec.Writer.bool w segmented;
+  Codec.Writer.int w seg_blocks;
   Block_device.write dev 0 (Codec.Writer.contents w);
   let t =
     {
@@ -1161,6 +1314,11 @@ let format dev ~journal_blocks =
       replay_warning = None;
       counters = Stats.Counter.create ();
       cache = Cache.create ~budget:default_cache_budget;
+      segmented;
+      seg_blocks;
+      segstore = make_segstore ~segmented ~seg_blocks ~data_start ~block_count;
+      compacting = false;
+      pool = None;
     }
   in
   commit_root t;
@@ -1175,11 +1333,20 @@ let mount dev =
     else
       let* journal_blocks = Codec.Reader.int r in
       let* meta_blocks = Codec.Reader.int r in
-      Ok (journal_blocks, meta_blocks)
+      (* segmented-mode fields; absent on stores formatted before them *)
+      let segmented, seg_blocks =
+        match Codec.Reader.bool r with
+        | Ok s -> (
+            match Codec.Reader.int r with
+            | Ok n when n > 0 -> (s, n)
+            | _ -> (false, default_seg_blocks))
+        | Error _ -> (false, default_seg_blocks)
+      in
+      Ok (journal_blocks, meta_blocks, segmented, seg_blocks)
   in
   match parse_super with
   | Error e -> Error e
-  | Ok (journal_blocks, meta_blocks) -> (
+  | Ok (journal_blocks, meta_blocks, segmented, seg_blocks) -> (
       let cfg = Block_device.config dev in
       let block_count = cfg.Block_device.block_count in
       let bs = cfg.Block_device.block_size in
@@ -1235,6 +1402,12 @@ let mount dev =
               replay_warning = None;
               counters = Stats.Counter.create ();
               cache = Cache.create ~budget:default_cache_budget;
+              segmented;
+              seg_blocks;
+              segstore =
+                make_segstore ~segmented ~seg_blocks ~data_start ~block_count;
+              compacting = false;
+              pool = None;
             }
           in
           (* attaching reads no pages — a clean mount touches only the
@@ -1403,6 +1576,7 @@ let insert t ~actor ~subject ~type_name ~record ~membrane_of =
                            encoded are exactly what a read would decode *)
                         cache_put_membrane t pd_id membrane;
                         cache_put_record t pd_id record;
+                        !maintain t;
                         Ok pd_id))))
 
 (* Verify an extent's checksum against the raw bytes just read.  An empty
@@ -1610,9 +1784,13 @@ let update_record t ~actor pd_id record =
                            size = String.length bytes;
                            sum = Fnv.hash64_hex bytes;
                          });
-                    (* zeroing deallocation: no stale PD on the medium *)
-                    zero_and_free t old_blocks;
+                    (* zeroing deallocation: no stale PD on the medium.
+                       Segmented mode defers the zeroing — the old blocks
+                       sit dirty in their sealed segment until a purge or
+                       the compactor destroys them wholesale. *)
+                    if not t.segmented then zero_and_free t old_blocks;
                     Stats.Counter.incr t.counters "record_updates";
+                    !maintain t;
                     Ok ())))
 
 let update_membrane t ~actor pd_id membrane =
@@ -1642,8 +1820,9 @@ let update_membrane t ~actor pd_id membrane =
                    size = String.length bytes;
                    sum = Fnv.hash64_hex bytes;
                  });
-            zero_and_free t old_blocks;
+            if not t.segmented then zero_and_free t old_blocks;
             Stats.Counter.incr t.counters "membrane_updates";
+            !maintain t;
             Ok ())
 
 let update_membranes_by_lineage t ~actor ~lineage f =
@@ -1685,14 +1864,21 @@ let delete t ~actor pd_id =
   let membrane_blocks = e.membrane_blocks in
   protect_write t (fun () ->
       log_and_apply t (J_delete pd_id);
-      (* physical zeroing after the metadata commit, as one vectored write *)
-      let bs = block_size t in
-      retrying t (fun () ->
-          Block_device.write_vec t.dev
-            (List.map
-               (fun b -> (b, String.make bs '\000'))
-               (record_blocks @ membrane_blocks)));
+      (* physical destruction after the metadata commit.  Segmented mode
+         purges every dirty block on the store (this pd's extents
+         included), trimming fully dead segments; update-in-place zeroes
+         exactly this pd's extents in one vectored write. *)
+      if t.segmented then purge_dirty t
+      else begin
+        let bs = block_size t in
+        retrying t (fun () ->
+            Block_device.write_vec t.dev
+              (List.map
+                 (fun b -> (b, String.make bs '\000'))
+                 (record_blocks @ membrane_blocks)))
+      end;
       Stats.Counter.incr t.counters "deletes";
+      !maintain t;
       Ok ())
 
 let erase_with t ~actor pd_id ~seal =
@@ -1720,8 +1906,12 @@ let erase_with t ~actor pd_id ~seal =
                    size = String.length sealed;
                    sum = Fnv.hash64_hex sealed;
                  });
-            zero_and_free t old_blocks;
+            (* destruction obligation: erasure must leave no plaintext of
+               the old record anywhere — segmented mode purges the whole
+               dirty set (old extent included) synchronously *)
+            if t.segmented then purge_dirty t else zero_and_free t old_blocks;
             Stats.Counter.incr t.counters "erasures";
+            !maintain t;
             Ok ())
 
 let erased_payload t ~actor pd_id =
@@ -1733,6 +1923,208 @@ let erased_payload t ~actor pd_id =
         let raw = read_payload t e.record_blocks e.record_size in
         charge_checksum t e.record_size;
         verify_sum ~what:"sealed payload" ~pd_id ~stored:e.record_sum raw)
+
+(* ------------------------------------------------------------------ *)
+(* compaction (segmented mode)                                        *)
+
+(* Merge low-liveness sealed segments: relocate every surviving extent
+   through the ordinary journaled write path (J_update_record /
+   J_update_membrane / J_erase with identical size and checksum — so
+   replay, secondary indexes, caches and the bitmap stay coherent with no
+   compaction-specific recovery code), then destroy the victims: a trim
+   per fully dead segment, a vectored zero over dead blocks of any
+   segment whose survivors could not move.  Survivor checksums are
+   verified before relocation (fanned out over [t.pool] when one is
+   attached); an extent failing its checksum is left in place for fsck
+   rather than propagated.
+
+   Crash windows (both exercised by the fault campaign):
+   - after a relocation is journaled, before the victim is destroyed:
+     mount-time replay zeroes the superseded copy ([freed_acc]);
+   - after a relocated payload is written, before its journal record is
+     durable: the new blocks are free+written, which [fsck_repair]'s
+     free-space scrub destroys; the old copy is still live. *)
+let compact ?(max_victims = compact_batch) ?(liveness_pct = compact_liveness_pct)
+    t =
+  match t.segstore with
+  | None -> 0
+  | Some ss ->
+      if t.compacting then 0
+      else begin
+        t.compacting <- true;
+        Fun.protect
+          ~finally:(fun () -> t.compacting <- false)
+          (fun () ->
+            ensure_seg_hydrated t;
+            match Segstore.victims ss ~max_victims ~liveness_pct with
+            | [] -> 0
+            | victims ->
+                (* flush-before-destroy: buffered records may reference
+                   blocks this pass is about to destroy.  Only flushed on
+                   actual work, so an idle tick cannot defeat group
+                   commit. *)
+                retrying t (fun () -> Journal_ring.flush t.ring);
+                Stats.Counter.incr t.counters "compactions";
+                let in_victim b =
+                  List.exists
+                    (fun g ->
+                      b >= g.Segstore.g_first
+                      && b < g.Segstore.g_first + g.Segstore.g_nblocks)
+                    victims
+                in
+                (* one merged entry pass discovers every surviving extent *)
+                let moves = ref [] in
+                iter_entries t (fun e ->
+                    (match e.record_blocks with
+                    | b :: _ when in_victim b ->
+                        moves := (e.pd_id, `Record) :: !moves
+                    | _ -> ());
+                    match e.membrane_blocks with
+                    | b :: _ when in_victim b ->
+                        moves := (e.pd_id, `Membrane) :: !moves
+                    | _ -> ());
+                let items =
+                  List.rev !moves
+                  |> List.filter_map (fun (pd_id, kind) ->
+                         match find_entry t pd_id with
+                         | Error _ -> None
+                         | Ok e ->
+                             let blocks, size, sum =
+                               match kind with
+                               | `Record ->
+                                   (e.record_blocks, e.record_size, e.record_sum)
+                               | `Membrane ->
+                                   ( e.membrane_blocks,
+                                     e.membrane_size,
+                                     e.membrane_sum )
+                             in
+                             let raw = read_payload t blocks size in
+                             charge_checksum t size;
+                             Some (pd_id, kind, e, raw, sum))
+                in
+                let verify (_, _, _, raw, sum) =
+                  sum = "" || Fnv.hash64_hex raw = sum
+                in
+                let checks =
+                  match t.pool with
+                  | Some pool -> Pool.map_list pool verify items
+                  | None -> List.map verify items
+                in
+                let relocated = ref 0 in
+                List.iter2
+                  (fun (pd_id, kind, e, raw, sum) ok ->
+                    if not ok then
+                      Stats.Counter.incr t.counters "compact_verify_failures"
+                    else begin
+                      let size = String.length raw in
+                      let sum = if sum = "" then Fnv.hash64_hex raw else sum in
+                      let dest =
+                        match kind with
+                        | `Record ->
+                            alloc_record_blocks t ~high:e.high
+                              (blocks_needed t size)
+                        | `Membrane ->
+                            alloc_membrane_blocks t (blocks_needed t size)
+                      in
+                      match dest with
+                      | None -> () (* no room: survivor stays put *)
+                      | Some blocks ->
+                          write_payload t raw blocks;
+                          let hint, op =
+                            match kind with
+                            | `Membrane ->
+                                ( (match Membrane.decode raw with
+                                  | Ok m -> { no_hint with h_membrane = Some m }
+                                  | Error _ -> no_hint),
+                                  J_update_membrane { pd_id; blocks; size; sum }
+                                )
+                            | `Record when e.erased ->
+                                (no_hint, J_erase { pd_id; blocks; size; sum })
+                            | `Record ->
+                                ( (match Record.decode raw with
+                                  | Ok r -> { no_hint with h_record = Some r }
+                                  | Error _ -> no_hint),
+                                  J_update_record { pd_id; blocks; size; sum } )
+                          in
+                          log_and_apply t ~hint op;
+                          incr relocated
+                    end)
+                  items checks;
+                Stats.Counter.incr t.counters ~by:!relocated
+                  "compact_relocations";
+                (* make the relocations durable, then destroy the victims *)
+                retrying t (fun () -> Journal_ring.flush t.ring);
+                let bs = block_size t in
+                let cfg = Block_device.config t.dev in
+                List.iter
+                  (fun g ->
+                    if g.Segstore.g_live = 0 then begin
+                      let n = ref 0 in
+                      for b = g.Segstore.g_first
+                          to g.Segstore.g_first + g.Segstore.g_nblocks - 1 do
+                        if Block_device.is_written t.dev b then begin
+                          incr n;
+                          Block_device.trim t.dev b
+                        end
+                      done;
+                      if !n > 0 then begin
+                        Clock.advance (Block_device.clock t.dev)
+                          cfg.Block_device.write_latency;
+                        Stats.Counter.incr t.counters "segment_trims"
+                      end;
+                      Segstore.clear_dirty ss (Segstore.dirty_in ss g);
+                      Segstore.reclaim ss g;
+                      Stats.Counter.incr t.counters "segments_reclaimed"
+                    end
+                    else begin
+                      (* survivors could not move: zero the pending dead
+                         blocks (once — the dirty set forgets them) *)
+                      match Segstore.dirty_in ss g with
+                      | [] -> ()
+                      | dl ->
+                          retrying t (fun () ->
+                              Block_device.write_vec t.dev
+                                (List.map
+                                   (fun b -> (b, String.make bs '\000'))
+                                   dl));
+                          Segstore.clear_dirty ss dl;
+                          Stats.Counter.incr t.counters ~by:(List.length dl)
+                            "purge_zeroed_blocks"
+                    end)
+                  victims;
+                List.length victims)
+      end
+
+(* Space-driven compaction (the allocator's retry hook) is more
+   aggressive than the dirty-driven pass: relocating up to 75%-live
+   segments frees whole segments for reuse. *)
+let () =
+  space_reclaim :=
+    fun t -> ignore (compact t ~max_victims:(2 * compact_batch) ~liveness_pct:75.0)
+
+(* Per-mutator maintenance: compact when the dirty backlog crosses the
+   trigger; if it is STILL above the backpressure threshold afterwards
+   (the compactor cannot keep up — the survivors are too live to evict),
+   charge a deterministic stall to the op that rode over the limit. *)
+let tick t =
+  match t.segstore with
+  | None -> ()
+  | Some ss ->
+      if not t.compacting then begin
+        ensure_seg_hydrated t;
+        let data_blocks = total_blocks t - t.data_start in
+        if Segstore.dirty_blocks ss * 100 >= data_blocks * dirty_trigger_pct
+        then ignore (compact t);
+        if Segstore.dirty_blocks ss * 100 >= data_blocks * backpressure_pct
+        then begin
+          Stats.Counter.incr t.counters "backpressure_stalls";
+          Stats.Counter.incr t.counters ~by:backpressure_stall_ns
+            "backpressure_stall_ns";
+          Clock.advance (Block_device.clock t.dev) backpressure_stall_ns
+        end
+      end
+
+let () = maintain := tick
 
 (* ------------------------------------------------------------------ *)
 (* queries                                                            *)
@@ -2347,6 +2739,10 @@ let fsck_repair t =
     act "scrubbed %d stale metadata heap block(s)" !stale_meta;
   t.replay_warning <- None;
   Cache.clear t.cache;
+  (* the repair rewrote the bitmap and scrubbed free space wholesale: the
+     derived segment table is stale — rebuild it from the bitmap on next
+     use *)
+  (match t.segstore with Some ss -> Segstore.invalidate ss | None -> ());
   (* 7. verify; leave degraded mode only on a clean bill of health *)
   let recheck = fsck_check t in
   let clean = recheck = [] && not !device_faults in
@@ -2405,4 +2801,52 @@ let rebuilt_index_dump t = Index.dump (rebuild_index t)
 
 let unsafe_tamper_index t pd_id = Index.unsafe_drop_posting t.index ~pd_id
 
-let stats t = t.counters
+(* ------------------------------------------------------------------ *)
+(* group commit & segment controls                                    *)
+
+let segmented t = t.segmented
+
+let set_group_commit t n =
+  (* never reorder across a window change: drain the buffer first *)
+  retrying t (fun () -> Journal_ring.flush t.ring);
+  Journal_ring.set_window t.ring n
+
+let group_commit_window t = Journal_ring.window t.ring
+
+let flush_journal t = retrying t (fun () -> Journal_ring.flush t.ring)
+
+let pending_journal_ops t = Journal_ring.pending_ops t.ring
+
+let set_compaction_pool t pool = t.pool <- Some pool
+
+let segment_table t =
+  match t.segstore with
+  | None -> []
+  | Some ss ->
+      ensure_seg_hydrated t;
+      Segstore.live_table ss
+
+let segment_dirty_blocks t =
+  match t.segstore with
+  | None -> 0
+  | Some ss ->
+      ensure_seg_hydrated t;
+      Segstore.dirty_blocks ss
+
+let free_segments t =
+  match t.segstore with
+  | None -> 0
+  | Some ss ->
+      ensure_seg_hydrated t;
+      Segstore.free_segs ss 0 + Segstore.free_segs ss 1 + Segstore.free_segs ss 2
+
+let stats t =
+  (* mirror the ring's group-commit tallies into the counter set so one
+     [Stats.Counter.to_list] shows the whole store *)
+  let sync name v =
+    let cur = Stats.Counter.get t.counters name in
+    if v > cur then Stats.Counter.incr t.counters ~by:(v - cur) name
+  in
+  sync "committed_batches" (Journal_ring.batches t.ring);
+  sync "batched_ops" (Journal_ring.batched_ops t.ring);
+  t.counters

@@ -55,8 +55,18 @@ val pp_error : Format.formatter -> error -> unit
 val error_to_string : error -> string
 
 val format :
-  Rgpdos_block.Block_device.t -> journal_blocks:int -> t
-(** Write a fresh DBFS on the device. *)
+  ?segmented:bool ->
+  ?seg_blocks:int ->
+  Rgpdos_block.Block_device.t ->
+  journal_blocks:int ->
+  t
+(** Write a fresh DBFS on the device.  [?segmented] (default [false])
+    selects the log-structured allocator: payload extents bump-allocate
+    into per-zone append-only segments of [?seg_blocks] (default 64)
+    blocks, superseded extents stay in place until a purge or the
+    compactor destroys them, and fully dead segments are reclaimed with
+    segment-granular trims.  The flag persists in the superblock, so
+    both allocators coexist on one build for A/B comparison. *)
 
 val mount : Rgpdos_block.Block_device.t -> (t, string) result
 (** Load the last checkpoint and replay the metadata journal.  Replay is
@@ -345,9 +355,58 @@ val unsafe_tamper_index : t -> string -> bool
     bookkeeping claiming it is posted) — the kind of damage {!fsck} must
     flag.  Returns [false] when the pd carries no indexed fields. *)
 
+(** {1 Group commit & log-structured segments} *)
+
+val segmented : t -> bool
+(** Whether the store was formatted with the log-structured allocator. *)
+
+val set_group_commit : t -> int -> unit
+(** Group-commit window for the metadata journal: [1] (the default)
+    writes each record immediately — byte- and counter-identical to the
+    pre-group-commit path; [n > 1] buffers up to [n] journal records and
+    commits them in one vectored device write.  Any buffered records are
+    flushed before the window changes. *)
+
+val group_commit_window : t -> int
+
+val flush_journal : t -> unit
+(** Commit any buffered journal records now (no-op when none). *)
+
+val pending_journal_ops : t -> int
+(** Journal records buffered but not yet durable. *)
+
+val compact : ?max_victims:int -> ?liveness_pct:float -> t -> int
+(** Run one compaction pass: pick up to [max_victims] sealed segments at
+    or below [liveness_pct] live, relocate their surviving extents
+    through the ordinary journaled write path, then destroy the victims
+    (trim when fully dead, vectored zero otherwise).  Returns the number
+    of victim segments processed; [0] on an update-in-place store or
+    when nothing qualifies. *)
+
+val purge_dirty : t -> unit
+(** Destroy every freed-but-unpurged block now (segmented mode; no-op
+    otherwise).  Runs implicitly on every [delete] and [erase]. *)
+
+val set_compaction_pool : t -> Rgpdos_util.Pool.t -> unit
+(** Fan survivor checksum verification out over a domain pool during
+    compaction.  Results are deterministic with or without a pool. *)
+
+val segment_table : t -> (int * string * int * int * int) list
+(** Per-segment live table [(id, state, used, live_blocks, live_bytes)]
+    for every non-free segment; [[]] on an update-in-place store. *)
+
+val segment_dirty_blocks : t -> int
+(** Freed-but-unpurged blocks still holding superseded plaintext. *)
+
+val free_segments : t -> int
+(** Free segments remaining across all three zones. *)
+
 val stats : t -> Rgpdos_util.Stats.Counter.t
 (** Operation counters ("inserts", "membrane_reads", "record_reads",
-    "deletes", "erasures", "denials", ...).
+    "deletes", "erasures", "denials", ...), plus group-commit
+    ("committed_batches", "batched_ops") and segment bookkeeping
+    ("compactions", "compact_relocations", "segments_reclaimed",
+    "segment_trims", "purge_zeroed_blocks", "backpressure_stalls").
 
     "cache_hits" / "cache_misses" count lookups in the decoded
     membrane/record read cache.  A hit skips the host-side payload

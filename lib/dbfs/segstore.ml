@@ -1,0 +1,318 @@
+(* Log-structured record segments over the DBFS data region.
+
+   The zoned data region (membrane zone / ordinary records / sensitive
+   records, see dbfs.ml) is carved into fixed-size segments of
+   [seg_blocks] device blocks each.  In segmented mode every payload
+   extent is bump-allocated at the write pointer of the zone's single
+   *open* segment, so the device sees strictly sequential appends per
+   zone instead of first-fit holes.  A segment whose write pointer
+   reaches the end (or that is abandoned by a remount) is *sealed*:
+   nothing is ever written into it again, it can only lose liveness as
+   entries are superseded, deleted or erased, until the compactor
+   relocates the survivors and hands the whole segment back as *free*.
+
+   Liveness is tracked in a per-segment live table: live blocks, live
+   payload bytes, and the segment's bump pointer.  The table is derived
+   state — its single source of truth is the DBFS allocation bitmap,
+   which is already persisted at every checkpoint.  On a fresh mount the
+   table is rebuilt lazily from the hydrated bitmap (every non-empty
+   segment is sealed, its allocated blocks are its live blocks), so
+   clean mounts stay O(1) and the table can never disagree with the
+   bitmap after a crash.
+
+   GDPR twist (the paper's §1 criticism inverted): freed blocks inside a
+   sealed segment keep their plaintext until they are *purged*.  DBFS
+   purges synchronously on every destruction op (delete / erase) and
+   during compaction; a fully dead segment is reclaimed with a
+   segment-granular [Block_device.trim] — modelling an SSD erase-block
+   discard, which the scattered extents of the update-in-place allocator
+   can never use because live neighbours share their erase block. *)
+
+type state = S_free | S_open | S_sealed
+
+let state_to_string = function
+  | S_free -> "free"
+  | S_open -> "open"
+  | S_sealed -> "sealed"
+
+type seg = {
+  g_id : int;
+  g_class : int; (* 0 membrane, 1 ordinary record, 2 sensitive record *)
+  g_first : int; (* first device block *)
+  g_nblocks : int;
+  mutable g_state : state;
+  mutable g_used : int; (* bump pointer, in blocks *)
+  mutable g_live : int; (* live (allocated) blocks *)
+  mutable g_live_bytes : int; (* live payload bytes (exact for blocks
+                                 allocated this session, block-rounded
+                                 for blocks inherited from the bitmap) *)
+}
+
+type t = {
+  seg_blocks : int;
+  zones : (int * int) array; (* per class: [lo, hi) device blocks *)
+  segs : seg array;
+  class_start : int array; (* first index into [segs] per class *)
+  class_count : int array;
+  open_seg : int option array; (* per class: index into [segs] *)
+  mutable hydrated : bool;
+  dirty : (int, unit) Hashtbl.t;
+      (* freed-but-not-yet-purged device blocks (still holding bytes).
+         An explicit set, not a counter: the purge path zeroes exactly
+         these blocks, so a block is scrubbed once — a zeroed block stays
+         [is_written] on the device and must never re-enter the sweep. *)
+}
+
+let num_classes = 3
+
+let create ~seg_blocks ~zones =
+  if seg_blocks <= 0 then invalid_arg "Segstore.create: seg_blocks";
+  if List.length zones <> num_classes then invalid_arg "Segstore.create: zones";
+  let zones = Array.of_list zones in
+  let class_start = Array.make num_classes 0 in
+  let class_count = Array.make num_classes 0 in
+  let segs = ref [] in
+  let id = ref 0 in
+  Array.iteri
+    (fun c (lo, hi) ->
+      class_start.(c) <- !id;
+      let n = (hi - lo) / seg_blocks in
+      class_count.(c) <- n;
+      for i = 0 to n - 1 do
+        segs :=
+          {
+            g_id = !id + i;
+            g_class = c;
+            g_first = lo + (i * seg_blocks);
+            g_nblocks = seg_blocks;
+            g_state = S_free;
+            g_used = 0;
+            g_live = 0;
+            g_live_bytes = 0;
+          }
+          :: !segs
+      done;
+      id := !id + n)
+    zones;
+  {
+    seg_blocks;
+    zones;
+    segs = Array.of_list (List.rev !segs);
+    class_start;
+    class_count;
+    open_seg = Array.make num_classes None;
+    hydrated = false;
+    dirty = Hashtbl.create 256;
+  }
+
+let hydrated t = t.hydrated
+
+let seg_count t = Array.length t.segs
+
+(* Segment owning a device block, or [None] for blocks outside every
+   segment (zone tails smaller than a segment are never allocated in
+   segmented mode). *)
+let seg_of_block t b =
+  let found = ref None in
+  Array.iteri
+    (fun c (lo, hi) ->
+      if !found = None && b >= lo && b < hi then begin
+        let i = (b - lo) / t.seg_blocks in
+        if i < t.class_count.(c) then
+          found := Some t.segs.(t.class_start.(c) + i)
+      end)
+    t.zones;
+  !found
+
+(* Rebuild the live table from the allocation bitmap: the bitmap is the
+   persisted truth, the table is its per-segment summary.  Every segment
+   holding any allocated or written block is sealed — appends after a
+   remount start in a fresh segment, which is what makes the bump
+   pointers trustworthy without persisting them. *)
+let hydrate t ~is_free ~is_written =
+  Hashtbl.reset t.dirty;
+  Array.iter
+    (fun g ->
+      let live = ref 0 and used = ref 0 in
+      for b = g.g_first to g.g_first + g.g_nblocks - 1 do
+        if not (is_free b) then begin
+          incr live;
+          used := b - g.g_first + 1
+        end
+        else if is_written b then begin
+          (* a pre-crash purge may already have zeroed this block; one
+             redundant scrub per mount is the price of not persisting
+             the dirty set *)
+          Hashtbl.replace t.dirty b ();
+          used := b - g.g_first + 1
+        end
+      done;
+      g.g_live <- !live;
+      g.g_live_bytes <- 0;
+      g.g_used <- (if !live > 0 then g.g_nblocks else !used);
+      g.g_state <- (if !live > 0 || !used > 0 then S_sealed else S_free))
+    t.segs;
+  Array.fill t.open_seg 0 num_classes None;
+  t.hydrated <- true
+
+let invalidate t =
+  Array.iter
+    (fun g ->
+      g.g_state <- S_free;
+      g.g_used <- 0;
+      g.g_live <- 0;
+      g.g_live_bytes <- 0)
+    t.segs;
+  Array.fill t.open_seg 0 num_classes None;
+  Hashtbl.reset t.dirty;
+  t.hydrated <- false
+
+let seal t g =
+  if g.g_state = S_open then begin
+    g.g_state <- S_sealed;
+    if t.open_seg.(g.g_class) = Some g.g_id then t.open_seg.(g.g_class) <- None
+  end
+
+let next_free_seg t cls =
+  let lo = t.class_start.(cls) in
+  let hi = lo + t.class_count.(cls) in
+  let rec go i =
+    if i >= hi then None
+    else if t.segs.(i).g_state = S_free then Some t.segs.(i)
+    else go (i + 1)
+  in
+  go lo
+
+let free_segs t cls =
+  let lo = t.class_start.(cls) in
+  let n = ref 0 in
+  for i = lo to lo + t.class_count.(cls) - 1 do
+    if t.segs.(i).g_state = S_free then incr n
+  done;
+  !n
+
+(* Bump-allocate [n] contiguous blocks in class [cls].  Only picks the
+   placement — liveness accounting happens when DBFS marks the blocks
+   used in the bitmap (note_alloc), so replayed journal ops and live ops
+   account identically.  An extent larger than one segment takes a run
+   of consecutive free segments (a "jumbo" extent) and seals them. *)
+let alloc t ~cls n =
+  if n = 0 then Some []
+  else if n <= t.seg_blocks then begin
+    let take g =
+      let first = g.g_first + g.g_used in
+      g.g_used <- g.g_used + n;
+      if g.g_used >= g.g_nblocks then seal t g;
+      Some (List.init n (fun i -> first + i))
+    in
+    let open_ok g = g.g_state = S_open && g.g_used + n <= g.g_nblocks in
+    match t.open_seg.(cls) with
+    | Some i when open_ok t.segs.(i) -> take t.segs.(i)
+    | cur -> (
+        (match cur with Some i -> seal t t.segs.(i) | None -> ());
+        match next_free_seg t cls with
+        | None -> None
+        | Some g ->
+            g.g_state <- S_open;
+            g.g_used <- 0;
+            t.open_seg.(cls) <- Some g.g_id;
+            take g)
+  end
+  else begin
+    (* jumbo: consecutive free segments covering n blocks *)
+    let segs_needed = ((n - 1) / t.seg_blocks) + 1 in
+    let lo = t.class_start.(cls) in
+    let hi = lo + t.class_count.(cls) in
+    let rec find i run =
+      if i >= hi then None
+      else if t.segs.(i).g_state = S_free then
+        if run + 1 >= segs_needed then Some (i - run)
+        else find (i + 1) (run + 1)
+      else find (i + 1) 0
+    in
+    match find lo 0 with
+    | None -> None
+    | Some first_idx ->
+        let first = t.segs.(first_idx).g_first in
+        let remaining = ref n in
+        for k = first_idx to first_idx + segs_needed - 1 do
+          let g = t.segs.(k) in
+          g.g_state <- S_sealed;
+          g.g_used <- min !remaining g.g_nblocks;
+          remaining := !remaining - g.g_used
+        done;
+        Some (List.init n (fun i -> first + i))
+  end
+
+(* Bitmap write-through hooks: DBFS calls these from mark_used/mark_free
+   so the table tracks exactly what the bitmap records. *)
+
+let note_alloc t b ~bytes =
+  match seg_of_block t b with
+  | None -> ()
+  | Some g ->
+      g.g_live <- g.g_live + 1;
+      g.g_live_bytes <- g.g_live_bytes + bytes;
+      let off = b - g.g_first + 1 in
+      if off > g.g_used then g.g_used <- off;
+      if g.g_state = S_free then g.g_state <- S_sealed
+
+let note_free t b ~bytes ~written =
+  match seg_of_block t b with
+  | None -> ()
+  | Some g ->
+      g.g_live <- max 0 (g.g_live - 1);
+      g.g_live_bytes <- max 0 (g.g_live_bytes - bytes);
+      if written then Hashtbl.replace t.dirty b ()
+
+let dirty_blocks t = Hashtbl.length t.dirty
+
+let dirty_in t g =
+  let hi = g.g_first + g.g_nblocks in
+  Hashtbl.fold
+    (fun b () acc -> if b >= g.g_first && b < hi then b :: acc else acc)
+    t.dirty []
+  |> List.sort compare
+
+let clear_dirty t blocks = List.iter (Hashtbl.remove t.dirty) blocks
+
+let take_dirty t =
+  let all = Hashtbl.fold (fun b () acc -> b :: acc) t.dirty [] in
+  Hashtbl.reset t.dirty;
+  List.sort compare all
+
+(* Reclaim: the compactor has relocated (or dropped) every live byte and
+   destroyed the segment's contents; hand it back for reuse. *)
+let reclaim t g =
+  g.g_state <- S_free;
+  g.g_used <- 0;
+  g.g_live <- 0;
+  g.g_live_bytes <- 0;
+  if t.open_seg.(g.g_class) = Some g.g_id then t.open_seg.(g.g_class) <- None
+
+(* Compaction victims: sealed segments with any consumed space whose
+   liveness (live blocks / bump pointer) is at or below
+   [liveness_pct] — fully dead segments first (pure reclaim, no copy),
+   then lowest liveness.  The open segments are never victims. *)
+let victims t ~max_victims ~liveness_pct =
+  let cands = ref [] in
+  Array.iter
+    (fun g ->
+      if g.g_state = S_sealed && g.g_used > 0 then begin
+        let ratio = 100.0 *. float_of_int g.g_live /. float_of_int g.g_used in
+        if ratio <= liveness_pct then cands := (ratio, g) :: !cands
+      end)
+    t.segs;
+  List.sort
+    (fun (ra, a) (rb, b) -> compare (ra, a.g_id) (rb, b.g_id))
+    !cands
+  |> List.filteri (fun i _ -> i < max_victims)
+  |> List.map snd
+
+let iter_segs t f = Array.iter f t.segs
+
+let live_table t =
+  Array.to_list t.segs
+  |> List.filter (fun g -> g.g_state <> S_free)
+  |> List.map (fun g ->
+         (g.g_id, state_to_string g.g_state, g.g_used, g.g_live, g.g_live_bytes))

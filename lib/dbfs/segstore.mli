@@ -1,0 +1,94 @@
+(** Log-structured record segments over the DBFS data region.
+
+    In segmented mode the three data zones (membranes / ordinary records
+    / sensitive records) are carved into fixed-size segments.  Payload
+    extents are bump-allocated at the write pointer of the zone's open
+    segment; full segments are sealed and only lose liveness afterwards,
+    until the compactor relocates the survivors and reclaims the whole
+    segment (with a segment-granular trim when it is fully dead).
+
+    The per-segment live table (state, bump pointer, live blocks, live
+    bytes) is derived state over the DBFS allocation bitmap: it is
+    maintained write-through while mounted and rebuilt lazily from the
+    hydrated bitmap after a remount, so it can never disagree with the
+    persisted truth and clean mounts stay O(1). *)
+
+type state = S_free | S_open | S_sealed
+
+val state_to_string : state -> string
+
+type seg = private {
+  g_id : int;
+  g_class : int;  (** 0 membrane, 1 ordinary record, 2 sensitive record *)
+  g_first : int;  (** first device block *)
+  g_nblocks : int;
+  mutable g_state : state;
+  mutable g_used : int;  (** bump pointer, in blocks *)
+  mutable g_live : int;  (** live (allocated) blocks *)
+  mutable g_live_bytes : int;  (** live payload bytes *)
+}
+
+type t
+
+val create : seg_blocks:int -> zones:(int * int) list -> t
+(** [create ~seg_blocks ~zones] carves each [(lo, hi)] zone (one per
+    class, in class order) into [(hi-lo)/seg_blocks] segments.  Zone
+    tails smaller than a segment are never allocated. *)
+
+val hydrated : t -> bool
+
+val hydrate : t -> is_free:(int -> bool) -> is_written:(int -> bool) -> unit
+(** Rebuild the live table from the allocation bitmap: non-empty
+    segments are sealed (appends resume in fresh segments), free+written
+    blocks count as dirty. *)
+
+val seg_count : t -> int
+val seg_of_block : t -> int -> seg option
+
+val alloc : t -> cls:int -> int -> int list option
+(** Bump-allocate a contiguous extent in the class's open segment,
+    opening the next free segment when needed; an extent larger than a
+    segment takes a run of consecutive free segments.  Returns [None]
+    when the class has no room — the caller should compact and retry.
+    Placement only: liveness is accounted via {!note_alloc}. *)
+
+val note_alloc : t -> int -> bytes:int -> unit
+(** A block was marked used in the bitmap (write-through hook). *)
+
+val note_free : t -> int -> bytes:int -> written:bool -> unit
+(** A block was marked free in the bitmap; [written] blocks still hold
+    their old payload and count as dirty until purged. *)
+
+val dirty_blocks : t -> int
+(** Freed-but-unpurged blocks: plaintext awaiting destruction. *)
+
+val dirty_in : t -> seg -> int list
+(** The dirty blocks inside one segment, sorted. *)
+
+val clear_dirty : t -> int list -> unit
+(** The given blocks were zeroed or trimmed; drop them from the dirty
+    set.  Zeroed blocks stay [is_written] on the device, so this is what
+    guarantees a block is scrubbed exactly once. *)
+
+val take_dirty : t -> int list
+(** All dirty blocks, sorted; the set is emptied. *)
+
+val free_segs : t -> int -> int
+(** Free segments remaining in a class. *)
+
+val seal : t -> seg -> unit
+val reclaim : t -> seg -> unit
+
+val victims : t -> max_victims:int -> liveness_pct:float -> seg list
+(** Sealed segments whose live/used ratio is at or below
+    [liveness_pct], fully dead first then lowest liveness. *)
+
+val iter_segs : t -> (seg -> unit) -> unit
+
+val live_table : t -> (int * string * int * int * int) list
+(** [(id, state, used, live_blocks, live_bytes)] for every non-free
+    segment. *)
+
+val invalidate : t -> unit
+(** Drop the derived table (e.g. after fsck repair rewrote the bitmap);
+    the next use re-hydrates from the bitmap. *)

@@ -100,7 +100,8 @@ let assemble ~clock ~prng ~authority ~pd_dev ~npd_dev ~dbfs ~npd_fs ~audit =
     collectors = Hashtbl.create 8;
   }
 
-let boot ?(seed = 42L) ?pd_device ?npd_device ?authority () =
+let boot ?(seed = 42L) ?pd_device ?npd_device ?authority ?(segmented = false)
+    ?(group_commit_window = 1) () =
   let clock = Clock.create () in
   let prng = Prng.create ~seed () in
   let authority =
@@ -115,7 +116,8 @@ let boot ?(seed = 42L) ?pd_device ?npd_device ?authority () =
   in
   let pd_dev = mk_dev pd_device in
   let npd_dev = mk_dev npd_device in
-  let dbfs = Dbfs.format pd_dev ~journal_blocks:default_journal_blocks in
+  let dbfs = Dbfs.format ~segmented pd_dev ~journal_blocks:default_journal_blocks in
+  if group_commit_window > 1 then Dbfs.set_group_commit dbfs group_commit_window;
   let npd_fs = Journalfs.format npd_dev ~journal_blocks:default_journal_blocks in
   let audit = Audit_log.create () in
   assemble ~clock ~prng ~authority ~pd_dev ~npd_dev ~dbfs ~npd_fs ~audit

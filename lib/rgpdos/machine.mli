@@ -20,12 +20,18 @@ val boot :
   ?pd_device:Rgpdos_block.Block_device.config ->
   ?npd_device:Rgpdos_block.Block_device.config ->
   ?authority:Rgpdos_gdpr.Authority.t ->
+  ?segmented:bool ->
+  ?group_commit_window:int ->
   unit ->
   t
 (** Create and wire a fresh machine.  Defaults: 64 MiB devices, a
     dedicated authority derived from [seed].  The LSM policy installed at
     boot denies every DBFS access except the DED's (full) and the PS's
-    (schema reads) — enforcement rules 1-4 of §2. *)
+    (schema reads) — enforcement rules 1-4 of §2.  [?segmented] formats
+    the PD store with the log-structured segment allocator;
+    [?group_commit_window] batches journal appends (see
+    {!Rgpdos_dbfs.Dbfs.set_group_commit}).  The window is a runtime knob:
+    a {!reboot} resets it to 1. *)
 
 val reboot : t -> (t, string) result
 (** Power-cycle the machine: checkpoint and remount both filesystems from

@@ -965,3 +965,135 @@ let compare_mount ~old_report ~read_ratio_max:current =
               %.2fx = committed +%.0f%%)"
              old_ratio current ceiling regression_threshold_pct)
       else Ok old_ratio
+
+(* ---------- segment-IO artifact ---------- *)
+
+let segment_schema_id = "rgpdos-bench-segment-io/1"
+
+(* acceptance bars for the log-structured layout: the segmented store
+   must at least halve write amplification versus update-in-place on the
+   same workload, must not ingest slower, must actually have
+   group-committed (batches > 0, else the window never engaged), and
+   BOTH sides must finish with a residue-clean device image — layout
+   changes don't get to trade forensic hygiene for speed. *)
+let segment_amp_ratio_bar = 2.0
+
+let segment_side (s : Segment_bench.side) =
+  Json.Obj
+    [
+      ("label", Json.Str s.Segment_bench.sg_label);
+      ("subjects", Json.Num (float_of_int s.Segment_bench.sg_subjects));
+      ("updates", Json.Num (float_of_int s.Segment_bench.sg_updates));
+      ("erasures", Json.Num (float_of_int s.Segment_bench.sg_erasures));
+      ("deletes", Json.Num (float_of_int s.Segment_bench.sg_deletes));
+      ("window", Json.Num (float_of_int s.Segment_bench.sg_window));
+      ( "logical_bytes",
+        Json.Num (float_of_int s.Segment_bench.sg_logical_bytes) );
+      ( "blocks_written",
+        Json.Num (float_of_int s.Segment_bench.sg_blocks_written) );
+      ( "bytes_written",
+        Json.Num (float_of_int s.Segment_bench.sg_bytes_written) );
+      ("trims", Json.Num (float_of_int s.Segment_bench.sg_trims));
+      ("write_amp", Json.Num s.Segment_bench.sg_write_amp);
+      ("ingest_mb_s", Json.Num s.Segment_bench.sg_ingest_mb_s);
+      ("sim_ms", Json.Num s.Segment_bench.sg_sim_ms);
+      ("batches", Json.Num (float_of_int s.Segment_bench.sg_batches));
+      ("batched_ops", Json.Num (float_of_int s.Segment_bench.sg_batched_ops));
+      ("compactions", Json.Num (float_of_int s.Segment_bench.sg_compactions));
+      ("relocations", Json.Num (float_of_int s.Segment_bench.sg_relocations));
+      ( "segments_reclaimed",
+        Json.Num (float_of_int s.Segment_bench.sg_segments_reclaimed) );
+      ( "backpressure_stalls",
+        Json.Num (float_of_int s.Segment_bench.sg_backpressure_stalls) );
+      ("residue_clean", Json.Bool s.Segment_bench.sg_residue_clean);
+    ]
+
+let make_segment ~(result : Segment_bench.result) ~wall_ms =
+  Json.Obj
+    [
+      ("schema", Json.Str segment_schema_id);
+      ("baseline", segment_side result.Segment_bench.sr_baseline);
+      ("segmented", segment_side result.Segment_bench.sr_segmented);
+      ("amp_ratio", Json.Num result.Segment_bench.sr_amp_ratio);
+      ("ingest_ratio", Json.Num result.Segment_bench.sr_ingest_ratio);
+      ("wall_ms", Json.Num wall_ms);
+    ]
+
+let segment_ingest_of v =
+  Option.bind (Json.member "segmented" v) (fun s ->
+      Option.bind (Json.member "ingest_mb_s" s) Json.to_float)
+
+let validate_segment v =
+  let* schema =
+    require "missing schema key"
+      (Option.bind (Json.member "schema" v) Json.to_str)
+  in
+  if schema <> segment_schema_id then Error ("unexpected schema id " ^ schema)
+  else
+    let side name =
+      require ("missing " ^ name ^ " section") (Json.member name v)
+    in
+    let num s name =
+      require ("side: missing " ^ name)
+        (Option.bind (Json.member name s) Json.to_float)
+    in
+    let flag s name =
+      require ("side: missing " ^ name)
+        (match Json.member name s with Some (Json.Bool b) -> Some b | _ -> None)
+    in
+    let* base = side "baseline" in
+    let* seg = side "segmented" in
+    let* subjects = num seg "subjects" in
+    let* seg_batches = num seg "batches" in
+    let* seg_amp = num seg "write_amp" in
+    let* base_amp = num base "write_amp" in
+    let* base_clean = flag base "residue_clean" in
+    let* seg_clean = flag seg "residue_clean" in
+    let* amp_ratio =
+      require "missing amp_ratio"
+        (Option.bind (Json.member "amp_ratio" v) Json.to_float)
+    in
+    let* ingest_ratio =
+      require "missing ingest_ratio"
+        (Option.bind (Json.member "ingest_ratio" v) Json.to_float)
+    in
+    if subjects < 10_000.0 then
+      Error
+        (Printf.sprintf
+           "segment: %d subjects — the claim requires >= 10^4"
+           (int_of_float subjects))
+    else if seg_amp <= 0.0 || base_amp <= 0.0 then
+      Error "segment: non-positive write amplification"
+    else if seg_batches <= 0.0 then
+      Error "segment: no group-commit batches — the window never engaged"
+    else if not base_clean then
+      Error "segment: baseline side left plaintext residue on the device"
+    else if not seg_clean then
+      Error "segment: segmented side left plaintext residue on the device"
+    else if amp_ratio < segment_amp_ratio_bar then
+      Error
+        (Printf.sprintf
+           "write amplification only improved %.2fx (%.2f -> %.2f); the bar \
+            is %.1fx"
+           amp_ratio base_amp seg_amp segment_amp_ratio_bar)
+    else if ingest_ratio <= 1.0 then
+      Error
+        (Printf.sprintf
+           "segmented sustained ingest is not faster: ratio %.2fx"
+           ingest_ratio)
+    else Ok ()
+
+let compare_segment ~old_report ~ingest_mb_s:current =
+  match segment_ingest_of old_report with
+  | None -> Error "old segment report has no segmented ingest_mb_s"
+  | Some old_ingest ->
+      let floor =
+        old_ingest *. (1.0 -. (regression_threshold_pct /. 100.0))
+      in
+      if current < floor then
+        Error
+          (Printf.sprintf
+             "sustained ingest regressed: %.2f -> %.2f MB/s (floor %.2f = \
+              committed -%.0f%%)"
+             old_ingest current floor regression_threshold_pct)
+      else Ok old_ingest

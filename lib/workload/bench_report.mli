@@ -216,3 +216,33 @@ val compare_mount :
 (** Gate a freshly measured mount-read ratio against the committed
     [BENCH_mount_scale.json], same {!regression_threshold_pct} threshold
     (the metric is higher-is-worse, so the gate is a ceiling). *)
+
+(** {1 Segment-IO artifact ([BENCH_segment_io.json])} *)
+
+val segment_schema_id : string
+
+val segment_amp_ratio_bar : float
+(** 2.0 — the segmented store must show at least 2x lower write
+    amplification (device bytes written per logical byte ingested) than
+    update-in-place on the identical workload. *)
+
+val make_segment : result:Segment_bench.result -> wall_ms:float -> Json.t
+(** The committed evidence for the log-structured layer: both sides of
+    the A/B run ({!Segment_bench.run}) with write amplification,
+    sustained ingest, group-commit / compaction counters, and the
+    residue verdicts. *)
+
+val validate_segment : Json.t -> (unit, string) result
+(** Shape check plus the acceptance bars: >= 10^4 subjects, write-amp
+    ratio >= {!segment_amp_ratio_bar}, ingest ratio > 1, group-commit
+    batches > 0 on the segmented side, and both sides residue-clean. *)
+
+val segment_ingest_of : Json.t -> float option
+(** The segmented side's sustained-ingest figure (MB per simulated
+    second) of a segment-IO report, when present. *)
+
+val compare_segment :
+  old_report:Json.t -> ingest_mb_s:float -> (float, string) result
+(** Gate a freshly measured segmented sustained-ingest figure against the
+    committed [BENCH_segment_io.json]; the metric is higher-is-better, so
+    the gate is a floor at {!regression_threshold_pct} below committed. *)

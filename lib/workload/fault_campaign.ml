@@ -444,6 +444,187 @@ let scenario_degraded_mode ~seed people =
        insert_failed degraded_now write_refused access_served rep.Dbfs.rr_clean
        recovered writes_back)
 
+(* ------------------------------------------------------------------ *)
+(* Log-structured store scenarios: crashes inside a compaction pass and
+   inside a group-commit window, on a segmented machine.               *)
+
+let boot_seg ~seed ~window =
+  let m =
+    Machine.boot ~seed:(Int64.of_int seed) ~pd_device:pd_config
+      ~npd_device:npd_config ~segmented:true ~group_commit_window:window ()
+  in
+  match Machine.load_declarations m Population.type_declaration with
+  | Ok _ -> m
+  | Error e -> fail_step "load_declarations" e
+
+(* Collect everyone, erase one subject (the destruction purge runs
+   here, so nothing after it scrubs for free), then churn the survivors
+   round by round until some sealed segment holds a live minority —
+   a genuine compaction victim with relocation AND destruction work to
+   crash inside of.  Adaptive because the campaign runs at several
+   population sizes and the segment boundary moves with them. *)
+let seg_setup ~seed ~window people =
+  let m = boot_seg ~seed ~window in
+  List.iter (collect_person m) people;
+  (match
+     Machine.right_to_erasure m
+       ~subject:(List.hd people).Population.subject_id
+   with
+  | Ok _ -> ()
+  | Error e -> fail_step "erase" e);
+  let store = Machine.dbfs m in
+  let churners = List.tl people in
+  let victim_ready () =
+    List.exists
+      (fun (_, st, used, live, _) ->
+        st = "sealed" && live > 0 && live * 100 <= used * 75)
+      (Dbfs.segment_table store)
+  in
+  let rounds = ref 0 in
+  while (not (victim_ready ())) && !rounds < 30 do
+    incr rounds;
+    List.iter
+      (fun (p : Population.person) ->
+        let pd = first_pd store p in
+        match Dbfs.update_record store ~actor pd (Population.record_of p) with
+        | Ok () -> ()
+        | Error e -> fail_step "churn" (Dbfs.error_to_string e))
+      churners
+  done;
+  if not (victim_ready ()) then
+    fail_step "churn" "no compactable segment after 30 rounds";
+  m
+
+(* Post-crash acceptance shared by the segmented scenarios: the remounted
+   image must repair clean, keep every survivor readable, and hold no
+   plaintext of any non-live subject. *)
+let seg_recover_checks store rdev people =
+  let rep = Dbfs.fsck_repair store in
+  let residue_free =
+    List.for_all
+      (fun (p : Population.person) ->
+        live_subject store p
+        || Block_device.scan rdev p.Population.email = [])
+      people
+  in
+  let survivors_ok =
+    List.for_all
+      (fun (p : Population.person) ->
+        match Dbfs.pds_of_subject store ~actor p.Population.subject_id with
+        | Error _ -> false
+        | Ok pds ->
+            List.for_all
+              (fun pd ->
+                match Dbfs.entry_info store ~actor pd with
+                | Ok (_, _, true) -> true (* erased: sealed envelope *)
+                | Ok (_, _, false) ->
+                    Result.is_ok (Dbfs.get_record store ~actor pd)
+                | Error _ -> false)
+              pds)
+      people
+  in
+  (rep, residue_free, survivors_ok)
+
+(* Crash at write ordinal [pick total] inside an explicit compaction
+   pass.  Two instances bracket the pass: ordinal 1 lands in the
+   relocation phase (payload written, journal record possibly not yet
+   durable), the penultimate ordinal lands in the destruction phase
+   (relocations durable, victims being zeroed). *)
+let scenario_crash_mid_compaction ~seed people name pick =
+  (* reference pass: how many device writes does this compaction do? *)
+  let m0 = seg_setup ~seed ~window:1 people in
+  let dev0 = Machine.pd_device m0 in
+  let plan0 = Fault_plan.create () in
+  Block_device.set_fault_plan dev0 (Some plan0);
+  let victims =
+    Dbfs.compact (Machine.dbfs m0) ~max_victims:16 ~liveness_pct:75.0
+  in
+  let total = Fault_plan.writes_seen plan0 in
+  Block_device.set_fault_plan dev0 None;
+  if victims = 0 || total = 0 then
+    scenario name false
+      (Printf.sprintf "compaction did no work (victims=%d writes=%d)" victims
+         total)
+  else begin
+    let k = max 1 (min total (pick total)) in
+    let m = seg_setup ~seed ~window:1 people in
+    let dev = Machine.pd_device m in
+    let plan = Fault_plan.create () in
+    Fault_plan.crash_after_writes plan k;
+    Block_device.set_fault_plan dev (Some plan);
+    ignore (Dbfs.compact (Machine.dbfs m) ~max_victims:16 ~liveness_pct:75.0);
+    match Block_device.crash_image dev with
+    | None ->
+        scenario name false
+          (Printf.sprintf "crash at write %d/%d never fired" k total)
+    | Some image -> (
+        let rclock = Clock.create () in
+        let rdev = Block_device.create ~config:pd_config ~clock:rclock () in
+        Block_device.restore rdev image;
+        match Dbfs.mount rdev with
+        | Error e -> scenario name false ("mount failed: " ^ e)
+        | Ok store ->
+            let rep, residue_free, survivors_ok =
+              seg_recover_checks store rdev people
+            in
+            scenario name
+              (rep.Dbfs.rr_clean && residue_free && survivors_ok)
+              (Printf.sprintf
+                 "crash@%d/%d clean=%b residue_free=%b survivors_ok=%b \
+                  quarantined=%d"
+                 k total rep.Dbfs.rr_clean residue_free survivors_ok
+                 (List.length rep.Dbfs.rr_quarantined)))
+  end
+
+(* Crash inside the batched ingest of a group-commit store: buffered
+   journal records that never flushed are simply absent after replay —
+   the store must come back clean with every durable entry intact. *)
+let scenario_crash_mid_group_commit ~seed people =
+  let name = "group-commit-crash" in
+  let window = 4 in
+  (* reference: write ordinals spanned by the batched collect phase *)
+  let m0 = boot_seg ~seed ~window in
+  let dev0 = Machine.pd_device m0 in
+  let plan0 = Fault_plan.create () in
+  Block_device.set_fault_plan dev0 (Some plan0);
+  List.iter (collect_person m0) people;
+  let total = Fault_plan.writes_seen plan0 in
+  Block_device.set_fault_plan dev0 None;
+  if total = 0 then scenario name false "collect phase performed no writes"
+  else begin
+    let k = max 1 (total * 2 / 3) in
+    let m = boot_seg ~seed ~window in
+    let dev = Machine.pd_device m in
+    let plan = Fault_plan.create () in
+    Fault_plan.crash_after_writes plan k;
+    Block_device.set_fault_plan dev (Some plan);
+    List.iter (collect_person m) people;
+    let batched =
+      Stats.Counter.get (Dbfs.stats (Machine.dbfs m)) "committed_batches"
+    in
+    match Block_device.crash_image dev with
+    | None ->
+        scenario name false
+          (Printf.sprintf "crash at write %d/%d never fired" k total)
+    | Some image -> (
+        let rclock = Clock.create () in
+        let rdev = Block_device.create ~config:pd_config ~clock:rclock () in
+        Block_device.restore rdev image;
+        match Dbfs.mount rdev with
+        | Error e -> scenario name false ("mount failed: " ^ e)
+        | Ok store ->
+            let rep, residue_free, survivors_ok =
+              seg_recover_checks store rdev people
+            in
+            scenario name
+              (batched > 0 && rep.Dbfs.rr_clean && residue_free
+             && survivors_ok)
+              (Printf.sprintf
+                 "crash@%d/%d batches=%d clean=%b residue_free=%b \
+                  survivors_ok=%b"
+                 k total batched rep.Dbfs.rr_clean residue_free survivors_ok))
+  end
+
 let scenarios ~seed people =
   [
     scenario_record_bit_rot ~seed people;
@@ -452,6 +633,11 @@ let scenarios ~seed people =
     scenario_transient_retry ~seed people;
     scenario_torn_write_retry ~seed people;
     scenario_degraded_mode ~seed people;
+    scenario_crash_mid_compaction ~seed people "compaction-crash-relocate"
+      (fun _ -> 1);
+    scenario_crash_mid_compaction ~seed people "compaction-crash-destroy"
+      (fun total -> total - 1);
+    scenario_crash_mid_group_commit ~seed people;
   ]
 
 (* ------------------------------------------------------------------ *)

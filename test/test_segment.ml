@@ -1,0 +1,414 @@
+(* Log-structured segments, group commit and backpressure.
+
+   The load-bearing properties of the segment PR:
+
+   - group commit is a pure batching layer: for ANY op script, flushing
+     the journal in windows of 4 or 64 leaves the device byte-identical
+     to per-op flushing (window 1) — same journal bytes (the audit
+     chain replay reads), same payload extents, same index pages;
+   - a crash with records still buffered in the group-commit window
+     loses only those records: the restored image mounts, replays and
+     repairs clean;
+   - erase → compact → remount leaves no plaintext residue of the
+     erased records anywhere on the raw image, even though compaction
+     relocates their (live) neighbours;
+   - backpressure stalls are deterministic simulated-clock charges:
+     identical runs agree on the stall count and the final clock. *)
+
+module Clock = Rgpdos_util.Clock
+module Stats = Rgpdos_util.Stats
+module Fnv = Rgpdos_util.Fnv
+module Block_device = Rgpdos_block.Block_device
+module Dbfs = Rgpdos_dbfs.Dbfs
+module Schema = Rgpdos_dbfs.Schema
+module Value = Rgpdos_dbfs.Value
+module Record = Rgpdos_dbfs.Record
+module Membrane = Rgpdos_membrane.Membrane
+module BR = Rgpdos_workload.Bench_report
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let actor = "ded"
+
+let schema () =
+  match
+    Schema.make ~name:"reading"
+      ~fields:
+        [
+          { Schema.fname = "payload"; ftype = Value.TString; required = true };
+          { Schema.fname = "bucket"; ftype = Value.TInt; required = true };
+        ]
+      ~default_consents:[ ("service", Membrane.All) ]
+      ~collection:[ ("sensor", "test") ]
+      ~default_ttl:(20 * Clock.year)
+      ~indexed_fields:[ "bucket" ] ()
+  with
+  | Ok s -> s
+  | Error e -> failwith e
+
+let make_store ?(block_size = 512) ?(block_count = 4_096) ?seg_blocks
+    ?(window = 1) () =
+  let clock = Clock.create () in
+  let config =
+    { Block_device.default_config with block_size; block_count }
+  in
+  let dev = Block_device.create ~config ~clock () in
+  let t = Dbfs.format ~segmented:true ?seg_blocks dev ~journal_blocks:256 in
+  if window > 1 then Dbfs.set_group_commit t window;
+  let s = schema () in
+  (match Dbfs.create_type t ~actor s with
+  | Ok () -> ()
+  | Error e -> failwith (Dbfs.error_to_string e));
+  (dev, clock, t, s)
+
+(* Membranes are stamped with a FIXED created_at: the windows advance the
+   simulated clock differently (that is the point of batching), and the
+   byte-identity property must not be polluted by wall-time. *)
+let insert_subject ?sensitivity t (s : Schema.t) i =
+  let subject = Printf.sprintf "sub-%03d" i in
+  let sensitivity =
+    Option.value sensitivity ~default:s.Schema.default_sensitivity
+  in
+  Dbfs.insert t ~actor ~subject ~type_name:"reading"
+    ~record:
+      [
+        ("payload", Value.VString (Printf.sprintf "KEEP-%03d-v000" i));
+        ("bucket", Value.VInt (i mod 7));
+      ]
+    ~membrane_of:(fun ~pd_id ->
+      Membrane.make ~pd_id ~type_name:"reading" ~subject_id:subject
+        ~origin:s.Schema.default_origin ~consents:s.Schema.default_consents
+        ~created_at:0 ?ttl:s.Schema.default_ttl ~sensitivity
+        ~collection:s.Schema.collection ())
+
+(* ------------------------------------------------------------------ *)
+(* group commit: byte-identical on-disk state across windows           *)
+
+type op = Insert of int | Update of int | Erase of int | Delete of int
+
+(* Apply a script on a fresh segmented store with the given group-commit
+   window; invalid ops (update of a never-inserted subject, ...) are
+   skipped by the same deterministic rule on every side.  Returns the
+   raw device image after an explicit final flush + checkpoint. *)
+let run_script ~window ops =
+  let pool = 8 in
+  let dev, _clock, t, s = make_store ~window () in
+  let pds = Array.make pool None in
+  let erased = Array.make pool false in
+  let version = Array.make pool 0 in
+  List.iter
+    (fun op ->
+      match op with
+      | Insert i when pds.(i) = None -> (
+          match insert_subject t s i with
+          | Ok pd -> pds.(i) <- Some pd
+          | Error e -> failwith (Dbfs.error_to_string e))
+      | Update i -> (
+          match pds.(i) with
+          | Some pd when not erased.(i) ->
+              version.(i) <- version.(i) + 1;
+              let r =
+                [
+                  ( "payload",
+                    Value.VString
+                      (Printf.sprintf "KEEP-%03d-v%03d" i version.(i)) );
+                  ("bucket", Value.VInt (i mod 7));
+                ]
+              in
+              (match Dbfs.update_record t ~actor pd r with
+              | Ok () -> ()
+              | Error e -> failwith (Dbfs.error_to_string e))
+          | _ -> ())
+      | Erase i -> (
+          match pds.(i) with
+          | Some pd when not erased.(i) ->
+              erased.(i) <- true;
+              (match
+                 Dbfs.erase_with t ~actor pd ~seal:(fun r ->
+                     "SEALED:" ^ Fnv.hash64_hex (Record.encode r))
+               with
+              | Ok () -> ()
+              | Error e -> failwith (Dbfs.error_to_string e))
+          | _ -> ())
+      | Delete i -> (
+          match pds.(i) with
+          | Some pd ->
+              pds.(i) <- None;
+              erased.(i) <- false;
+              (match Dbfs.delete t ~actor pd with
+              | Ok () -> ()
+              | Error e -> failwith (Dbfs.error_to_string e))
+          | _ -> ())
+      | Insert _ -> ())
+    ops;
+  Dbfs.flush_journal t;
+  Dbfs.checkpoint t;
+  (Block_device.snapshot dev, Dbfs.stats t)
+
+let op_gen =
+  QCheck.Gen.(
+    pair (int_range 0 3) (int_range 0 7) >|= fun (k, i) ->
+    match k with
+    | 0 -> Insert i
+    | 1 -> Update i
+    | 2 -> Erase i
+    | _ -> Delete i)
+
+let op_print = function
+  | Insert i -> Printf.sprintf "Insert %d" i
+  | Update i -> Printf.sprintf "Update %d" i
+  | Erase i -> Printf.sprintf "Erase %d" i
+  | Delete i -> Printf.sprintf "Delete %d" i
+
+let prop_group_commit_byte_identical =
+  QCheck.Test.make
+    ~name:"windows 1/4/64 leave byte-identical images for any script"
+    ~count:25
+    (QCheck.make
+       ~print:(fun ops -> String.concat "; " (List.map op_print ops))
+       QCheck.Gen.(list_size (5 -- 40) op_gen))
+    (fun ops ->
+      let base, _ = run_script ~window:1 ops in
+      List.for_all
+        (fun w ->
+          let img, st = run_script ~window:w ops in
+          (* batching must actually have happened when ops did *)
+          let batches = Stats.Counter.get st "committed_batches" in
+          let batched = Stats.Counter.get st "batched_ops" in
+          img = base && batched >= batches)
+        [ 4; 64 ])
+
+(* window 1 is the exact old path: no batch accounting at all *)
+let test_window_one_no_batches () =
+  let _, st = run_script ~window:1 [ Insert 0; Update 0; Update 1; Erase 0 ] in
+  check_int "no committed_batches at window 1" 0
+    (Stats.Counter.get st "committed_batches");
+  check_int "no batched_ops at window 1" 0 (Stats.Counter.get st "batched_ops")
+
+(* ------------------------------------------------------------------ *)
+(* crash with records still buffered in the window                     *)
+
+let test_crash_between_batches_replays_cleanly () =
+  let dev, _clock, t, s = make_store ~window:8 () in
+  (* three full subjects reach the device in committed batches *)
+  let durable =
+    List.map
+      (fun i ->
+        match insert_subject t s i with
+        | Ok pd -> pd
+        | Error e -> failwith (Dbfs.error_to_string e))
+      [ 0; 1; 2 ]
+  in
+  Dbfs.flush_journal t;
+  let batches = Stats.Counter.get (Dbfs.stats t) "committed_batches" in
+  check_bool "flush committed at least one batch" true (batches > 0);
+  (* more records enter the window but never flush: the crash image is
+     taken with them buffered *)
+  (match insert_subject t s 3 with Ok _ -> () | Error e -> failwith
+    (Dbfs.error_to_string e));
+  (match insert_subject t s 4 with Ok _ -> () | Error e -> failwith
+    (Dbfs.error_to_string e));
+  let image = Block_device.snapshot dev in
+  (* restore into a fresh device: the unflushed tail is simply absent *)
+  let clock' = Clock.create () in
+  let dev' =
+    Block_device.create
+      ~config:
+        { Block_device.default_config with block_size = 512;
+          block_count = 4_096 }
+      ~clock:clock' ()
+  in
+  Block_device.restore dev' image;
+  match Dbfs.mount dev' with
+  | Error e -> Alcotest.fail ("mount after crash failed: " ^ e)
+  | Ok t' ->
+      let rep = Dbfs.fsck_repair t' in
+      check_bool "fsck clean after crash mid-window" true rep.Dbfs.rr_clean;
+      check_int "no quarantine" 0 (List.length rep.Dbfs.rr_quarantined);
+      List.iter
+        (fun pd ->
+          check_bool "durable record survives" true
+            (Result.is_ok (Dbfs.get_record t' ~actor pd)))
+        durable
+
+(* ------------------------------------------------------------------ *)
+(* erase -> compact -> remount -> zero residue                         *)
+
+let test_erase_compact_remount_no_residue () =
+  let dev, _clock, t, s = make_store () in
+  let pds =
+    List.map
+      (fun i ->
+        let subject = Printf.sprintf "sub-%03d" i in
+        let doomed = i mod 3 = 0 in
+        let tag = if doomed then "GONE" else "KEEP" in
+        match
+          Dbfs.insert t ~actor ~subject ~type_name:"reading"
+            ~record:
+              [
+                ( "payload",
+                  Value.VString (Printf.sprintf "%s-%03d-PAYLOAD" tag i) );
+                ("bucket", Value.VInt (i mod 7));
+              ]
+            ~membrane_of:(fun ~pd_id ->
+              Membrane.make ~pd_id ~type_name:"reading" ~subject_id:subject
+                ~origin:s.Schema.default_origin
+                ~consents:s.Schema.default_consents ~created_at:0
+                ?ttl:s.Schema.default_ttl
+                ~sensitivity:s.Schema.default_sensitivity
+                ~collection:s.Schema.collection ())
+        with
+        | Ok pd -> (i, pd, doomed)
+        | Error e -> failwith (Dbfs.error_to_string e))
+      (List.init 120 Fun.id)
+  in
+  (* churn the keepers so compaction has relocation work around the
+     erased extents *)
+  List.iter
+    (fun (i, pd, doomed) ->
+      if not doomed then
+        match
+          Dbfs.update_record t ~actor pd
+            [
+              ("payload", Value.VString (Printf.sprintf "KEEP-%03d-v001" i));
+              ("bucket", Value.VInt (i mod 7));
+            ]
+        with
+        | Ok () -> ()
+        | Error e -> failwith (Dbfs.error_to_string e))
+    pds;
+  List.iter
+    (fun (_, pd, doomed) ->
+      if doomed then
+        match
+          Dbfs.erase_with t ~actor pd ~seal:(fun r ->
+              "SEALED:" ^ Fnv.hash64_hex (Record.encode r))
+        with
+        | Ok () -> ()
+        | Error e -> failwith (Dbfs.error_to_string e))
+    pds;
+  ignore (Dbfs.compact t ~max_victims:64 ~liveness_pct:75.0);
+  Dbfs.flush_journal t;
+  Dbfs.checkpoint t;
+  check_int "no GONE residue on the live image" 0
+    (List.length (Block_device.scan dev "GONE-"));
+  (* remount the raw image and look again with fresh eyes *)
+  let clock' = Clock.create () in
+  let dev' =
+    Block_device.create
+      ~config:
+        { Block_device.default_config with block_size = 512;
+          block_count = 4_096 }
+      ~clock:clock' ()
+  in
+  Block_device.restore dev' (Block_device.snapshot dev);
+  (match Dbfs.mount dev' with
+  | Error e -> Alcotest.fail ("remount failed: " ^ e)
+  | Ok t' ->
+      let rep = Dbfs.fsck_repair t' in
+      check_bool "fsck clean after compaction" true rep.Dbfs.rr_clean);
+  check_int "no GONE residue after remount" 0
+    (List.length (Block_device.scan dev' "GONE-"));
+  (* keepers were relocated, not lost *)
+  check_bool "keeper survives compaction" true
+    (List.for_all
+       (fun (_, pd, doomed) ->
+         doomed || Result.is_ok (Dbfs.get_record t ~actor pd))
+       pds)
+
+(* ------------------------------------------------------------------ *)
+(* backpressure: deterministic stalls                                  *)
+
+(* Giant segments on a small device, churn split across the ordinary
+   and the high-sensitivity record zones: each zone's OPEN segment
+   accumulates dead versions the compactor cannot touch (only sealed
+   segments are victims), so the combined dirty backlog genuinely
+   crosses the backpressure threshold and the stall path runs. *)
+let backpressure_run () =
+  let dev, clock, t, s =
+    make_store ~block_count:2_048 ~seg_blocks:240 ()
+  in
+  let insert sens i =
+    match insert_subject ~sensitivity:sens t s i with
+    | Ok pd -> pd
+    | Error e -> failwith (Dbfs.error_to_string e)
+  in
+  let churn pd rounds =
+    for v = 1 to rounds do
+      match
+        Dbfs.update_record t ~actor pd
+          [
+            ("payload", Value.VString (Printf.sprintf "KEEP-000-v%03d" v));
+            ("bucket", Value.VInt 0);
+          ]
+      with
+      | Ok () -> ()
+      | Error e -> failwith (Dbfs.error_to_string e)
+    done
+  in
+  let low = insert Membrane.Low 0 in
+  let high = insert Membrane.High 1 in
+  churn low 230;
+  churn high 100;
+  let st = Dbfs.stats t in
+  ( Stats.Counter.get st "backpressure_stalls",
+    Stats.Counter.get st "backpressure_stall_ns",
+    Clock.now clock,
+    Block_device.snapshot dev )
+
+let test_backpressure_deterministic () =
+  let stalls_a, ns_a, clock_a, img_a = backpressure_run () in
+  let stalls_b, ns_b, clock_b, img_b = backpressure_run () in
+  check_bool "churn actually crossed the backpressure threshold" true
+    (stalls_a > 0);
+  check_int "stall count deterministic" stalls_a stalls_b;
+  check_int "stall time deterministic" ns_a ns_b;
+  check_int "simulated clock deterministic" clock_a clock_b;
+  check_bool "device image deterministic" true (img_a = img_b)
+
+(* ------------------------------------------------------------------ *)
+(* the committed benchmark artifact                                    *)
+
+let test_committed_artifact_validates () =
+  let path =
+    if Sys.file_exists "BENCH_segment_io.json" then "BENCH_segment_io.json"
+    else "../BENCH_segment_io.json"
+  in
+  match BR.read_file path with
+  | None -> Alcotest.fail "read BENCH_segment_io.json failed"
+  | Some report -> (
+      (match BR.validate_segment report with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail ("committed artifact invalid: " ^ e));
+      match BR.segment_ingest_of report with
+      | None -> Alcotest.fail "no segmented ingest figure in artifact"
+      | Some mb_s ->
+          check_bool "positive sustained ingest" true (mb_s > 0.0))
+
+let () =
+  Alcotest.run "segments"
+    [
+      ( "group-commit",
+        [
+          QCheck_alcotest.to_alcotest prop_group_commit_byte_identical;
+          Alcotest.test_case "window 1 is the exact old path" `Quick
+            test_window_one_no_batches;
+          Alcotest.test_case "crash mid-window replays clean" `Quick
+            test_crash_between_batches_replays_cleanly;
+        ] );
+      ( "compaction",
+        [
+          Alcotest.test_case "erase+compact+remount: zero residue" `Quick
+            test_erase_compact_remount_no_residue;
+        ] );
+      ( "backpressure",
+        [
+          Alcotest.test_case "stalls are deterministic" `Quick
+            test_backpressure_deterministic;
+        ] );
+      ( "artifact",
+        [
+          Alcotest.test_case "committed BENCH_segment_io.json validates"
+            `Quick test_committed_artifact_validates;
+        ] );
+    ]
