@@ -60,14 +60,25 @@
 
      dune exec bench/main.exe -- segment --segment-json BENCH_segment_io.json
 
+   The [sla] section replays one saturating open-loop schedule — heavy
+   DED scans plus Poisson GDPR rights arrivals — against the FIFO and
+   EDF dispatchers (shard-wave preemption), and runs the
+   consent-revocation-storm and Art. 33 breach scenarios;
+   [--sla-json PATH] writes the artifact; the committed
+   BENCH_rights_sla.json is produced by
+
+     dune exec bench/main.exe -- sla --sla-json BENCH_rights_sla.json
+
    [--compare OLD.json] reruns E1 and gates every stage's per-subject
    simulated time against OLD.json (CI runs this against the committed
    BENCH_hotpath.json).  When BENCH_vectored_io.json /
    BENCH_parallel_scale.json / BENCH_index_select.json /
-   BENCH_mount_scale.json / BENCH_segment_io.json sit next to OLD.json,
-   the merge ratio, the 4-domain speedup, the 1%-selectivity pushdown
-   speedup, the clean-mount read ratio and the segmented sustained
-   ingest are gated the same way (>25% regression fails).  When
+   BENCH_mount_scale.json / BENCH_segment_io.json /
+   BENCH_rights_sla.json sit next to OLD.json, the merge ratio, the
+   4-domain speedup, the 1%-selectivity pushdown speedup, the
+   clean-mount read ratio, the segmented sustained ingest and the
+   Art. 15 p99 improvement are gated the same way (>25% regression
+   fails, and the SLA gate additionally keeps the absolute 5x bar).  When
    BENCH_fault_campaign.json sits there too, a fresh (smoke-sized)
    campaign must hold every invariant at every crash point — the
    robustness gate is absolute (pass rate == 100%), not a regression
@@ -269,6 +280,7 @@ let () =
   let mount_json_path, args = extract_flag "--mount-json" [] args in
   let fault_json_path, args = extract_flag "--fault-json" [] args in
   let segment_json_path, args = extract_flag "--segment-json" [] args in
+  let sla_json_path, args = extract_flag "--sla-json" [] args in
   let compare_path, args = extract_flag "--compare" [] args in
   let wanted = List.filter (fun a -> a <> "--quick") args in
   let enabled name = wanted = [] || List.mem name wanted in
@@ -300,6 +312,10 @@ let () =
     failwith
       "--segment-json needs the segment section; run e.g. \
        bench/main.exe -- segment --segment-json BENCH_segment_io.json";
+  if sla_json_path <> None && not (enabled "sla") then
+    failwith
+      "--sla-json needs the sla section; run e.g. \
+       bench/main.exe -- sla --sla-json BENCH_rights_sla.json";
   let d full small = if quick then small else full in
 
   (* host wall-clock per section, for the JSON report *)
@@ -316,6 +332,7 @@ let () =
   let mount_read_ratio = ref None in
   let fault_pass_rate = ref None in
   let segment_ingest = ref None in
+  let sla_improvement15 = ref None in
   (* the 1%-selectivity pushdown speedup at the smallest population >=
      2000 — the configuration the index artifact gates on (present at
      both quick and full scale) *)
@@ -617,6 +634,27 @@ let () =
         Printf.printf "\nwrote %s\n" path
   end;
 
+  if enabled "sla" then begin
+    let module SLA = Rgpdos_workload.Sla_bench in
+    let module BR = Rgpdos_workload.Bench_report in
+    let result, wall_ms =
+      timed (fun () ->
+          SLA.run ~subjects:(d 2_000 600) ~batches:(d 30 12) ())
+    in
+    sla_improvement15 := SLA.improvement result "art15";
+    let report = BR.make_sla ~result ~wall_ms in
+    (match BR.validate_sla report with
+    | Ok () -> ()
+    | Error e -> failwith ("rights-sla report failed self-validation: " ^ e));
+    section "SLA — rights latency under saturating load (FIFO vs EDF)"
+      (SLA.render result);
+    match sla_json_path with
+    | None -> ()
+    | Some path ->
+        BR.write_file path report;
+        Printf.printf "\nwrote %s\n" path
+  end;
+
   (match compare_path with
   | None -> ()
   | Some path ->
@@ -763,6 +801,29 @@ let () =
                 "compare: segmented sustained ingest %.2f MB/s vs committed \
                  %.2f — ok\n"
                 ingest_mb_s committed
+          | Error line -> gate [ line ]));
+      (match BR.read_file (sibling "BENCH_rights_sla.json") with
+      | None -> ()
+      | Some old_sla -> (
+          let module SLA = Rgpdos_workload.Sla_bench in
+          let improvement15 =
+            match !sla_improvement15 with
+            | Some s -> s
+            | None -> (
+                (* sla section did not run: replay a small A/B — the
+                   driver is virtual-clock deterministic, so the quick
+                   measurement is reproducible *)
+                let r = SLA.run ~subjects:600 ~batches:12 () in
+                match SLA.improvement r "art15" with
+                | Some s -> s
+                | None -> failwith "--compare: sla run has no art15 samples")
+          in
+          match BR.compare_sla ~old_report:old_sla ~improvement15 with
+          | Ok committed ->
+              Printf.printf
+                "compare: Art. 15 p99 improvement %.1fx vs committed %.1fx — \
+                 ok (absolute bar %.1fx)\n"
+                improvement15 committed BR.sla_improvement_bar
           | Error line -> gate [ line ]));
       match !failures with
       | [] -> ()

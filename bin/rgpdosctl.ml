@@ -415,6 +415,12 @@ let stats_run subjects seed budget ops =
         with_defaults dev_counter_names
           (Rgpdos_util.Stats.Counter.to_list (Block_device.stats dev))
       in
+      (* scheduler counters come pre-defaulted from the kernel: the
+         deadline lane prints zeros on a machine that never scheduled
+         rights work, same canonical-name rule as the store counters *)
+      let sched_counters =
+        Rgpdos_kernel.Scheduler.counters (Machine.scheduler m)
+      in
       let resident = Dbfs.cache_resident store in
       let get k =
         match List.assoc_opt k dbfs_counters with Some v -> v | None -> 0
@@ -438,6 +444,8 @@ let stats_run subjects seed budget ops =
       List.iter (fun (k, v) -> Printf.printf "  %-22s %10d\n" k v) dbfs_counters;
       Printf.printf "device counters:\n";
       List.iter (fun (k, v) -> Printf.printf "  %-22s %10d\n" k v) dev_counters;
+      Printf.printf "scheduler counters:\n";
+      List.iter (fun (k, v) -> Printf.printf "  %-22s %10d\n" k v) sched_counters;
       0
 
 let stats_cmd =

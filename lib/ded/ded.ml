@@ -90,6 +90,11 @@ let cost_return = 200
 let location_cores = function Host -> 8 | Pim -> 64 | Pis -> 16
 let cost_spawn_per_shard = 500
 
+(* records per shard when a cooperative [?yield] makes ded_execute
+   preemptible: small enough that a rights request waits at most one
+   wave of shards, large enough that spawn overhead stays negligible *)
+let default_grain = 64
+
 let storage e = Error (Storage_error (Dbfs.error_to_string e))
 
 let ( let** ) r f = match r with Error e -> Error e | Ok v -> f v
@@ -113,8 +118,8 @@ let value_leaks inputs value =
         inputs
   | _ -> false
 
-let execute t ?(fetch_mode = Two_phase) ?(location = Host) ?cores ?pool
-    ~processing ~target () =
+let execute t ?(fetch_mode = Two_phase) ?(location = Host) ?cores ?pool ?grain
+    ?yield ~processing ~target () =
   let open Processing in
   let cores =
     match cores with Some c -> max 1 c | None -> location_cores location
@@ -290,17 +295,20 @@ let execute t ?(fetch_mode = Two_phase) ?(location = Host) ?cores ?pool
             | Some reduce when cores > 1 && n_inputs > 1 ->
                 let input_arr = Array.of_list inputs in
                 let bounds =
-                  Rgpdos_util.Pool.chunks ~items:n_inputs ~chunks:cores
+                  match yield with
+                  | None ->
+                      (* non-preemptible: one wave of at most [cores]
+                         balanced shards (the pre-yield behaviour) *)
+                      Rgpdos_util.Pool.chunks ~items:n_inputs ~chunks:cores
+                  | Some _ ->
+                      (* preemptible: bounded-size shards executed in
+                         waves of [cores], a yield point between waves *)
+                      let g = max 1 (Option.value ~default:default_grain grain) in
+                      let nshards = (n_inputs + g - 1) / g in
+                      Array.init nshards (fun i ->
+                          (i * g, min g (n_inputs - (i * g))))
                 in
                 let nshards = Array.length bounds in
-                (* critical path: every shard spawns, the slowest shard
-                   gates completion *)
-                let longest =
-                  Array.fold_left (fun acc (_, len) -> max acc len) 0 bounds
-                in
-                Clock.advance t.clock
-                  ((cost_spawn_per_shard * nshards)
-                  + (processing.cpu_cost_per_record * mult * longest));
                 let cells = Array.map (fun _ -> ref None) bounds in
                 let run_shard i =
                   let off, len = bounds.(i) in
@@ -309,11 +317,46 @@ let execute t ?(fetch_mode = Two_phase) ?(location = Host) ?cores ?pool
                   in
                   run_body cells.(i) shard_inputs
                 in
+                let collected = Array.make nshards None in
+                (* one wave: every shard in it spawns, the slowest shard
+                   gates completion — the clock is charged the wave's
+                   critical path BEFORE the bodies run, so pool and
+                   inline execution observe identical simulated time *)
+                let run_wave start n =
+                  let longest = ref 0 in
+                  for i = start to start + n - 1 do
+                    let _, len = bounds.(i) in
+                    if len > !longest then longest := len
+                  done;
+                  Clock.advance t.clock
+                    ((cost_spawn_per_shard * n)
+                    + (processing.cpu_cost_per_record * mult * !longest));
+                  let indices = Array.init n (fun j -> start + j) in
+                  let rs =
+                    match pool with
+                    | Some p -> Rgpdos_util.Pool.map_array p run_shard indices
+                    | None -> Array.map run_shard indices
+                  in
+                  Array.iteri (fun j r -> collected.(start + j) <- Some r) rs
+                in
+                (match yield with
+                | None -> run_wave 0 nshards
+                | Some yield_fn ->
+                    let start = ref 0 in
+                    while !start < nshards do
+                      let n = min cores (nshards - !start) in
+                      run_wave !start n;
+                      start := !start + n;
+                      (* the cooperative preemption point: the caller may
+                         run rights work here; the paused scan's inputs
+                         were materialised in stages 1-4, so nothing the
+                         yield mutates can reach the in-flight shards *)
+                      if !start < nshards then yield_fn ()
+                    done);
                 let shard_results =
-                  let indices = Array.init nshards Fun.id in
-                  match pool with
-                  | Some p -> Rgpdos_util.Pool.map_array p run_shard indices
-                  | None -> Array.map run_shard indices
+                  Array.map
+                    (function Some r -> r | None -> assert false)
+                    collected
                 in
                 (* first violation in shard order wins, matching what a
                    sequential left-to-right run would have recorded *)

@@ -105,12 +105,17 @@ val cost_spawn_per_shard : Rgpdos_util.Clock.ns
 (** Simulated overhead charged per shard spawned by a parallel
     [ded_execute]. *)
 
+val default_grain : int
+(** Records per shard in preemptible ([?yield]) execution (64). *)
+
 val execute :
   t ->
   ?fetch_mode:fetch_mode ->
   ?location:location ->
   ?cores:int ->
   ?pool:Rgpdos_util.Pool.t ->
+  ?grain:int ->
+  ?yield:(unit -> unit) ->
   processing:Processing.spec ->
   target:target ->
   unit ->
@@ -128,7 +133,25 @@ val execute :
     domains, which changes host wall-clock time only: outcomes, filter /
     overread counters, audit verdicts and the virtual clock are
     identical with or without a pool, and (for honestly-declared
-    [shard_reduce]) identical to the sequential [~cores:1] run. *)
+    [shard_reduce]) identical to the sequential [~cores:1] run.
+
+    [?yield] makes a shard-decomposable [ded_execute] {b cooperatively
+    preemptible}: the granted records split into bounded shards of
+    [?grain] records ({!default_grain} by default) instead of [cores]
+    balanced chunks, shards execute in waves of [cores], each wave
+    charges its own critical path ([cost_spawn_per_shard] per shard +
+    longest shard in the wave), and [yield ()] runs {i between waves} —
+    the shard-boundary pause point where a deadline scheduler serves
+    rights requests.  Preemption is sound exactly here because stages
+    1-4 already materialised the scan's membranes and projected records:
+    whatever the yield callback mutates (an erasure, a consent flip) is
+    invisible to the in-flight shards, so outcomes and merge order stay
+    deterministic and pool-vs-inline equivalence holds wave by wave.
+    A processing without [shard_reduce] ignores [?yield] (a body with
+    cross-record state cannot be paused mid-scan).  The shard values
+    seen by [reduce] differ in count (more, smaller shards), which is
+    observationally equivalent for an honestly-declared decomposable
+    reduce. *)
 
 (** {1 Built-in functions} ([F_pd^w], provided by rgpdOS itself) *)
 

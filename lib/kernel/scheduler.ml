@@ -1,10 +1,19 @@
 module Clock = Rgpdos_util.Clock
+module Counter = Rgpdos_util.Stats.Counter
 
 type data_class = Pd | Npd | Io of string
 
 type job = { job_id : string; data_class : data_class; work : Clock.ns }
 
-type running = { job : job; mutable remaining : Clock.ns }
+type policy = Fifo | Edf
+
+type running = {
+  job : job;
+  mutable remaining : Clock.ns;
+  deadline : Clock.ns option;  (* absolute simulated deadline *)
+  seq : int;                   (* global submission order *)
+  mutable started : bool;      (* ran at least one slice *)
+}
 
 type kstate = {
   kernel : Subkernel.t;
@@ -15,16 +24,33 @@ type kstate = {
 type t = {
   clock : Clock.t;
   kernels : kstate list;
+  mutable policy : policy;
   mutable completed_rev : string list;
+  mutable completions_rev : (string * Clock.ns) list;
+  mutable next_seq : int;
+  mutable max_queue_depth : int;
+  counters : Counter.t;
 }
+
+let counter_names =
+  [ "preemptions"; "deadline_misses"; "rights_jobs"; "max_queue_depth" ]
 
 let create ~clock ~kernels =
   {
     clock;
     kernels =
       List.map (fun k -> { kernel = k; queue = Queue.create (); busy = 0 }) kernels;
+    policy = Fifo;
     completed_rev = [];
+    completions_rev = [];
+    next_seq = 0;
+    max_queue_depth = 0;
+    counters = Counter.create ();
   }
+
+let policy t = t.policy
+
+let set_policy t p = t.policy <- p
 
 let eligible data_class k =
   match (data_class, k.kernel.Subkernel.kind) with
@@ -34,7 +60,7 @@ let eligible data_class k =
   | (Pd | Npd | Io _), _ -> false
 
 (* place on the eligible kernel with the shortest queue *)
-let submit t job =
+let submit t ?deadline job =
   let candidates = List.filter (eligible job.data_class) t.kernels in
   match candidates with
   | [] ->
@@ -52,49 +78,116 @@ let submit t job =
             if Queue.length k.queue < Queue.length best.queue then k else best)
           first rest
       in
-      Queue.push { job; remaining = job.work } best.queue;
+      let seq = t.next_seq in
+      t.next_seq <- seq + 1;
+      Queue.push
+        { job; remaining = job.work; deadline; seq; started = false }
+        best.queue;
+      if deadline <> None then Counter.incr t.counters "rights_jobs";
+      let depth =
+        List.fold_left (fun acc k -> acc + Queue.length k.queue) 0 t.kernels
+      in
+      if depth > t.max_queue_depth then t.max_queue_depth <- depth;
       Rgpdos_util.Stats.Counter.incr best.kernel.Subkernel.counters "jobs";
       Ok ()
 
 let idle t = List.for_all (fun k -> Queue.is_empty k.queue) t.kernels
 
-(* One round: every kernel runs up to [cores] head jobs, each for up to
-   one quantum, scaled by its CPU share (1000 mcpu = 1x per-core speed).
+(* The deadline lane's ordering: jobs carrying a deadline come first,
+   earliest deadline first; the batch tail (no deadline) and any deadline
+   ties fall back to submission order.  Under [Fifo] the queue order IS
+   submission order (invariant below), so no sort is needed. *)
+let edf_order a b =
+  match (a.deadline, b.deadline) with
+  | Some da, Some db ->
+      if da <> db then compare da db else compare a.seq b.seq
+  | Some _, None -> -1
+  | None, Some _ -> 1
+  | None, None -> compare a.seq b.seq
+
+let rec take_n n = function
+  | rest when n = 0 -> ([], rest)
+  | [] -> ([], [])
+  | x :: rest ->
+      let picked, left = take_n (n - 1) rest in
+      (x :: picked, left)
+
+(* One round: every kernel runs up to [cores] jobs, each for up to one
+   quantum, scaled by its CPU share (1000 mcpu = 1x per-core speed).
    [busy] accumulates the SUM of the core walls (aggregate core-time, so
-   it is identical to the sequential total at any core count), while the
-   clock advances by the longest wall any core anywhere spent — the
-   per-round critical path. *)
+   it is identical to the sequential total at any core count and at any
+   policy), while the clock advances by the longest wall any core
+   anywhere spent — the per-round critical path.
+
+   Job selection is {i explicit}: jobs carry a submission sequence
+   number, [Fifo] serves the [cores] lowest-seq jobs and [Edf] the
+   [cores] earliest-deadline jobs (deadline-less batch work last, ties
+   by seq).  Unfinished selected jobs return to the head of the queue,
+   ahead of the waiting tail — under [Fifo] this preserves strict
+   submission-order service across rounds (pinned by a regression test;
+   the pre-EDF implementation relied on incidental [Queue.transfer]
+   ordering for this), and under [Edf] it is irrelevant because every
+   round re-ranks the whole queue. *)
 let run_round t quantum =
   let max_wall = ref 0 in
   List.iter
     (fun k ->
       let cores = max 1 k.kernel.Subkernel.cores in
       let mcpu = max 1 (Resource.cpu_millis k.kernel.Subkernel.partition) in
-      (* detach up to [cores] jobs from the head, preserving order *)
-      let rec take acc n =
-        if n = 0 then List.rev acc
-        else
-          match Queue.take_opt k.queue with
-          | None -> List.rev acc
-          | Some r -> take (r :: acc) (n - 1)
+      let all = List.of_seq (Queue.to_seq k.queue) in
+      Queue.clear k.queue;
+      let ranked =
+        match t.policy with
+        | Fifo -> all (* queue discipline keeps seq order *)
+        | Edf -> List.stable_sort edf_order all
       in
-      let running = take [] cores in
-      let survivors = Queue.create () in
+      let selected, _ = take_n cores ranked in
+      (* a started batch job pushed out of its slot by a later-submitted
+         deadline job is a preemption: the rights lane paused batch work
+         at a quantum (= shard) boundary *)
+      (match t.policy with
+      | Fifo -> ()
+      | Edf ->
+          let max_deadline_seq =
+            List.fold_left
+              (fun acc r -> if r.deadline <> None then max acc r.seq else acc)
+              min_int selected
+          in
+          if max_deadline_seq > min_int then
+            List.iter
+              (fun r ->
+                if
+                  r.started && r.seq < max_deadline_seq
+                  && not (List.memq r selected)
+                then Counter.incr t.counters "preemptions")
+              all);
+      let not_selected = List.filter (fun r -> not (List.memq r selected)) all in
+      let survivors = ref [] in
       List.iter
         (fun r ->
+          r.started <- true;
           let slice = min r.remaining quantum in
           (* wall time = cpu time / share *)
           let wall = slice * 1000 / mcpu in
           r.remaining <- r.remaining - slice;
           k.busy <- k.busy + wall;
           if wall > !max_wall then max_wall := wall;
-          if r.remaining <= 0 then
-            t.completed_rev <- r.job.job_id :: t.completed_rev
-          else Queue.push r survivors)
-        running;
-      (* unfinished jobs return to the head, ahead of the waiting tail *)
-      Queue.transfer k.queue survivors;
-      Queue.transfer survivors k.queue)
+          if r.remaining <= 0 then begin
+            t.completed_rev <- r.job.job_id :: t.completed_rev;
+            (* the job's own core finishes [wall] into this round *)
+            let finished_at = Clock.now t.clock + wall in
+            t.completions_rev <- (r.job.job_id, finished_at) :: t.completions_rev;
+            match r.deadline with
+            | Some d when finished_at > d ->
+                Counter.incr t.counters "deadline_misses"
+            | _ -> ()
+          end
+          else survivors := r :: !survivors)
+        selected;
+      (* unfinished selected jobs return to the head (in selection
+         order), ahead of the waiting tail, which keeps its own order *)
+      List.iter (fun r -> Queue.push r k.queue) (List.rev !survivors);
+      List.iter (fun r -> Queue.push r k.queue) not_selected)
     t.kernels;
   Clock.advance t.clock !max_wall
 
@@ -104,6 +197,23 @@ let run_until_idle t ?(quantum = 1_000_000) () =
   done
 
 let completed t = List.rev t.completed_rev
+
+let completions t = List.rev t.completions_rev
+
+let counters t =
+  let canonical =
+    List.map
+      (fun name ->
+        if name = "max_queue_depth" then (name, t.max_queue_depth)
+        else (name, Counter.get t.counters name))
+      counter_names
+  in
+  let extra =
+    List.filter
+      (fun (k, _) -> not (List.mem k counter_names))
+      (Counter.to_list t.counters)
+  in
+  List.sort compare (canonical @ extra)
 
 let kernel_busy_time t =
   t.kernels

@@ -1,4 +1,5 @@
-(** Weighted round-robin scheduler over the sub-kernels.
+(** Weighted round-robin scheduler over the sub-kernels, with an
+    optional deadline-aware (EDF) rights lane.
 
     Jobs are tagged PD or NPD and must run on a kernel of the matching
     category — the scheduler {i refuses} to place a PD job on the
@@ -6,7 +7,25 @@
     data/process separation (experiment E9 measures the cost of the
     split).  Each kernel executes work at a rate proportional to its CPU
     partition; the virtual clock advances by the longest-running kernel
-    per scheduling round. *)
+    per scheduling round.
+
+    {b Service order.}  Every job carries a global submission sequence
+    number.  Under {!Fifo} (the default) same-class jobs are served
+    strictly in submission order across rounds: the head job(s) hold
+    their core slots until completion, and unfinished jobs resume ahead
+    of the waiting tail (pinned by a regression test — the pre-EDF
+    implementation relied on incidental [Queue] transfer ordering for
+    this).  Under {!Edf}, jobs submitted with a deadline form a
+    preemptive lane: each round serves the earliest-deadline jobs first,
+    so a rights job submitted while a long batch job is mid-flight
+    displaces it at the next quantum boundary (the scheduler-level
+    mirror of the DED's shard-boundary yield).  Batch (deadline-less)
+    jobs keep submission order among themselves.
+
+    Switching {!Fifo} to {!Edf} changes {i only} ordering and latency:
+    the completed-job set and every kernel's aggregate busy time are
+    identical (qcheck-pinned), because slices and per-core rates do not
+    depend on the policy. *)
 
 type data_class =
   | Pd   (** application processing over personal data — rgpdOS kernel only *)
@@ -22,20 +41,63 @@ type job = {
   work : Rgpdos_util.Clock.ns;  (** CPU time the job needs at 1 core *)
 }
 
+type policy =
+  | Fifo  (** strict submission order (the pre-deadline behaviour) *)
+  | Edf   (** earliest-deadline-first rights lane over the batch tail *)
+
 type t
 
 val create : clock:Rgpdos_util.Clock.t -> kernels:Subkernel.t list -> t
+(** Starts under {!Fifo}. *)
 
-val submit : t -> job -> (unit, string) result
+val policy : t -> policy
+
+val set_policy : t -> policy -> unit
+(** Switch the service policy.  Takes effect from the next round (every
+    round ranks the whole queue afresh), so it is safe on a non-idle
+    scheduler; normally set once right after {!create}. *)
+
+val submit : t -> ?deadline:Rgpdos_util.Clock.ns -> job -> (unit, string) result
 (** Queues the job on a kernel able to process its data class (the rgpdOS
     kernel for PD, the general-purpose kernel for NPD, the named device's
-    IO-driver kernel for IO).  [Error] if no eligible kernel exists. *)
+    IO-driver kernel for IO).  [Error] if no eligible kernel exists.
+
+    [?deadline] is an {i absolute} simulated-clock deadline; it places
+    the job in the {!Edf} deadline lane (rights jobs — Art. 15/17/20
+    access/erasure/portability, Art. 33 breach enumeration) and counts
+    it under the ["rights_jobs"] counter.  Under {!Fifo} the deadline
+    still drives the ["deadline_misses"] counter, but never reorders. *)
+
+val run_round : t -> Rgpdos_util.Clock.ns -> unit
+(** One scheduling round at the given quantum.  Exposed so open-loop
+    drivers can interleave arrivals ({!submit}) with execution; use
+    {!run_until_idle} to drain. *)
 
 val run_until_idle : t -> ?quantum:Rgpdos_util.Clock.ns -> unit -> unit
 (** Execute all queued work; default quantum 1 ms of single-core time. *)
 
+val idle : t -> bool
+
 val completed : t -> string list
 (** Job ids in completion order. *)
 
+val completions : t -> (string * Rgpdos_util.Clock.ns) list
+(** [(job_id, finish)] in completion order, where [finish] is the
+    simulated clock at which the job's core finished it (per-right
+    latency = finish − submit-time, measured by the caller). *)
+
+val counter_names : string list
+(** The canonical scheduler counters, always present in {!counters} with
+    0 defaults: ["preemptions"] (a started batch job displaced from its
+    core slot by a later-submitted deadline job, counted per round),
+    ["deadline_misses"] (jobs finishing after their absolute deadline),
+    ["rights_jobs"] (jobs submitted with a deadline), and
+    ["max_queue_depth"] (high-water total queued jobs across kernels,
+    sampled at submit). *)
+
+val counters : t -> (string * int) list
+(** Canonical counters (0 defaults) plus any extras, sorted by name. *)
+
 val kernel_busy_time : t -> (string * Rgpdos_util.Clock.ns) list
-(** Accumulated busy time per kernel id, sorted by id. *)
+(** Accumulated busy time per kernel id, sorted by id.  Aggregate
+    core-time: independent of core count {i and} of the policy. *)

@@ -151,7 +151,8 @@ let run_init t init =
   in
   go init.init_rows
 
-let invoke t ?fetch_mode ?location ?cores ?pool ~name ~target ?init () =
+let invoke t ?fetch_mode ?location ?cores ?pool ?grain ?yield ~name ~target
+    ?init () =
   match Hashtbl.find_opt t.store name with
   | None -> Error (Unknown_processing name)
   | Some r ->
@@ -164,8 +165,8 @@ let invoke t ?fetch_mode ?location ?cores ?pool ~name ~target ?init () =
         | Error e -> Error e
         | Ok () -> (
             match
-              Ded.execute t.ded ?fetch_mode ?location ?cores ?pool
-                ~processing:r.spec ~target ()
+              Ded.execute t.ded ?fetch_mode ?location ?cores ?pool ?grain
+                ?yield ~processing:r.spec ~target ()
             with
             | Ok outcome -> Ok outcome
             | Error e -> Error (Invoke_error e)))

@@ -75,6 +75,8 @@ val invoke :
   ?location:Rgpdos_ded.Ded.location ->
   ?cores:int ->
   ?pool:Rgpdos_util.Pool.t ->
+  ?grain:int ->
+  ?yield:(unit -> unit) ->
   name:string ->
   target:Rgpdos_ded.Ded.target ->
   ?init:init ->

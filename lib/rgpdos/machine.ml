@@ -211,10 +211,11 @@ let approve_processing t name =
   | Ok () -> Ok ()
   | Error e -> Error (Processing_store.error_to_string e)
 
-let invoke t ?fetch_mode ?location ?cores ?pool ~name ~target ?init () =
+let invoke t ?fetch_mode ?location ?cores ?pool ?grain ?yield ~name ~target
+    ?init () =
   match
-    Processing_store.invoke t.ps ?fetch_mode ?location ?cores ?pool ~name
-      ~target ?init ()
+    Processing_store.invoke t.ps ?fetch_mode ?location ?cores ?pool ?grain
+      ?yield ~name ~target ?init ()
   with
   | Ok outcome -> Ok outcome
   | Error e -> Error (Processing_store.error_to_string e)

@@ -89,11 +89,15 @@ val invoke :
   ?location:Rgpdos_ded.Ded.location ->
   ?cores:int ->
   ?pool:Rgpdos_util.Pool.t ->
+  ?grain:int ->
+  ?yield:(unit -> unit) ->
   name:string ->
   target:Rgpdos_ded.Ded.target ->
   ?init:Rgpdos_ps.Processing_store.init ->
   unit ->
   (Rgpdos_ded.Ded.outcome, string) result
+(** [?grain]/[?yield] make a shard-decomposable invocation cooperatively
+    preemptible at shard-wave boundaries — see {!Rgpdos_ded.Ded.execute}. *)
 
 val collect :
   t ->

@@ -1097,3 +1097,207 @@ let compare_segment ~old_report ~ingest_mb_s:current =
               committed -%.0f%%)"
              old_ingest current floor regression_threshold_pct)
       else Ok old_ingest
+
+(* ---------- rights-SLA artifact ---------- *)
+
+let sla_schema_id = "rgpdos-bench-rights-sla/1"
+
+(* acceptance bars for the deadline lane: under saturating batch load the
+   EDF dispatcher must cut the Art. 15 access p99 by at least 5x against
+   FIFO on the identical schedule, must itself miss no deadline anywhere
+   (main mix, storm, breach), and must actually have preempted (else the
+   lane never engaged and the numbers are vacuous). *)
+let sla_improvement_bar = 5.0
+
+let sla_right (rs : Sla_bench.right_stats) =
+  Json.Obj
+    [
+      ("label", Json.Str rs.Sla_bench.rs_label);
+      ("count", Json.Num (float_of_int rs.Sla_bench.rs_count));
+      ("errors", Json.Num (float_of_int rs.Sla_bench.rs_errors));
+      ("p50_ns", Json.Num (float_of_int rs.Sla_bench.rs_p50_ns));
+      ("p99_ns", Json.Num (float_of_int rs.Sla_bench.rs_p99_ns));
+      ("max_ns", Json.Num (float_of_int rs.Sla_bench.rs_max_ns));
+      ("misses", Json.Num (float_of_int rs.Sla_bench.rs_misses));
+      ("deadline_ns", Json.Num (float_of_int rs.Sla_bench.rs_deadline_ns));
+    ]
+
+let sla_side (s : Sla_bench.side) =
+  Json.Obj
+    [
+      ("policy", Json.Str s.Sla_bench.sd_policy);
+      ("batch_jobs", Json.Num (float_of_int s.Sla_bench.sd_batch_jobs));
+      ("batch_errors", Json.Num (float_of_int s.Sla_bench.sd_batch_errors));
+      ("sim_ns", Json.Num (float_of_int s.Sla_bench.sd_sim_ns));
+      ("wall_s", Json.Num s.Sla_bench.sd_wall_s);
+      ( "counters",
+        Json.Obj
+          (List.map
+             (fun (k, v) -> (k, Json.Num (float_of_int v)))
+             s.Sla_bench.sd_counters) );
+      ("rights", Json.List (List.map sla_right s.Sla_bench.sd_rights));
+    ]
+
+let make_sla ~(result : Sla_bench.result) ~wall_ms =
+  Json.Obj
+    [
+      ("schema", Json.Str sla_schema_id);
+      ("subjects", Json.Num (float_of_int result.Sla_bench.r_subjects));
+      ("domains", Json.Num (float_of_int result.Sla_bench.r_domains));
+      ("seed", Json.Num (Int64.to_float result.Sla_bench.r_seed));
+      ("batches", Json.Num (float_of_int result.Sla_bench.r_batches));
+      ( "batch_every_ns",
+        Json.Num (float_of_int result.Sla_bench.r_batch_every_ns) );
+      ("fifo", sla_side result.Sla_bench.r_fifo);
+      ("edf", sla_side result.Sla_bench.r_edf);
+      ( "improvement",
+        Json.Obj
+          (List.map
+             (fun (k, v) -> (k, Json.Num v))
+             result.Sla_bench.r_improvement) );
+      ( "storm",
+        Json.Obj
+          [
+            ( "requests",
+              Json.Num (float_of_int result.Sla_bench.r_storm.Sla_bench.st_requests) );
+            ( "p50_ns",
+              Json.Num (float_of_int result.Sla_bench.r_storm.Sla_bench.st_p50_ns) );
+            ( "p99_ns",
+              Json.Num (float_of_int result.Sla_bench.r_storm.Sla_bench.st_p99_ns) );
+            ( "misses",
+              Json.Num (float_of_int result.Sla_bench.r_storm.Sla_bench.st_misses) );
+            ( "drain_ns",
+              Json.Num (float_of_int result.Sla_bench.r_storm.Sla_bench.st_drain_ns) );
+          ] );
+      ( "breach",
+        Json.Obj
+          [
+            ( "affected",
+              Json.Num (float_of_int result.Sla_bench.r_breach.Sla_bench.bn_affected) );
+            ( "entries",
+              Json.Num (float_of_int result.Sla_bench.r_breach.Sla_bench.bn_entries) );
+            ( "latency_ns",
+              Json.Num (float_of_int result.Sla_bench.r_breach.Sla_bench.bn_latency_ns) );
+            ( "deadline_ns",
+              Json.Num
+                (float_of_int result.Sla_bench.r_breach.Sla_bench.bn_deadline_ns) );
+            ("met", Json.Bool result.Sla_bench.r_breach.Sla_bench.bn_met);
+          ] );
+      ("wall_ms", Json.Num wall_ms);
+    ]
+
+let sla_improvement_of v =
+  Option.bind (Json.member "improvement" v) (fun imp ->
+      Option.bind (Json.member "art15" imp) Json.to_float)
+
+let validate_sla v =
+  let* schema =
+    require "missing schema key"
+      (Option.bind (Json.member "schema" v) Json.to_str)
+  in
+  if schema <> sla_schema_id then Error ("unexpected schema id " ^ schema)
+  else
+    let num obj name =
+      require ("missing " ^ name)
+        (Option.bind (Json.member name obj) Json.to_float)
+    in
+    let* side_fifo = require "missing fifo section" (Json.member "fifo" v) in
+    let* side_edf = require "missing edf section" (Json.member "edf" v) in
+    let counters s =
+      let* c = require "side: missing counters" (Json.member "counters" s) in
+      let rec go = function
+        | [] -> Ok c
+        | n :: rest -> (
+            match Option.bind (Json.member n c) Json.to_float with
+            | Some _ -> go rest
+            | None -> Error ("side: missing canonical counter " ^ n))
+      in
+      go Rgpdos_kernel.Scheduler.counter_names
+    in
+    let* fifo_counters = counters side_fifo in
+    let* edf_counters = counters side_edf in
+    let right s label =
+      match Json.member "rights" s with
+      | Some (Json.List rights) ->
+          require ("missing rights row " ^ label)
+            (List.find_opt
+               (fun r ->
+                 Option.bind (Json.member "label" r) Json.to_str = Some label)
+               rights)
+      | _ -> Error "side: missing rights list"
+    in
+    let* fifo15 = right side_fifo "art15" in
+    let* edf15 = right side_edf "art15" in
+    let* fifo15_count = num fifo15 "count" in
+    let* edf15_count = num edf15 "count" in
+    let* edf15_misses = num edf15 "misses" in
+    let* edf_deadline_misses = num edf_counters "deadline_misses" in
+    let* edf_preemptions = num edf_counters "preemptions" in
+    let* fifo_preemptions = num fifo_counters "preemptions" in
+    let* improvement15 =
+      require "missing art15 improvement" (sla_improvement_of v)
+    in
+    let* storm = require "missing storm section" (Json.member "storm" v) in
+    let* storm_requests = num storm "requests" in
+    let* storm_misses = num storm "misses" in
+    let* breach = require "missing breach section" (Json.member "breach" v) in
+    let* breach_affected = num breach "affected" in
+    let* breach_met =
+      require "missing breach met flag"
+        (match Json.member "met" breach with
+        | Some (Json.Bool b) -> Some b
+        | _ -> None)
+    in
+    if fifo15_count <= 0.0 || edf15_count <= 0.0 then
+      Error "sla: no Art. 15 samples on one of the sides"
+    else if fifo15_count <> edf15_count then
+      Error "sla: the two sides served different Art. 15 request counts"
+    else if edf_preemptions <= 0.0 then
+      Error "sla: EDF side never preempted — the deadline lane never engaged"
+    else if fifo_preemptions <> 0.0 then
+      Error "sla: FIFO side reports preemptions"
+    else if edf15_misses > 0.0 || edf_deadline_misses > 0.0 then
+      Error
+        (Printf.sprintf
+           "sla: EDF side missed deadlines (art15 %d, total %d) — the gated \
+            config requires zero"
+           (int_of_float edf15_misses)
+           (int_of_float edf_deadline_misses))
+    else if storm_requests <= 0.0 then Error "sla: storm served no withdrawals"
+    else if storm_misses > 0.0 then
+      Error
+        (Printf.sprintf "sla: storm missed %d withdrawal deadlines"
+           (int_of_float storm_misses))
+    else if breach_affected <= 0.0 then
+      Error "sla: breach enumeration found no affected subjects"
+    else if not breach_met then
+      Error "sla: Art. 33 breach enumeration missed its deadline"
+    else if improvement15 < sla_improvement_bar then
+      Error
+        (Printf.sprintf
+           "sla: Art. 15 p99 only improved %.2fx under EDF; the bar is %.1fx"
+           improvement15 sla_improvement_bar)
+    else Ok ()
+
+(* The improvement factor is strongly scale-dependent (the FIFO backlog
+   deepens with every batch the schedule adds), so a quick-scale
+   measurement cannot be held to a percentage of the committed
+   full-scale figure.  The gate is the absolute bar on both sides: the
+   committed artifact must clear it (else it should never have been
+   committed) and the fresh measurement must clear it at whatever scale
+   it ran. *)
+let compare_sla ~old_report ~improvement15:current =
+  match sla_improvement_of old_report with
+  | None -> Error "old sla report has no art15 improvement"
+  | Some old_imp ->
+      if old_imp < sla_improvement_bar then
+        Error
+          (Printf.sprintf
+             "committed Art. 15 p99 improvement %.2fx is under the %.1fx bar"
+             old_imp sla_improvement_bar)
+      else if current < sla_improvement_bar then
+        Error
+          (Printf.sprintf
+             "Art. 15 p99 improvement %.2fx fell under the absolute %.1fx bar"
+             current sla_improvement_bar)
+      else Ok old_imp

@@ -246,3 +246,37 @@ val compare_segment :
 (** Gate a freshly measured segmented sustained-ingest figure against the
     committed [BENCH_segment_io.json]; the metric is higher-is-better, so
     the gate is a floor at {!regression_threshold_pct} below committed. *)
+
+(** {1 Rights-SLA artifact ([BENCH_rights_sla.json])} *)
+
+val sla_schema_id : string
+
+val sla_improvement_bar : float
+(** 5.0 — the EDF deadline lane must cut the Art. 15 access p99 by at
+    least this factor against FIFO on the identical saturating
+    schedule. *)
+
+val make_sla : result:Sla_bench.result -> wall_ms:float -> Json.t
+(** The committed evidence for the deadline lane: both dispatcher sides
+    of the A/B run ({!Sla_bench.run}) with per-right p50/p99/miss rows
+    and the canonical scheduler counters, the per-right p99 improvement
+    factors, and the consent-storm / Art. 33 breach scenario verdicts. *)
+
+val validate_sla : Json.t -> (unit, string) result
+(** Shape check plus the acceptance bars: both sides served the same
+    (non-zero) Art. 15 count, the EDF side preempted at least once and
+    missed {i no} deadline (per-class and counter-wise), the FIFO side
+    reports zero preemptions, the storm drained with zero misses, the
+    breach enumeration found subjects and met its deadline, and the
+    Art. 15 p99 improvement clears {!sla_improvement_bar}. *)
+
+val sla_improvement_of : Json.t -> float option
+(** The committed Art. 15 p99 improvement factor, when present. *)
+
+val compare_sla :
+  old_report:Json.t -> improvement15:float -> (float, string) result
+(** Gate a freshly measured Art. 15 improvement against the committed
+    [BENCH_rights_sla.json].  The factor deepens with schedule length,
+    so quick and full runs are not comparable by percentage — the gate
+    holds {i both} the committed figure and the fresh measurement to
+    the absolute {!sla_improvement_bar}. *)
