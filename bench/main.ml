@@ -69,21 +69,33 @@
 
      dune exec bench/main.exe -- sla --sla-json BENCH_rights_sla.json
 
+   The [async] section A/B-runs the E1 pipeline on one build with the
+   device's submission/completion queues off (the scalar charging every
+   committed baseline used) and on, sweeping queue depth 1/4/16/64;
+   [--async-json PATH] writes the artifact; the committed
+   BENCH_async_io.json is produced by
+
+     dune exec bench/main.exe -- async --async-json BENCH_async_io.json
+
    [--compare OLD.json] reruns E1 and gates every stage's per-subject
    simulated time against OLD.json (CI runs this against the committed
    BENCH_hotpath.json).  When BENCH_vectored_io.json /
    BENCH_parallel_scale.json / BENCH_index_select.json /
    BENCH_mount_scale.json / BENCH_segment_io.json /
-   BENCH_rights_sla.json sit next to OLD.json, the merge ratio, the
-   4-domain speedup, the 1%-selectivity pushdown speedup, the
-   clean-mount read ratio, the segmented sustained ingest and the
-   Art. 15 p99 improvement are gated the same way (>25% regression
-   fails, and the SLA gate additionally keeps the absolute 5x bar).  When
+   BENCH_rights_sla.json / BENCH_async_io.json sit next to OLD.json,
+   the merge ratio, the 4-domain speedup, the 1%-selectivity pushdown
+   speedup, the clean-mount read ratio, the segmented sustained ingest,
+   the Art. 15 p99 improvement and the async load-stage speedup are
+   gated the same way (>25% regression fails; the SLA and async gates
+   additionally keep their absolute bars).  When
    BENCH_fault_campaign.json sits there too, a fresh (smoke-sized)
    campaign must hold every invariant at every crash point — the
    robustness gate is absolute (pass rate == 100%), not a regression
-   margin.  Every failing gate is evaluated and printed before the
-   single non-zero exit, so one run reports the full damage.
+   margin.  A missing or unparseable OLD.json, and a committed sibling
+   that exists but fails to parse, are themselves failing gates (an
+   absent sibling is simply not gated).  Every failing gate is
+   evaluated and printed before the single non-zero exit, so one run
+   reports the full damage.
 *)
 
 open Bechamel
@@ -281,6 +293,7 @@ let () =
   let fault_json_path, args = extract_flag "--fault-json" [] args in
   let segment_json_path, args = extract_flag "--segment-json" [] args in
   let sla_json_path, args = extract_flag "--sla-json" [] args in
+  let async_json_path, args = extract_flag "--async-json" [] args in
   let compare_path, args = extract_flag "--compare" [] args in
   let wanted = List.filter (fun a -> a <> "--quick") args in
   let enabled name = wanted = [] || List.mem name wanted in
@@ -316,6 +329,10 @@ let () =
     failwith
       "--sla-json needs the sla section; run e.g. \
        bench/main.exe -- sla --sla-json BENCH_rights_sla.json";
+  if async_json_path <> None && not (enabled "async") then
+    failwith
+      "--async-json needs the async section; run e.g. \
+       bench/main.exe -- async --async-json BENCH_async_io.json";
   let d full small = if quick then small else full in
 
   (* host wall-clock per section, for the JSON report *)
@@ -333,6 +350,7 @@ let () =
   let fault_pass_rate = ref None in
   let segment_ingest = ref None in
   let sla_improvement15 = ref None in
+  let async_metrics = ref None in
   (* the 1%-selectivity pushdown speedup at the smallest population >=
      2000 — the configuration the index artifact gates on (present at
      both quick and full scale) *)
@@ -655,38 +673,80 @@ let () =
         Printf.printf "\nwrote %s\n" path
   end;
 
+  if enabled "async" then begin
+    let module AB = Rgpdos_workload.Async_bench in
+    let module BR = Rgpdos_workload.Bench_report in
+    (* virtual-clock A/B: quick shrinks the populations but keeps the
+       full depth sweep, so the gated depth >= 4 rows exist either way *)
+    let result, wall_ms =
+      timed (fun () ->
+          AB.run ~sizes:(d [ 2_000; 8_000 ] [ 400; 1_000 ]) ())
+    in
+    async_metrics :=
+      Some (result.AB.a_best_load_speedup, result.AB.a_best_overlap_pct);
+    let report = BR.make_async ~result ~wall_ms in
+    (match BR.validate_async report with
+    | Ok () -> ()
+    | Error e -> failwith ("async-io report failed self-validation: " ^ e));
+    section "ASYNC — submission/completion queues A/B (E1, async off vs on)"
+      (AB.render result);
+    match async_json_path with
+    | None -> ()
+    | Some path ->
+        BR.write_file path report;
+        Printf.printf "\nwrote %s\n" path
+  end;
+
   (match compare_path with
   | None -> ()
   | Some path ->
       let module BR = Rgpdos_workload.Bench_report in
-      let old_report =
-        match BR.read_file path with
-        | Some r -> r
-        | None -> failwith ("--compare: cannot parse " ^ path)
-      in
       (* every gate runs and every failure is recorded; CI gets the full
          list of regressions from one run instead of one per rerun *)
       let failures = ref [] in
       let gate lines = failures := !failures @ lines in
+      (* a baseline that is missing or does not parse is itself a failing
+         gate, reported in the collected list like any regression — the
+         remaining sibling gates still run so one pass shows everything *)
+      let old_report =
+        if not (Sys.file_exists path) then begin
+          gate [ "--compare: missing committed artifact " ^ path ];
+          None
+        end
+        else
+          match BR.read_file path with
+          | Some r -> Some r
+          | None ->
+              gate [ "--compare: cannot parse " ^ path ];
+              None
+      in
       let current =
         match !e1_result with
         | Some (r, _) -> r
         | None -> E.e1_ded_stages ~subjects:(d 2_000 200) ()
       in
-      (match BR.compare_e1 ~old_report current with
-      | Ok n ->
-          Printf.printf
-            "\ncompare: %d E1 stages checked against %s — no regression > \
-             %.0f%%\n"
-            n path BR.regression_threshold_pct
-      | Error lines ->
-          gate (List.map (fun l -> "E1: " ^ l) lines));
-      (* the artifacts committed next to OLD.json gate their own
-         headline numbers the same way *)
-      let sibling name = Filename.concat (Filename.dirname path) name in
-      (match BR.read_file (sibling "BENCH_vectored_io.json") with
+      (match old_report with
       | None -> ()
-      | Some old_vec -> (
+      | Some old_report -> (
+          match BR.compare_e1 ~old_report current with
+          | Ok n ->
+              Printf.printf
+                "\ncompare: %d E1 stages checked against %s — no regression > \
+                 %.0f%%\n"
+                n path BR.regression_threshold_pct
+          | Error lines -> gate (List.map (fun l -> "E1: " ^ l) lines)));
+      (* the artifacts committed next to OLD.json gate their own
+         headline numbers the same way.  An absent sibling is simply not
+         gated; one that exists but does not parse is a failing gate. *)
+      let sibling name = Filename.concat (Filename.dirname path) name in
+      let with_sibling name f =
+        let p = sibling name in
+        if Sys.file_exists p then
+          match BR.read_file p with
+          | Some old -> f old
+          | None -> gate [ "--compare: cannot parse " ^ p ]
+      in
+      with_sibling "BENCH_vectored_io.json" (fun old_vec ->
           let ratio = BR.merge_ratio current.E.e1_device in
           match
             BR.compare_vectored ~old_report:old_vec
@@ -696,10 +756,8 @@ let () =
               Printf.printf
                 "compare: E1 merge ratio %.2f vs committed %.2f — ok\n" ratio
                 committed
-          | Error line -> gate [ line ]));
-      (match BR.read_file (sibling "BENCH_parallel_scale.json") with
-      | None -> ()
-      | Some old_scale -> (
+          | Error line -> gate [ line ]);
+      with_sibling "BENCH_parallel_scale.json" (fun old_scale ->
           let speedup4 =
             match !scale_speedup4 with
             | Some s -> s
@@ -722,10 +780,8 @@ let () =
               Printf.printf
                 "compare: 4-domain speedup %.2fx vs committed %.2fx — ok\n"
                 speedup4 committed
-          | Error line -> gate [ line ]));
-      (match BR.read_file (sibling "BENCH_index_select.json") with
-      | None -> ()
-      | Some old_index -> (
+          | Error line -> gate [ line ]);
+      with_sibling "BENCH_index_select.json" (fun old_index ->
           let speedup1pct =
             match !index_speedup1pct with
             | Some s -> s
@@ -742,10 +798,8 @@ let () =
                 "compare: 1%%-selectivity pushdown %.1fx vs committed %.1fx \
                  — ok\n"
                 speedup1pct committed
-          | Error line -> gate [ line ]));
-      (match BR.read_file (sibling "BENCH_mount_scale.json") with
-      | None -> ()
-      | Some old_mount -> (
+          | Error line -> gate [ line ]);
+      with_sibling "BENCH_mount_scale.json" (fun old_mount ->
           let module MB = Rgpdos_workload.Mount_bench in
           let read_ratio_max =
             match !mount_read_ratio with
@@ -761,10 +815,8 @@ let () =
                 "compare: clean-mount read ratio %.2fx vs committed %.2fx — \
                  ok\n"
                 read_ratio_max committed
-          | Error line -> gate [ line ]));
-      (match BR.read_file (sibling "BENCH_fault_campaign.json") with
-      | None -> ()
-      | Some old_fault -> (
+          | Error line -> gate [ line ]);
+      with_sibling "BENCH_fault_campaign.json" (fun old_fault ->
           let module FC = Rgpdos_workload.Fault_campaign in
           let pass_rate_pct =
             match !fault_pass_rate with
@@ -781,10 +833,8 @@ let () =
                 "compare: fault-campaign invariant pass rate %.1f%% vs \
                  committed %.1f%% — ok\n"
                 pass_rate_pct committed
-          | Error line -> gate [ line ]));
-      (match BR.read_file (sibling "BENCH_segment_io.json") with
-      | None -> ()
-      | Some old_segment -> (
+          | Error line -> gate [ line ]);
+      with_sibling "BENCH_segment_io.json" (fun old_segment ->
           let module SG = Rgpdos_workload.Segment_bench in
           let ingest_mb_s =
             match !segment_ingest with
@@ -801,10 +851,8 @@ let () =
                 "compare: segmented sustained ingest %.2f MB/s vs committed \
                  %.2f — ok\n"
                 ingest_mb_s committed
-          | Error line -> gate [ line ]));
-      (match BR.read_file (sibling "BENCH_rights_sla.json") with
-      | None -> ()
-      | Some old_sla -> (
+          | Error line -> gate [ line ]);
+      with_sibling "BENCH_rights_sla.json" (fun old_sla ->
           let module SLA = Rgpdos_workload.Sla_bench in
           let improvement15 =
             match !sla_improvement15 with
@@ -824,7 +872,27 @@ let () =
                 "compare: Art. 15 p99 improvement %.1fx vs committed %.1fx — \
                  ok (absolute bar %.1fx)\n"
                 improvement15 committed BR.sla_improvement_bar
-          | Error line -> gate [ line ]));
+          | Error line -> gate [ line ]);
+      with_sibling "BENCH_async_io.json" (fun old_async ->
+          let module AB = Rgpdos_workload.Async_bench in
+          let speedup, overlap =
+            match !async_metrics with
+            | Some m -> m
+            | None ->
+                (* async section did not run: replay a small A/B — the
+                   driver is virtual-clock deterministic, so the quick
+                   measurement is reproducible *)
+                let r = AB.run ~sizes:[ 400; 1_000 ] () in
+                (r.AB.a_best_load_speedup, r.AB.a_best_overlap_pct)
+          in
+          match BR.compare_async ~old_report:old_async ~speedup ~overlap with
+          | Ok committed ->
+              Printf.printf
+                "compare: async load speedup %.2fx (overlap %.1f%%) vs \
+                 committed %.2fx — ok (absolute bars %.1fx / %.0f%%)\n"
+                speedup overlap committed BR.async_speedup_bar
+                BR.async_overlap_bar
+          | Error line -> gate [ line ]);
       match !failures with
       | [] -> ()
       | lines ->

@@ -394,6 +394,8 @@ let stats_run subjects seed budget ops =
         [
           "reads"; "writes"; "bytes_read"; "bytes_written"; "trims";
           "vec_reads"; "vec_writes"; "write_ops"; "merged_runs";
+          "async_submits"; "async_completions"; "async_service_ns";
+          "queue_depth_highwater"; "overlap_ns_hidden";
         ]
       in
       let with_defaults names present =

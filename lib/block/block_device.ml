@@ -9,6 +9,8 @@ type config = {
   write_latency : Clock.ns;
   byte_latency : Clock.ns;
   vectored : bool;
+  async : bool;
+  queue_depth : int;
 }
 
 let default_config =
@@ -19,6 +21,8 @@ let default_config =
     write_latency = 20_000 (* 20us *);
     byte_latency = 2 (* ~0.5 GB/s *);
     vectored = true;
+    async = false;
+    queue_depth = 8;
   }
 
 (* ---------- fault plan ----------
@@ -94,6 +98,18 @@ module Fault_plan = struct
     plan
 end
 
+(* An in-flight async request: the bytes (for reads) were captured at
+   submission, only the clock settlement is outstanding.  [tk_completion]
+   is the absolute simulated time the channel finishes servicing the
+   request; [tk_service] is the request's own service time, used to
+   account how much of it the caller's compute hid. *)
+type ticket = {
+  tk_service : Clock.ns;
+  tk_completion : Clock.ns;
+  tk_payload : (int * string) list;
+  mutable tk_settled : bool;
+}
+
 type t = {
   cfg : config;
   clock : Clock.t;
@@ -104,6 +120,11 @@ type t = {
   mutable used : int;
   mutable plan : Fault_plan.t option;
   mutable crash_image : string array option;
+  channels : (int, Clock.ns array) Hashtbl.t;
+      (* per-channel service slots: absolute time each of the
+         [queue_depth] in-flight positions frees up *)
+  mutable pending_tk : ticket list;
+  mutable outstanding : int;
 }
 
 exception Out_of_range of int
@@ -122,6 +143,9 @@ let create ?(config = default_config) ~clock () =
     used = 0;
     plan = None;
     crash_image = None;
+    channels = Hashtbl.create 4;
+    pending_tk = [];
+    outstanding = 0;
   }
 
 let config dev = dev.cfg
@@ -188,19 +212,30 @@ let runs sorted =
   in
   match sorted with [] -> [] | i :: rest -> go [] i 1 rest
 
-(* Charge seeks + transfer for a vectored access of [sorted] blocks and
-   bump the shared counters.  [base] is the fixed per-seek latency. *)
-let charge_vec dev base sorted =
+(* Cost of a vectored access of [sorted] blocks: [(service_ns, nruns)].
+   One [base] seek per contiguous run (per block when not vectored) plus
+   the per-byte transfer.  Shared by the synchronous charge path and the
+   async submission path so both bill the identical service time. *)
+let vec_cost dev base sorted =
   match sorted with
-  | [] -> ()
+  | [] -> (0, 0)
   | _ ->
       let nblocks = List.length sorted in
       let rs = if dev.cfg.vectored then runs sorted else
           List.map (fun i -> (i, 1)) sorted
       in
       let nruns = List.length rs in
-      charge dev (base * nruns) (dev.cfg.block_size * nblocks);
-      Stats.Counter.incr dev.counters ~by:nruns "merged_runs"
+      ( (base * nruns) + (dev.cfg.byte_latency * dev.cfg.block_size * nblocks),
+        nruns )
+
+(* Charge seeks + transfer for a vectored access of [sorted] blocks and
+   bump the shared counters.  [base] is the fixed per-seek latency. *)
+let charge_vec dev base sorted =
+  let service, nruns = vec_cost dev base sorted in
+  if nruns > 0 then begin
+    Clock.advance dev.clock service;
+    Stats.Counter.incr dev.counters ~by:nruns "merged_runs"
+  end
 
 let block_contents dev i =
   let b = dev.blocks.(i) in
@@ -292,6 +327,42 @@ let dedup_writes writes =
   let sorted = sorted_unique (List.map fst writes) in
   List.map (fun i -> (i, Hashtbl.find last i)) sorted
 
+(* Persist a deduplicated, checked vectored write and run its fault-plan
+   dispatch.  This is the byte-and-fault half of [write_vec]; the async
+   submission path calls it at submit time so on-device state, write-op
+   ordinals and crash images never depend on when completions settle. *)
+let persist_vec dev sorted writes =
+  let first = List.hd sorted in
+  match note_write_op dev with
+  | None ->
+      List.iter (fun (i, data) -> store dev i data) writes;
+      maybe_capture_crash dev
+  | Some (Fault_plan.Fail_write { transient }) ->
+      if not transient then Hashtbl.replace dev.faults first ();
+      maybe_capture_crash dev;
+      raise (Faulted first)
+  | Some (Fault_plan.Torn_write { keep_runs }) ->
+      let rs =
+        if dev.cfg.vectored then runs sorted
+        else List.map (fun i -> (i, 1)) sorted
+      in
+      let kept = List.filteri (fun k _ -> k < keep_runs) rs in
+      let in_kept i =
+        List.exists (fun (s, l) -> i >= s && i < s + l) kept
+      in
+      List.iter (fun (i, data) -> if in_kept i then store dev i data) writes;
+      maybe_capture_crash dev;
+      let bad =
+        match List.filteri (fun k _ -> k >= keep_runs) rs with
+        | (s, _) :: _ -> s
+        | [] -> first
+      in
+      raise (Faulted bad)
+  | Some (Fault_plan.Bit_flip { block; byte; bit }) ->
+      List.iter (fun (i, data) -> store dev i data) writes;
+      flip_bit_raw dev ~block ~byte ~bit;
+      maybe_capture_crash dev
+
 (* [write_vec dev writes] stores every [(index, data)] pair in one
    request: one [write_latency] seek per contiguous run.  Later pairs win
    on duplicate indices, resolved before cost accounting: seeks and bytes
@@ -308,36 +379,7 @@ let write_vec dev writes =
       Stats.Counter.incr dev.counters
         ~by:(dev.cfg.block_size * List.length sorted)
         "bytes_written";
-      let first = List.hd sorted in
-      (match note_write_op dev with
-      | None ->
-          List.iter (fun (i, data) -> store dev i data) writes;
-          maybe_capture_crash dev
-      | Some (Fault_plan.Fail_write { transient }) ->
-          if not transient then Hashtbl.replace dev.faults first ();
-          maybe_capture_crash dev;
-          raise (Faulted first)
-      | Some (Fault_plan.Torn_write { keep_runs }) ->
-          let rs =
-            if dev.cfg.vectored then runs sorted
-            else List.map (fun i -> (i, 1)) sorted
-          in
-          let kept = List.filteri (fun k _ -> k < keep_runs) rs in
-          let in_kept i =
-            List.exists (fun (s, l) -> i >= s && i < s + l) kept
-          in
-          List.iter (fun (i, data) -> if in_kept i then store dev i data) writes;
-          maybe_capture_crash dev;
-          let bad =
-            match List.filteri (fun k _ -> k >= keep_runs) rs with
-            | (s, _) :: _ -> s
-            | [] -> first
-          in
-          raise (Faulted bad)
-      | Some (Fault_plan.Bit_flip { block; byte; bit }) ->
-          List.iter (fun (i, data) -> store dev i data) writes;
-          flip_bit_raw dev ~block ~byte ~bit;
-          maybe_capture_crash dev)
+      persist_vec dev sorted writes
 
 let write dev i data =
   check dev i;
@@ -365,6 +407,192 @@ let write dev i data =
       store dev i data;
       flip_bit_raw dev ~block ~byte ~bit;
       maybe_capture_crash dev
+
+(* ---------- asynchronous submission / completion ----------
+
+   io_uring-style queue pairs on the simulated clock.  A submission moves
+   bytes (and runs the whole write-path fault machinery) immediately —
+   on-device state, outcomes and counters can never depend on settlement
+   order — but its TIME is deferred: the request occupies one of the
+   channel's [queue_depth] service slots, starting no earlier than the
+   submission instant and no earlier than the slot frees up, and [await]
+   advances the clock only to the request's completion instant.  Whatever
+   compute the caller performed between submit and await therefore hides
+   an equal amount of device time, tallied in [overlap_ns_hidden].
+
+   With [cfg.async = false] a submission degrades to the synchronous
+   vectored call (identical clock charge, identical counters) and [await]
+   is a no-op, so the same consumer code A/Bs the two models on one
+   build. *)
+
+let async_enabled dev = dev.cfg.async
+
+let settled_ticket payload =
+  { tk_service = 0; tk_completion = 0; tk_payload = payload; tk_settled = true }
+
+let note_highwater dev =
+  let cur = Stats.Counter.get dev.counters "queue_depth_highwater" in
+  if dev.outstanding > cur then
+    Stats.Counter.incr dev.counters ~by:(dev.outstanding - cur)
+      "queue_depth_highwater"
+
+let channel_slots dev ch =
+  match Hashtbl.find_opt dev.channels ch with
+  | Some s -> s
+  | None ->
+      let s = Array.make (max 1 dev.cfg.queue_depth) 0 in
+      Hashtbl.add dev.channels ch s;
+      s
+
+(* Reserve the earliest-free slot of [channel] for a request of [service]
+   ns and return its absolute completion time. *)
+let enqueue dev ~channel service =
+  let slots = channel_slots dev channel in
+  let best = ref 0 in
+  for i = 1 to Array.length slots - 1 do
+    if slots.(i) < slots.(!best) then best := i
+  done;
+  let start = max (Clock.now dev.clock) slots.(!best) in
+  let completion = start + service in
+  slots.(!best) <- completion;
+  completion
+
+let track dev tk =
+  dev.pending_tk <- tk :: dev.pending_tk;
+  dev.outstanding <- dev.outstanding + 1;
+  note_highwater dev;
+  tk
+
+let account_read dev sorted nruns =
+  Stats.Counter.incr dev.counters ~by:nruns "merged_runs";
+  Stats.Counter.incr dev.counters "vec_reads";
+  Stats.Counter.incr dev.counters ~by:(List.length sorted) "reads";
+  Stats.Counter.incr dev.counters
+    ~by:(dev.cfg.block_size * List.length sorted)
+    "bytes_read"
+
+(* Shared by the real and charge-only read submissions: [move] controls
+   whether payload bytes are captured, nothing else.  Cache hits submitted
+   through the charge-only variant therefore queue, cost and settle
+   exactly like cold reads — the warm==cold rule under the async model. *)
+let submit_read_common dev ~channel ~move indices =
+  let sorted = sorted_unique indices in
+  match sorted with
+  | [] -> settled_ticket []
+  | _ ->
+      List.iter (check dev) sorted;
+      let service, nruns = vec_cost dev dev.cfg.read_latency sorted in
+      let payload =
+        if move then List.map (fun i -> (i, block_contents dev i)) sorted
+        else []
+      in
+      Stats.Counter.incr dev.counters "async_submits";
+      Stats.Counter.incr dev.counters ~by:service "async_service_ns";
+      if not dev.cfg.async then begin
+        (* synchronous degradation: exactly [read_vec]/[charge_read_vec] *)
+        Clock.advance dev.clock service;
+        Stats.Counter.incr dev.counters ~by:nruns "merged_runs";
+        Stats.Counter.incr dev.counters "vec_reads";
+        Stats.Counter.incr dev.counters ~by:(List.length sorted) "reads";
+        Stats.Counter.incr dev.counters
+          ~by:(dev.cfg.block_size * List.length sorted)
+          "bytes_read";
+        Stats.Counter.incr dev.counters "async_completions";
+        settled_ticket payload
+      end
+      else begin
+        account_read dev sorted nruns;
+        let completion = enqueue dev ~channel service in
+        track dev
+          {
+            tk_service = service;
+            tk_completion = completion;
+            tk_payload = payload;
+            tk_settled = false;
+          }
+      end
+
+let submit_read_vec dev ?(channel = 0) indices =
+  submit_read_common dev ~channel ~move:true indices
+
+let submit_charge_read_vec dev ?(channel = 0) indices =
+  submit_read_common dev ~channel ~move:false indices
+
+(* Async vectored write: dedup/check/counters/persistence (including the
+   fault plan and crash capture) all happen here at submission, in the
+   same order as [write_vec]; only the clock settlement is deferred.  The
+   channel slot is reserved BEFORE the fault dispatch so a faulted op
+   still consumes its service time (as the synchronous path charges
+   before raising) — the un-returned ticket settles at the next
+   [drain]. *)
+let submit_write_vec dev ?(channel = 0) writes =
+  match dedup_writes writes with
+  | [] -> settled_ticket []
+  | writes ->
+      let sorted = List.map fst writes in
+      List.iter (check dev) sorted;
+      let service, nruns = vec_cost dev dev.cfg.write_latency sorted in
+      Stats.Counter.incr dev.counters "async_submits";
+      Stats.Counter.incr dev.counters ~by:service "async_service_ns";
+      if not dev.cfg.async then begin
+        Clock.advance dev.clock service;
+        Stats.Counter.incr dev.counters ~by:nruns "merged_runs";
+        Stats.Counter.incr dev.counters "vec_writes";
+        Stats.Counter.incr dev.counters ~by:(List.length sorted) "writes";
+        Stats.Counter.incr dev.counters
+          ~by:(dev.cfg.block_size * List.length sorted)
+          "bytes_written";
+        Stats.Counter.incr dev.counters "async_completions";
+        persist_vec dev sorted writes;
+        settled_ticket []
+      end
+      else begin
+        Stats.Counter.incr dev.counters ~by:nruns "merged_runs";
+        Stats.Counter.incr dev.counters "vec_writes";
+        Stats.Counter.incr dev.counters ~by:(List.length sorted) "writes";
+        Stats.Counter.incr dev.counters
+          ~by:(dev.cfg.block_size * List.length sorted)
+          "bytes_written";
+        let completion = enqueue dev ~channel service in
+        let tk =
+          track dev
+            {
+              tk_service = service;
+              tk_completion = completion;
+              tk_payload = [];
+              tk_settled = false;
+            }
+        in
+        persist_vec dev sorted writes;
+        tk
+      end
+
+(* Settle a completion: advance the clock to the request's completion
+   instant (zero if the caller's compute already passed it) and account
+   the hidden service time.  Idempotent — a settled ticket just returns
+   its payload again. *)
+let await dev tk =
+  if not tk.tk_settled then begin
+    tk.tk_settled <- true;
+    dev.outstanding <- dev.outstanding - 1;
+    dev.pending_tk <- List.filter (fun t -> not t.tk_settled) dev.pending_tk;
+    let now = Clock.now dev.clock in
+    let adv = if tk.tk_completion > now then tk.tk_completion - now else 0 in
+    if adv > 0 then Clock.advance dev.clock adv;
+    Stats.Counter.incr dev.counters "async_completions";
+    let hidden = tk.tk_service - adv in
+    if hidden > 0 then
+      Stats.Counter.incr dev.counters ~by:hidden "overlap_ns_hidden"
+  end;
+  tk.tk_payload
+
+let outstanding dev = dev.outstanding
+
+(* The durability barrier: settle every in-flight submission.  After
+   [drain] the clock covers all device time ever submitted. *)
+let drain dev =
+  let tks = dev.pending_tk in
+  List.iter (fun tk -> ignore (await dev tk)) tks
 
 let trim dev i =
   check dev i;

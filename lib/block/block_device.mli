@@ -22,6 +22,17 @@ type config = {
       merged contiguous run; when false they degrade to one seek per block
       (the scalar cost model), letting before/after comparisons run on the
       same build. *)
+  async : bool;
+  (** when true, {!submit_read_vec}/{!submit_write_vec} defer their clock
+      charge to {!await} through per-channel service slots, so compute
+      performed between submit and await hides device time; when false
+      (the default) a submission charges synchronously — byte- and
+      clock-identical to {!read_vec}/{!write_vec} — letting before/after
+      comparisons run on the same build. *)
+  queue_depth : int;
+  (** service slots per channel under [async]: how many submissions one
+      channel services concurrently before further requests queue behind
+      the earliest free slot. *)
 }
 
 val default_config : config
@@ -76,6 +87,64 @@ val write_vec : t -> (int * string) list -> unit
 val write : t -> int -> string -> unit
 (** [write dev i data] stores [data] as block [i].  [data] shorter than
     [block_size] is zero-padded; longer raises [Invalid_argument]. *)
+
+(** {1 Asynchronous submission / completion}
+
+    io_uring-style queue pairs on the simulated clock.  A submission
+    moves bytes immediately — writes persist (and run the whole
+    fault-plan dispatch, write-op ordinals and crash capture) at submit
+    time, reads capture their payload at submit time — so on-device
+    state, outcomes and IO counters are identical to the synchronous
+    calls regardless of when completions settle.  Only TIME is deferred:
+    each request occupies one of its channel's [queue_depth] service
+    slots and {!await} advances the clock to the request's completion
+    instant, charging zero when the caller's compute between submit and
+    await already covered it (the hidden time is tallied in the
+    ["overlap_ns_hidden"] counter).
+
+    With [config.async = false] submissions charge synchronously and
+    {!await} never advances the clock, making the async API byte- and
+    clock-identical to the scalar model for same-build A/B runs. *)
+
+type ticket
+(** An in-flight submission.  Settle it with {!await} (idempotent). *)
+
+val async_enabled : t -> bool
+(** [config.async] — consumers branch on this to keep their synchronous
+    batch shape (and therefore its exact charging) when async is off. *)
+
+val submit_read_vec : t -> ?channel:int -> int list -> ticket
+(** Enqueue the vectored read of {!read_vec} on [channel] (default 0).
+    Payload bytes are captured and faults raised at submission; the
+    clock charge settles at {!await}.  Same counters as {!read_vec}. *)
+
+val submit_charge_read_vec : t -> ?channel:int -> int list -> ticket
+(** Cost-and-accounting-only {!submit_read_vec} (the async analogue of
+    {!charge_read_vec}): cache hits queue, cost and settle exactly like
+    the cold read they replace, so warm==cold holds under async too.
+    The ticket's payload is empty. *)
+
+val submit_write_vec : t -> ?channel:int -> (int * string) list -> ticket
+(** Enqueue the vectored write of {!write_vec} on [channel].  Bytes
+    persist and the fault plan dispatches at submission (raising
+    {!Faulted} exactly as {!write_vec} would); the clock charge settles
+    at {!await} — callers needing a durability barrier await the ticket
+    (or {!drain}) before depending on the op's time being charged. *)
+
+val await : t -> ticket -> (int * string) list
+(** Settle a completion: advance the clock to the request's completion
+    instant (zero if compute already passed it) and return the payload
+    captured at submission ([[]] for writes and charge-only reads).
+    Idempotent — re-awaiting returns the payload without re-charging. *)
+
+val drain : t -> unit
+(** Settle every in-flight submission (the device-wide durability
+    barrier).  After [drain] the clock covers all submitted device
+    time. *)
+
+val outstanding : t -> int
+(** In-flight (submitted, not yet awaited) requests across all
+    channels. *)
 
 val trim : t -> int -> unit
 (** Mark a block unallocated and zero it.  Unlike a real SSD TRIM this
@@ -183,7 +252,15 @@ val stats : t -> Rgpdos_util.Stats.Counter.t
     all vectored requests).  "reads"/"writes"/bytes stay per-block, so
     the merge ratio is [reads / merged_runs].  "write_ops" counts write
     requests (scalar or vectored) — the ordinal space fault plans schedule
-    against. *)
+    against.
+
+    Async observability (all 0 until the async API is used):
+    "async_submits" / "async_completions" (submissions issued / settled,
+    counted in both async and sync-degraded mode), "async_service_ns"
+    (total service time submitted), "overlap_ns_hidden" (service time
+    hidden behind caller compute — the overlap ratio is
+    [overlap_ns_hidden / async_service_ns]) and "queue_depth_highwater"
+    (maximum simultaneously in-flight submissions). *)
 
 val reset_stats : t -> unit
 

@@ -18,7 +18,15 @@ type t = {
   mutable pending_bytes : int;
   mutable batches : int; (* vectored flushes issued *)
   mutable batched_ops : int; (* records that went through a vectored flush *)
+  mutable inflight : Block_device.ticket list;
+      (* async flush submissions not yet settled.  The bytes are durable
+         at submission; only their clock charge is outstanding, settled
+         by [barrier] at the caller's durability points. *)
 }
+
+(* Channel the ring's async flushes queue on: negative so it can never
+   collide with the consumer-facing channels (DED shards use 0..n). *)
+let flush_channel = -1
 
 let record_magic = "JR"
 
@@ -41,6 +49,7 @@ let create dev ~start_block ~num_blocks =
     pending_bytes = 0;
     batches = 0;
     batched_ops = 0;
+    inflight = [];
   }
 
 let attach dev ~start_block ~num_blocks ~head ~seq =
@@ -57,6 +66,7 @@ let attach dev ~start_block ~num_blocks ~head ~seq =
     pending_bytes = 0;
     batches = 0;
     batched_ops = 0;
+    inflight = [];
   }
 
 let set_window ring w = ring.window <- max 1 w
@@ -156,13 +166,29 @@ let flush ring =
       let writes =
         List.rev_map (fun blk -> (blk, Bytes.to_string (Hashtbl.find tbl blk))) !order
       in
-      Block_device.write_vec ring.dev writes;
+      (* Async devices take the flush as a submission: the framed bytes
+         are on the medium when submit returns (replay/crash semantics
+         unchanged), only the clock settlement waits for [barrier]. *)
+      if Block_device.async_enabled ring.dev then
+        ring.inflight <-
+          Block_device.submit_write_vec ring.dev ~channel:flush_channel writes
+          :: ring.inflight
+      else Block_device.write_vec ring.dev writes;
       ring.jhead <- ring.jhead + len;
       ring.live_records <- ring.live_records + nrec;
       ring.batches <- ring.batches + 1;
       ring.batched_ops <- ring.batched_ops + nrec;
       ring.pending <- [];
       ring.pending_bytes <- 0
+
+(* Settle every async flush submission: the ring's durability barrier.
+   A no-op on synchronous devices and when nothing is in flight. *)
+let barrier ring =
+  (match ring.inflight with
+  | [] -> ()
+  | tks ->
+      List.iter (fun tk -> ignore (Block_device.await ring.dev tk)) (List.rev tks));
+  ring.inflight <- []
 
 let append ring ~on_overflow payload =
   let framed = frame_record ring.jseq payload in

@@ -46,6 +46,14 @@ val flush : t -> unit
 (** Write all buffered records at the head in one vectored device op.
     No-op when nothing is pending. *)
 
+val barrier : t -> unit
+(** Settle the clock charge of every asynchronously submitted flush (the
+    ring's durability barrier).  Flushed bytes are always on the medium
+    when {!flush} returns — on an async {!Block_device} only their
+    simulated time is deferred, and callers settle it here at their
+    durability points (checkpoint, purge, compaction).  No-op on a
+    synchronous device. *)
+
 val pending_ops : t -> int
 (** Buffered records not yet durable. *)
 

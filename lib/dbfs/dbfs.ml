@@ -118,6 +118,11 @@ type t = {
   mutable replay_warning : string option;
   counters : Stats.Counter.t;
   cache : cached Cache.t;
+  page_prefetch : (int, Block_device.ticket) Hashtbl.t;
+      (* speculative index-page reads submitted ahead of the descent
+         (async devices only), keyed by first block.  [read_page] consumes
+         a pending ticket instead of re-reading; checkpoint settles and
+         drops leftovers alongside the page-cache invalidation. *)
   (* log-structured mode: payload extents bump-allocate inside per-zone
      segments; superseded blocks stay dirty until a purge or compaction
      destroys them (see segstore.ml).  [None] = classic update-in-place
@@ -465,6 +470,9 @@ let purge_dirty t =
       ensure_seg_hydrated t;
       if Segstore.dirty_blocks ss > 0 then begin
         retrying t (fun () -> Journal_ring.flush t.ring);
+        (* flush-before-destroy is a durability point: settle the flush
+           before any referenced block is trimmed or zeroed *)
+        Journal_ring.barrier t.ring;
         let bs = block_size t in
         let cfg = Block_device.config t.dev in
         Segstore.iter_segs ss (fun g ->
@@ -522,6 +530,30 @@ let read_payload t blocks size =
 let charge_payload_read t blocks =
   retrying t (fun () -> Block_device.charge_read_vec t.dev blocks)
 
+(* Channels the store's own async traffic queues on: negative so they can
+   never collide with consumer-facing channels (DED shards use 0..n).
+   [-1] is the journal ring's flush channel. *)
+let compact_channel = -2
+let prefetch_channel = -3
+
+(* Async submission of [write_payload]'s vectored op: the bytes persist
+   (and any write fault fires) at submit, the clock charge settles when
+   the caller awaits the ticket at its durability barrier. *)
+let submit_payload_write t payload blocks ~channel =
+  let bs = block_size t in
+  match blocks with
+  | [] -> None
+  | _ ->
+      Some
+        (retrying t (fun () ->
+             Block_device.submit_write_vec t.dev ~channel
+               (List.mapi
+                  (fun i b ->
+                    ( b,
+                      String.sub payload (i * bs)
+                        (min bs (String.length payload - (i * bs))) ))
+                  blocks)))
+
 (* ------------------------------------------------------------------ *)
 (* shared LRU cache plumbing                                          *)
 
@@ -565,21 +597,51 @@ let page_io t =
         Stats.Counter.incr t.counters "index_page_reads";
         let blocks = List.init n (fun i -> first + i) in
         let key = "p:" ^ string_of_int first in
+        let assemble got =
+          let buf = Buffer.create (n * block_size t) in
+          List.iter (fun b -> Buffer.add_string buf (List.assoc b got)) blocks;
+          let raw = Buffer.contents buf in
+          cache_put t key (C_page raw);
+          raw
+        in
         match Cache.find t.cache key with
         | Some (C_page raw) ->
             Stats.Counter.incr t.counters "page_hits";
-            retrying t (fun () -> Block_device.charge_read_vec t.dev blocks);
+            (* a still-pending prefetch of this page has already charged
+               its service; settle it rather than double-charging *)
+            (match Hashtbl.find_opt t.page_prefetch first with
+            | Some tk ->
+                Hashtbl.remove t.page_prefetch first;
+                ignore (Block_device.await t.dev tk)
+            | None ->
+                retrying t (fun () -> Block_device.charge_read_vec t.dev blocks));
             raw
-        | _ ->
+        | _ -> (
             Stats.Counter.incr t.counters "page_misses";
-            let got =
-              retrying t (fun () -> Block_device.read_vec t.dev blocks)
-            in
-            let buf = Buffer.create (n * block_size t) in
-            List.iter (fun b -> Buffer.add_string buf (List.assoc b got)) blocks;
-            let raw = Buffer.contents buf in
-            cache_put t key (C_page raw);
-            raw);
+            match Hashtbl.find_opt t.page_prefetch first with
+            | Some tk ->
+                (* prefetched earlier: the device service has been running
+                   since submission, so awaiting here only charges what the
+                   descent and decode did not already hide *)
+                Hashtbl.remove t.page_prefetch first;
+                assemble (Block_device.await t.dev tk)
+            | None ->
+                assemble
+                  (retrying t (fun () -> Block_device.read_vec t.dev blocks))));
+    prefetch_page =
+      (fun first n ->
+        if
+          Block_device.async_enabled t.dev
+          && (not (Cache.mem t.cache ("p:" ^ string_of_int first)))
+          && not (Hashtbl.mem t.page_prefetch first)
+        then
+          let blocks = List.init n (fun i -> first + i) in
+          let tk =
+            retrying t (fun () ->
+                Block_device.submit_read_vec t.dev ~channel:prefetch_channel
+                  blocks)
+          in
+          Hashtbl.replace t.page_prefetch first tk);
     write_blocks =
       (fun ws -> retrying t (fun () -> Block_device.write_vec t.dev ws));
     alloc = (fun _ -> failwith "Dbfs: metadata page allocation outside checkpoint");
@@ -1218,6 +1280,9 @@ let checkpoint t =
   t.active_half <- target;
   t.heap_used <- !used;
   commit_root t;
+  (* durability barrier: settle async flush submissions (their bytes are
+     already on the medium) before retiring the journal prefix *)
+  Journal_ring.barrier t.ring;
   Journal_ring.mark_checkpointed t.ring;
   (* deallocation hygiene: the retired half held index facts (subjects,
      field values) — zero whatever was actually written there *)
@@ -1233,7 +1298,13 @@ let checkpoint t =
           Block_device.write_vec t.dev
             (List.map (fun b -> (b, String.make bs '\000')) stale)));
   (* eviction-coherence: cached node pages name heap blocks the next
-     checkpoint will reuse — drop them at the generation boundary *)
+     checkpoint will reuse — drop them at the generation boundary.  Any
+     speculative prefetch still in flight targets the dying generation
+     too: settle its charge and forget the ticket. *)
+  Hashtbl.iter
+    (fun _ tk -> ignore (Block_device.await t.dev tk))
+    t.page_prefetch;
+  Hashtbl.reset t.page_prefetch;
   Cache.remove_where t.cache (fun k -> String.length k > 2 && k.[0] = 'p');
   Hashtbl.reset t.entries;
   Hashtbl.reset t.deleted
@@ -1314,6 +1385,7 @@ let format ?(segmented = false) ?(seg_blocks = default_seg_blocks) dev
       replay_warning = None;
       counters = Stats.Counter.create ();
       cache = Cache.create ~budget:default_cache_budget;
+      page_prefetch = Hashtbl.create 16;
       segmented;
       seg_blocks;
       segstore = make_segstore ~segmented ~seg_blocks ~data_start ~block_count;
@@ -1402,6 +1474,7 @@ let mount dev =
               replay_warning = None;
               counters = Stats.Counter.create ();
               cache = Cache.create ~budget:default_cache_budget;
+              page_prefetch = Hashtbl.create 16;
               segmented;
               seg_blocks;
               segstore =
@@ -1678,80 +1751,150 @@ let assemble h blocks size =
   List.iter (fun b -> Buffer.add_string buf (Hashtbl.find h b)) blocks;
   Buffer.sub buf 0 size
 
-let get_membranes t ~actor pd_ids =
+(* Split [entries] into at most [n] contiguous chunks, preserving order. *)
+let chunk_entries entries n =
+  let len = List.length entries in
+  if len = 0 then []
+  else begin
+    let n = max 1 (min n len) in
+    let per = ((len + n - 1) / n) in
+    let rec go acc cur k = function
+      | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+      | e :: rest ->
+          if k = per then go (List.rev cur :: acc) [ e ] 1 rest
+          else go acc (e :: cur) (k + 1) rest
+    in
+    go [] [] 0 entries
+  end
+
+(* Pipelined batch load (async devices): split the entry batch into
+   [queue_depth] chunks, submit every chunk's vectored read up-front on
+   [channel], then settle chunk k only when its entries decode — the
+   checksum/decode compute of chunk k overlaps the in-flight service of
+   chunks k+1..  Chunking depends only on the entry list, and cache-hit
+   batches submit through the charge-only variant with the identical
+   chunk shape, so warm==cold holds under async exactly as it does for
+   the one-request synchronous batch.  [blocks_of] names each entry's
+   extent; [decode] folds one chunk's entries against its block table. *)
+let pipelined_read t ~channel ~any_miss ~blocks_of ~decode entries =
+  let depth = (Block_device.config t.dev).Block_device.queue_depth in
+  let submitted =
+    List.map
+      (fun ch ->
+        let blocks = List.concat_map blocks_of ch in
+        let tk =
+          retrying t (fun () ->
+              if any_miss then Block_device.submit_read_vec t.dev ~channel blocks
+              else Block_device.submit_charge_read_vec t.dev ~channel blocks)
+        in
+        (ch, tk))
+      (chunk_entries entries depth)
+  in
+  let rec settle acc = function
+    | [] -> Ok (List.rev acc)
+    | (ch, tk) :: rest ->
+        let got = Block_device.await t.dev tk in
+        let h = Hashtbl.create (max 16 (2 * List.length got)) in
+        List.iter (fun (i, s) -> Hashtbl.replace h i s) got;
+        let** acc = decode h acc ch in
+        settle acc rest
+  in
+  settle [] submitted
+
+let get_membranes t ~actor ?(channel = 0) pd_ids =
   let** () = guard t ~actor ~op:"read" in
   let** entries = resolve_entries t pd_ids in
-  let blocks = List.concat_map (fun e -> e.membrane_blocks) entries in
   let any_miss =
     List.exists (fun e -> not (cache_mem_membrane t e.pd_id)) entries
   in
+  let decode h acc entries =
+    let rec go acc = function
+      | [] -> Ok acc
+      | e :: rest -> (
+          Stats.Counter.incr t.counters "membrane_reads";
+          charge_checksum t e.membrane_size;
+          match cache_find_membrane t e.pd_id with
+          | Some m ->
+              Stats.Counter.incr t.counters "cache_hits";
+              go ((e.pd_id, m) :: acc) rest
+          | None -> (
+              Stats.Counter.incr t.counters "cache_misses";
+              let raw = assemble h e.membrane_blocks e.membrane_size in
+              let** raw =
+                verify_sum ~what:"membrane" ~pd_id:e.pd_id
+                  ~stored:e.membrane_sum raw
+              in
+              match Membrane.decode raw with
+              | Ok m ->
+                  cache_put_membrane t e.pd_id m;
+                  go ((e.pd_id, m) :: acc) rest
+              | Error msg ->
+                  Error (Corrupt ("membrane of " ^ e.pd_id ^ ": " ^ msg))))
+    in
+    go acc entries
+  in
   protect_read (fun () ->
-      let h = batch_read t ~any_miss blocks in
-      let rec go acc = function
-        | [] -> Ok (List.rev acc)
-        | e :: rest -> (
-            Stats.Counter.incr t.counters "membrane_reads";
-            charge_checksum t e.membrane_size;
-            match cache_find_membrane t e.pd_id with
-            | Some m ->
-                Stats.Counter.incr t.counters "cache_hits";
-                go ((e.pd_id, m) :: acc) rest
-            | None -> (
-                Stats.Counter.incr t.counters "cache_misses";
-                let raw = assemble h e.membrane_blocks e.membrane_size in
-                let** raw =
-                  verify_sum ~what:"membrane" ~pd_id:e.pd_id
-                    ~stored:e.membrane_sum raw
-                in
-                match Membrane.decode raw with
-                | Ok m ->
-                    cache_put_membrane t e.pd_id m;
-                    go ((e.pd_id, m) :: acc) rest
-                | Error msg ->
-                    Error (Corrupt ("membrane of " ^ e.pd_id ^ ": " ^ msg))))
-      in
-      go [] entries)
+      if Block_device.async_enabled t.dev then
+        pipelined_read t ~channel ~any_miss
+          ~blocks_of:(fun e -> e.membrane_blocks)
+          ~decode entries
+      else begin
+        let blocks = List.concat_map (fun e -> e.membrane_blocks) entries in
+        let h = batch_read t ~any_miss blocks in
+        let** acc = decode h [] entries in
+        Ok (List.rev acc)
+      end)
 
 (* Erased pds yield [None] (their sealed payload is not PD and is not
    read), matching the DED's skip-erased semantics without forcing every
    caller to pre-filter the selection. *)
-let get_records t ~actor pd_ids =
+let get_records t ~actor ?(channel = 0) pd_ids =
   let** () = guard t ~actor ~op:"read" in
   let** entries = resolve_entries t pd_ids in
   let live = List.filter (fun e -> not e.erased) entries in
-  let blocks = List.concat_map (fun e -> e.record_blocks) live in
   let any_miss =
     List.exists (fun e -> not (cache_mem_record t e.pd_id)) live
   in
+  let live_blocks e = if e.erased then [] else e.record_blocks in
+  let decode h acc entries =
+    let rec go acc = function
+      | [] -> Ok acc
+      | e :: rest ->
+          if e.erased then go ((e.pd_id, None) :: acc) rest
+          else begin
+            Stats.Counter.incr t.counters "record_reads";
+            charge_checksum t e.record_size;
+            match cache_find_record t e.pd_id with
+            | Some r ->
+                Stats.Counter.incr t.counters "cache_hits";
+                go ((e.pd_id, Some r) :: acc) rest
+            | None -> (
+                Stats.Counter.incr t.counters "cache_misses";
+                let raw = assemble h e.record_blocks e.record_size in
+                let** raw =
+                  verify_sum ~what:"record" ~pd_id:e.pd_id
+                    ~stored:e.record_sum raw
+                in
+                match Record.decode raw with
+                | Ok r ->
+                    cache_put_record t e.pd_id r;
+                    go ((e.pd_id, Some r) :: acc) rest
+                | Error msg ->
+                    Error (Corrupt ("record of " ^ e.pd_id ^ ": " ^ msg)))
+          end
+    in
+    go acc entries
+  in
   protect_read (fun () ->
-      let h = batch_read t ~any_miss blocks in
-      let rec go acc = function
-        | [] -> Ok (List.rev acc)
-        | e :: rest ->
-            if e.erased then go ((e.pd_id, None) :: acc) rest
-            else begin
-              Stats.Counter.incr t.counters "record_reads";
-              charge_checksum t e.record_size;
-              match cache_find_record t e.pd_id with
-              | Some r ->
-                  Stats.Counter.incr t.counters "cache_hits";
-                  go ((e.pd_id, Some r) :: acc) rest
-              | None -> (
-                  Stats.Counter.incr t.counters "cache_misses";
-                  let raw = assemble h e.record_blocks e.record_size in
-                  let** raw =
-                    verify_sum ~what:"record" ~pd_id:e.pd_id
-                      ~stored:e.record_sum raw
-                  in
-                  match Record.decode raw with
-                  | Ok r ->
-                      cache_put_record t e.pd_id r;
-                      go ((e.pd_id, Some r) :: acc) rest
-                  | Error msg ->
-                      Error (Corrupt ("record of " ^ e.pd_id ^ ": " ^ msg)))
-            end
-      in
-      go [] entries)
+      if Block_device.async_enabled t.dev then
+        pipelined_read t ~channel ~any_miss ~blocks_of:live_blocks ~decode
+          entries
+      else begin
+        let blocks = List.concat_map live_blocks entries in
+        let h = batch_read t ~any_miss blocks in
+        let** acc = decode h [] entries in
+        Ok (List.rev acc)
+      end)
 
 let update_record t ~actor pd_id record =
   let** () = guard t ~actor ~op:"write" in
@@ -2011,6 +2154,11 @@ let compact ?(max_victims = compact_batch) ?(liveness_pct = compact_liveness_pct
                   | None -> List.map verify items
                 in
                 let relocated = ref 0 in
+                (* async devices: relocation payload writes are submitted
+                   and settled in one batch at the durability barrier
+                   below, overlapping their service with the decode and
+                   journaling compute of later survivors *)
+                let wtickets = ref [] in
                 List.iter2
                   (fun (pd_id, kind, e, raw, sum) ok ->
                     if not ok then
@@ -2029,7 +2177,14 @@ let compact ?(max_victims = compact_batch) ?(liveness_pct = compact_liveness_pct
                       match dest with
                       | None -> () (* no room: survivor stays put *)
                       | Some blocks ->
-                          write_payload t raw blocks;
+                          (if Block_device.async_enabled t.dev then
+                             match
+                               submit_payload_write t raw blocks
+                                 ~channel:compact_channel
+                             with
+                             | Some tk -> wtickets := tk :: !wtickets
+                             | None -> ()
+                           else write_payload t raw blocks);
                           let hint, op =
                             match kind with
                             | `Membrane ->
@@ -2052,8 +2207,14 @@ let compact ?(max_victims = compact_batch) ?(liveness_pct = compact_liveness_pct
                   items checks;
                 Stats.Counter.incr t.counters ~by:!relocated
                   "compact_relocations";
-                (* make the relocations durable, then destroy the victims *)
+                (* make the relocations durable, then destroy the victims:
+                   settle the submitted payload writes and every async
+                   flush before any victim block is trimmed or zeroed *)
+                List.iter
+                  (fun tk -> ignore (Block_device.await t.dev tk))
+                  (List.rev !wtickets);
                 retrying t (fun () -> Journal_ring.flush t.ring);
+                Journal_ring.barrier t.ring;
                 let bs = block_size t in
                 let cfg = Block_device.config t.dev in
                 List.iter
@@ -2189,7 +2350,7 @@ let run_probe t ~type_name probe =
   in
   go probe
 
-let select t ~actor ?(use_indexes = true) type_name pred =
+let select t ~actor ?(use_indexes = true) ?(channel = 0) type_name pred =
   let** () = guard t ~actor ~op:"read" in
   match Hashtbl.find_opt t.tables type_name with
   | None -> Error (Unknown_type type_name)
@@ -2213,8 +2374,12 @@ let select t ~actor ?(use_indexes = true) type_name pred =
             | Error _ -> false
           in
           let residual pd_ids =
-            (* one batched vectored load, then the full predicate *)
-            let** records = get_records t ~actor pd_ids in
+            (* one batched vectored load, then the full predicate.  On an
+               async device the probe's posting list is submitted as
+               pipelined reads ahead of residual evaluation: chunk k's
+               decode and predicate work overlaps the in-flight service
+               of chunks k+1.. *)
+            let** records = get_records t ~actor ~channel pd_ids in
             Ok
               (List.filter_map
                  (fun (pd, r) ->
@@ -2809,11 +2974,15 @@ let segmented t = t.segmented
 let set_group_commit t n =
   (* never reorder across a window change: drain the buffer first *)
   retrying t (fun () -> Journal_ring.flush t.ring);
+  Journal_ring.barrier t.ring;
   Journal_ring.set_window t.ring n
 
 let group_commit_window t = Journal_ring.window t.ring
 
-let flush_journal t = retrying t (fun () -> Journal_ring.flush t.ring)
+(* The explicit durability call: flush AND settle. *)
+let flush_journal t =
+  retrying t (fun () -> Journal_ring.flush t.ring);
+  Journal_ring.barrier t.ring
 
 let pending_journal_ops t = Journal_ring.pending_ops t.ring
 

@@ -138,6 +138,7 @@ val get_record : t -> actor:string -> string -> (Record.t, error) result
 val get_membranes :
   t ->
   actor:string ->
+  ?channel:int ->
   string list ->
   ((string * Rgpdos_membrane.Membrane.t) list, error) result
 (** Batched membrane load: one elevator-ordered vectored device request
@@ -146,17 +147,25 @@ val get_membranes :
     unknown pd fails the whole batch.  Cache hits skip only the host-side
     decode — their blocks stay in the request, so the simulated cost (and
     every stage_ns figure) is identical whether the cache is cold or
-    warm. *)
+    warm.
+
+    On an async device the batch is split into [queue_depth] contiguous
+    chunks submitted up-front on [?channel] (default 0): chunk [k]'s
+    decode overlaps the device service of chunks [k+1..], so the batch
+    charges its critical path instead of the serial sum.  Bytes, results
+    and all non-latency counters are identical to the synchronous path. *)
 
 val get_records :
   t ->
   actor:string ->
+  ?channel:int ->
   string list ->
   ((string * Record.t option) list, error) result
 (** Batched record load, one vectored request for the selection (input
     order preserved).  Erased pds yield [None] — their sealed payload is
     neither read nor charged — matching the DED's skip-erased semantics.
-    Any unknown pd fails the whole batch. *)
+    Any unknown pd fails the whole batch.  Pipelined on async devices
+    exactly like {!get_membranes}. *)
 
 val update_record :
   t -> actor:string -> string -> Record.t -> (unit, error) result
@@ -221,6 +230,7 @@ val select :
   t ->
   actor:string ->
   ?use_indexes:bool ->
+  ?channel:int ->
   string ->
   Query.t ->
   (string list, error) result
@@ -239,7 +249,12 @@ val select :
     probes charge simulated metadata-region reads proportional to the
     postings touched — warm and cold runs cost the same, like every other
     DBFS read path.  [?use_indexes:false] forces the full-scan path (for
-    measurement; results are identical). *)
+    measurement; results are identical).
+
+    On an async device the residual record fetch rides [?channel]
+    (default 0): index probes submit the candidate loads so their device
+    service overlaps residual evaluation, and interior B+-tree descents
+    prefetch the next sibling page ahead of the current decode. *)
 
 val plan_for :
   t -> actor:string -> string -> Query.t -> (Plan.t, error) result

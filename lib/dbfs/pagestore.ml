@@ -23,6 +23,11 @@ type io = {
   read_page : int -> int -> string;
       (** [read_page first nblocks] returns the concatenated raw bytes of a
           page (cached + charged by DBFS) *)
+  prefetch_page : int -> int -> unit;
+      (** [prefetch_page first nblocks] hints that the page will be read
+          shortly: an async DBFS submits its device read so the service
+          overlaps the decode of the page being scanned now; a no-op on
+          synchronous devices *)
   write_blocks : (int * string) list -> unit;
   alloc : int -> int;
       (** [alloc nblocks] reserves a contiguous run in the metadata heap and
@@ -201,12 +206,20 @@ let iter_from ?on_corrupt io root ~lo f =
               (fun (k, v) -> if k >= lo && not (f k v) then raise Stopped)
               kvs
         | Interior children ->
-            (* child i covers [key_i, key_{i+1}): prune when key_{i+1} <= lo *)
+            (* child i covers [key_i, key_{i+1}): prune when key_{i+1} <= lo.
+               Once a child is visited every later sibling is visited too
+               (separator keys ascend), so prefetching the next sibling
+               before descending is consumed unless the scan stops early
+               inside this subtree — the lookahead overlaps the sibling's
+               device read with this subtree's descent and decode. *)
             let rec walk = function
               | [] -> ()
               | [ (_, c) ] -> go c
-              | (_, c) :: ((k2, _) :: _ as rest) ->
-                  if k2 > lo then go c;
+              | (_, c) :: ((k2, c2) :: _ as rest) ->
+                  if k2 > lo then begin
+                    io.prefetch_page c2.r_block c2.r_nblocks;
+                    go c
+                  end;
                   walk rest
             in
             walk children)

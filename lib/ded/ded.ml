@@ -119,7 +119,7 @@ let value_leaks inputs value =
   | _ -> false
 
 let execute t ?(fetch_mode = Two_phase) ?(location = Host) ?cores ?pool ?grain
-    ?yield ~processing ~target () =
+    ?yield ?(channel = 0) ~processing ~target () =
   let open Processing in
   let cores =
     match cores with Some c -> max 1 c | None -> location_cores location
@@ -151,7 +151,7 @@ let execute t ?(fetch_mode = Two_phase) ?(location = Host) ?cores ?pool ?grain
                    so index pruning on raw records never drops a pd the
                    residual filter would keep.  A [Not] breaks that
                    implication, so those selections keep the full scan. *)
-                lift (Dbfs.select t.dbfs ~actor ty pred)
+                lift (Dbfs.select t.dbfs ~actor ~channel ty pred)
             | Selection (ty, _) -> lift (Dbfs.list_pds t.dbfs ~actor ty))
       in
       (* 2. ded_load_membrane — under Single_phase (the ablation mode) the
@@ -165,14 +165,14 @@ let execute t ?(fetch_mode = Two_phase) ?(location = Host) ?cores ?pool ?grain
         in
         staged stage_name (fun () ->
             (* one vectored request for the whole selection's membranes *)
-            let** membranes = lift (Dbfs.get_membranes t.dbfs ~actor refs) in
+            let** membranes = lift (Dbfs.get_membranes t.dbfs ~actor ~channel refs) in
             match fetch_mode with
             | Two_phase ->
                 Ok (List.map (fun (pd_id, m) -> (pd_id, m, None)) membranes)
             | Single_phase ->
                 (* the ablation fetches the records alongside, before the
                    filter has spoken (erased pds come back as None) *)
-                let** records = lift (Dbfs.get_records t.dbfs ~actor refs) in
+                let** records = lift (Dbfs.get_records t.dbfs ~actor ~channel refs) in
                 Ok
                   (List.map2
                      (fun (pd_id, m) (_, r) -> (pd_id, m, r))
@@ -220,7 +220,7 @@ let execute t ?(fetch_mode = Two_phase) ?(location = Host) ?cores ?pool ?grain
                   if prefetched = None then Some pd_id else None)
                 granted
             in
-            let** fetched = lift (Dbfs.get_records t.dbfs ~actor need) in
+            let** fetched = lift (Dbfs.get_records t.dbfs ~actor ~channel need) in
             let by_id = Hashtbl.create (max 16 (2 * List.length fetched)) in
             List.iter (fun (pd_id, r) -> Hashtbl.replace by_id pd_id r) fetched;
             let rec go acc = function

@@ -116,6 +116,7 @@ val execute :
   ?pool:Rgpdos_util.Pool.t ->
   ?grain:int ->
   ?yield:(unit -> unit) ->
+  ?channel:int ->
   processing:Processing.spec ->
   target:target ->
   unit ->
@@ -151,7 +152,14 @@ val execute :
     cross-record state cannot be paused mid-scan).  The shard values
     seen by [reduce] differ in count (more, smaller shards), which is
     observationally equivalent for an honestly-declared decomposable
-    reduce. *)
+    reduce.
+
+    [?channel] (default 0) names the async submission channel the load
+    stages use on an async {!Block_device}: stage 2/4 batch fetches are
+    pipelined so decode of one chunk overlaps the device service of the
+    next, and concurrent [execute] calls on distinct channels queue
+    independently (each DED shard gets its own).  On a synchronous
+    device the parameter is inert. *)
 
 (** {1 Built-in functions} ([F_pd^w], provided by rgpdOS itself) *)
 

@@ -407,6 +407,8 @@ let apply_op fs op =
 
 let checkpoint fs =
   write_meta fs;
+  (* settle any async group-commit flushes at the durability point *)
+  Journal_ring.barrier fs.ring;
   Journal_ring.mark_checkpointed fs.ring
 
 let log_and_apply fs op =

@@ -1301,3 +1301,154 @@ let compare_sla ~old_report ~improvement15:current =
              "Art. 15 p99 improvement %.2fx fell under the absolute %.1fx bar"
              current sla_improvement_bar)
       else Ok old_imp
+
+(* ---------- async block-I/O artifact ---------- *)
+
+let async_schema_id = "rgpdos-bench-async-io/1"
+
+(* acceptance bars for the submission/completion queues: at queue depth
+   >= 4 the pipelined DED load stages must run at least 1.8x faster than
+   the same binary with async off, with more than 40% of the device
+   service hidden behind compute — and the A/B must have held the
+   async==sync invariant (identical stages and non-latency counters). *)
+let async_speedup_bar = 1.8
+let async_overlap_bar = 40.0
+
+let async_depth_row (row : Async_bench.depth_row) =
+  Json.Obj
+    [
+      ("depth", Json.Num (float_of_int row.Async_bench.ar_depth));
+      ("total_ns", Json.Num (float_of_int row.Async_bench.ar_total_ns));
+      ("load_ns", Json.Num (float_of_int row.Async_bench.ar_load_ns));
+      ("load_speedup", Json.Num row.Async_bench.ar_load_speedup);
+      ("total_speedup", Json.Num row.Async_bench.ar_total_speedup);
+      ("overlap_pct", Json.Num row.Async_bench.ar_overlap_pct);
+      ("submits", Json.Num (float_of_int row.Async_bench.ar_submits));
+      ("highwater", Json.Num (float_of_int row.Async_bench.ar_highwater));
+    ]
+
+let async_size_run (s : Async_bench.size_run) =
+  Json.Obj
+    [
+      ("subjects", Json.Num (float_of_int s.Async_bench.as_subjects));
+      ("sync_total_ns", Json.Num (float_of_int s.Async_bench.as_sync_total_ns));
+      ("sync_load_ns", Json.Num (float_of_int s.Async_bench.as_sync_load_ns));
+      ("invariant_ok", Json.Bool s.Async_bench.as_invariant_ok);
+      ("rows", Json.List (List.map async_depth_row s.Async_bench.as_rows));
+    ]
+
+let make_async ~(result : Async_bench.result) ~wall_ms =
+  Json.Obj
+    [
+      ("schema", Json.Str async_schema_id);
+      ( "depths",
+        Json.List
+          (List.map
+             (fun d -> Json.Num (float_of_int d))
+             result.Async_bench.a_depths) );
+      ("sizes", Json.List (List.map async_size_run result.Async_bench.a_sizes));
+      ("best_load_speedup", Json.Num result.Async_bench.a_best_load_speedup);
+      ("best_overlap_pct", Json.Num result.Async_bench.a_best_overlap_pct);
+      ("wall_ms", Json.Num wall_ms);
+    ]
+
+let async_speedup_of v =
+  Option.bind (Json.member "best_load_speedup" v) Json.to_float
+
+let async_overlap_of v =
+  Option.bind (Json.member "best_overlap_pct" v) Json.to_float
+
+let validate_async v =
+  let* schema =
+    require "missing schema key"
+      (Option.bind (Json.member "schema" v) Json.to_str)
+  in
+  if schema <> async_schema_id then Error ("unexpected schema id " ^ schema)
+  else
+    let* sizes =
+      match Json.member "sizes" v with
+      | Some (Json.List (_ :: _ as sizes)) -> Ok sizes
+      | Some (Json.List []) -> Error "async: empty size sweep"
+      | _ -> Error "async: missing sizes list"
+    in
+    let* () =
+      let check_size s =
+        let* invariant =
+          require "async: size run missing invariant_ok flag"
+            (match Json.member "invariant_ok" s with
+            | Some (Json.Bool b) -> Some b
+            | _ -> None)
+        in
+        if not invariant then
+          Error
+            "async: a size run broke the async==sync invariant (stages or \
+             non-latency counters diverged)"
+        else
+          let* rows =
+            match Json.member "rows" s with
+            | Some (Json.List (_ :: _ as rows)) -> Ok rows
+            | _ -> Error "async: size run has no depth rows"
+          in
+          let has_deep =
+            List.exists
+              (fun r ->
+                match Option.bind (Json.member "depth" r) Json.to_float with
+                | Some d -> d >= 4.0
+                | None -> false)
+              rows
+          in
+          if not has_deep then Error "async: no row at queue depth >= 4"
+          else Ok ()
+      in
+      List.fold_left
+        (fun acc s -> match acc with Error _ -> acc | Ok () -> check_size s)
+        (Ok ()) sizes
+    in
+    let* speedup =
+      require "missing best_load_speedup" (async_speedup_of v)
+    in
+    let* overlap = require "missing best_overlap_pct" (async_overlap_of v) in
+    if speedup < async_speedup_bar then
+      Error
+        (Printf.sprintf
+           "async: load stages only sped up %.2fx at depth >= 4; the bar is \
+            %.1fx"
+           speedup async_speedup_bar)
+    else if overlap < async_overlap_bar then
+      Error
+        (Printf.sprintf
+           "async: only %.1f%% of device service overlapped compute; the bar \
+            is %.0f%%"
+           overlap async_overlap_bar)
+    else Ok ()
+
+(* Like the SLA gate: overlap grows with batch size (deeper pipelines
+   hide more service behind decode), so a quick-scale run cannot be held
+   to a percentage of the committed full-scale figure.  Both sides are
+   held to the same absolute bars instead. *)
+let compare_async ~old_report ~speedup:current ~overlap:current_overlap =
+  match (async_speedup_of old_report, async_overlap_of old_report) with
+  | None, _ -> Error "old async report has no best_load_speedup"
+  | _, None -> Error "old async report has no best_overlap_pct"
+  | Some old_speedup, Some old_overlap ->
+      if old_speedup < async_speedup_bar then
+        Error
+          (Printf.sprintf
+             "committed async load speedup %.2fx is under the %.1fx bar"
+             old_speedup async_speedup_bar)
+      else if old_overlap < async_overlap_bar then
+        Error
+          (Printf.sprintf
+             "committed async overlap %.1f%% is under the %.0f%% bar"
+             old_overlap async_overlap_bar)
+      else if current < async_speedup_bar then
+        Error
+          (Printf.sprintf
+             "async load speedup %.2fx fell under the absolute %.1fx bar"
+             current async_speedup_bar)
+      else if current_overlap < async_overlap_bar then
+        Error
+          (Printf.sprintf
+             "async overlap %.1f%% fell under the absolute %.0f%% bar"
+             current_overlap async_overlap_bar)
+      else Ok old_speedup

@@ -280,3 +280,41 @@ val compare_sla :
     so quick and full runs are not comparable by percentage — the gate
     holds {i both} the committed figure and the fresh measurement to
     the absolute {!sla_improvement_bar}. *)
+
+(** {1 Async block-I/O artifact ([BENCH_async_io.json])} *)
+
+val async_schema_id : string
+
+val async_speedup_bar : float
+(** 1.8 — at queue depth >= 4 the pipelined DED load stages must beat
+    the same binary with async off by at least this factor. *)
+
+val async_overlap_bar : float
+(** 40.0 — percent of async device service that must be hidden behind
+    compute at the best depth >= 4. *)
+
+val make_async : result:Async_bench.result -> wall_ms:float -> Json.t
+(** The committed evidence for the submission/completion queues: the
+    depth sweep per population size ({!Async_bench.run}) with the sync
+    baseline, per-depth load/total speedups, the overlap ratio, and the
+    per-size async==sync invariant verdict. *)
+
+val validate_async : Json.t -> (unit, string) result
+(** Shape check plus the acceptance bars: a non-empty size sweep, every
+    size run holding the async==sync invariant and containing a row at
+    depth >= 4, best load-stage speedup >= {!async_speedup_bar} and
+    best overlap >= {!async_overlap_bar}. *)
+
+val async_speedup_of : Json.t -> float option
+(** The committed best load-stage speedup at depth >= 4, when present. *)
+
+val async_overlap_of : Json.t -> float option
+(** The committed best overlap percentage at depth >= 4, when present. *)
+
+val compare_async :
+  old_report:Json.t -> speedup:float -> overlap:float -> (float, string) result
+(** Gate a fresh async A/B against the committed [BENCH_async_io.json].
+    Overlap deepens with batch size, so quick and full runs are not
+    comparable by percentage — both the committed figures and the fresh
+    measurement are held to the absolute {!async_speedup_bar} /
+    {!async_overlap_bar}. *)

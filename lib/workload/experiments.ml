@@ -27,12 +27,17 @@ let fmt_f = Table.fmt_float
 
 (* Boot a machine sized for [n] PD entries and loaded with the workload
    declarations. *)
-let boot_sized ?(vectored = true) ~seed ~n () =
+let boot_sized ?(vectored = true) ?(async = false) ?queue_depth ~seed ~n () =
   let config =
     {
       Block_device.default_config with
       Block_device.block_count = max 16_384 ((n * 8) + 4_096);
       Block_device.vectored;
+      Block_device.async;
+      Block_device.queue_depth =
+        (match queue_depth with
+        | Some d -> max 1 d
+        | None -> Block_device.default_config.Block_device.queue_depth);
     }
   in
   let m = Machine.boot ~seed ~pd_device:config ()
@@ -82,8 +87,9 @@ type e1_result = {
   e1_device : (string * int) list;
 }
 
-let e1_ded_stages ?(subjects = 2_000) ?(vectored = true) ?cores () =
-  let m = boot_sized ~vectored ~seed:101L ~n:subjects () in
+let e1_ded_stages ?(subjects = 2_000) ?(vectored = true) ?(async = false)
+    ?queue_depth ?cores () =
+  let m = boot_sized ~vectored ~async ?queue_depth ~seed:101L ~n:subjects () in
   let prng = Prng.create ~seed:102L () in
   collect_population m (Population.generate prng ~n:subjects);
   register_reader m ~name:"e1_reader" ~purpose:"service"
@@ -97,6 +103,9 @@ let e1_ded_stages ?(subjects = 2_000) ?(vectored = true) ?cores () =
   with
   | Error e -> failwith ("e1: " ^ e)
   | Ok outcome ->
+      (* settle any in-flight async charge so the A/B totals compare the
+         same completed work (no-op on a synchronous device) *)
+      Block_device.drain (Machine.pd_device m);
       {
         e1_subjects = subjects;
         e1_stage_ns = outcome.Ded.stage_ns;

@@ -19,13 +19,22 @@ type e1_result = {
 }
 
 val e1_ded_stages :
-  ?subjects:int -> ?vectored:bool -> ?cores:int -> unit -> e1_result
+  ?subjects:int ->
+  ?vectored:bool ->
+  ?async:bool ->
+  ?queue_depth:int ->
+  ?cores:int ->
+  unit ->
+  e1_result
 (** [?vectored:false] reruns the same pipeline with the device's scalar
     cost model (one seek per block) — the before/after pair behind
     [BENCH_vectored_io.json].  [?cores] bounds the parallel [ded_execute]
     fan-out ([~cores:1] is the sequential before-run of the
     [BENCH_parallel_scale.json] pair; the default is the Host core
-    count). *)
+    count).  [?async] boots the device with submission/completion queues
+    of [?queue_depth] slots — the same-build A/B pair behind
+    [BENCH_async_io.json]; all in-flight charge is drained before the
+    totals are read, so async-vs-sync compares completed work. *)
 
 val render_e1 : e1_result -> string
 

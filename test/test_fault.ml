@@ -30,6 +30,8 @@ let small_config =
     write_latency = 20;
     byte_latency = 0;
     vectored = true;
+    async = false;
+    queue_depth = 8;
   }
 
 let make_dev () =

@@ -40,6 +40,8 @@ let small_config =
     write_latency = 20;
     byte_latency = 0;
     vectored = true;
+    async = false;
+    queue_depth = 8;
   }
 
 (* two indexed fields (one int — exercising the ordered index — and one

@@ -22,6 +22,8 @@ let make_ring ?(num_blocks = 8) () =
           write_latency = 1;
           byte_latency = 0;
           vectored = true;
+          async = false;
+          queue_depth = 8;
         }
       ~clock ()
   in

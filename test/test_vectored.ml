@@ -36,6 +36,8 @@ let vec_config vectored =
     write_latency = 20;
     byte_latency = 1;
     vectored;
+    async = false;
+    queue_depth = 8;
   }
 
 let make_dev vectored =
@@ -119,6 +121,8 @@ let small_config =
     write_latency = 20;
     byte_latency = 0;
     vectored = true;
+    async = false;
+    queue_depth = 8;
   }
 
 let high_schema () =
