@@ -52,6 +52,15 @@
 
      dune exec bench/main.exe -- fault --fault-json BENCH_fault_campaign.json
 
+   The [model] section runs the executable-GDPR-model refinement
+   campaign (lockstep observational equivalence, crash-refinement
+   across both allocators x group-commit windows x async depths,
+   linearizability at 1/2/4 domains, index/cache coherence at budgets
+   1/7/65536); [--model-json PATH] writes the artifact; the committed
+   BENCH_model_check.json is produced by
+
+     dune exec bench/main.exe -- model --model-json BENCH_model_check.json
+
    The [segment] section A/B-runs the identical ingest/churn/GDPR
    workload against the update-in-place allocator and the log-structured
    segment store (group commit + compaction + trim) on one build;
@@ -91,9 +100,12 @@
    BENCH_fault_campaign.json sits there too, a fresh (smoke-sized)
    campaign must hold every invariant at every crash point — the
    robustness gate is absolute (pass rate == 100%), not a regression
-   margin.  A missing or unparseable OLD.json, and a committed sibling
-   that exists but fails to parse, are themselves failing gates (an
-   absent sibling is simply not gated).  Every failing gate is
+   margin.  BENCH_model_check.json is gated the same absolute way
+   (conformance == 100%) and, unlike the other siblings, is REQUIRED:
+   a missing model artifact is itself a failing gate.  A missing or
+   unparseable OLD.json, and a committed sibling that exists but fails
+   to parse, are themselves failing gates (any other absent sibling is
+   simply not gated).  Every failing gate is
    evaluated and printed before the single non-zero exit, so one run
    reports the full damage.
 *)
@@ -294,6 +306,7 @@ let () =
   let segment_json_path, args = extract_flag "--segment-json" [] args in
   let sla_json_path, args = extract_flag "--sla-json" [] args in
   let async_json_path, args = extract_flag "--async-json" [] args in
+  let model_json_path, args = extract_flag "--model-json" [] args in
   let compare_path, args = extract_flag "--compare" [] args in
   let wanted = List.filter (fun a -> a <> "--quick") args in
   let enabled name = wanted = [] || List.mem name wanted in
@@ -333,6 +346,10 @@ let () =
     failwith
       "--async-json needs the async section; run e.g. \
        bench/main.exe -- async --async-json BENCH_async_io.json";
+  if model_json_path <> None && not (enabled "model") then
+    failwith
+      "--model-json needs the model section; run e.g. \
+       bench/main.exe -- model --model-json BENCH_model_check.json";
   let d full small = if quick then small else full in
 
   (* host wall-clock per section, for the JSON report *)
@@ -351,6 +368,7 @@ let () =
   let segment_ingest = ref None in
   let sla_improvement15 = ref None in
   let async_metrics = ref None in
+  let model_conformance = ref None in
   (* the 1%-selectivity pushdown speedup at the smallest population >=
      2000 — the configuration the index artifact gates on (present at
      both quick and full scale) *)
@@ -631,6 +649,33 @@ let () =
         Printf.printf "\nwrote %s\n" path
   end;
 
+  if enabled "model" then begin
+    let module RF = Rgpdos_model.Refine in
+    let module BR = Rgpdos_workload.Bench_report in
+    (* deterministic in the seed; the QCHECK_COUNT smoke budget (when
+       set) governs the script count, otherwise --quick trims it *)
+    let scripts =
+      match Sys.getenv_opt "QCHECK_COUNT" with
+      | Some _ -> None
+      | None -> if quick then Some 2 else None
+    in
+    let result, wall_ms = timed (fun () -> RF.run ?scripts ()) in
+    model_conformance := Some (RF.conformance_pct result);
+    let report = BR.make_model ~result ~wall_ms () in
+    (match BR.validate_model report with
+    | Ok () -> ()
+    | Error e -> failwith ("model-check report failed self-validation: " ^ e));
+    section
+      "MODEL — executable GDPR model refinement (lockstep / crash / \
+       linearizability / coherence)"
+      (RF.render result);
+    match model_json_path with
+    | None -> ()
+    | Some path ->
+        BR.write_file path report;
+        Printf.printf "\nwrote %s\n" path
+  end;
+
   if enabled "segment" then begin
     let module SG = Rgpdos_workload.Segment_bench in
     let module BR = Rgpdos_workload.Bench_report in
@@ -834,6 +879,34 @@ let () =
                  committed %.1f%% — ok\n"
                 pass_rate_pct committed
           | Error line -> gate [ line ]);
+      (* the model-refinement artifact is REQUIRED, unlike the other
+         siblings: semantics conformance must never silently drop out of
+         the gate set, so a missing BENCH_model_check.json is itself a
+         failing gate *)
+      (let p = sibling "BENCH_model_check.json" in
+       if not (Sys.file_exists p) then
+         gate [ "--compare: missing committed artifact " ^ p ]
+       else
+         with_sibling "BENCH_model_check.json" (fun old_model ->
+             let conformance =
+               match !model_conformance with
+               | Some c -> c
+               | None ->
+                   (* model section did not run: rerun a small campaign —
+                      deterministic in the seed *)
+                   let module RF = Rgpdos_model.Refine in
+                   RF.conformance_pct (RF.run ~scripts:2 ())
+             in
+             match
+               BR.compare_model ~old_report:old_model
+                 ~conformance_pct:conformance
+             with
+             | Ok committed ->
+                 Printf.printf
+                   "compare: model refinement conformance %.2f%% vs \
+                    committed %.2f%% — ok (absolute bar %.0f%%)\n"
+                   conformance committed BR.model_conformance_bar
+             | Error line -> gate [ "model: " ^ line ]));
       with_sibling "BENCH_segment_io.json" (fun old_segment ->
           let module SG = Rgpdos_workload.Segment_bench in
           let ingest_mb_s =

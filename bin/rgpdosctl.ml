@@ -3,10 +3,12 @@
    Subcommands:
      parse FILE        check a declaration file and print what it defines
      demo              run an end-to-end scenario on a fresh machine
-     fsck              populate a DBFS, optionally damage it, check/repair
+     fsck              populate a DBFS or journalfs, optionally damage it,
+                       check/repair (both print the journal replay summary)
      stats             run a scripted workload, print cache/index/device counters
      fig1              print the paper's Figure 1 statistics
      experiment ID     run one experiment (e1..e10) at bench scale
+     model-check       run the executable-GDPR-model refinement campaign
      articles          print the GDPR article -> rgpdOS mechanism table *)
 
 open Cmdliner
@@ -146,7 +148,16 @@ let demo_cmd =
 
 module Dbfs = Rgpdos_dbfs.Dbfs
 module Block_device = Rgpdos_block.Block_device
+module Journal_ring = Rgpdos_block.Journal_ring
+module Journalfs = Rgpdos_journalfs.Journalfs
 module Population = Rgpdos_workload.Population
+
+let print_replay_summary = function
+  | Some s ->
+      Printf.printf "journal replay: %d record(s), stop=%s\n"
+        s.Journal_ring.records_replayed
+        (Journal_ring.stop_reason_to_string s.Journal_ring.stop_reason)
+  | None -> ()
 
 let fsck_boot subjects seed =
   let prng = Rgpdos_util.Prng.create ~seed:(Int64.of_int seed) () in
@@ -264,15 +275,9 @@ let fsck_store damage subjects seed =
         other;
       exit 2
 
-let fsck_run repair subjects seed damage =
+let fsck_dbfs repair subjects seed damage =
   let store = fsck_store damage subjects seed in
-  (match Dbfs.replay_report store with
-  | Some s ->
-      Printf.printf "journal replay: %d record(s), stop=%s\n"
-        s.Rgpdos_block.Journal_ring.records_replayed
-        (Rgpdos_block.Journal_ring.stop_reason_to_string
-           s.Rgpdos_block.Journal_ring.stop_reason)
-  | None -> ());
+  print_replay_summary (Dbfs.replay_report store);
   if not repair then
     match Dbfs.fsck store with
     | Ok () ->
@@ -309,6 +314,119 @@ let fsck_run repair subjects seed damage =
     end
   end
 
+(* The journalfs (non-PD files) variant: populate a fresh journalfs
+   without checkpointing — every op sits in the journal ring — then
+   remount per the requested damage mode and print the same
+   Journal_ring.replay summary the DBFS path prints, followed by the
+   fsck verdict.  Only damage modes that make sense for a plain
+   journaling filesystem are accepted. *)
+let fsck_journalfs repair subjects seed damage =
+  let prng = Rgpdos_util.Prng.create ~seed:(Int64.of_int seed) () in
+  let people = Population.generate prng ~n:subjects in
+  let clock = Rgpdos_util.Clock.create () in
+  let dev = Block_device.create ~config:Block_device.default_config ~clock () in
+  let fs = Journalfs.format dev ~journal_blocks:64 in
+  let ok_or_die what = function
+    | Ok v -> v
+    | Error e ->
+        Printf.eprintf "%s: %s\n" what (Journalfs.error_to_string e);
+        exit 2
+  in
+  ok_or_die "mkdir" (Journalfs.mkdir fs "/subjects");
+  let populate () =
+    List.iter
+      (fun (p : Population.person) ->
+        let path = "/subjects/" ^ p.Population.subject_id in
+        ok_or_die "write_file"
+          (Journalfs.write_file fs path
+             (Rgpdos_dbfs.Record.encode (Population.record_of p))))
+      people
+  in
+  let remount () =
+    match Journalfs.crash_and_remount fs with
+    | Ok fs' -> fs'
+    | Error e ->
+        Printf.eprintf "remount: %s\n" e;
+        exit 2
+  in
+  let fs =
+    match damage with
+    | "none" ->
+        populate ();
+        remount ()
+    | "bit-rot" ->
+        (* flip a bit inside an early journal frame (the ring starts at
+           block 1; the first frames sit at the start of it): replay
+           must stop there with Bad_checksum instead of trusting the
+           damaged tail, recovering only the prefix before the flip *)
+        populate ();
+        Block_device.unsafe_flip dev ~block:1 ~byte:120 ~bit:2;
+        remount ()
+    | "crash" ->
+        (* power loss mid-populate: cut the device off after a handful
+           of writes and mount whatever image a real crash would leave *)
+        let plan = Block_device.Fault_plan.create () in
+        Block_device.Fault_plan.crash_after_writes plan (3 + (seed mod 5));
+        Block_device.set_fault_plan dev (Some plan);
+        populate ();
+        Block_device.set_fault_plan dev None;
+        let image =
+          match Block_device.crash_image dev with
+          | Some i -> i
+          | None ->
+              Printf.eprintf "crash point never fired\n";
+              exit 2
+        in
+        let rdev =
+          Block_device.create ~config:(Block_device.config dev) ~clock ()
+        in
+        Block_device.restore rdev image;
+        (match Journalfs.mount rdev with
+        | Ok fs' -> fs'
+        | Error e ->
+            Printf.eprintf "mount: %s\n" e;
+            exit 2)
+    | other ->
+        Printf.eprintf
+          "unknown --damage %s for --fs journalfs (expected none, bit-rot, \
+           crash)\n"
+          other;
+        exit 2
+  in
+  print_replay_summary (Journalfs.replay_report fs);
+  (match Journalfs.replay_warning fs with
+  | Some w -> Printf.printf "journal warning: %s\n" w
+  | None -> ());
+  if repair then begin
+    (* journalfs self-heals at replay time by truncating the damaged
+       tail; --repair additionally checkpoints the replayed state and
+       scrubs the stale journal so the next mount starts clean *)
+    Journalfs.checkpoint fs;
+    Journalfs.scrub_journal fs;
+    Printf.printf "repair: checkpointed replayed state, journal scrubbed\n"
+  end;
+  match Journalfs.fsck fs with
+  | Ok () ->
+      let files =
+        match Journalfs.list_dir fs "/subjects" with
+        | Ok names -> List.length names
+        | Error _ -> 0
+      in
+      Printf.printf "fsck: clean (%d file(s) under /subjects)\n" files;
+      0
+  | Error problems ->
+      Printf.printf "fsck: %d problem(s) found:\n" (List.length problems);
+      List.iter (fun p -> Printf.printf "  %s\n" p) problems;
+      1
+
+let fsck_run repair subjects seed damage fstype =
+  match fstype with
+  | "dbfs" -> fsck_dbfs repair subjects seed damage
+  | "journalfs" -> fsck_journalfs repair subjects seed damage
+  | other ->
+      Printf.eprintf "unknown --fs %s (expected dbfs, journalfs)\n" other;
+      2
+
 let fsck_cmd =
   let repair =
     Arg.(value & flag
@@ -325,15 +443,24 @@ let fsck_cmd =
     Arg.(value & opt string "none"
          & info [ "damage" ] ~docv:"KIND"
              ~doc:"Damage to inject before checking: none, bit-rot (flip a \
-                   bit in a record extent), index (drop a posting), \
-                   index-page (flip a bit in an on-device index node page \
-                   after a cold remount), crash (power loss mid-erasure).")
+                   bit in a record extent, or in a journal frame for \
+                   journalfs), index (drop a posting), index-page (flip a \
+                   bit in an on-device index node page after a cold \
+                   remount), crash (power loss mid-erasure, or \
+                   mid-populate for journalfs).")
+  in
+  let fstype =
+    Arg.(value & opt string "dbfs"
+         & info [ "fs" ] ~docv:"FS"
+             ~doc:"Filesystem to check: dbfs (the PD store) or journalfs \
+                   (the journaling filesystem for non-PD files).  Both \
+                   print the journal replay summary on mount.")
   in
   Cmd.v
     (Cmd.info "fsck"
-       ~doc:"Check (or self-heal with --repair) a populated DBFS; exits \
-             non-zero on unrecoverable damage")
-    Term.(const fsck_run $ repair $ subjects $ seed $ damage)
+       ~doc:"Check (or self-heal with --repair) a populated DBFS or \
+             journalfs; exits non-zero on unrecoverable damage")
+    Term.(const fsck_run $ repair $ subjects $ seed $ damage $ fstype)
 
 (* ------------------------------------------------------------------ *)
 (* stats                                                              *)
@@ -529,6 +656,32 @@ let experiment_cmd =
     (Cmd.info "experiment" ~doc:"Run one experiment and print its table")
     Term.(const experiment_run $ id $ quick)
 
+(* ------------------------------------------------------------------ *)
+(* model-check                                                        *)
+
+let model_check_run seed scripts =
+  let module Refine = Rgpdos_model.Refine in
+  let report = Refine.run ~seed ?scripts () in
+  print_string (Refine.render report);
+  if Refine.all_pass report then 0 else 1
+
+let model_check_cmd =
+  let seed = Arg.(value & opt int 11 & info [ "seed" ] ~doc:"Campaign seed.") in
+  let scripts =
+    Arg.(value & opt (some int) None
+         & info [ "scripts" ] ~docv:"N"
+             ~doc:"Generated scripts per mode (default: the QCHECK_COUNT \
+                   environment variable, else 4).")
+  in
+  Cmd.v
+    (Cmd.info "model-check"
+       ~doc:"Run the executable-GDPR-model refinement campaign (lockstep \
+             observational equivalence, crash refinement across the \
+             allocator/group-commit/async config matrix, linearizability \
+             at 1/2/4 domains, index/cache coherence); exits non-zero on \
+             any counterexample")
+    Term.(const model_check_run $ seed $ scripts)
+
 let articles_cmd =
   Cmd.v
     (Cmd.info "articles" ~doc:"GDPR article to rgpdOS mechanism mapping")
@@ -553,5 +706,5 @@ let () =
        (Cmd.group info
           [
             parse_cmd; demo_cmd; fsck_cmd; stats_cmd; fig1_cmd; experiment_cmd;
-            articles_cmd;
+            model_check_cmd; articles_cmd;
           ]))

@@ -73,6 +73,34 @@ module Fault_plan = struct
         a
     | None -> None
 
+  let pp_action ppf = function
+    | Fail_write { transient } ->
+        Format.fprintf ppf "fail-write(%s)"
+          (if transient then "transient" else "permanent")
+    | Torn_write { keep_runs } -> Format.fprintf ppf "torn-write(keep=%d)" keep_runs
+    | Bit_flip { block; byte; bit } ->
+        Format.fprintf ppf "bit-flip(block=%d,byte=%d,bit=%d)" block byte bit
+
+  let action_to_string a = Format.asprintf "%a" pp_action a
+
+  (* Render the plan as scheduled, not as consumed: a fired entry is
+     removed from [entries], so failure reports should capture the
+     string at install time. *)
+  let pp ppf plan =
+    let entries = List.sort compare plan.entries in
+    Format.fprintf ppf "plan{";
+    List.iteri
+      (fun i (nth, a) ->
+        Format.fprintf ppf "%s@@%d:%a" (if i = 0 then "" else " ") nth pp_action a)
+      entries;
+    (match plan.crash_after with
+    | Some n ->
+        Format.fprintf ppf "%scrash@@%d" (if entries = [] then "" else " ") n
+    | None -> if entries = [] then Format.fprintf ppf "no-faults");
+    Format.fprintf ppf "}"
+
+  let to_string plan = Format.asprintf "%a" pp plan
+
   (* Draw [faults] scheduled faults over the first [writes] write ops from a
      seeded PRNG.  Same seed => same schedule, the campaign determinism
      rule. *)

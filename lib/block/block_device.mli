@@ -205,6 +205,17 @@ module Fault_plan : sig
   val writes_seen : t -> int
   (** Write ops observed by the device since the plan was installed. *)
 
+  val pp_action : Format.formatter -> action -> unit
+  val action_to_string : action -> string
+
+  val pp : Format.formatter -> t -> unit
+  (** Render the plan's still-scheduled faults and crash trigger, e.g.
+      [plan{@3:torn-write(keep=1) crash@17}].  Fired entries are removed
+      from the plan, so diagnosable failure reports should capture
+      {!to_string} at install time. *)
+
+  val to_string : t -> string
+
   val random :
     prng:Rgpdos_util.Prng.t ->
     writes:int ->

@@ -1,0 +1,143 @@
+(* Pure-functional model of the DBFS GDPR observables.  See model.mli
+   for the observational contract.  The representation is a plain list
+   in insertion order — population sizes in the refinement harness are
+   tiny, clarity beats asymptotics here. *)
+
+module Record = Rgpdos_dbfs.Record
+module Query = Rgpdos_dbfs.Query
+module Membrane = Rgpdos_membrane.Membrane
+
+type pd_state = Live | Erased of string
+
+type pd = {
+  p_id : string;
+  p_type : string;
+  p_subject : string;
+  p_record : Record.t;
+  p_membrane : Membrane.t;
+  p_state : pd_state;
+}
+
+type t = pd list  (* insertion order, oldest first *)
+
+type error = Unknown_pd of string | Already_erased of string
+
+let empty = []
+let pds t = t
+
+let insert t ~pd_id ~type_name ~subject ~record ~membrane =
+  t
+  @ [
+      {
+        p_id = pd_id;
+        p_type = type_name;
+        p_subject = subject;
+        p_record = record;
+        p_membrane = membrane;
+        p_state = Live;
+      };
+    ]
+
+let find t id = List.find_opt (fun p -> p.p_id = id) t
+
+let modify t id f =
+  match find t id with
+  | None -> Error (Unknown_pd id)
+  | Some _ ->
+      let out = ref (Ok ()) in
+      let t' =
+        List.filter_map
+          (fun p ->
+            if p.p_id <> id then Some p
+            else
+              match f p with
+              | Ok r -> r
+              | Error e ->
+                  out := Error e;
+                  Some p)
+          t
+      in
+      Result.map (fun () -> t') !out
+
+let update_record t id record =
+  modify t id (fun p ->
+      match p.p_state with
+      | Erased _ -> Error (Already_erased id)
+      | Live -> Ok (Some { p with p_record = record }))
+
+let update_membrane t id membrane =
+  modify t id (fun p -> Ok (Some { p with p_membrane = membrane }))
+
+let erase t id ~sealed =
+  modify t id (fun p ->
+      match p.p_state with
+      | Erased _ -> Error (Already_erased id)
+      | Live -> Ok (Some { p with p_state = Erased sealed; p_record = [] }))
+
+let delete t id = modify t id (fun _ -> Ok None)
+
+let live p = p.p_state = Live
+
+let pds_of_subject t subject =
+  List.filter_map (fun p -> if p.p_subject = subject then Some p.p_id else None) t
+
+let list_pds t type_name =
+  List.filter_map (fun p -> if p.p_type = type_name then Some p.p_id else None) t
+
+let subjects t =
+  List.fold_left
+    (fun acc p -> if List.mem p.p_subject acc then acc else p.p_subject :: acc)
+    [] t
+  |> List.sort compare
+
+let select t type_name pred =
+  List.filter_map
+    (fun p ->
+      if p.p_type = type_name && live p && Query.eval pred p.p_record then
+        Some p.p_id
+      else None)
+    t
+
+(* Live pds whose expiry instant has passed, in expiry-queue order:
+   (created_at + ttl, pd_id) ascending — matching Dbfs.expired_pds. *)
+let expired t ~now =
+  List.filter_map
+    (fun p ->
+      if not (live p) then None
+      else
+        match p.p_membrane.Membrane.ttl with
+        | Some ttl when p.p_membrane.Membrane.created_at + ttl <= now ->
+            Some (p.p_membrane.Membrane.created_at + ttl, p.p_id)
+        | _ -> None)
+    t
+  |> List.sort compare |> List.map snd
+
+(* Byte-identical to Dbfs.export_subject: live records of the subject in
+   insertion order, rendered by Record.to_export, one JSON array. *)
+let export t subject =
+  let items =
+    List.filter_map
+      (fun p ->
+        if p.p_subject = subject && live p then
+          Some (Record.to_export ~type_name:p.p_type ~pd_id:p.p_id p.p_record)
+        else None)
+      t
+  in
+  "[" ^ String.concat ", " items ^ "]"
+
+let live_count t = List.length (List.filter live t)
+
+let dump_pd p =
+  Printf.sprintf "%s|%s|%s|%s|%s" p.p_id p.p_type p.p_subject
+    (match p.p_state with
+    | Live -> "live:" ^ Record.encode p.p_record
+    | Erased sealed -> "erased:" ^ sealed)
+    (Membrane.encode p.p_membrane)
+
+let dump_excluding t ~exclude =
+  List.filter (fun p -> not (List.mem p.p_id exclude)) t
+  |> List.sort (fun a b -> compare a.p_id b.p_id)
+  |> List.map dump_pd |> String.concat "\n"
+
+let dump t = dump_excluding t ~exclude:[]
+let equal a b = dump a = dump b

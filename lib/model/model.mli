@@ -1,0 +1,97 @@
+(** The executable GDPR model: a pure-functional specification of the
+    DBFS observables the paper's guarantees rest on.
+
+    The model is a persistent value — a list of PD entries in insertion
+    order, each wrapping a record and its membrane — with none of the
+    storage machinery (no device, no journal, no indexes, no cache).
+    Each operation returns a new model; nothing is mutated.  The
+    refinement harness ({!Refine}) drives the real {!Rgpdos_dbfs.Dbfs}
+    and this model in lockstep and asserts that every observable —
+    operation results, Art. 15 exports, Art. 17 erasure effects, query
+    selections, TTL expiry — is equal on both sides, under arbitrary
+    generated op scripts, fault plans and shard schedules.
+
+    Observational contract (what "equivalent" means per op):
+    - [insert]: DBFS assigns the pd_id; the driver feeds the assigned id
+      into the model, so both sides name PDs identically;
+    - [pds_of_subject] / [list_pds]: insertion order, erased entries
+      included (an erased PD's existence stays accountable);
+    - [select]: live (non-erased) entries of the type whose record
+      satisfies the predicate, in insertion order — the model evaluates
+      {!Rgpdos_dbfs.Query.eval} directly, which pins the planner's
+      index-pushdown paths to the brute-force semantics;
+    - [expired ~now]: live PDs with [created_at + ttl <= now], sorted by
+      [(expiry instant, pd_id)] — the expiry-queue order;
+    - [export]: byte-identical to [Dbfs.export_subject] (a JSON array of
+      {!Rgpdos_dbfs.Record.to_export} objects over the subject's live
+      PDs in insertion order);
+    - [erase]: the record is replaced by the caller-supplied sealed
+      envelope, the membrane remains; reads return [`Erased];
+    - [delete]: the entry is gone from every observable. *)
+
+type pd_state = Live | Erased of string  (** sealed envelope bytes *)
+
+type pd = {
+  p_id : string;
+  p_type : string;
+  p_subject : string;
+  p_record : Rgpdos_dbfs.Record.t;  (** meaningless once [Erased] *)
+  p_membrane : Rgpdos_membrane.Membrane.t;
+  p_state : pd_state;
+}
+
+type t
+(** Persistent model state. *)
+
+val empty : t
+
+val pds : t -> pd list
+(** All entries, insertion order (oldest first). *)
+
+(** {1 Mutations} — each returns a new model *)
+
+type error = Unknown_pd of string | Already_erased of string
+
+val insert :
+  t ->
+  pd_id:string ->
+  type_name:string ->
+  subject:string ->
+  record:Rgpdos_dbfs.Record.t ->
+  membrane:Rgpdos_membrane.Membrane.t ->
+  t
+
+val update_record :
+  t -> string -> Rgpdos_dbfs.Record.t -> (t, error) result
+(** Fails on unknown or erased PDs, like [Dbfs.update_record]. *)
+
+val update_membrane :
+  t -> string -> Rgpdos_membrane.Membrane.t -> (t, error) result
+
+val erase : t -> string -> sealed:string -> (t, error) result
+(** Crypto-erasure: record replaced by [sealed], membrane kept. *)
+
+val delete : t -> string -> (t, error) result
+
+(** {1 Observables} *)
+
+val find : t -> string -> pd option
+val pds_of_subject : t -> string -> string list
+val list_pds : t -> string -> string list
+val subjects : t -> string list
+(** Sorted, like [Dbfs.subjects]. *)
+
+val select : t -> string -> Rgpdos_dbfs.Query.t -> string list
+val expired : t -> now:int -> string list
+val export : t -> string -> string
+val live_count : t -> int
+
+val dump : t -> string
+(** Canonical rendering of the whole state, sorted by pd_id: the
+    refinement harness compares recovered stores against model states
+    with this.  [exclude] drops the named pd_ids (quarantined entries)
+    before rendering. *)
+
+val dump_excluding : t -> exclude:string list -> string
+
+val equal : t -> t -> bool

@@ -827,6 +827,104 @@ let compare_fault ~old_report ~pass_rate_pct:current =
              current)
       else Ok old_rate
 
+(* ---------- model-refinement artifact ---------- *)
+
+let model_schema_id = "rgpdos-model-check/1"
+
+(* refinement is absolute: the executable model IS the GDPR semantics,
+   and any divergence is a bug on one side or the other — there is no
+   acceptable "small regression" in meaning *)
+let model_conformance_bar = 100.0
+
+let make_model ~(result : Rgpdos_model.Refine.report) ?wall_ms () =
+  Rgpdos_model.Refine.to_json ?wall_ms result
+
+let validate_model v =
+  let* schema =
+    require "missing schema key"
+      (Option.bind (Json.member "schema" v) Json.to_str)
+  in
+  if schema <> model_schema_id then Error ("unexpected schema id " ^ schema)
+  else
+    let pos key =
+      let* n =
+        require ("missing " ^ key)
+          (Option.bind (Json.member key v) Json.to_float)
+      in
+      if n <= 0.0 then Error (key ^ " must be positive") else Ok n
+    in
+    let* _ = pos "scripts" in
+    let* _ = pos "ops_checked" in
+    let* _ = pos "fault_points" in
+    let* crash_runs = pos "crash_runs" in
+    let* configs = pos "crash_configs" in
+    let expected_configs = List.length Rgpdos_model.Refine.all_cfgs in
+    if int_of_float configs <> expected_configs then
+      Error
+        (Printf.sprintf "crash_configs %.0f does not cover the %d-config matrix"
+           configs expected_configs)
+    else if crash_runs < configs then
+      Error "fewer crash runs than crash configs"
+    else
+      let int_list key =
+        let* l =
+          require ("missing " ^ key)
+            (Option.bind (Json.member key v) Json.to_list)
+        in
+        Ok (List.map int_of_float (List.filter_map Json.to_float l))
+      in
+      let* domains = int_list "lin_domains" in
+      if domains <> [ 1; 2; 4 ] then
+        Error "lin_domains must cover 1/2/4 domains"
+      else
+        let* budgets = int_list "cache_budgets" in
+        if budgets <> Rgpdos_model.Refine.budgets then
+          Error "cache_budgets do not match the coherence audit's"
+        else
+          let* rate =
+            require "missing conformance_pct"
+              (Option.bind (Json.member "conformance_pct" v) Json.to_float)
+          in
+          if rate < model_conformance_bar then
+            Error
+              (Printf.sprintf "conformance %.2f%% below the %.0f%% bar" rate
+                 model_conformance_bar)
+          else
+            let* failures =
+              require "missing failures section"
+                (Option.bind (Json.member "failures" v) Json.to_list)
+            in
+            match failures with
+            | [] -> (
+                match Json.member "all_pass" v with
+                | Some (Json.Bool true) -> Ok ()
+                | _ -> Error "all_pass must be true")
+            | f :: _ ->
+                let detail =
+                  match Option.bind (Json.member "detail" f) Json.to_str with
+                  | Some d -> d
+                  | None -> "?"
+                in
+                Error ("refinement counterexample recorded: " ^ detail)
+
+let compare_model ~old_report ~conformance_pct:current =
+  match
+    Option.bind (Json.member "conformance_pct" old_report) Json.to_float
+  with
+  | None -> Error "old model report has no conformance_pct"
+  | Some old_rate ->
+      if old_rate < model_conformance_bar then
+        Error
+          (Printf.sprintf
+             "committed model-check conformance %.2f%% is below 100%%" old_rate)
+      else if current < model_conformance_bar then
+        Error
+          (Printf.sprintf
+             "model refinement conformance dropped to %.2f%% (bar: every \
+              observable, crash run and shard must match the model)"
+             current)
+      else Ok old_rate
+
 (* ---------- mount-scale artifact ---------- *)
 
 let mount_schema_id = "rgpdos-bench-mount-scale/1"

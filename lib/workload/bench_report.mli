@@ -191,6 +191,31 @@ val compare_fault :
     [BENCH_fault_campaign.json]: both must sit at a 100%% invariant pass
     rate. *)
 
+(** {1 Model-refinement artifact ([BENCH_model_check.json])} *)
+
+val model_schema_id : string
+
+val model_conformance_bar : float
+(** 100.0 — refinement is absolute: every observable comparison, every
+    crash-refinement run and every linearizability shard must agree with
+    the executable model (no regression margin). *)
+
+val make_model :
+  result:Rgpdos_model.Refine.report -> ?wall_ms:float -> unit -> Json.t
+(** The committed refinement evidence: campaign counters plus every
+    (shrunk, replayable) counterexample ({!Rgpdos_model.Refine.to_json}). *)
+
+val validate_model : Json.t -> (unit, string) result
+(** Shape check plus the acceptance bars: positive script / comparison /
+    crash-run / fault-point counts, crash coverage of all 18 configs,
+    linearizability at 1/2/4 domains, conformance at
+    {!model_conformance_bar} with an empty failure list. *)
+
+val compare_model :
+  old_report:Json.t -> conformance_pct:float -> (float, string) result
+(** Gate a freshly run refinement campaign against the committed
+    [BENCH_model_check.json]: both must sit at 100%% conformance. *)
+
 (** {1 Mount-scale artifact ([BENCH_mount_scale.json])} *)
 
 val mount_schema_id : string

@@ -17,6 +17,7 @@ module Machine = Rgpdos.Machine
 type crash_verdict = {
   cp_write : int;
   cp_step : string;
+  cp_plan : string;
   cp_replay_stop : string;
   cp_quarantined : int;
   cp_residue_free : bool;
@@ -173,6 +174,8 @@ let run_point ~seed ~spans people k =
   let dev = Machine.pd_device m in
   let plan = Fault_plan.create () in
   Fault_plan.crash_after_writes plan k;
+  (* capture at install time: fired entries are removed from the plan *)
+  let plan_str = Fault_plan.to_string plan in
   Block_device.set_fault_plan dev (Some plan);
   let audit_bytes = ref "" in
   let captured = ref false in
@@ -204,6 +207,7 @@ let run_point ~seed ~spans people k =
       {
         cp_write = k;
         cp_step = step_of spans k;
+        cp_plan = plan_str;
         cp_replay_stop = "mount failed: " ^ e;
         cp_quarantined = 0;
         cp_residue_free = false;
@@ -227,6 +231,7 @@ let run_point ~seed ~spans people k =
       {
         cp_write = k;
         cp_step = step_of spans k;
+        cp_plan = plan_str;
         cp_replay_stop = replay_stop;
         cp_quarantined = List.length rep.Dbfs.rr_quarantined;
         cp_residue_free = residue_free;
@@ -695,6 +700,7 @@ let to_json ?wall_ms r =
       [
         ("write", Json.Num (float_of_int p.cp_write));
         ("step", Json.Str p.cp_step);
+        ("plan", Json.Str p.cp_plan);
         ("replay_stop", Json.Str p.cp_replay_stop);
         ("quarantined", Json.Num (float_of_int p.cp_quarantined));
         ("residue_free", Json.Bool p.cp_residue_free);
@@ -759,9 +765,9 @@ let render r =
       if not (p.cp_residue_free && p.cp_audit_ok && p.cp_fsck_clean) then
         Buffer.add_string b
           (Printf.sprintf
-             "  FAIL at write %d (%s): residue_free=%b audit=%b fsck=%b \
+             "  FAIL at write %d (%s) %s: residue_free=%b audit=%b fsck=%b \
               replay=%s\n"
-             p.cp_write p.cp_step p.cp_residue_free p.cp_audit_ok
+             p.cp_write p.cp_step p.cp_plan p.cp_residue_free p.cp_audit_ok
              p.cp_fsck_clean p.cp_replay_stop))
     r.fc_points;
   Buffer.add_string b "scenarios:\n";

@@ -34,6 +34,9 @@
 type crash_verdict = {
   cp_write : int;          (** crash point: the write-op ordinal crashed after *)
   cp_step : string;        (** workload step the write belonged to *)
+  cp_plan : string;        (** active fault plan, rendered at install time —
+                               counterexamples are diagnosable without
+                               re-running the campaign *)
   cp_replay_stop : string; (** mount-time journal replay stop reason *)
   cp_quarantined : int;    (** pds fsck_repair had to quarantine *)
   cp_residue_free : bool;  (** invariant 1 *)
